@@ -1,0 +1,154 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace autotest::benchx {
+
+Scale GetScale() {
+  Scale s;
+  const char* env = std::getenv("AT_BENCH_SCALE");
+  if (env != nullptr) {
+    double f = std::atof(env);
+    if (f > 0.0) {
+      s.corpus_columns = static_cast<size_t>(s.corpus_columns * f);
+      s.bench_columns = static_cast<size_t>(s.bench_columns * f);
+      s.synthetic_count = static_cast<size_t>(s.synthetic_count * f);
+      s.centroids_per_model =
+          static_cast<size_t>(s.centroids_per_model * f);
+    }
+  }
+  s.corpus_columns = std::max<size_t>(s.corpus_columns, 200);
+  s.bench_columns = std::max<size_t>(s.bench_columns, 100);
+  s.synthetic_count = std::max<size_t>(s.synthetic_count, 100);
+  s.centroids_per_model = std::max<size_t>(s.centroids_per_model, 20);
+  return s;
+}
+
+Env BuildEnv(const std::string& corpus_name, const Scale& scale,
+             const core::AutoTestConfig* config_override) {
+  Env env;
+  env.scale = scale;
+  env.corpus_name = corpus_name;
+  datagen::CorpusProfile profile;
+  if (corpus_name == "relational") {
+    profile = datagen::RelationalTablesProfile(scale.corpus_columns);
+  } else if (corpus_name == "spreadsheet") {
+    profile = datagen::SpreadsheetTablesProfile(scale.corpus_columns);
+  } else if (corpus_name == "tablib") {
+    profile = datagen::TablibProfile(scale.corpus_columns);
+  } else {
+    std::fprintf(stderr, "unknown corpus %s\n", corpus_name.c_str());
+    std::abort();
+  }
+  std::fprintf(stderr, "[bench] generating %s corpus (%zu columns)...\n",
+               corpus_name.c_str(), scale.corpus_columns);
+  env.corpus = datagen::GenerateCorpus(profile);
+
+  core::AutoTestConfig config;
+  if (config_override != nullptr) config = *config_override;
+  config.eval_options.embedding_centroids_per_model =
+      scale.centroids_per_model;
+  config.train_options.synthetic_count = scale.synthetic_count;
+  std::fprintf(stderr, "[bench] training Auto-Test...\n");
+  env.at = std::make_unique<core::AutoTest>(
+      core::AutoTest::Train(env.corpus, config));
+  std::fprintf(stderr, "[bench] learned %zu constraints\n",
+               env.at->model().constraints.size());
+
+  env.st = datagen::GenerateBenchmark(
+      datagen::StBenchProfile(scale.bench_columns));
+  env.rt = datagen::GenerateBenchmark(
+      datagen::RtBenchProfile(scale.bench_columns));
+  return env;
+}
+
+std::vector<datagen::LabeledBenchmark> ErrorLevels(
+    const datagen::LabeledBenchmark& bench) {
+  std::vector<datagen::LabeledBenchmark> out;
+  out.push_back(bench);
+  out.push_back(datagen::WithSyntheticErrors(bench, 0.05, 1001));
+  out.push_back(datagen::WithSyntheticErrors(bench, 0.10, 1002));
+  out.push_back(datagen::WithSyntheticErrors(bench, 0.20, 1003));
+  return out;
+}
+
+std::vector<std::unique_ptr<eval::ErrorDetector>> BuildBaselines(
+    const Env& env) {
+  std::vector<std::unique_ptr<eval::ErrorDetector>> out;
+  const auto& evals = env.at->evals();
+
+  // Column-type detection baselines.
+  const auto& zoos = evals.cta_zoos();
+  for (const auto& zoo : zoos) {
+    out.push_back(std::make_unique<baselines::CtaZScoreDetector>(
+        zoo->name() == "sherlock-sim" ? "sherlock" : "doduo", zoo.get()));
+  }
+  const auto& models = evals.embedding_models();
+  for (const auto& model : models) {
+    out.push_back(std::make_unique<baselines::EmbeddingZScoreDetector>(
+        model->name() == "glove-sim" ? "glove" : "sentence-bert",
+        model.get()));
+  }
+  out.push_back(std::make_unique<baselines::RegexDetector>());
+  out.push_back(std::make_unique<baselines::FunctionDetector>(
+      "dataprep", "dataprep-sim"));
+  out.push_back(std::make_unique<baselines::FunctionDetector>(
+      "validators", "validators-sim"));
+
+  // Data-cleaning baselines.
+  out.push_back(std::make_unique<baselines::AutoDetectSim>(
+      baselines::AutoDetectSim::Train(env.corpus)));
+  out.push_back(std::make_unique<baselines::KataraSim>());
+
+  // Outlier-detection baselines.
+  for (auto kind :
+       {baselines::OutlierKind::kSvdd, baselines::OutlierKind::kDbod,
+        baselines::OutlierKind::kLof, baselines::OutlierKind::kRkde,
+        baselines::OutlierKind::kPpca, baselines::OutlierKind::kIForest}) {
+    out.push_back(std::make_unique<baselines::OutlierDetectorBaseline>(kind));
+  }
+
+  // LLM simulations.
+  for (const auto& cfg : baselines::LlmSim::PaperVariants()) {
+    out.push_back(std::make_unique<baselines::LlmSim>(cfg));
+  }
+
+  // Commercial simulations.
+  out.push_back(
+      std::make_unique<baselines::VendorSim>(baselines::VendorSim::Kind::kA));
+  out.push_back(
+      std::make_unique<baselines::VendorSim>(baselines::VendorSim::Kind::kB));
+  return out;
+}
+
+void PrintCurve(const std::string& label, const eval::PrCurve& curve,
+                size_t max_points) {
+  std::printf("curve %-28s :", label.c_str());
+  size_t n = curve.points.size();
+  if (n == 0) {
+    std::printf(" (empty)\n");
+    return;
+  }
+  size_t step = std::max<size_t>(1, n / max_points);
+  for (size_t i = 0; i < n; i += step) {
+    std::printf(" (%.3f,%.3f)", curve.points[i].recall,
+                curve.points[i].precision);
+  }
+  if ((n - 1) % step != 0) {
+    std::printf(" (%.3f,%.3f)", curve.points[n - 1].recall,
+                curve.points[n - 1].precision);
+  }
+  std::printf("\n");
+}
+
+void PrintQualityRow(const std::string& method,
+                     const std::vector<eval::BenchmarkRun>& runs) {
+  std::printf("%s\n", eval::FormatTableRow(method, runs).c_str());
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace autotest::benchx

@@ -1,0 +1,70 @@
+#ifndef AUTOTEST_BENCH_BENCH_COMMON_H_
+#define AUTOTEST_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/auto_test.h"
+#include "datagen/bench_gen.h"
+#include "datagen/corpus_gen.h"
+#include "eval/harness.h"
+
+namespace autotest::benchx {
+
+/// Scale knobs shared by every bench binary. Override with the environment
+/// variable AT_BENCH_SCALE (e.g. AT_BENCH_SCALE=0.25 quarters the sizes)
+/// when iterating locally; published numbers use the defaults.
+struct Scale {
+  size_t corpus_columns = 2400;
+  size_t bench_columns = 1200;
+  size_t synthetic_count = 800;
+  size_t centroids_per_model = 120;
+};
+
+/// Reads AT_BENCH_SCALE and applies it to the default sizes.
+Scale GetScale();
+
+/// Everything a quality bench needs: a trained Auto-Test and the two
+/// labeled benchmarks.
+struct Env {
+  Scale scale;
+  std::string corpus_name;
+  table::Corpus corpus;
+  std::unique_ptr<core::AutoTest> at;
+  datagen::LabeledBenchmark st;
+  datagen::LabeledBenchmark rt;
+};
+
+/// Builds the environment: generates the named training corpus
+/// ("relational" | "spreadsheet" | "tablib"), trains Auto-Test on it, and
+/// generates ST-Bench / RT-Bench. Prints progress to stderr.
+Env BuildEnv(const std::string& corpus_name, const Scale& scale,
+             const core::AutoTestConfig* config_override = nullptr);
+
+/// The benchmark variants of paper Table 4: real errors plus +5/+10/+20%
+/// synthetic injections.
+std::vector<datagen::LabeledBenchmark> ErrorLevels(
+    const datagen::LabeledBenchmark& bench);
+
+/// Builds the full roster of baseline detectors (column-type detection,
+/// outlier detection, corpus baselines, LLM-sim variants, vendor-sims).
+/// Returned detectors borrow models from `env` — keep it alive.
+std::vector<std::unique_ptr<eval::ErrorDetector>> BuildBaselines(
+    const Env& env);
+
+/// Prints a PR curve as a machine-readable series (recall, precision).
+void PrintCurve(const std::string& label, const eval::PrCurve& curve,
+                size_t max_points = 24);
+
+/// Prints the standard "(F1@P=0.8, PR-AUC)" quality row.
+void PrintQualityRow(const std::string& method,
+                     const std::vector<eval::BenchmarkRun>& runs);
+
+/// Section header helper.
+void PrintHeader(const std::string& title);
+
+}  // namespace autotest::benchx
+
+#endif  // AUTOTEST_BENCH_BENCH_COMMON_H_

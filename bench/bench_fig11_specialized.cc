@@ -1,0 +1,64 @@
+// Paper Figure 11: coverage of specialized content — columns with
+// proprietary meanings (contract numbers, article numbers, order ids) are
+// still covered by pattern-based SDCs, because the learner captures what a
+// reliable pattern-domain looks like rather than specific vocabularies.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/column_gen.h"
+#include "datagen/gazetteer.h"
+#include "typedet/domain_eval.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace autotest;
+  benchx::Scale scale = benchx::GetScale();
+  benchx::Env env = benchx::BuildEnv("relational", scale);
+  auto pred = env.at->MakePredictor(core::Variant::kAllConstraints);
+
+  const char* specialized[] = {"contract_no",   "article_number",
+                               "order_num",     "movie_id",
+                               "product_code",  "gene"};
+  benchx::PrintHeader(
+      "Figure 11: specialized columns covered by pattern SDCs");
+  const auto& gaz = datagen::Gazetteer::Instance();
+  util::Rng rng(99);
+  for (const char* name : specialized) {
+    datagen::ColumnGenOptions opt;
+    opt.min_values = 40;
+    opt.max_values = 40;
+    table::Column col = datagen::GenerateColumn(*gaz.Find(name), opt, rng);
+    // Count the SDCs whose pre-condition covers this column, per family.
+    size_t covered_pattern = 0;
+    size_t covered_other = 0;
+    table::DistinctValues distinct = table::Distinct(col);
+    for (const auto& rule : env.at->model().constraints) {
+      auto profile = core::ComputeProfile(*rule.eval, distinct);
+      if (!profile.PreconditionHolds(rule.d_in, rule.m)) continue;
+      if (rule.eval->family() == typedet::Family::kPattern) {
+        ++covered_pattern;
+      } else {
+        ++covered_other;
+      }
+    }
+    std::printf("%-16s first values: %s, %s, ...\n", name,
+                col.values[0].c_str(), col.values[1].c_str());
+    std::printf("%-16s covered by %zu pattern SDCs (+%zu other)\n", "",
+                covered_pattern, covered_other);
+    // And an injected alien value is detected:
+    col.values.push_back("see attachment");
+    auto detections = pred.Predict(col);
+    bool caught = false;
+    for (const auto& d : detections) {
+      if (d.value == "see attachment") caught = true;
+    }
+    std::printf("%-16s alien value \"see attachment\" detected: %s\n\n", "",
+                caught ? "yes" : "no");
+  }
+  std::printf(
+      "Expected shape (paper Fig 11): specialized id-like columns are "
+      "covered by pattern\nSDCs even though their vocabularies never occur "
+      "in the training corpus.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Paper Figure 19: Fine-Select sensitivity to the confidence-approximation
+// parameter delta. delta >= 1 degenerates to Coarse-Select.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace autotest;
+  benchx::Scale scale = benchx::GetScale();
+  scale.bench_columns = std::min<size_t>(scale.bench_columns, 600);
+  benchx::Env env = benchx::BuildEnv("relational", scale);
+
+  benchx::PrintHeader("Figure 19: Fine-Select, varying delta");
+  std::printf("%10s | %12s | %12s | %12s | %12s | %8s\n", "delta",
+              "ST F1@P=0.8", "ST PR-AUC", "RT F1@P=0.8", "RT PR-AUC",
+              "#rules");
+  for (double delta : {0.001, 0.01, 0.1, 1.0}) {
+    core::SelectionOptions opt = env.at->config().selection_options;
+    opt.delta = delta;
+    auto sel = core::FineSelect(env.at->model(), opt);
+    auto pred = env.at->MakePredictorFor(sel.selected);
+    baselines::SdcDetector det("fine-select", &pred);
+    auto st = RunDetector(det, env.st, 1);
+    auto rt = RunDetector(det, env.rt, 1);
+    std::printf("%10.3f | %12.2f | %12.2f | %12.2f | %12.2f | %8zu\n", delta,
+                st.f1_at_p08, st.pr_auc, rt.f1_at_p08, rt.pr_auc,
+                pred.num_rules());
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 19): smaller delta preserves the "
+      "confidence ranking and\nyields equal-or-better curves than delta=1 "
+      "(Coarse-Select).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Paper Figure 21: sensitivity to the Cohen's h effect-size threshold,
+// evaluated on All-Constraints (like the paper).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/trainer.h"
+#include "typedet/eval_functions.h"
+
+int main() {
+  using namespace autotest;
+  benchx::Scale scale = benchx::GetScale();
+  scale.bench_columns = std::min<size_t>(scale.bench_columns, 600);
+
+  auto st = datagen::GenerateBenchmark(
+      datagen::StBenchProfile(scale.bench_columns));
+
+  benchx::PrintHeader("Figure 21: All-Constraints vs Cohen's h threshold");
+  std::printf("%6s | %12s | %12s | %10s\n", "h", "ST F1@P=0.8", "ST PR-AUC",
+              "#rules");
+
+  for (const char* corpus_name : {"relational", "spreadsheet"}) {
+    std::printf("-- trained on %s --\n", corpus_name);
+    auto corpus = datagen::GenerateCorpus(
+        std::string(corpus_name) == "relational"
+            ? datagen::RelationalTablesProfile(scale.corpus_columns)
+            : datagen::SpreadsheetTablesProfile(scale.corpus_columns));
+    typedet::EvalFunctionSetOptions eval_opt;
+    eval_opt.embedding_centroids_per_model = scale.centroids_per_model;
+    auto evals = typedet::EvalFunctionSet::Build(corpus, eval_opt);
+    // Our synthetic corpus yields cleaner separations than real web
+    // tables: surviving candidates all have h >= ~2, so the sweep extends
+    // into the range where the threshold actually prunes.
+    for (double h : {0.0, 0.8, 1.2, 2.0, 2.6, 3.0}) {
+      core::TrainOptions topt;
+      topt.synthetic_count = scale.synthetic_count;
+      topt.h_threshold = h;
+      auto model = core::TrainAutoTest(corpus, evals, topt);
+      core::SdcPredictor pred(model.constraints);
+      baselines::SdcDetector det("all-constraints", &pred);
+      auto run = RunDetector(det, st, 1);
+      std::printf("%6.1f | %12.2f | %12.2f | %10zu\n", h, run.f1_at_p08,
+                  run.pr_auc, pred.num_rules());
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 21): quality improves up to h = 0.8 "
+      "(large effect size)\nand flattens or dips slightly at 1.2.\n");
+  return 0;
+}

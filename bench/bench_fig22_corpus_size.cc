@@ -1,0 +1,38 @@
+// Paper Figure 22: quality vs training-corpus size.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace autotest;
+  benchx::Scale scale = benchx::GetScale();
+  scale.bench_columns = std::min<size_t>(scale.bench_columns, 600);
+
+  auto st = datagen::GenerateBenchmark(
+      datagen::StBenchProfile(scale.bench_columns));
+  auto rt = datagen::GenerateBenchmark(
+      datagen::RtBenchProfile(scale.bench_columns));
+
+  benchx::PrintHeader("Figure 22: Fine-Select quality vs corpus size");
+  std::printf("%8s | %12s | %12s | %12s | %12s | %8s\n", "columns",
+              "ST F1@P=0.8", "ST PR-AUC", "RT F1@P=0.8", "RT PR-AUC",
+              "#rules");
+  for (size_t cols : {scale.corpus_columns / 8, scale.corpus_columns / 4,
+                      scale.corpus_columns / 2, scale.corpus_columns}) {
+    benchx::Scale s = scale;
+    s.corpus_columns = cols;
+    benchx::Env env = benchx::BuildEnv("relational", s);
+    auto pred = env.at->MakePredictor(core::Variant::kFineSelect);
+    baselines::SdcDetector det("fine-select", &pred);
+    auto st_run = RunDetector(det, st, 1);
+    auto rt_run = RunDetector(det, rt, 1);
+    std::printf("%8zu | %12.2f | %12.2f | %12.2f | %12.2f | %8zu\n", cols,
+                st_run.f1_at_p08, st_run.pr_auc, rt_run.f1_at_p08,
+                rt_run.pr_auc, pred.num_rules());
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 22): quality improves with more "
+      "training data.\n");
+  return 0;
+}

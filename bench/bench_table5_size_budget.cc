@@ -1,0 +1,51 @@
+// Paper Table 5: Fine-Select quality and latency as the constraint-count
+// budget B_size varies, with All-Constraints as the reference point.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace autotest;
+  benchx::Scale scale = benchx::GetScale();
+  scale.bench_columns = std::min<size_t>(scale.bench_columns, 600);
+  benchx::Env env = benchx::BuildEnv("relational", scale);
+
+  benchx::PrintHeader(
+      "Table 5: Fine-Select vs constraint budget B_size (quality on real "
+      "errors; latency per column)");
+  std::printf("%18s | %12s | %12s | %12s | %12s | %8s\n", "budget",
+              "ST F1@P=0.8", "ST PR-AUC", "RT F1@P=0.8", "RT PR-AUC",
+              "sec/col");
+
+  for (size_t budget : {100, 200, 500, 1000}) {
+    core::SelectionOptions opt = env.at->config().selection_options;
+    opt.size_budget = budget;
+    auto pred = env.at->MakePredictor(core::Variant::kFineSelect, &opt);
+    baselines::SdcDetector det("fine-select", &pred);
+    auto st = RunDetector(det, env.st, 1);
+    auto rt = RunDetector(det, env.rt, 1);
+    char label[32];
+    std::snprintf(label, sizeof(label), "B_size=%zu (%zu)", budget,
+                  pred.num_rules());
+    std::printf("%18s | %12.2f | %12.2f | %12.2f | %12.2f | %8.4f\n", label,
+                st.f1_at_p08, st.pr_auc, rt.f1_at_p08, rt.pr_auc,
+                (st.seconds_per_column + rt.seconds_per_column) / 2);
+  }
+  {
+    auto pred = env.at->MakePredictor(core::Variant::kAllConstraints);
+    baselines::SdcDetector det("all-constraints", &pred);
+    auto st = RunDetector(det, env.st, 1);
+    auto rt = RunDetector(det, env.rt, 1);
+    char label[32];
+    std::snprintf(label, sizeof(label), "all (%zu)", pred.num_rules());
+    std::printf("%18s | %12.2f | %12.2f | %12.2f | %12.2f | %8.4f\n", label,
+                st.f1_at_p08, st.pr_auc, rt.f1_at_p08, rt.pr_auc,
+                (st.seconds_per_column + rt.seconds_per_column) / 2);
+  }
+  std::printf(
+      "\nExpected shape (paper Table 5): quality grows with the budget and "
+      "matches\nall-constraints by ~500 rules, at a fraction of the "
+      "latency.\n");
+  return 0;
+}

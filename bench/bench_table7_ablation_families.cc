@@ -1,0 +1,65 @@
+// Paper Table 7 + Figure 23: ablation — remove one column-type detection
+// family at a time and measure Fine-Select quality.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/trainer.h"
+#include "typedet/eval_functions.h"
+
+int main() {
+  using namespace autotest;
+  benchx::Scale scale = benchx::GetScale();
+  scale.corpus_columns = std::min<size_t>(scale.corpus_columns, 1500);
+  scale.bench_columns = std::min<size_t>(scale.bench_columns, 600);
+
+  auto corpus = datagen::GenerateCorpus(
+      datagen::RelationalTablesProfile(scale.corpus_columns));
+  auto st = datagen::GenerateBenchmark(
+      datagen::StBenchProfile(scale.bench_columns));
+  auto rt = datagen::GenerateBenchmark(
+      datagen::RtBenchProfile(scale.bench_columns));
+
+  benchx::PrintHeader(
+      "Table 7 / Figure 23: ablation of detection families (Fine-Select)");
+  std::printf("%-14s | %12s | %12s | %12s | %12s\n", "variant",
+              "ST F1@P=0.8", "ST PR-AUC", "RT F1@P=0.8", "RT PR-AUC");
+
+  struct Setting {
+    const char* name;
+    bool cta, emb, pat, fun;
+  };
+  const Setting settings[] = {
+      {"fine-select", true, true, true, true},
+      {"no-cta", false, true, true, true},
+      {"no-embedding", true, false, true, true},
+      {"no-pattern", true, true, false, true},
+      {"no-function", true, true, true, false},
+  };
+  for (const auto& s : settings) {
+    typedet::EvalFunctionSetOptions eval_opt;
+    eval_opt.include_cta = s.cta;
+    eval_opt.include_embedding = s.emb;
+    eval_opt.include_pattern = s.pat;
+    eval_opt.include_function = s.fun;
+    eval_opt.embedding_centroids_per_model = scale.centroids_per_model;
+    auto evals = typedet::EvalFunctionSet::Build(corpus, eval_opt);
+    core::TrainOptions topt;
+    topt.synthetic_count = scale.synthetic_count;
+    auto model = core::TrainAutoTest(corpus, evals, topt);
+    auto sel = core::FineSelect(model);
+    std::vector<core::Sdc> rules;
+    for (size_t i : sel.selected) rules.push_back(model.constraints[i]);
+    core::SdcPredictor pred(std::move(rules));
+    baselines::SdcDetector det(s.name, &pred);
+    auto st_run = RunDetector(det, st, 1);
+    auto rt_run = RunDetector(det, rt, 1);
+    std::printf("%-14s | %12.2f | %12.2f | %12.2f | %12.2f\n", s.name,
+                st_run.f1_at_p08, st_run.pr_auc, rt_run.f1_at_p08,
+                rt_run.pr_auc);
+  }
+  std::printf(
+      "\nExpected shape (paper Table 7): every family contributes; removing "
+      "any\nfamily degrades at least one benchmark.\n");
+  return 0;
+}

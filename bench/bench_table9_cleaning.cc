@@ -1,0 +1,108 @@
+// Paper Tables 9/10/11: applying learned SDCs to the nine data-cleaning
+// benchmark datasets. Reports column-level coverage (columns gaining new
+// constraints), cell-level true positives and precision — under both the
+// datasets' existing ground truth and the augmented ground truth that
+// includes the Table-11 "missed" errors.
+
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+#include "datagen/cleaning_bench.h"
+
+int main() {
+  using namespace autotest;
+  benchx::Scale scale = benchx::GetScale();
+  benchx::Env env = benchx::BuildEnv("relational", scale);
+  auto pred = env.at->MakePredictor(core::Variant::kFineSelect);
+
+  auto datasets = datagen::BuildCleaningDatasets();
+
+  benchx::PrintHeader("Table 9: SDCs on data-cleaning benchmarks");
+  std::printf(
+      "%-10s | %9s | %11s | %10s | %7s | %14s | %14s\n", "dataset",
+      "cat. cols", "cols w/ SDC", "detections", "TPs",
+      "precision(GT)", "precision(aug)");
+
+  size_t total_detections = 0;
+  size_t total_tp_strict = 0;
+  size_t total_tp_aug = 0;
+  size_t total_cols = 0;
+  size_t total_new_cols = 0;
+
+  for (const auto& ds : datasets) {
+    size_t detections = 0;
+    size_t tp_strict = 0;  // detected cells labeled in existing GT
+    size_t tp_aug = 0;     // + detected cells that are real-but-unlabeled
+    std::set<size_t> columns_with_rules;
+    for (size_t c = 0; c < ds.data.columns.size(); ++c) {
+      const auto& column = ds.data.columns[c];
+      if (table::IsMostlyNumeric(column)) continue;
+      auto cells = pred.Predict(column);
+      if (!cells.empty()) columns_with_rules.insert(c);
+      for (const auto& cell : cells) {
+        ++detections;
+        for (const auto& e : ds.errors) {
+          if (e.column_index == c && e.row == cell.row) {
+            ++tp_aug;
+            if (e.in_ground_truth) ++tp_strict;
+          }
+        }
+      }
+    }
+    double prec_strict =
+        detections ? 100.0 * tp_strict / detections : 0.0;
+    double prec_aug = detections ? 100.0 * tp_aug / detections : 0.0;
+    std::printf("%-10s | %9zu | %11zu | %10zu | %7zu | %13.0f%% | %13.0f%%\n",
+                ds.name.c_str(), ds.data.num_columns(),
+                columns_with_rules.size(), detections, tp_strict,
+                prec_strict, prec_aug);
+    total_detections += detections;
+    total_tp_strict += tp_strict;
+    total_tp_aug += tp_aug;
+    total_cols += ds.data.num_columns();
+    total_new_cols += columns_with_rules.size();
+  }
+  std::printf("%-10s | %9zu | %11zu | %10zu | %7zu | %13.0f%% | %13.0f%%\n",
+              "overall", total_cols, total_new_cols, total_detections,
+              total_tp_strict,
+              total_detections ? 100.0 * total_tp_strict / total_detections
+                               : 0.0,
+              total_detections ? 100.0 * total_tp_aug / total_detections
+                               : 0.0);
+
+  // Table-10/11 style drill-down: the rules and the new errors they find.
+  benchx::PrintHeader(
+      "Table 10/11: example detections (incl. errors missing from GT)");
+  for (const auto& ds : datasets) {
+    for (size_t c = 0; c < ds.data.columns.size(); ++c) {
+      const auto& column = ds.data.columns[c];
+      if (table::IsMostlyNumeric(column)) continue;
+      auto cells = pred.Predict(column);
+      size_t shown = 0;
+      for (const auto& cell : cells) {
+        bool labeled_in_gt = false;
+        bool real = false;
+        for (const auto& e : ds.errors) {
+          if (e.column_index == c && e.row == cell.row) {
+            real = true;
+            labeled_in_gt = e.in_ground_truth;
+          }
+        }
+        if (shown++ < 2) {
+          std::printf("%-8s %-18s \"%s\" conf=%.2f %s\n    %s\n",
+                      ds.name.c_str(), column.name.c_str(),
+                      cell.value.c_str(), cell.confidence,
+                      real ? (labeled_in_gt ? "[in GT]" : "[MISSED BY GT]")
+                           : "[not labeled: potential FP]",
+                      cell.explanation.c_str());
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Tables 9-11): SDCs cover new columns with "
+      "high precision;\naugmented-GT precision exceeds strict-GT precision "
+      "because SDCs find real errors the\nbenchmarks' own labels miss.\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+#ifndef AUTOTEST_BASELINES_BASELINES_H_
+#define AUTOTEST_BASELINES_BASELINES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predictor.h"
+#include "embed/embedding.h"
+#include "eval/detector.h"
+#include "table/table.h"
+#include "typedet/cta_zoo.h"
+#include "typedet/validators.h"
+
+namespace autotest::baselines {
+
+/// Adapter exposing an SdcPredictor (any Auto-Test variant) through the
+/// common detector interface; scores are rule confidences.
+class SdcDetector : public eval::ErrorDetector {
+ public:
+  SdcDetector(std::string name, const core::SdcPredictor* predictor)
+      : name_(std::move(name)), predictor_(predictor) {}
+  std::string name() const override { return name_; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  std::string name_;
+  const core::SdcPredictor* predictor_;  // borrowed
+};
+
+/// CTA baseline (paper: Sherlock / Doduo rows): picks the best-matching
+/// type for the column, z-scores the per-value classifier distances, and
+/// flags high-z values (Section 6.2, "column-type detection methods").
+class CtaZScoreDetector : public eval::ErrorDetector {
+ public:
+  CtaZScoreDetector(std::string name, const typedet::CtaModelZoo* zoo,
+                    double z_cutoff = 1.0)
+      : name_(std::move(name)), zoo_(zoo), z_cutoff_(z_cutoff) {}
+  std::string name() const override { return name_; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  std::string name_;
+  const typedet::CtaModelZoo* zoo_;  // borrowed
+  double z_cutoff_;
+};
+
+/// Embedding baseline (paper: Glove / SentenceBERT rows): distances to the
+/// column's own embedding centroid, z-scored.
+class EmbeddingZScoreDetector : public eval::ErrorDetector {
+ public:
+  EmbeddingZScoreDetector(std::string name,
+                          const embed::EmbeddingModel* model,
+                          double z_cutoff = 1.0)
+      : name_(std::move(name)), model_(model), z_cutoff_(z_cutoff) {}
+  std::string name() const override { return name_; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  std::string name_;
+  const embed::EmbeddingModel* model_;  // borrowed
+  double z_cutoff_;
+};
+
+/// Regex baseline: infers the column's dominant pattern and flags values
+/// that do not match it; the score is the dominant fraction.
+class RegexDetector : public eval::ErrorDetector {
+ public:
+  explicit RegexDetector(double dominance = 0.5) : dominance_(dominance) {}
+  std::string name() const override { return "regex"; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  double dominance_;
+};
+
+/// Validation-function baseline (paper: DataPrep / Validators rows): picks
+/// the validator the column passes most often and flags failing values.
+class FunctionDetector : public eval::ErrorDetector {
+ public:
+  /// `library` filters validators: "dataprep-sim", "validators-sim", or ""
+  /// for all.
+  FunctionDetector(std::string name, std::string library,
+                   double min_pass_fraction = 0.5)
+      : name_(std::move(name)),
+        library_(std::move(library)),
+        min_pass_fraction_(min_pass_fraction) {}
+  std::string name() const override { return name_; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  std::string name_;
+  std::string library_;
+  double min_pass_fraction_;
+};
+
+/// Outlier-detection baselines over per-value character features.
+enum class OutlierKind { kLof, kDbod, kRkde, kPpca, kIForest, kSvdd };
+
+class OutlierDetectorBaseline : public eval::ErrorDetector {
+ public:
+  explicit OutlierDetectorBaseline(OutlierKind kind);
+  std::string name() const override { return name_; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  OutlierKind kind_;
+  std::string name_;
+};
+
+/// Auto-Detect-style baseline: corpus pattern co-occurrence statistics;
+/// values whose pattern rarely co-occurs with the column's dominant
+/// pattern are flagged (Huang & He 2018, simplified).
+class AutoDetectSim : public eval::ErrorDetector {
+ public:
+  static AutoDetectSim Train(const table::Corpus& corpus);
+  std::string name() const override { return "auto-detect-sim"; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  AutoDetectSim() = default;
+  // pattern -> number of supporting columns; pair -> co-occurring columns.
+  std::unordered_map<std::string, size_t> pattern_columns_;
+  std::unordered_map<std::string, size_t> pair_columns_;  // "p\x1fq" key
+};
+
+/// Katara-style baseline: maps the column to a knowledge-base (gazetteer)
+/// domain with a static coverage threshold and flags non-members.
+/// Uncalibrated by design (flat scores).
+class KataraSim : public eval::ErrorDetector {
+ public:
+  explicit KataraSim(double coverage_threshold = 0.8)
+      : coverage_threshold_(coverage_threshold) {}
+  std::string name() const override { return "katara-sim"; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  double coverage_threshold_;
+};
+
+/// GPT-4 simulation (see DESIGN.md): a seeded noisy oracle reproducing the
+/// paper's reported LLM behaviour — high recall on real errors, flat
+/// confidences, and false positives on valid-but-rare values.
+class LlmSim : public eval::ErrorDetector {
+ public:
+  struct Config {
+    std::string name;
+    double true_positive_rate = 0.85;  // chance a real anomaly is reported
+    double fp_rate_rare = 0.12;   // chance a rare valid value is misflagged
+    double fp_rate_base = 0.005;  // chance any other value is misflagged
+    uint64_t seed = 9001;
+  };
+  explicit LlmSim(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return config_.name; }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+  /// The paper's four prompt variants plus the finetuned model.
+  static std::vector<Config> PaperVariants();
+
+ private:
+  Config config_;
+};
+
+/// Commercial-tool simulations: Vendor-A flags dominant-pattern violations
+/// at a fixed 90% threshold; Vendor-B flags digit/punctuation intrusions
+/// in mostly-alphabetic columns.
+class VendorSim : public eval::ErrorDetector {
+ public:
+  enum class Kind { kA, kB };
+  explicit VendorSim(Kind kind) : kind_(kind) {}
+  std::string name() const override {
+    return kind_ == Kind::kA ? "vendor-a" : "vendor-b";
+  }
+  std::vector<eval::ScoredCell> Detect(
+      const table::Column& column) const override;
+
+ private:
+  Kind kind_;
+};
+
+}  // namespace autotest::baselines
+
+#endif  // AUTOTEST_BASELINES_BASELINES_H_

@@ -1,0 +1,73 @@
+#ifndef AUTOTEST_CORE_AUTO_TEST_H_
+#define AUTOTEST_CORE_AUTO_TEST_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/selection.h"
+#include "core/trainer.h"
+#include "table/table.h"
+#include "typedet/eval_functions.h"
+
+namespace autotest::core {
+
+/// The three Auto-Test variants evaluated in the paper (Section 6.2).
+enum class Variant {
+  kAllConstraints,  // R_all after statistical pruning
+  kCoarseSelect,    // Algorithm 1 (CSS)
+  kFineSelect,      // FSS with confidence approximation
+};
+
+const char* VariantName(Variant variant);
+
+/// End-to-end configuration.
+struct AutoTestConfig {
+  typedet::EvalFunctionSetOptions eval_options;
+  TrainOptions train_options;
+  SelectionOptions selection_options;
+};
+
+/// Facade tying the offline stage together: build evaluation functions
+/// from a corpus, learn SDC candidates with statistical tests, and expose
+/// selected rule sets as online predictors (paper Figure 5).
+class AutoTest {
+ public:
+  /// Runs the full offline stage on a training corpus.
+  static AutoTest Train(const table::Corpus& corpus,
+                        const AutoTestConfig& config = {});
+
+  AutoTest(AutoTest&&) = default;
+  AutoTest& operator=(AutoTest&&) = default;
+
+  const TrainedModel& model() const { return model_; }
+  const typedet::EvalFunctionSet& evals() const { return *evals_; }
+  const AutoTestConfig& config() const { return config_; }
+
+  /// Runs selection for a variant (no-op for kAllConstraints). Uses the
+  /// stored selection options unless an override is provided.
+  SelectionResult Select(Variant variant,
+                         const SelectionOptions* override_options =
+                             nullptr) const;
+
+  /// Builds an online predictor over the variant's rule set.
+  SdcPredictor MakePredictor(Variant variant,
+                             const SelectionOptions* override_options =
+                                 nullptr) const;
+
+  /// Builds a predictor over an explicit subset of model constraints.
+  SdcPredictor MakePredictorFor(const std::vector<size_t>& rule_indices)
+      const;
+
+ private:
+  AutoTest() = default;
+
+  AutoTestConfig config_;
+  // unique_ptr keeps DomainEvalFunction addresses stable across moves.
+  std::unique_ptr<typedet::EvalFunctionSet> evals_;
+  TrainedModel model_;
+};
+
+}  // namespace autotest::core
+
+#endif  // AUTOTEST_CORE_AUTO_TEST_H_

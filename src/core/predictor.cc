@@ -1,0 +1,94 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace autotest::core {
+
+SdcPredictor::SdcPredictor(std::vector<Sdc> rules)
+    : rules_(std::move(rules)) {
+  std::unordered_map<const typedet::DomainEvalFunction*, size_t> group_of;
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    AT_CHECK(rules_[r].eval != nullptr);
+    auto it = group_of.find(rules_[r].eval);
+    if (it == group_of.end()) {
+      group_of.emplace(rules_[r].eval, groups_.size());
+      groups_.push_back(Group{rules_[r].eval, {r}});
+    } else {
+      groups_[it->second].rule_ids.push_back(r);
+    }
+  }
+}
+
+std::vector<CellDetection> SdcPredictor::Predict(
+    const table::Column& column) const {
+  std::vector<CellDetection> out;
+  if (column.values.empty()) return out;
+  table::DistinctValues distinct = table::Distinct(column);
+
+  // Best detection per distinct value index.
+  std::vector<double> best_conf(distinct.values.size(), 0.0);
+  std::vector<size_t> best_rule(distinct.values.size(), 0);
+  std::vector<bool> flagged(distinct.values.size(), false);
+
+  for (const Group& group : groups_) {
+    // One distance computation per distinct value per evaluation function.
+    std::vector<double> dist(distinct.values.size());
+    for (size_t i = 0; i < distinct.values.size(); ++i) {
+      dist[i] = group.eval->Distance(distinct.values[i]);
+    }
+    double total = static_cast<double>(distinct.total);
+
+    // Appendix B.2: evaluate each distinct pre-condition once.
+    std::map<std::pair<double, double>, bool> precond_cache;
+    auto precondition = [&](double d_in, double m) {
+      auto key = std::make_pair(d_in, m);
+      auto it = precond_cache.find(key);
+      if (it != precond_cache.end()) return it->second;
+      double covered = 0.0;
+      for (size_t i = 0; i < distinct.values.size(); ++i) {
+        if (dist[i] <= d_in) {
+          covered += static_cast<double>(distinct.counts[i]);
+        }
+      }
+      bool holds = covered >= m * total - 1e-9;
+      precond_cache.emplace(key, holds);
+      return holds;
+    };
+
+    for (size_t r : group.rule_ids) {
+      const Sdc& rule = rules_[r];
+      if (!precondition(rule.d_in, rule.m)) continue;
+      for (size_t i = 0; i < distinct.values.size(); ++i) {
+        if (dist[i] > rule.d_out && rule.confidence > best_conf[i]) {
+          best_conf[i] = rule.confidence;
+          best_rule[i] = r;
+          flagged[i] = true;
+        }
+      }
+    }
+  }
+
+  // Expand distinct-value detections to rows.
+  std::unordered_map<std::string, size_t> value_index;
+  for (size_t i = 0; i < distinct.values.size(); ++i) {
+    value_index.emplace(distinct.values[i], i);
+  }
+  for (size_t row = 0; row < column.values.size(); ++row) {
+    size_t i = value_index.at(column.values[row]);
+    if (!flagged[i]) continue;
+    CellDetection d;
+    d.row = row;
+    d.value = column.values[row];
+    d.confidence = best_conf[i];
+    d.rule_index = best_rule[i];
+    d.explanation = rules_[best_rule[i]].Describe();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace autotest::core

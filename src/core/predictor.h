@@ -1,0 +1,55 @@
+#ifndef AUTOTEST_CORE_PREDICTOR_H_
+#define AUTOTEST_CORE_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sdc.h"
+#include "table/column.h"
+
+namespace autotest::core {
+
+/// One predicted erroneous cell.
+struct CellDetection {
+  size_t row = 0;
+  std::string value;
+  /// Confidence of the most confident SDC that flagged the value (the
+  /// paper assigns predictions the confidence of their best rule).
+  double confidence = 0.0;
+  /// Index (within the predictor's rule list) of that rule.
+  size_t rule_index = 0;
+  /// Human-readable explanation, e.g. the rule's Table-1-style rendering.
+  std::string explanation;
+};
+
+/// Online prediction (paper Figure 5, right side; Appendix B.2).
+///
+/// Rules are grouped by their evaluation function so each distinct value's
+/// distance is computed once per function, and identical pre-conditions
+/// within a group are checked once ("compressing" pre-condition checks).
+class SdcPredictor {
+ public:
+  /// `rules` reference evaluation functions owned elsewhere (the
+  /// EvalFunctionSet must outlive the predictor).
+  explicit SdcPredictor(std::vector<Sdc> rules);
+
+  /// Detects erroneous cells in a column. Returns one entry per offending
+  /// row, each carrying the best-rule confidence and explanation.
+  std::vector<CellDetection> Predict(const table::Column& column) const;
+
+  size_t num_rules() const { return rules_.size(); }
+  const std::vector<Sdc>& rules() const { return rules_; }
+
+ private:
+  struct Group {
+    const typedet::DomainEvalFunction* eval;
+    std::vector<size_t> rule_ids;
+  };
+
+  std::vector<Sdc> rules_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace autotest::core
+
+#endif  // AUTOTEST_CORE_PREDICTOR_H_

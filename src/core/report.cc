@@ -1,0 +1,64 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+namespace autotest::core {
+
+size_t TableReport::TotalDetections() const {
+  size_t n = 0;
+  for (const auto& c : columns) n += c.detections.size();
+  return n;
+}
+
+std::string TableReport::ToText() const {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "table \"%s\": %zu column(s) checked, %zu skipped "
+                "(numeric), %zu potential error(s)\n",
+                table_name.c_str(), columns_checked,
+                columns_skipped_numeric, TotalDetections());
+  out += buf;
+  size_t card = 0;
+  for (const auto& col : columns) {
+    for (const auto& d : col.detections) {
+      ++card;
+      std::snprintf(buf, sizeof(buf),
+                    "--- suggestion %zu ---------------------------\n"
+                    "column : %s\n"
+                    "cell   : row %zu = \"%s\"\n"
+                    "conf   : %.2f\n"
+                    "why    : %s\n",
+                    card, col.column_name.c_str(), d.row, d.value.c_str(),
+                    d.confidence, d.explanation.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+TableReport AnalyzeTable(const SdcPredictor& predictor,
+                         const table::Table& table,
+                         const AnalyzeOptions& options) {
+  TableReport report;
+  report.table_name = table.name;
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    const auto& column = table.columns[c];
+    if (options.skip_numeric_columns && table::IsMostlyNumeric(column)) {
+      ++report.columns_skipped_numeric;
+      continue;
+    }
+    ++report.columns_checked;
+    ColumnReport col;
+    col.column_index = c;
+    col.column_name = column.name;
+    for (auto& d : predictor.Predict(column)) {
+      if (d.confidence < options.min_confidence) continue;
+      col.detections.push_back(std::move(d));
+    }
+    if (!col.detections.empty()) report.columns.push_back(std::move(col));
+  }
+  return report;
+}
+
+}  // namespace autotest::core

@@ -1,0 +1,50 @@
+#ifndef AUTOTEST_CORE_REPORT_H_
+#define AUTOTEST_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "table/table.h"
+
+namespace autotest::core {
+
+/// Detections for one column of a table.
+struct ColumnReport {
+  size_t column_index = 0;
+  std::string column_name;
+  std::vector<CellDetection> detections;
+};
+
+/// A whole-table data-quality report: the end-user surface of the paper's
+/// Figure 1 (Excel-style suggestion cards), produced by running the SDC
+/// predictor over every applicable column.
+struct TableReport {
+  std::string table_name;
+  size_t columns_checked = 0;
+  size_t columns_skipped_numeric = 0;
+  std::vector<ColumnReport> columns;  // only columns with detections
+
+  size_t TotalDetections() const;
+
+  /// Renders suggestion-card-style text (one card per detection).
+  std::string ToText() const;
+};
+
+/// Options for table analysis.
+struct AnalyzeOptions {
+  /// Skip mostly-numeric columns (the paper's footnote 8: numeric columns
+  /// are trivial to validate by other means).
+  bool skip_numeric_columns = true;
+  /// Only report detections at or above this confidence.
+  double min_confidence = 0.0;
+};
+
+/// Runs the predictor over every column of the table.
+TableReport AnalyzeTable(const SdcPredictor& predictor,
+                         const table::Table& table,
+                         const AnalyzeOptions& options = {});
+
+}  // namespace autotest::core
+
+#endif  // AUTOTEST_CORE_REPORT_H_

@@ -1,0 +1,202 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/hashing.h"
+#include "util/rng.h"
+
+namespace autotest::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t HashIds(const std::vector<uint32_t>& ids) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t x : ids) {
+    h ^= x;
+    h *= 1099511628211ULL;
+    h = util::SplitMix64(h);
+  }
+  return h ^ ids.size();
+}
+
+}  // namespace
+
+SelectionResult SelectWithDelta(const TrainedModel& model,
+                                const SelectionOptions& options,
+                                double delta) {
+  auto t0 = Clock::now();
+  SelectionResult result;
+  const size_t num_rules = model.constraints.size();
+  if (num_rules == 0) return result;
+
+  // Eligible detection sets under the Fine-Select confidence requirement:
+  // rule i counts for synthetic column j iff it detects j and its
+  // confidence is within delta of conf(C_j, R_all).
+  std::vector<std::vector<uint32_t>> eligible(num_rules);
+  for (size_t i = 0; i < num_rules; ++i) {
+    double c = model.constraints[i].confidence;
+    for (uint32_t j : model.detections[i]) {
+      if (c >= model.synthetic_conf_all[j] - delta) {
+        eligible[i].push_back(j);
+      }
+    }
+  }
+
+  // Deduplicate rules with identical eligible sets: for the LP they are
+  // interchangeable columns, so keep the cheapest (min FPR, then max
+  // confidence). This collapses the grid-adjacent candidates massively.
+  std::unordered_map<uint64_t, size_t> best_by_set;
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < num_rules; ++i) {
+    if (eligible[i].empty()) continue;
+    uint64_t h = HashIds(eligible[i]);
+    auto it = best_by_set.find(h);
+    if (it == best_by_set.end()) {
+      best_by_set.emplace(h, i);
+      kept.push_back(i);
+    } else {
+      size_t prev = it->second;
+      // Hash collision guard: only merge when the sets really match.
+      if (eligible[prev] != eligible[i]) {
+        kept.push_back(i);
+        continue;
+      }
+      const Sdc& a = model.constraints[i];
+      const Sdc& b = model.constraints[prev];
+      bool better = a.fpr < b.fpr ||
+                    (a.fpr == b.fpr && a.confidence > b.confidence);
+      if (better) {
+        it->second = i;
+        std::replace(kept.begin(), kept.end(), prev, i);
+      }
+    }
+  }
+
+  // Greedy pre-filter if the LP would be too large.
+  if (kept.size() > options.max_lp_variables) {
+    std::stable_sort(kept.begin(), kept.end(), [&](size_t a, size_t b) {
+      double va = static_cast<double>(eligible[a].size()) /
+                  (model.constraints[a].fpr + 1e-4);
+      double vb = static_cast<double>(eligible[b].size()) /
+                  (model.constraints[b].fpr + 1e-4);
+      return va > vb;
+    });
+    kept.resize(options.max_lp_variables);
+    std::sort(kept.begin(), kept.end());
+  }
+
+  // Build K_j over kept rules, then aggregate synthetic columns with
+  // identical K_j into weighted coverage constraints.
+  std::vector<std::vector<uint32_t>> k_of_j(model.num_synthetic);
+  for (size_t idx = 0; idx < kept.size(); ++idx) {
+    for (uint32_t j : eligible[kept[idx]]) {
+      k_of_j[j].push_back(static_cast<uint32_t>(idx));
+    }
+  }
+  std::map<std::vector<uint32_t>, double> groups;  // K set -> weight
+  for (size_t j = 0; j < model.num_synthetic; ++j) {
+    if (k_of_j[j].empty()) continue;
+    groups[k_of_j[j]] += 1.0;
+  }
+
+  // CSS-LP (paper Eq. 14-18) on the reduced instance.
+  lp::LinearProgram prog;
+  std::vector<size_t> x_vars(kept.size());
+  for (size_t idx = 0; idx < kept.size(); ++idx) {
+    x_vars[idx] = prog.AddVariable(0.0, 1.0);
+  }
+  for (const auto& [k_set, weight] : groups) {
+    size_t y = prog.AddVariable(weight, 1.0);
+    lp::Constraint c;
+    c.type = lp::ConstraintType::kLessEq;
+    c.rhs = 0.0;
+    c.terms.push_back({y, 1.0});
+    for (uint32_t idx : k_set) c.terms.push_back({x_vars[idx], -1.0});
+    prog.AddConstraint(std::move(c));
+  }
+  {
+    lp::Constraint size_c;
+    size_c.type = lp::ConstraintType::kLessEq;
+    size_c.rhs = static_cast<double>(options.size_budget);
+    for (size_t idx = 0; idx < kept.size(); ++idx) {
+      size_c.terms.push_back({x_vars[idx], 1.0});
+    }
+    prog.AddConstraint(std::move(size_c));
+
+    lp::Constraint fpr_c;
+    fpr_c.type = lp::ConstraintType::kLessEq;
+    fpr_c.rhs = options.fpr_budget;
+    for (size_t idx = 0; idx < kept.size(); ++idx) {
+      fpr_c.terms.push_back(
+          {x_vars[idx], model.constraints[kept[idx]].fpr});
+    }
+    prog.AddConstraint(std::move(fpr_c));
+  }
+
+  lp::Solution sol = lp::SolveLp(prog);
+  result.lp_status = sol.status;
+  result.lp_num_variables = prog.num_vars;
+  result.lp_num_rows = prog.constraints.size();
+  if (sol.status != lp::SolveStatus::kOptimal) {
+    result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    return result;
+  }
+  result.lp_objective = sol.objective;
+
+  // Randomized rounding (Algorithm 1, lines 4-7).
+  util::Rng rng(options.seed);
+  std::vector<std::pair<size_t, double>> chosen;  // (rule, lp value)
+  for (size_t idx = 0; idx < kept.size(); ++idx) {
+    double x = std::clamp(sol.values[x_vars[idx]], 0.0, 1.0);
+    if (rng.Bernoulli(x)) chosen.push_back({kept[idx], x});
+  }
+
+  if (options.repair_to_budgets) {
+    // Drop the weakest picks until both budgets hold deterministically.
+    auto weakest = [&]() {
+      size_t arg = 0;
+      double best = 1e18;
+      for (size_t i = 0; i < chosen.size(); ++i) {
+        double v = chosen[i].second /
+                   (model.constraints[chosen[i].first].fpr + 1e-4);
+        if (v < best) {
+          best = v;
+          arg = i;
+        }
+      }
+      return arg;
+    };
+    double fpr_sum = 0.0;
+    for (const auto& [r, x] : chosen) fpr_sum += model.constraints[r].fpr;
+    while (!chosen.empty() && (chosen.size() > options.size_budget ||
+                               fpr_sum > options.fpr_budget)) {
+      size_t i = weakest();
+      fpr_sum -= model.constraints[chosen[i].first].fpr;
+      chosen.erase(chosen.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+
+  result.selected.reserve(chosen.size());
+  for (const auto& [r, x] : chosen) result.selected.push_back(r);
+  std::sort(result.selected.begin(), result.selected.end());
+  result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return result;
+}
+
+SelectionResult CoarseSelect(const TrainedModel& model,
+                             const SelectionOptions& options) {
+  return SelectWithDelta(model, options, /*delta=*/1.0);
+}
+
+SelectionResult FineSelect(const TrainedModel& model,
+                           const SelectionOptions& options) {
+  return SelectWithDelta(model, options, options.delta);
+}
+
+}  // namespace autotest::core

@@ -1,0 +1,173 @@
+#include "core/serialization.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace autotest::core {
+
+namespace {
+
+constexpr char kHeader[] = "# autotest-sdc v1";
+
+std::string EscapeId(std::string_view id) {
+  std::string out;
+  for (char c : id) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeId(std::string_view s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        default:
+          out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const typedet::DomainEvalFunction* FindEvalById(
+    const typedet::EvalFunctionSet& evals, std::string_view id) {
+  for (const auto& f : evals.functions()) {
+    if (f->id() == id) return f.get();
+  }
+  return nullptr;
+}
+
+std::string SerializeRules(const std::vector<Sdc>& rules) {
+  std::string out = kHeader;
+  out += "\n";
+  char buf[256];
+  for (const auto& r : rules) {
+    out += "rule\t";
+    out += EscapeId(r.eval != nullptr ? r.eval->id() : "<null>");
+    std::snprintf(
+        buf, sizeof(buf),
+        "\t%.17g\t%.17g\t%.17g\t%.17g\t%.17g\t%lld\t%lld\t%lld\t%lld\t%"
+        ".17g\t%.17g\n",
+        r.d_in, r.d_out, r.m, r.confidence, r.fpr,
+        static_cast<long long>(r.contingency.covered_triggered),
+        static_cast<long long>(r.contingency.covered_not_triggered),
+        static_cast<long long>(r.contingency.uncovered_triggered),
+        static_cast<long long>(r.contingency.uncovered_not_triggered),
+        r.cohens_h, r.chi_squared_p);
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<std::vector<Sdc>> DeserializeRules(
+    std::string_view text, const typedet::EvalFunctionSet& evals,
+    size_t* unresolved) {
+  if (unresolved != nullptr) *unresolved = 0;
+  std::vector<Sdc> rules;
+  bool saw_header = false;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+    if (line[0] == '#') {
+      if (line == kHeader) saw_header = true;
+      continue;
+    }
+    auto fields = util::Split(std::string(line), '\t');
+    if (fields.size() != 13 || fields[0] != "rule") return std::nullopt;
+    Sdc r;
+    const typedet::DomainEvalFunction* eval =
+        FindEvalById(evals, UnescapeId(fields[1]));
+    if (eval == nullptr) {
+      if (unresolved != nullptr) ++*unresolved;
+      continue;
+    }
+    r.eval = eval;
+    char* endp = nullptr;
+    auto parse_double = [&](const std::string& s, double* out) {
+      *out = std::strtod(s.c_str(), &endp);
+      return endp != s.c_str();
+    };
+    auto parse_ll = [&](const std::string& s, int64_t* out) {
+      *out = std::strtoll(s.c_str(), &endp, 10);
+      return endp != s.c_str();
+    };
+    if (!parse_double(fields[2], &r.d_in) ||
+        !parse_double(fields[3], &r.d_out) ||
+        !parse_double(fields[4], &r.m) ||
+        !parse_double(fields[5], &r.confidence) ||
+        !parse_double(fields[6], &r.fpr) ||
+        !parse_ll(fields[7], &r.contingency.covered_triggered) ||
+        !parse_ll(fields[8], &r.contingency.covered_not_triggered) ||
+        !parse_ll(fields[9], &r.contingency.uncovered_triggered) ||
+        !parse_ll(fields[10], &r.contingency.uncovered_not_triggered) ||
+        !parse_double(fields[11], &r.cohens_h) ||
+        !parse_double(fields[12], &r.chi_squared_p)) {
+      return std::nullopt;
+    }
+    // Recover the index within the set for completeness.
+    for (size_t i = 0; i < evals.size(); ++i) {
+      if (&evals.at(i) == eval) {
+        r.eval_index = i;
+        break;
+      }
+    }
+    rules.push_back(std::move(r));
+  }
+  if (!saw_header) return std::nullopt;
+  return rules;
+}
+
+bool SaveRulesToFile(const std::vector<Sdc>& rules,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << SerializeRules(rules);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<Sdc>> LoadRulesFromFile(
+    const std::string& path, const typedet::EvalFunctionSet& evals,
+    size_t* unresolved) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return DeserializeRules(ss.str(), evals, unresolved);
+}
+
+}  // namespace autotest::core

@@ -1,0 +1,53 @@
+#ifndef AUTOTEST_CORE_SERIALIZATION_H_
+#define AUTOTEST_CORE_SERIALIZATION_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sdc.h"
+#include "typedet/eval_functions.h"
+
+namespace autotest::core {
+
+/// Persistence for learned rule sets: the offline stage runs once, and the
+/// online stage loads the distilled rules (paper Figure 5's deployment
+/// split).
+///
+/// Format: a line-oriented text file. Each rule line carries the stable
+/// evaluation-function id plus the learned parameters and calibration
+/// statistics. Rule files are valid against an EvalFunctionSet built the
+/// same way as at save time (same corpus, options and seed) — embedding
+/// centroids are corpus-derived, so the ids must match.
+///
+///   # autotest-sdc v1
+///   rule <eval-id> <d_in> <d_out> <m> <conf> <fpr> <ct> <cnt> <ut> <unt>
+///        <h> <p>
+///
+/// Fields are tab-separated; ids are escaped (\t, \n, \\).
+
+/// Serializes rules to the text format.
+std::string SerializeRules(const std::vector<Sdc>& rules);
+
+/// Parses rules and resolves their evaluation functions against `evals`.
+/// Returns nullopt on malformed input. Rules whose eval id is unknown are
+/// skipped and counted in *unresolved (if non-null).
+std::optional<std::vector<Sdc>> DeserializeRules(
+    std::string_view text, const typedet::EvalFunctionSet& evals,
+    size_t* unresolved = nullptr);
+
+/// File helpers.
+bool SaveRulesToFile(const std::vector<Sdc>& rules, const std::string& path);
+std::optional<std::vector<Sdc>> LoadRulesFromFile(
+    const std::string& path, const typedet::EvalFunctionSet& evals,
+    size_t* unresolved = nullptr);
+
+/// Finds an evaluation function by id; nullptr if absent. (Declared here
+/// to keep EvalFunctionSet's surface minimal.)
+const typedet::DomainEvalFunction* FindEvalById(
+    const typedet::EvalFunctionSet& evals, std::string_view id);
+
+}  // namespace autotest::core
+
+#endif  // AUTOTEST_CORE_SERIALIZATION_H_

@@ -1,0 +1,323 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <unordered_set>
+
+#include "stats/statistics.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace autotest::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct FunctionResult {
+  std::vector<Sdc> survivors;
+  std::vector<std::vector<uint32_t>> detections;
+  size_t enumerated = 0;
+  size_t pruned = 0;
+  size_t rejected = 0;
+  double candidate_seconds = 0.0;
+  double synthetic_seconds = 0.0;
+};
+
+// Grid thresholds for one evaluation function.
+struct Thresholds {
+  std::vector<double> d_ins;
+  std::vector<double> d_outs;
+};
+
+Thresholds MakeThresholds(const typedet::DomainEvalFunction& eval,
+                          const TrainOptions& opt) {
+  Thresholds t;
+  if (eval.binary()) {
+    // Binary distances {0, 1}: the only meaningful inner/outer pair.
+    t.d_ins = {0.0};
+    t.d_outs = {0.5};
+    return t;
+  }
+  double range = eval.max_distance();
+  for (double f : opt.d_in_fracs) t.d_ins.push_back(f * range);
+  for (double f : opt.d_out_fracs) t.d_outs.push_back(f * range);
+  return t;
+}
+
+}  // namespace
+
+std::vector<SyntheticColumn> BuildSyntheticCorpus(const table::Corpus& corpus,
+                                                  size_t count,
+                                                  uint64_t seed) {
+  AT_CHECK(corpus.size() >= 2);
+  util::Rng rng(seed);
+  // Per-column value sets to reject alien values that are actually valid
+  // members of the base column.
+  std::vector<std::unordered_set<std::string>> value_sets(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    value_sets[i].insert(corpus[i].values.begin(), corpus[i].values.end());
+  }
+  std::vector<SyntheticColumn> out;
+  out.reserve(count);
+  int64_t n = static_cast<int64_t>(corpus.size());
+  while (out.size() < count) {
+    size_t base = static_cast<size_t>(rng.UniformInt(0, n - 1));
+    size_t donor = static_cast<size_t>(rng.UniformInt(0, n - 1));
+    if (base == donor || corpus[base].values.empty() ||
+        corpus[donor].values.empty()) {
+      continue;
+    }
+    const std::string& v = rng.Pick(corpus[donor].values);
+    if (value_sets[base].count(v) > 0) continue;  // not an error in base
+    out.push_back(SyntheticColumn{static_cast<uint32_t>(base), v});
+  }
+  return out;
+}
+
+TrainedModel TrainAutoTest(const table::Corpus& corpus,
+                           const typedet::EvalFunctionSet& evals,
+                           const TrainOptions& options) {
+  AT_CHECK(!corpus.empty());
+  AT_CHECK(!options.m_grid.empty());
+  for (size_t k = 1; k < options.m_grid.size(); ++k) {
+    AT_CHECK_MSG(options.m_grid[k] < options.m_grid[k - 1],
+                 "m_grid must be strictly descending");
+  }
+
+  // Shared precomputation: distinct values per corpus column.
+  std::vector<table::DistinctValues> distinct(corpus.size());
+  util::ParallelFor(
+      corpus.size(),
+      [&](size_t i) { distinct[i] = table::Distinct(corpus[i]); },
+      options.num_threads);
+
+  std::vector<SyntheticColumn> synthetic = BuildSyntheticCorpus(
+      corpus, options.synthetic_count, options.seed ^ 0x5f5f5f5fULL);
+
+  const size_t num_cols = corpus.size();
+  const size_t num_m = options.m_grid.size();
+  const int64_t min_cov =
+      options.enable_pruning
+          ? stats::MinCoverageForConfidence(options.min_confidence,
+                                            options.wilson_z)
+          : 0;
+
+  std::vector<FunctionResult> results(evals.size());
+
+  util::ParallelFor(
+      evals.size(),
+      [&](size_t fi) {
+        auto t0 = Clock::now();
+        const auto& eval = evals.at(fi);
+        FunctionResult& res = results[fi];
+        Thresholds th = MakeThresholds(eval, options);
+        const size_t ni = th.d_ins.size();
+        const size_t no = th.d_outs.size();
+
+        // Pass over columns: coverage counts per d_in, trigger bits per
+        // d_out, bucketed by the largest matching-percentage satisfied.
+        std::vector<uint32_t> cov_count(num_cols * ni, 0);
+        std::vector<uint32_t> col_total(num_cols, 0);
+        std::vector<uint32_t> trig_total(no, 0);
+        // bucketC[i][k], bucketCT[i][o][k]: columns whose coverage fraction
+        // first satisfies m_grid[k] at inner threshold i.
+        std::vector<uint32_t> bucket_c(ni * num_m, 0);
+        std::vector<uint32_t> bucket_ct(ni * no * num_m, 0);
+        // middle_band[i][k]: columns whose fraction falls in the ambiguous
+        // band [m/2, m) — evidence against a natural domain separation.
+        std::vector<uint32_t> middle_band(ni * num_m, 0);
+
+        size_t eligible_cols = 0;
+        for (size_t c = 0; c < num_cols; ++c) {
+          if (distinct[c].total == 0 ||
+              distinct[c].size() < options.min_distinct_values) {
+            continue;
+          }
+          ++eligible_cols;
+          ColumnDistanceProfile profile = ComputeProfile(eval, distinct[c]);
+          col_total[c] = static_cast<uint32_t>(profile.total_weight);
+          std::vector<bool> trig(no);
+          for (size_t o = 0; o < no; ++o) {
+            trig[o] = profile.CountBeyond(th.d_outs[o]) > 0;
+            if (trig[o]) ++trig_total[o];
+          }
+          for (size_t i = 0; i < ni; ++i) {
+            uint32_t cov =
+                static_cast<uint32_t>(profile.CountWithin(th.d_ins[i]));
+            cov_count[c * ni + i] = cov;
+            double frac = static_cast<double>(cov) /
+                          static_cast<double>(profile.total_weight);
+            // First m-grid index satisfied (grid is descending).
+            size_t k0 = num_m;
+            for (size_t k = 0; k < num_m; ++k) {
+              if (options.m_grid[k] <= frac + 1e-9) {
+                k0 = k;
+                break;
+              }
+            }
+            for (size_t k = 0; k < num_m; ++k) {
+              double m = options.m_grid[k];
+              if (frac + 1e-9 < m && frac >= 0.5 * m) {
+                ++middle_band[i * num_m + k];
+              }
+            }
+            if (k0 == num_m) continue;  // not covered at any m
+            ++bucket_c[i * num_m + k0];
+            for (size_t o = 0; o < no; ++o) {
+              if (trig[o]) ++bucket_ct[(i * no + o) * num_m + k0];
+            }
+          }
+        }
+        // Prefix sums over the m axis: covered(i,k) counts all columns
+        // whose fraction satisfies m_grid[k] (k' <= k satisfied => covered
+        // for the looser m too).
+        for (size_t i = 0; i < ni; ++i) {
+          for (size_t k = 1; k < num_m; ++k) {
+            bucket_c[i * num_m + k] += bucket_c[i * num_m + k - 1];
+          }
+          for (size_t o = 0; o < no; ++o) {
+            for (size_t k = 1; k < num_m; ++k) {
+              bucket_ct[(i * no + o) * num_m + k] +=
+                  bucket_ct[(i * no + o) * num_m + k - 1];
+            }
+          }
+        }
+        auto t1 = Clock::now();
+        res.candidate_seconds += Seconds(t0, t1);
+
+        // Distances of the synthetic alien values (recall estimation).
+        std::vector<double> syn_dist(synthetic.size());
+        for (size_t j = 0; j < synthetic.size(); ++j) {
+          syn_dist[j] = eval.Distance(synthetic[j].error_value);
+        }
+
+        auto t2 = Clock::now();
+        res.synthetic_seconds += Seconds(t1, t2);
+
+        // Candidate loop.
+        const int64_t n_total = static_cast<int64_t>(eligible_cols);
+        for (size_t i = 0; i < ni; ++i) {
+          for (size_t o = 0; o < no; ++o) {
+            if (th.d_outs[o] <= th.d_ins[i]) continue;
+            for (size_t k = 0; k < num_m; ++k) {
+              auto tc0 = Clock::now();
+              ++res.enumerated;
+              int64_t covered = bucket_c[i * num_m + k];
+              int64_t covered_trig = bucket_ct[(i * no + o) * num_m + k];
+              if (covered < min_cov) {
+                ++res.pruned;
+                continue;
+              }
+              stats::ContingencyTable table;
+              table.covered_triggered = covered_trig;
+              table.covered_not_triggered = covered - covered_trig;
+              int64_t trig_all = trig_total[o];
+              table.uncovered_triggered = trig_all - covered_trig;
+              table.uncovered_not_triggered =
+                  (n_total - covered) - table.uncovered_triggered;
+
+              double confidence =
+                  options.use_wilson
+                      ? stats::SdcConfidence(table, options.wilson_z)
+                      : (covered > 0
+                             ? 1.0 - static_cast<double>(covered_trig) /
+                                         static_cast<double>(covered)
+                             : 0.0);
+              double h = stats::CohensH(table);
+              double p = stats::ChiSquaredTestPValue(table);
+              bool pass = confidence >= options.min_confidence;
+              if (options.use_cohens_h && h < options.h_threshold) {
+                pass = false;
+              }
+              if (options.use_chi_squared && p >= options.p_threshold) {
+                pass = false;
+              }
+              if (options.use_separation_test &&
+                  static_cast<double>(middle_band[i * num_m + k]) >
+                      options.max_middle_band_fraction *
+                          static_cast<double>(n_total)) {
+                pass = false;
+              }
+              auto tc1 = Clock::now();
+              res.candidate_seconds += Seconds(tc0, tc1);
+              if (!pass) {
+                ++res.rejected;
+                continue;
+              }
+
+              Sdc sdc;
+              sdc.eval_index = fi;
+              sdc.eval = &eval;
+              sdc.d_in = th.d_ins[i];
+              sdc.d_out = th.d_outs[o];
+              sdc.m = options.m_grid[k];
+              sdc.confidence = confidence;
+              sdc.fpr = static_cast<double>(covered_trig) /
+                        static_cast<double>(n_total);
+              sdc.contingency = table;
+              sdc.cohens_h = h;
+              sdc.chi_squared_p = p;
+
+              // Distant-supervision detections (paper Eq. 10).
+              std::vector<uint32_t> det;
+              for (size_t j = 0; j < synthetic.size(); ++j) {
+                if (syn_dist[j] <= sdc.d_out) continue;
+                size_t b = synthetic[j].base_column;
+                double total_with_err =
+                    static_cast<double>(col_total[b]) + 1.0;
+                double cov_with_err =
+                    static_cast<double>(cov_count[b * ni + i]) +
+                    (syn_dist[j] <= sdc.d_in ? 1.0 : 0.0);
+                if (cov_with_err >= sdc.m * total_with_err - 1e-9) {
+                  det.push_back(static_cast<uint32_t>(j));
+                }
+              }
+              if (options.drop_zero_recall && det.empty()) {
+                ++res.rejected;
+                res.synthetic_seconds += Seconds(tc1, Clock::now());
+                continue;
+              }
+              res.survivors.push_back(std::move(sdc));
+              res.detections.push_back(std::move(det));
+              res.synthetic_seconds += Seconds(tc1, Clock::now());
+            }
+          }
+        }
+      },
+      options.num_threads);
+
+  // Deterministic merge in function order.
+  TrainedModel model;
+  model.num_synthetic = synthetic.size();
+  for (auto& res : results) {
+    model.candidates_enumerated += res.enumerated;
+    model.candidates_pruned += res.pruned;
+    model.candidates_rejected += res.rejected;
+    model.timings.candidate_gen_seconds += res.candidate_seconds;
+    model.timings.synthetic_seconds += res.synthetic_seconds;
+    for (size_t s = 0; s < res.survivors.size(); ++s) {
+      model.constraints.push_back(std::move(res.survivors[s]));
+      model.detections.push_back(std::move(res.detections[s]));
+    }
+  }
+
+  model.synthetic_conf_all.assign(model.num_synthetic, 0.0);
+  for (size_t r = 0; r < model.constraints.size(); ++r) {
+    double c = model.constraints[r].confidence;
+    for (uint32_t j : model.detections[r]) {
+      model.synthetic_conf_all[j] =
+          std::max(model.synthetic_conf_all[j], c);
+    }
+  }
+  return model;
+}
+
+}  // namespace autotest::core

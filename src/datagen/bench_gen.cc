@@ -1,0 +1,156 @@
+#include "datagen/bench_gen.h"
+
+#include <algorithm>
+
+#include "datagen/column_gen.h"
+#include "datagen/gazetteer.h"
+#include "table/column.h"
+#include "util/check.h"
+
+namespace autotest::datagen {
+
+namespace {
+
+// Domains whose values are (nearly) all digits: excluded from benchmarks,
+// like the paper excludes numeric columns (footnote 8).
+bool IsNumericDomain(const Domain& domain) {
+  if (domain.head.empty()) return false;
+  size_t numeric = 0;
+  for (const auto& v : domain.head) {
+    if (table::LooksNumeric(v)) ++numeric;
+  }
+  return numeric * 2 > domain.head.size();
+}
+
+}  // namespace
+
+bool LabeledColumn::IsErrorRow(size_t row) const {
+  return std::find(error_rows.begin(), error_rows.end(), row) !=
+         error_rows.end();
+}
+
+size_t LabeledBenchmark::TotalErrors() const {
+  size_t n = 0;
+  for (const auto& c : columns) n += c.error_rows.size();
+  return n;
+}
+
+size_t LabeledBenchmark::DirtyColumns() const {
+  size_t n = 0;
+  for (const auto& c : columns) {
+    if (c.dirty()) ++n;
+  }
+  return n;
+}
+
+BenchProfile StBenchProfile(size_t num_columns, uint64_t seed) {
+  BenchProfile p;
+  p.name = "st-bench";
+  p.num_columns = num_columns;
+  p.dirty_column_rate = 0.039;
+  p.min_values = 10;
+  p.max_values = 80;
+  p.tail_fraction = 0.15;
+  p.machine_fraction = 0.35;
+  p.seed = seed;
+  return p;
+}
+
+BenchProfile RtBenchProfile(size_t num_columns, uint64_t seed) {
+  BenchProfile p;
+  p.name = "rt-bench";
+  p.num_columns = num_columns;
+  p.dirty_column_rate = 0.033;
+  p.min_values = 30;
+  p.max_values = 200;
+  p.tail_fraction = 0.10;
+  p.machine_fraction = 0.50;
+  p.seed = seed;
+  return p;
+}
+
+LabeledBenchmark GenerateBenchmark(const BenchProfile& profile) {
+  const Gazetteer& gaz = Gazetteer::Instance();
+  util::Rng rng(profile.seed);
+
+  std::vector<size_t> nl_indices;
+  std::vector<size_t> machine_indices;
+  for (size_t i = 0; i < gaz.domains().size(); ++i) {
+    const Domain& d = gaz.domains()[i];
+    if (IsNumericDomain(d)) continue;
+    if (d.kind == DomainKind::kNaturalLanguage) {
+      nl_indices.push_back(i);
+    } else {
+      machine_indices.push_back(i);
+    }
+  }
+  AT_CHECK(!nl_indices.empty() && !machine_indices.empty());
+
+  ColumnGenOptions options;
+  options.min_values = profile.min_values;
+  options.max_values = profile.max_values;
+  options.tail_fraction = profile.tail_fraction;
+
+  LabeledBenchmark bench;
+  bench.name = profile.name;
+  bench.columns.reserve(profile.num_columns);
+  for (size_t i = 0; i < profile.num_columns; ++i) {
+    bool machine = rng.Bernoulli(profile.machine_fraction);
+    const auto& pool = machine ? machine_indices : nl_indices;
+    const Domain& domain = gaz.domains()[rng.Pick(pool)];
+    LabeledColumn lc;
+    lc.column = GenerateColumn(domain, options, rng);
+    lc.domain = domain.name;
+    if (rng.Bernoulli(profile.dirty_column_rate)) {
+      size_t num_errors = static_cast<size_t>(rng.UniformInt(1, 3));
+      for (size_t e = 0; e < num_errors; ++e) {
+        auto injected =
+            InjectError(&lc.column, SampleErrorType(rng), gaz, domain.name,
+                        rng);
+        if (!injected) continue;
+        if (lc.IsErrorRow(injected->row)) continue;  // already corrupted
+        lc.error_rows.push_back(injected->row);
+        lc.error_types.push_back(injected->type);
+      }
+    }
+    bench.columns.push_back(std::move(lc));
+  }
+  return bench;
+}
+
+LabeledBenchmark WithSyntheticErrors(const LabeledBenchmark& bench,
+                                     double rate, uint64_t seed) {
+  const Gazetteer& gaz = Gazetteer::Instance();
+  util::Rng rng(seed);
+  LabeledBenchmark out = bench;
+  out.name = bench.name + "+syn" + std::to_string(static_cast<int>(
+                                       rate * 100.0 + 0.5));
+  for (auto& lc : out.columns) {
+    if (!rng.Bernoulli(rate)) continue;
+    if (lc.column.values.empty()) continue;
+    // Sample an alien value from a different benchmark column.
+    std::string alien;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      const LabeledColumn& donor = rng.Pick(out.columns);
+      if (donor.domain == lc.domain || donor.column.values.empty()) continue;
+      const std::string& v = rng.Pick(donor.column.values);
+      if (gaz.Contains(lc.domain, v)) continue;  // accidentally valid here
+      alien = v;
+      break;
+    }
+    if (alien.empty()) continue;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(lc.column.values.size())));
+    lc.column.values.insert(
+        lc.column.values.begin() + static_cast<ptrdiff_t>(pos), alien);
+    // Shift existing ground-truth rows past the insertion point.
+    for (auto& row : lc.error_rows) {
+      if (row >= pos) ++row;
+    }
+    lc.error_rows.push_back(pos);
+    lc.error_types.push_back(ErrorType::kIncompatible);
+  }
+  return out;
+}
+
+}  // namespace autotest::datagen

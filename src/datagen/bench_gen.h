@@ -1,0 +1,64 @@
+#ifndef AUTOTEST_DATAGEN_BENCH_GEN_H_
+#define AUTOTEST_DATAGEN_BENCH_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/error_injector.h"
+#include "table/column.h"
+
+namespace autotest::datagen {
+
+/// A benchmark column with cell-level ground truth.
+struct LabeledColumn {
+  table::Column column;
+  std::string domain;  // ground-truth domain name (not visible to methods)
+  std::vector<size_t> error_rows;
+  std::vector<ErrorType> error_types;  // parallel to error_rows
+
+  bool dirty() const { return !error_rows.empty(); }
+  bool IsErrorRow(size_t row) const;
+};
+
+/// A labeled benchmark in the style of the paper's ST-Bench / RT-Bench:
+/// 1200 real-looking columns, a small fraction dirty, every erroneous cell
+/// marked.
+struct LabeledBenchmark {
+  std::string name;
+  std::vector<LabeledColumn> columns;
+
+  size_t TotalErrors() const;
+  size_t DirtyColumns() const;
+};
+
+/// Shape of a benchmark.
+struct BenchProfile {
+  std::string name;
+  size_t num_columns = 1200;
+  /// Fraction of columns containing real errors (paper: 3.9% ST, 3.3% RT).
+  double dirty_column_rate = 0.039;
+  size_t min_values = 20;
+  size_t max_values = 120;
+  double tail_fraction = 0.12;
+  double machine_fraction = 0.40;
+  uint64_t seed = 101;
+};
+
+BenchProfile StBenchProfile(size_t num_columns = 1200, uint64_t seed = 101);
+BenchProfile RtBenchProfile(size_t num_columns = 1200, uint64_t seed = 202);
+
+/// Generates a labeled benchmark. Mostly-numeric domains are excluded,
+/// mirroring the paper's footnote 8 (only non-numerical columns tested).
+LabeledBenchmark GenerateBenchmark(const BenchProfile& profile);
+
+/// Returns a copy of the benchmark with synthetic errors injected on top of
+/// real ones: each column independently receives, with probability `rate`,
+/// one extra cell whose value is sampled from a different benchmark column
+/// (the paper's +5%/+10%/+20% settings).
+LabeledBenchmark WithSyntheticErrors(const LabeledBenchmark& bench,
+                                     double rate, uint64_t seed);
+
+}  // namespace autotest::datagen
+
+#endif  // AUTOTEST_DATAGEN_BENCH_GEN_H_

@@ -1,0 +1,295 @@
+#include "datagen/cleaning_bench.h"
+
+#include "datagen/column_gen.h"
+#include "datagen/gazetteer.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace autotest::datagen {
+
+namespace {
+
+// Builder for one dataset: columns are drawn from gazetteer domains, then
+// specific dirty cells are applied with explicit before/after values so
+// the error inventory mirrors the paper's Tables 10 and 11.
+class DatasetBuilder {
+ public:
+  DatasetBuilder(std::string name, size_t rows, util::Rng* rng)
+      : rows_(rows), rng_(rng) {
+    dataset_.name = std::move(name);
+    dataset_.data.name = dataset_.name;
+  }
+
+  /// Adds a column sampled from a gazetteer domain.
+  size_t AddDomainColumn(const std::string& column_name,
+                         const std::string& domain_name,
+                         double tail_fraction = 0.10) {
+    const Domain* d = Gazetteer::Instance().Find(domain_name);
+    AT_CHECK_MSG(d != nullptr, domain_name.c_str());
+    ColumnGenOptions options;
+    options.min_values = rows_;
+    options.max_values = rows_;
+    options.tail_fraction = tail_fraction;
+    table::Column col = GenerateColumn(*d, options, *rng_);
+    col.name = column_name;
+    dataset_.data.columns.push_back(std::move(col));
+    return dataset_.data.columns.size() - 1;
+  }
+
+  /// Adds a column that cycles over a fixed value list.
+  size_t AddFixedColumn(const std::string& column_name,
+                        const std::vector<std::string>& values) {
+    table::Column col;
+    col.name = column_name;
+    col.values.reserve(rows_);
+    for (size_t i = 0; i < rows_; ++i) {
+      col.values.push_back(values[i % values.size()]);
+    }
+    dataset_.data.columns.push_back(std::move(col));
+    return dataset_.data.columns.size() - 1;
+  }
+
+  /// Corrupts one cell with an explicit dirty value.
+  void Corrupt(size_t column_index, const std::string& dirty_value,
+               bool in_ground_truth = true) {
+    AT_CHECK(column_index < dataset_.data.columns.size());
+    auto& col = dataset_.data.columns[column_index];
+    AT_CHECK(!col.values.empty());
+    // Pick an uncorrupted row.
+    size_t row = 0;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      row = static_cast<size_t>(
+          rng_->UniformInt(0, static_cast<int64_t>(col.values.size()) - 1));
+      bool taken = false;
+      for (const auto& e : dataset_.errors) {
+        if (e.column_index == column_index && e.row == row) taken = true;
+      }
+      if (!taken) break;
+    }
+    CleaningCell cell;
+    cell.column_index = column_index;
+    cell.row = row;
+    cell.clean_value = col.values[row];
+    cell.dirty_value = dirty_value;
+    cell.in_ground_truth = in_ground_truth;
+    col.values[row] = dirty_value;
+    dataset_.errors.push_back(std::move(cell));
+  }
+
+  void MarkExistingConstraint(size_t column_index) {
+    dataset_.columns_with_existing_constraints.push_back(column_index);
+  }
+
+  CleaningDataset Take() { return std::move(dataset_); }
+
+ private:
+  size_t rows_;
+  util::Rng* rng_;
+  CleaningDataset dataset_;
+};
+
+CleaningDataset BuildAdults(util::Rng* rng) {
+  DatasetBuilder b("adults", 300, rng);
+  size_t race = b.AddDomainColumn("race", "race", 0.2);
+  size_t sex = b.AddDomainColumn("sex", "gender", 0.0);
+  b.AddDomainColumn("marital_status", "marital_status", 0.3);
+  b.AddDomainColumn("occupation", "job_title");
+  b.AddDomainColumn("native_country", "country");
+  b.AddDomainColumn("workclass", "department");
+  b.AddFixedColumn("education",
+                   {"bachelors", "hs-grad", "masters", "some-college",
+                    "assoc-voc", "doctorate", "11th", "9th"});
+  b.AddFixedColumn("relationship",
+                   {"husband", "wife", "own-child", "unmarried",
+                    "not-in-family", "other-relative"});
+  b.AddFixedColumn("income", {"<=50k", ">50k"});
+  size_t existing = b.AddFixedColumn("fnlwgt_bucket", {"a", "b", "c", "d"});
+  b.MarkExistingConstraint(existing);
+  // Paper Table 10: typos and incompatible values on race / sex.
+  b.Corrupt(race, "wite");
+  b.Corrupt(race, "seattle");
+  b.Corrupt(sex, "femele");
+  b.Corrupt(sex, "finnish");
+  return b.Take();
+}
+
+CleaningDataset BuildBeers(util::Rng* rng) {
+  DatasetBuilder b("beers", 250, rng);
+  size_t city = b.AddDomainColumn("city", "city_us", 0.15);
+  size_t state = b.AddDomainColumn("state", "us_state_code", 0.3);
+  b.AddFixedColumn("style", {"ipa", "stout", "lager", "pilsner", "porter",
+                             "pale ale", "wheat", "saison"});
+  b.AddDomainColumn("brewery_name", "last_name");
+  b.AddFixedColumn("availability",
+                   {"year-round", "seasonal", "limited", "rotating"});
+  b.AddFixedColumn("ounces", {"12 oz", "16 oz", "24 oz", "32 oz"});
+  b.MarkExistingConstraint(city);   // brewery id -> city FD
+  b.MarkExistingConstraint(state);  // brewery id -> state FD, 2 letters
+  b.Corrupt(state, "ax");
+  b.Corrupt(state, "us");
+  b.Corrupt(state, "xl", /*in_ground_truth=*/true);
+  b.Corrupt(city, "louisvilla");
+  b.Corrupt(city, "9th ave", /*in_ground_truth=*/false);
+  return b.Take();
+}
+
+CleaningDataset BuildFlights(util::Rng* rng) {
+  DatasetBuilder b("flights", 200, rng);
+  size_t sched_dep = b.AddDomainColumn("sched_dep_time", "time_hm");
+  size_t act_dep = b.AddDomainColumn("act_dep_time", "time_hm");
+  size_t sched_arr = b.AddDomainColumn("sched_arr_time", "time_hm");
+  size_t act_arr = b.AddDomainColumn("act_arr_time", "time_hm");
+  b.AddDomainColumn("flight_code", "product_code");
+  b.AddDomainColumn("source", "web_domain");
+  b.MarkExistingConstraint(sched_dep);
+  b.MarkExistingConstraint(act_dep);
+  b.MarkExistingConstraint(sched_arr);
+  b.MarkExistingConstraint(act_arr);
+  return b.Take();
+}
+
+CleaningDataset BuildFood(util::Rng* rng) {
+  DatasetBuilder b("food", 300, rng);
+  size_t facility = b.AddDomainColumn("facility_type", "facility_type", 0.2);
+  size_t city = b.AddDomainColumn("city", "city_us", 0.12);
+  size_t state = b.AddFixedColumn("state", {"il"});
+  b.AddDomainColumn("dba_name", "last_name");
+  b.AddFixedColumn("risk", {"risk 1 (high)", "risk 2 (medium)",
+                            "risk 3 (low)"});
+  b.AddFixedColumn("results", {"pass", "fail", "pass w/ conditions"});
+  b.AddFixedColumn("inspection_type", {"canvass", "license", "complaint",
+                                       "re-inspection"});
+  b.AddDomainColumn("inspection_date", "date_mdy");
+  b.AddDomainColumn("zip", "zip_code");
+  b.AddDomainColumn("license_num", "order_num");
+  b.MarkExistingConstraint(state);  // city -> state FD
+  b.Corrupt(city, "chiago");
+  b.Corrupt(city, "upenn", /*in_ground_truth=*/false);
+  b.Corrupt(state, "ilxa");
+  b.Corrupt(facility, "childern's service facility",
+            /*in_ground_truth=*/false);
+  b.Corrupt(facility, "asia");
+  return b.Take();
+}
+
+CleaningDataset BuildHospital(util::Rng* rng) {
+  DatasetBuilder b("hospital", 300, rng);
+  size_t sample = b.AddDomainColumn("sample", "sample_count");
+  size_t state = b.AddDomainColumn("state", "us_state_code", 0.3);
+  size_t type = b.AddDomainColumn("hospital_type", "hospital_type", 0.1);
+  size_t emergency = b.AddDomainColumn("emergency_service", "yes_no", 0.0);
+  size_t city = b.AddDomainColumn("city", "city_us", 0.15);
+  b.AddDomainColumn("phone", "phone_us");
+  b.AddDomainColumn("provider_id", "order_num");
+  b.AddDomainColumn("measure_name", "department");
+  b.AddFixedColumn("condition", {"heart attack", "heart failure",
+                                 "pneumonia", "surgical infection"});
+  b.AddDomainColumn("zip", "zip_code");
+  b.AddDomainColumn("owner", "last_name");
+  b.AddDomainColumn("address", "article_number");
+  b.MarkExistingConstraint(state);      // zip -> state, county -> state
+  b.MarkExistingConstraint(type);       // condition, measure -> type
+  b.MarkExistingConstraint(emergency);  // zip -> emergency service
+  b.MarkExistingConstraint(city);
+  b.Corrupt(sample, "empty", /*in_ground_truth=*/false);
+  b.Corrupt(sample, "x patients");
+  b.Corrupt(state, "ax");
+  b.Corrupt(type, "acute caer");
+  b.Corrupt(emergency, "yxs");
+  return b.Take();
+}
+
+CleaningDataset BuildMovies(util::Rng* rng) {
+  DatasetBuilder b("movies", 400, rng);
+  size_t id = b.AddDomainColumn("id", "movie_id");
+  size_t duration = b.AddDomainColumn("duration", "duration_min");
+  b.AddDomainColumn("director", "last_name");
+  b.AddFixedColumn("genre", {"drama", "comedy", "action", "thriller",
+                             "horror", "romance", "documentary", "sci-fi"});
+  b.AddFixedColumn("rating", {"g", "pg", "pg-13", "r", "nc-17"});
+  b.AddDomainColumn("release_date", "date_mdy");
+  b.AddFixedColumn("country", {"usa", "uk", "france", "germany", "india",
+                               "japan", "canada"});
+  // The paper detects 161 cell errors on movies: ids written as names and
+  // malformed durations dominate. Inject a comparable batch.
+  const char* bad_ids[] = {"iron_man_3",  "dark_tide",   "the_host",
+                           "warm_bodies", "movie_43",    "parker_2013",
+                           "broken_city", "gangster_squad", "mama_2013",
+                           "hansel_gretel", "last_stand", "texas_chainsaw"};
+  for (const char* v : bad_ids) b.Corrupt(id, v);
+  b.Corrupt(duration, "2 hr 30 min");
+  b.Corrupt(duration, "nan");
+  b.Corrupt(duration, "unknown");
+  return b.Take();
+}
+
+CleaningDataset BuildRayyan(util::Rng* rng) {
+  DatasetBuilder b("rayyan", 250, rng);
+  size_t created = b.AddDomainColumn("article_created_at", "date_mdy");
+  b.AddDomainColumn("journal_abbrev", "currency_code");
+  b.AddDomainColumn("article_title", "job_title");
+  b.AddDomainColumn("journal_issn", "isbn13");
+  b.AddDomainColumn("author_first", "first_name");
+  b.AddDomainColumn("author_last", "last_name");
+  b.AddDomainColumn("language", "language");
+  b.AddDomainColumn("pagination", "age_range");
+  b.Corrupt(created, "nan", /*in_ground_truth=*/false);
+  b.Corrupt(created, "june");
+  return b.Take();
+}
+
+CleaningDataset BuildSoccer(util::Rng* rng) {
+  DatasetBuilder b("soccer", 300, rng);
+  size_t position = b.AddDomainColumn("position", "soccer_position", 0.15);
+  size_t city = b.AddDomainColumn("city", "city_world", 0.15);
+  b.AddDomainColumn("name", "last_name");
+  b.AddDomainColumn("surname", "last_name");
+  b.AddFixedColumn("team", {"arsenal", "chelsea", "liverpool", "barcelona",
+                            "juventus", "bayern", "dortmund", "ajax"});
+  b.AddDomainColumn("birth_date", "date_mdy");
+  b.AddDomainColumn("country", "country");
+  b.AddFixedColumn("foot", {"left", "right", "both"});
+  b.MarkExistingConstraint(city);
+  b.Corrupt(position, "strikor");
+  b.Corrupt(position, "difensore");
+  b.Corrupt(city, "cardif");
+  b.Corrupt(city, "fl");
+  return b.Take();
+}
+
+CleaningDataset BuildTax(util::Rng* rng) {
+  DatasetBuilder b("tax", 300, rng);
+  size_t state = b.AddDomainColumn("state", "us_state_code", 0.3);
+  size_t zip = b.AddDomainColumn("zip", "zip_code");
+  size_t area = b.AddDomainColumn("area_code", "phone_us");
+  b.AddDomainColumn("city", "city_us");
+  b.AddDomainColumn("f_name", "first_name");
+  b.AddDomainColumn("l_name", "last_name");
+  b.AddFixedColumn("gender", {"m", "f"});
+  b.AddFixedColumn("has_child", {"y", "n"});
+  b.MarkExistingConstraint(state);  // zip -> state, area code -> state
+  b.MarkExistingConstraint(zip);
+  b.MarkExistingConstraint(area);
+  b.Corrupt(state, "xk");
+  b.Corrupt(state, "us");
+  return b.Take();
+}
+
+}  // namespace
+
+std::vector<CleaningDataset> BuildCleaningDatasets(uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<CleaningDataset> out;
+  out.push_back(BuildAdults(&rng));
+  out.push_back(BuildBeers(&rng));
+  out.push_back(BuildFlights(&rng));
+  out.push_back(BuildFood(&rng));
+  out.push_back(BuildHospital(&rng));
+  out.push_back(BuildMovies(&rng));
+  out.push_back(BuildRayyan(&rng));
+  out.push_back(BuildSoccer(&rng));
+  out.push_back(BuildTax(&rng));
+  return out;
+}
+
+}  // namespace autotest::datagen

@@ -1,0 +1,67 @@
+#include "datagen/column_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace autotest::datagen {
+
+table::Column GenerateColumn(const Domain& domain,
+                             const ColumnGenOptions& options,
+                             util::Rng& rng) {
+  AT_CHECK(options.min_values >= 1);
+  AT_CHECK(options.max_values >= options.min_values);
+  size_t n;
+  if (options.log_uniform_length && options.max_values > options.min_values) {
+    double lo = std::log(static_cast<double>(options.min_values));
+    double hi = std::log(static_cast<double>(options.max_values) + 1.0);
+    n = static_cast<size_t>(std::exp(rng.UniformDouble(lo, hi)));
+    n = std::clamp(n, options.min_values, options.max_values);
+  } else {
+    n = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_values),
+                       static_cast<int64_t>(options.max_values)));
+  }
+
+  table::Column col;
+  col.name = domain.name + "_" + std::to_string(rng.UniformInt(0, 999999));
+  col.values.reserve(n);
+
+  if (domain.has_generator()) {
+    // Machine-generated: mostly fresh values, occasional repeats.
+    for (size_t i = 0; i < n; ++i) {
+      if (!col.values.empty() && rng.Bernoulli(0.05)) {
+        col.values.push_back(rng.Pick(col.values));
+      } else {
+        col.values.push_back(domain.generator(rng));
+      }
+    }
+    return col;
+  }
+
+  // Natural-language: draw a working pool of distinct members, then sample
+  // from the pool with replacement so frequencies look realistic.
+  size_t pool_target = std::max<size_t>(
+      2, static_cast<size_t>(static_cast<double>(n) *
+                             options.distinct_fraction));
+  std::vector<std::string> pool;
+  std::vector<std::string> head = domain.head;
+  std::vector<std::string> tail = domain.tail;
+  rng.Shuffle(head);
+  rng.Shuffle(tail);
+  size_t tail_target = static_cast<size_t>(
+      static_cast<double>(pool_target) * options.tail_fraction);
+  tail_target = std::min(tail_target, tail.size());
+  size_t head_target = std::min(pool_target - tail_target, head.size());
+  for (size_t i = 0; i < head_target; ++i) pool.push_back(head[i]);
+  for (size_t i = 0; i < tail_target; ++i) pool.push_back(tail[i]);
+  if (pool.empty()) pool.push_back(domain.head.front());
+
+  for (size_t i = 0; i < n; ++i) {
+    col.values.push_back(rng.Pick(pool));
+  }
+  return col;
+}
+
+}  // namespace autotest::datagen

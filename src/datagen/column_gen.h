@@ -1,0 +1,35 @@
+#ifndef AUTOTEST_DATAGEN_COLUMN_GEN_H_
+#define AUTOTEST_DATAGEN_COLUMN_GEN_H_
+
+#include <cstddef>
+
+#include "datagen/gazetteer.h"
+#include "table/column.h"
+#include "util/rng.h"
+
+namespace autotest::datagen {
+
+/// Controls how a synthetic column is drawn from a domain.
+struct ColumnGenOptions {
+  size_t min_values = 20;
+  size_t max_values = 200;
+  /// Draw the column length log-uniformly between min and max (real table
+  /// corpora are dominated by short columns with a long tail of big ones).
+  bool log_uniform_length = true;
+  /// Probability that an NL draw comes from the domain's tail (rare valid
+  /// values). Real columns mix common and uncommon members.
+  double tail_fraction = 0.12;
+  /// For NL domains: number of distinct values drawn into the column's
+  /// working pool, as a fraction of the requested length (values repeat).
+  double distinct_fraction = 0.6;
+};
+
+/// Generates one column of values from the given domain. Machine domains
+/// produce fresh generator values; NL domains sample head/tail members.
+/// The column name is the domain name plus a deterministic suffix.
+table::Column GenerateColumn(const Domain& domain,
+                             const ColumnGenOptions& options, util::Rng& rng);
+
+}  // namespace autotest::datagen
+
+#endif  // AUTOTEST_DATAGEN_COLUMN_GEN_H_

@@ -1,0 +1,82 @@
+#include "datagen/corpus_gen.h"
+
+#include "datagen/column_gen.h"
+#include "datagen/error_injector.h"
+#include "datagen/gazetteer.h"
+
+namespace autotest::datagen {
+
+CorpusProfile RelationalTablesProfile(size_t num_columns, uint64_t seed) {
+  CorpusProfile p;
+  p.name = "relational-tables";
+  p.num_columns = num_columns;
+  p.min_values = 12;
+  p.max_values = 400;
+  p.dirty_column_rate = 0.02;
+  p.tail_fraction = 0.10;
+  p.machine_fraction = 0.50;
+  p.seed = seed;
+  return p;
+}
+
+CorpusProfile SpreadsheetTablesProfile(size_t num_columns, uint64_t seed) {
+  CorpusProfile p;
+  p.name = "spreadsheet-tables";
+  p.num_columns = num_columns;
+  p.min_values = 8;
+  p.max_values = 80;
+  p.dirty_column_rate = 0.06;  // human-made spreadsheets are noisier
+  p.tail_fraction = 0.15;
+  p.machine_fraction = 0.35;
+  p.seed = seed;
+  return p;
+}
+
+CorpusProfile TablibProfile(size_t num_columns, uint64_t seed) {
+  CorpusProfile p;
+  p.name = "tablib";
+  p.num_columns = num_columns;
+  p.min_values = 10;
+  p.max_values = 200;
+  p.dirty_column_rate = 0.03;
+  p.tail_fraction = 0.12;
+  p.machine_fraction = 0.45;
+  p.seed = seed;
+  return p;
+}
+
+table::Corpus GenerateCorpus(const CorpusProfile& profile) {
+  const Gazetteer& gaz = Gazetteer::Instance();
+  util::Rng rng(profile.seed);
+
+  std::vector<size_t> nl_indices;
+  std::vector<size_t> machine_indices;
+  for (size_t i = 0; i < gaz.domains().size(); ++i) {
+    if (gaz.domains()[i].kind == DomainKind::kNaturalLanguage) {
+      nl_indices.push_back(i);
+    } else {
+      machine_indices.push_back(i);
+    }
+  }
+
+  ColumnGenOptions options;
+  options.min_values = profile.min_values;
+  options.max_values = profile.max_values;
+  options.tail_fraction = profile.tail_fraction;
+
+  table::Corpus corpus;
+  corpus.reserve(profile.num_columns);
+  for (size_t i = 0; i < profile.num_columns; ++i) {
+    bool machine = rng.Bernoulli(profile.machine_fraction);
+    const auto& pool = machine ? machine_indices : nl_indices;
+    const Domain& domain = gaz.domains()[rng.Pick(pool)];
+    table::Column col = GenerateColumn(domain, options, rng);
+    if (rng.Bernoulli(profile.dirty_column_rate)) {
+      InjectError(&col, SampleErrorType(rng), gaz, domain.name, rng);
+    }
+    corpus.push_back(std::move(col));
+  }
+  return corpus;
+}
+
+}  // namespace autotest::datagen

@@ -1,0 +1,40 @@
+#ifndef AUTOTEST_DATAGEN_CORPUS_GEN_H_
+#define AUTOTEST_DATAGEN_CORPUS_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "table/table.h"
+
+namespace autotest::datagen {
+
+/// Shape of a training corpus. The three built-in profiles mirror the
+/// paper's Table 3 qualitatively: Relational-Tables = long, clean,
+/// machine-heavy columns; Spreadsheet-Tables = short, noisier columns;
+/// Tablib = mixed.
+struct CorpusProfile {
+  std::string name;
+  size_t num_columns = 4000;
+  size_t min_values = 50;
+  size_t max_values = 400;
+  /// Fraction of corpus columns containing one real error (the corpora are
+  /// "generally clean": ~2% per the paper's manual analysis).
+  double dirty_column_rate = 0.02;
+  /// Probability of drawing tail (rare valid) members in NL columns.
+  double tail_fraction = 0.10;
+  /// Fraction of columns drawn from machine-generated domains.
+  double machine_fraction = 0.45;
+  uint64_t seed = 11;
+};
+
+CorpusProfile RelationalTablesProfile(size_t num_columns, uint64_t seed = 11);
+CorpusProfile SpreadsheetTablesProfile(size_t num_columns, uint64_t seed = 22);
+CorpusProfile TablibProfile(size_t num_columns, uint64_t seed = 33);
+
+/// Generates a corpus of columns according to the profile. Deterministic in
+/// the profile seed.
+table::Corpus GenerateCorpus(const CorpusProfile& profile);
+
+}  // namespace autotest::datagen
+
+#endif  // AUTOTEST_DATAGEN_CORPUS_GEN_H_

@@ -1,0 +1,158 @@
+#include "datagen/error_injector.h"
+
+#include <cctype>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace autotest::datagen {
+
+namespace {
+
+const std::vector<std::string>& Placeholders() {
+  static const auto& xs = *new std::vector<std::string>{
+      "n/a",        "nan",       "null",       "empty",     "unknown",
+      "-",          "tbd",       "see note",   "missing",   "#ref!",
+      "#value!",    "none",      "fy definition", "new facility",
+      "sample_size", "dummy_type", "pending",  "deleted",   "test",
+      "na"};
+  return xs;
+}
+
+char RandomLetter(util::Rng& rng) {
+  return static_cast<char>('a' + rng.UniformInt(0, 25));
+}
+
+}  // namespace
+
+std::string MakeTypo(const std::string& value, util::Rng& rng) {
+  AT_CHECK(!value.empty());
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    std::string out = value;
+    size_t i = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // delete
+        if (out.size() > 1) out.erase(i, 1);
+        break;
+      case 1:  // swap adjacent
+        if (i + 1 < out.size()) std::swap(out[i], out[i + 1]);
+        break;
+      case 2:  // duplicate
+        out.insert(out.begin() + static_cast<ptrdiff_t>(i), out[i]);
+        break;
+      default: {  // substitute
+        char c = RandomLetter(rng);
+        if (std::isupper(static_cast<unsigned char>(out[i]))) {
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        }
+        out[i] = c;
+        break;
+      }
+    }
+    if (out != value && !out.empty()) return out;
+  }
+  return value + "x";  // deterministic fallback corruption
+}
+
+std::string MakePlaceholder(util::Rng& rng) {
+  return rng.Pick(Placeholders());
+}
+
+std::string MakeFormatAnomaly(const std::string& value, util::Rng& rng) {
+  std::string out = value;
+  if (util::DigitRatio(value) > 0.3) {
+    // Damage a separator or turn a digit into a letter: machine-format
+    // values become syntactically malformed.
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      std::string candidate = value;
+      size_t i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(candidate.size()) - 1));
+      if (std::isdigit(static_cast<unsigned char>(candidate[i]))) {
+        candidate[i] = RandomLetter(rng);
+      } else {
+        candidate.erase(i, 1);
+      }
+      if (candidate != value && !candidate.empty()) return candidate;
+    }
+  }
+  // Text values: casing flip or space damage.
+  if (rng.Bernoulli(0.5)) {
+    for (char& c : out) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    if (out != value) return out;
+  }
+  std::string squashed;
+  for (char c : value) {
+    if (c != ' ') squashed.push_back(c);
+  }
+  if (!squashed.empty() && squashed != value) return squashed;
+  return MakeTypo(value, rng);
+}
+
+std::string MakeIncompatible(const Gazetteer& gazetteer,
+                             const std::string& own_domain, util::Rng& rng) {
+  const auto& domains = gazetteer.domains();
+  AT_CHECK(domains.size() > 1);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const Domain& d = domains[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(domains.size()) - 1))];
+    if (d.name == own_domain) continue;
+    std::string v =
+        d.has_generator() ? d.generator(rng) : rng.Pick(d.head);
+    // Avoid values that happen to be valid in the column's own domain
+    // (e.g. "may" is both a month and a name).
+    if (!own_domain.empty() && gazetteer.Contains(own_domain, v)) continue;
+    return v;
+  }
+  return "zzqx-9917";  // deterministic fallback, valid nowhere
+}
+
+ErrorType SampleErrorType(util::Rng& rng) {
+  double x = rng.UniformDouble();
+  if (x < 0.40) return ErrorType::kTypo;
+  if (x < 0.70) return ErrorType::kIncompatible;
+  if (x < 0.92) return ErrorType::kPlaceholder;
+  return ErrorType::kFormat;
+}
+
+std::optional<InjectedError> InjectError(table::Column* column,
+                                         ErrorType type,
+                                         const Gazetteer& gazetteer,
+                                         const std::string& own_domain,
+                                         util::Rng& rng) {
+  if (column == nullptr || column->values.empty()) return std::nullopt;
+  size_t row = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(column->values.size()) - 1));
+  InjectedError err;
+  err.row = row;
+  err.original = column->values[row];
+  err.type = type;
+  switch (type) {
+    case ErrorType::kTypo:
+      if (err.original.empty()) return std::nullopt;
+      err.corrupted = MakeTypo(err.original, rng);
+      break;
+    case ErrorType::kIncompatible:
+      err.corrupted = MakeIncompatible(gazetteer, own_domain, rng);
+      break;
+    case ErrorType::kPlaceholder:
+      err.corrupted = MakePlaceholder(rng);
+      break;
+    case ErrorType::kFormat:
+      if (err.original.empty()) return std::nullopt;
+      err.corrupted = MakeFormatAnomaly(err.original, rng);
+      break;
+  }
+  if (err.corrupted == err.original) return std::nullopt;
+  // A corruption that is still a valid member of the column's own domain is
+  // not an error; skip it rather than poison the ground truth.
+  if (!own_domain.empty() && gazetteer.Contains(own_domain, err.corrupted)) {
+    return std::nullopt;
+  }
+  column->values[row] = err.corrupted;
+  return err;
+}
+
+}  // namespace autotest::datagen

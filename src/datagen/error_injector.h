@@ -1,0 +1,63 @@
+#ifndef AUTOTEST_DATAGEN_ERROR_INJECTOR_H_
+#define AUTOTEST_DATAGEN_ERROR_INJECTOR_H_
+
+#include <optional>
+#include <string>
+
+#include "datagen/gazetteer.h"
+#include "table/column.h"
+#include "util/rng.h"
+
+namespace autotest::datagen {
+
+/// The error taxonomy of the paper's Figure 2: misspellings, semantically
+/// incompatible values, metadata/placeholder strings leaking into data, and
+/// format anomalies.
+enum class ErrorType {
+  kTypo,
+  kIncompatible,
+  kPlaceholder,
+  kFormat,
+};
+
+/// A record of one injected error (ground truth for evaluation).
+struct InjectedError {
+  size_t row = 0;
+  std::string original;
+  std::string corrupted;
+  ErrorType type = ErrorType::kTypo;
+};
+
+/// Produces a misspelled variant of the value (swap / delete / duplicate /
+/// substitute one character); guaranteed to differ from the input.
+std::string MakeTypo(const std::string& value, util::Rng& rng);
+
+/// Produces a metadata-style placeholder ("n/a", "empty", "fy definition",
+/// ...).
+std::string MakePlaceholder(util::Rng& rng);
+
+/// Produces a format-anomalous variant (casing flip, separator damage).
+std::string MakeFormatAnomaly(const std::string& value, util::Rng& rng);
+
+/// Produces a semantically incompatible value: a valid member of a
+/// *different* domain than `own_domain` (drawn from the gazetteer).
+std::string MakeIncompatible(const Gazetteer& gazetteer,
+                             const std::string& own_domain, util::Rng& rng);
+
+/// Corrupts one cell of the column in place. `own_domain` is the column's
+/// true domain (used to avoid injecting values that are actually valid).
+/// Returns nullopt if the column is empty or no distinct corruption could
+/// be produced.
+std::optional<InjectedError> InjectError(table::Column* column,
+                                         ErrorType type,
+                                         const Gazetteer& gazetteer,
+                                         const std::string& own_domain,
+                                         util::Rng& rng);
+
+/// Draws an error type with benchmark-realistic weights (typos and
+/// incompatible values dominate; placeholders common; format rare).
+ErrorType SampleErrorType(util::Rng& rng);
+
+}  // namespace autotest::datagen
+
+#endif  // AUTOTEST_DATAGEN_ERROR_INJECTOR_H_

@@ -1,0 +1,82 @@
+#include "datagen/gazetteer.h"
+
+#include "util/check.h"
+#include "util/hashing.h"
+#include "util/string_util.h"
+
+namespace autotest::datagen {
+
+Gazetteer::Gazetteer() {
+  for (auto& d : BuildNaturalLanguageDomains()) {
+    domains_.push_back(std::move(d));
+  }
+  for (auto& d : BuildNaturalLanguageDomains2()) {
+    domains_.push_back(std::move(d));
+  }
+  for (auto& d : BuildMachineDomains()) {
+    domains_.push_back(std::move(d));
+  }
+  for (auto& d : BuildMachineDomains2()) {
+    domains_.push_back(std::move(d));
+  }
+  for (size_t i = 0; i < domains_.size(); ++i) {
+    const Domain& d = domains_[i];
+    AT_CHECK_MSG(name_to_index_.emplace(d.name, static_cast<int>(i)).second,
+                 d.name.c_str());
+    // Only natural-language domains contribute membership knowledge: the
+    // embedding substrate must not "know" machine-generated ids, just like
+    // a real text embedding does not.
+    if (d.kind != DomainKind::kNaturalLanguage) continue;
+    for (const auto& v : d.head) {
+      memberships_[util::ToLower(v)].push_back(Membership{i, Tier::kHead});
+    }
+    for (const auto& v : d.tail) {
+      memberships_[util::ToLower(v)].push_back(Membership{i, Tier::kTail});
+    }
+  }
+}
+
+const Gazetteer& Gazetteer::Instance() {
+  static const Gazetteer& instance = *new Gazetteer();
+  return instance;
+}
+
+int Gazetteer::FindIndex(const std::string& name) const {
+  auto it = name_to_index_.find(name);
+  return it == name_to_index_.end() ? -1 : it->second;
+}
+
+const Domain* Gazetteer::Find(const std::string& name) const {
+  int idx = FindIndex(name);
+  return idx < 0 ? nullptr : &domains_[static_cast<size_t>(idx)];
+}
+
+const std::vector<Membership>* Gazetteer::Lookup(
+    const std::string& value) const {
+  auto it = memberships_.find(util::ToLower(value));
+  return it == memberships_.end() ? nullptr : &it->second;
+}
+
+bool Gazetteer::Contains(const std::string& domain,
+                         const std::string& value) const {
+  const Domain* d = Find(domain);
+  if (d == nullptr) return false;
+  std::string lowered = util::ToLower(value);
+  for (const auto& v : d->head) {
+    if (v == lowered) return true;
+  }
+  for (const auto& v : d->tail) {
+    if (v == lowered) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Gazetteer::DomainNames(DomainKind kind) const {
+  std::vector<std::string> names;
+  for (const auto& d : domains_) {
+    if (d.kind == kind) names.push_back(d.name);
+  }
+  return names;
+}
+
+}  // namespace autotest::datagen

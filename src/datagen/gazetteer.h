@@ -1,0 +1,92 @@
+#ifndef AUTOTEST_DATAGEN_GAZETTEER_H_
+#define AUTOTEST_DATAGEN_GAZETTEER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace autotest::datagen {
+
+/// Whether a domain is natural-language-like (names, places, ...) or
+/// machine-generated (ids, dates, urls, ...). Mirrors the paper's split
+/// between CTA/embedding-friendly and pattern/function-friendly columns.
+enum class DomainKind {
+  kNaturalLanguage,
+  kMachineGenerated,
+};
+
+/// A value generator for open-ended machine domains (fresh ids per call).
+using ValueGenerator = std::function<std::string(util::Rng&)>;
+
+/// One semantic domain: the ground-truth notion of "domain of valid values"
+/// that Semantic-Domain Constraints try to recover.
+///
+/// `head` holds common values, `tail` holds rare-but-valid values (the
+/// "omayra" / "antioch" ring of the paper's Example 2 that naive detectors
+/// misflag). Machine domains additionally carry a generator producing fresh
+/// valid values.
+struct Domain {
+  std::string name;
+  DomainKind kind = DomainKind::kNaturalLanguage;
+  std::vector<std::string> head;
+  std::vector<std::string> tail;
+  ValueGenerator generator;  // null for closed NL domains
+
+  bool has_generator() const { return static_cast<bool>(generator); }
+};
+
+/// Where a value sits inside a domain.
+enum class Tier { kHead, kTail };
+
+struct Membership {
+  size_t domain_index;
+  Tier tier;
+};
+
+/// The full collection of semantic domains used by the data generators and
+/// by the embedding substrate (which uses membership as its "semantic
+/// knowledge", the stand-in for what a pre-trained embedding learned from
+/// web text).
+class Gazetteer {
+ public:
+  /// The process-wide gazetteer (built once, immutable afterwards).
+  static const Gazetteer& Instance();
+
+  const std::vector<Domain>& domains() const { return domains_; }
+
+  /// Index of a domain by name; -1 if absent.
+  int FindIndex(const std::string& name) const;
+
+  /// Pointer to a domain by name; nullptr if absent.
+  const Domain* Find(const std::string& name) const;
+
+  /// All memberships of a (case-folded) value across NL domains.
+  const std::vector<Membership>* Lookup(const std::string& value) const;
+
+  /// True if the value belongs to the named domain (head or tail).
+  bool Contains(const std::string& domain, const std::string& value) const;
+
+  /// Names of all domains of the given kind.
+  std::vector<std::string> DomainNames(DomainKind kind) const;
+
+ private:
+  Gazetteer();
+
+  std::vector<Domain> domains_;
+  std::unordered_map<std::string, int> name_to_index_;
+  std::unordered_map<std::string, std::vector<Membership>> memberships_;
+};
+
+/// Builders for the domain families (defined in gazetteer_nl.cc,
+/// gazetteer_nl2.cc, gazetteer_machine.cc and gazetteer_machine2.cc).
+std::vector<Domain> BuildNaturalLanguageDomains();
+std::vector<Domain> BuildNaturalLanguageDomains2();
+std::vector<Domain> BuildMachineDomains();
+std::vector<Domain> BuildMachineDomains2();
+
+}  // namespace autotest::datagen
+
+#endif  // AUTOTEST_DATAGEN_GAZETTEER_H_

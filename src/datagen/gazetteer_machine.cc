@@ -1,0 +1,407 @@
+// Machine-generated semantic domains: ids, dates, urls, codes. Each open
+// domain carries a generator producing fresh valid values; head/tail lists
+// are pre-sampled from the generator so lookups and closed-list uses work.
+//
+// A few closed "semi-structured" domains (age ranges, pay ranges, unit
+// sizes) live here as well: they are the paper's Figure-3 examples where a
+// value that breaks the dominant pattern is still valid ("65 & Above",
+// "Less than $50k"), which is exactly the false-positive trap for naive
+// pattern detectors.
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+
+#include "datagen/gazetteer.h"
+#include "util/hashing.h"
+
+namespace autotest::datagen {
+
+namespace {
+
+std::vector<std::string> Vec(std::initializer_list<const char*> xs) {
+  std::vector<std::string> out;
+  out.reserve(xs.size());
+  for (const char* x : xs) out.emplace_back(x);
+  return out;
+}
+
+const std::vector<std::string>& CompanyWords() {
+  static const auto& words = *new std::vector<std::string>(Vec(
+      {"apple",   "google",  "amazon",   "contoso", "fabrikam", "acme",
+       "globex",  "initech", "umbrella", "stark",   "wayne",    "hooli",
+       "vandelay", "dunder", "wonka",    "cyberdyne", "tyrell", "massive",
+       "aperture", "black mesa", "northwind", "adventure", "litware",
+       "proseware", "wingtip", "tailspin", "margie", "lucerne",
+       "southridge", "alpine"}));
+  return words;
+}
+
+const std::vector<std::string>& Tlds() {
+  static const auto& tlds = *new std::vector<std::string>(
+      Vec({"com", "net", "org", "io", "co", "info", "biz", "us", "uk",
+           "de", "fr", "jp", "cn", "in", "br", "edu", "gov"}));
+  return tlds;
+}
+
+const std::vector<std::string>& UrlPathWords() {
+  static const auto& words = *new std::vector<std::string>(
+      Vec({"status", "posts", "articles", "items", "products", "users",
+           "docs", "reports", "files", "news", "blog", "media"}));
+  return words;
+}
+
+std::string NoSpace(std::string s) {
+  std::string out;
+  for (char c : s) {
+    if (c != ' ') out.push_back(c);
+  }
+  return out;
+}
+
+std::string Digits(util::Rng& rng, int n) {
+  std::string out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('0' + rng.UniformInt(0, 9)));
+  }
+  return out;
+}
+
+int LuhnCheckDigit(const std::string& digits) {
+  // Check digit so that the full number (digits + d) passes Luhn.
+  int sum = 0;
+  bool dbl = true;  // position right-to-left starting after the check digit
+  for (size_t i = digits.size(); i > 0; --i) {
+    int d = digits[i - 1] - '0';
+    if (dbl) {
+      d *= 2;
+      if (d > 9) d -= 9;
+    }
+    sum += d;
+    dbl = !dbl;
+  }
+  return (10 - sum % 10) % 10;
+}
+
+int UpcCheckDigit(const std::string& digits11) {
+  int odd = 0;
+  int even = 0;
+  for (size_t i = 0; i < digits11.size(); ++i) {
+    if (i % 2 == 0) {
+      odd += digits11[i] - '0';
+    } else {
+      even += digits11[i] - '0';
+    }
+  }
+  int total = odd * 3 + even;
+  return (10 - total % 10) % 10;
+}
+
+int Isbn13CheckDigit(const std::string& digits12) {
+  int sum = 0;
+  for (size_t i = 0; i < digits12.size(); ++i) {
+    int d = digits12[i] - '0';
+    sum += (i % 2 == 0) ? d : 3 * d;
+  }
+  return (10 - sum % 10) % 10;
+}
+
+Domain MachineDomain(const char* name, ValueGenerator gen) {
+  Domain d;
+  d.name = name;
+  d.kind = DomainKind::kMachineGenerated;
+  d.generator = std::move(gen);
+  // Pre-sample a head list so closed-list uses (lookups, Katara-sim
+  // gazetteer matching) have something to work with.
+  util::Rng rng(util::Fnv64Seeded(name, 0xfeedULL));
+  d.head.reserve(200);
+  for (int i = 0; i < 200; ++i) d.head.push_back(d.generator(rng));
+  return d;
+}
+
+Domain ClosedDomain(const char* name, std::vector<std::string> head,
+                    std::vector<std::string> tail) {
+  Domain d;
+  d.name = name;
+  d.kind = DomainKind::kNaturalLanguage;
+  d.head = std::move(head);
+  d.tail = std::move(tail);
+  return d;
+}
+
+}  // namespace
+
+std::vector<Domain> BuildMachineDomains() {
+  std::vector<Domain> domains;
+
+  // Machine-generated values come with realistic format variation (e.g.
+  // zero-padded vs plain dates within the same column): a valid value that
+  // breaks the column's *dominant* pattern is common in real data, which
+  // is exactly what defeats naive dominant-pattern detectors.
+  domains.push_back(MachineDomain("date_mdy", [](util::Rng& rng) {
+    int m = static_cast<int>(rng.UniformInt(1, 12));
+    int d = static_cast<int>(rng.UniformInt(1, 28));
+    int y = static_cast<int>(rng.UniformInt(1995, 2025));
+    char buf[16];
+    if (rng.Bernoulli(0.25)) {
+      std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d", m, d, y);
+    } else if (rng.Bernoulli(0.12)) {
+      std::snprintf(buf, sizeof(buf), "%d/%d/%02d", m, d, y % 100);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d/%d/%04d", m, d, y);
+    }
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("date_iso", [](util::Rng& rng) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                  static_cast<int>(rng.UniformInt(1995, 2025)),
+                  static_cast<int>(rng.UniformInt(1, 12)),
+                  static_cast<int>(rng.UniformInt(1, 28)));
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("time_hm", [](util::Rng& rng) {
+    char buf[12];
+    if (rng.Bernoulli(0.2)) {
+      std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d",
+                    static_cast<int>(rng.UniformInt(0, 23)),
+                    static_cast<int>(rng.UniformInt(0, 59)),
+                    static_cast<int>(rng.UniformInt(0, 59)));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%02d:%02d",
+                    static_cast<int>(rng.UniformInt(0, 23)),
+                    static_cast<int>(rng.UniformInt(0, 59)));
+    }
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("datetime_iso", [](util::Rng& rng) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                  static_cast<int>(rng.UniformInt(1995, 2025)),
+                  static_cast<int>(rng.UniformInt(1, 12)),
+                  static_cast<int>(rng.UniformInt(1, 28)),
+                  static_cast<int>(rng.UniformInt(0, 23)),
+                  static_cast<int>(rng.UniformInt(0, 59)),
+                  static_cast<int>(rng.UniformInt(0, 59)));
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("url", [](util::Rng& rng) {
+    std::string scheme = rng.Bernoulli(0.15) ? "http://" : "https://";
+    std::string www = rng.Bernoulli(0.6) ? "www." : "";
+    std::string host = NoSpace(rng.Pick(CompanyWords()));
+    std::string tld = rng.Pick(Tlds());
+    std::string out = scheme + www + host + "." + tld;
+    if (!rng.Bernoulli(0.1)) {
+      out += "/" + rng.Pick(UrlPathWords()) + "/" + Digits(rng, 8);
+    }
+    return out;
+  }));
+
+  domains.push_back(MachineDomain("email", [](util::Rng& rng) {
+    std::string user = NoSpace(rng.Pick(CompanyWords()));
+    return user + Digits(rng, 2) + "@" + NoSpace(rng.Pick(CompanyWords())) +
+           "." + rng.Pick(Tlds());
+  }));
+
+  domains.push_back(MachineDomain("ipv4", [](util::Rng& rng) {
+    return std::to_string(rng.UniformInt(1, 254)) + "." +
+           std::to_string(rng.UniformInt(0, 255)) + "." +
+           std::to_string(rng.UniformInt(0, 255)) + "." +
+           std::to_string(rng.UniformInt(1, 254));
+  }));
+
+  domains.push_back(MachineDomain("uuid", [](util::Rng& rng) {
+    const char* hex = "0123456789abcdef";
+    std::string out;
+    for (int block : {8, 4, 4, 4, 12}) {
+      if (!out.empty()) out.push_back('-');
+      for (int i = 0; i < block; ++i) {
+        out.push_back(hex[rng.UniformInt(0, 15)]);
+      }
+    }
+    return out;
+  }));
+
+  domains.push_back(MachineDomain("credit_card", [](util::Rng& rng) {
+    std::string body = "4" + Digits(rng, 14);
+    return body + std::to_string(LuhnCheckDigit(body));
+  }));
+
+  domains.push_back(MachineDomain("upc", [](util::Rng& rng) {
+    std::string body = Digits(rng, 11);
+    return body + std::to_string(UpcCheckDigit(body));
+  }));
+
+  domains.push_back(MachineDomain("isbn13", [](util::Rng& rng) {
+    std::string body = "978" + Digits(rng, 9);
+    return body + std::to_string(Isbn13CheckDigit(body));
+  }));
+
+  domains.push_back(MachineDomain("phone_us", [](util::Rng& rng) {
+    int a = static_cast<int>(rng.UniformInt(201, 989));
+    int b = static_cast<int>(rng.UniformInt(200, 999));
+    int c = static_cast<int>(rng.UniformInt(0, 9999));
+    char buf[20];
+    if (rng.Bernoulli(0.25)) {
+      std::snprintf(buf, sizeof(buf), "(%03d) %03d-%04d", a, b, c);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%03d-%03d-%04d", a, b, c);
+    }
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("zip_code", [](util::Rng& rng) {
+    return Digits(rng, 5);
+  }));
+
+  domains.push_back(MachineDomain("percent", [](util::Rng& rng) {
+    char buf[16];
+    double x = rng.UniformDouble(0.0, 100.0);
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        std::snprintf(buf, sizeof(buf), "%.0f%%", x);
+        break;
+      case 1:
+        std::snprintf(buf, sizeof(buf), "%.1f%%", x);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%.2f%%", x);
+        break;
+    }
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("money_usd", [](util::Rng& rng) {
+    int64_t whole = rng.UniformInt(1, 99999);
+    std::string digits = std::to_string(whole);
+    if (rng.Bernoulli(0.3) && digits.size() > 3) {
+      digits.insert(digits.size() - 3, ",");  // thousands separator
+    }
+    std::string out = "$" + digits;
+    if (rng.Bernoulli(0.3)) {
+      out += "." + Digits(rng, 2);  // cents
+    }
+    return out;
+  }));
+
+  domains.push_back(MachineDomain("unit_oz", [](util::Rng& rng) {
+    int whole = static_cast<int>(rng.UniformInt(1, 64));
+    if (rng.Bernoulli(0.3)) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%d.%d oz", whole,
+                    static_cast<int>(rng.UniformInt(0, 9)));
+      return std::string(buf);
+    }
+    return std::to_string(whole) + " oz";
+  }));
+
+  domains.push_back(MachineDomain("fiscal_year", [](util::Rng& rng) {
+    return "fy" + std::to_string(rng.UniformInt(10, 26));
+  }));
+
+  domains.push_back(MachineDomain("movie_id", [](util::Rng& rng) {
+    return "tt" + Digits(rng, 7);
+  }));
+
+  domains.push_back(MachineDomain("contract_no", [](util::Rng& rng) {
+    return "b" + std::to_string(rng.UniformInt(5, 6)) + "000" +
+           Digits(rng, 4);
+  }));
+
+  domains.push_back(MachineDomain("order_num", [](util::Rng& rng) {
+    return "num" + Digits(rng, 6);
+  }));
+
+  domains.push_back(MachineDomain("gene", [](util::Rng& rng) {
+    if (rng.Bernoulli(0.25)) {
+      // Clone-style ids like "RP11-6L6.2".
+      return "RP" + std::to_string(rng.UniformInt(1, 13)) + "-" +
+             Digits(rng, static_cast<int>(rng.UniformInt(1, 3))) +
+             std::string(1, static_cast<char>('A' + rng.UniformInt(0, 25))) +
+             Digits(rng, 1) + "." + Digits(rng, 1);
+    }
+    std::string sym;
+    int letters = static_cast<int>(rng.UniformInt(3, 6));
+    for (int i = 0; i < letters; ++i) {
+      sym.push_back(static_cast<char>('A' + rng.UniformInt(0, 25)));
+    }
+    return sym + Digits(rng, static_cast<int>(rng.UniformInt(0, 2)));
+  }));
+
+  domains.push_back(MachineDomain("web_domain", [](util::Rng& rng) {
+    return NoSpace(rng.Pick(CompanyWords())) + "." + rng.Pick(Tlds());
+  }));
+
+  domains.push_back(MachineDomain("article_number", [](util::Rng& rng) {
+    std::string out = std::to_string(rng.UniformInt(1, 9));
+    for (int i = 0; i < 4; ++i) {
+      out += "-" + Digits(rng, 2);
+    }
+    out += "-";
+    for (int i = 0; i < 3; ++i) {
+      out.push_back(static_cast<char>('a' + rng.UniformInt(0, 25)));
+    }
+    return out;
+  }));
+
+  domains.push_back(MachineDomain("sample_count", [](util::Rng& rng) {
+    return std::to_string(rng.UniformInt(0, 500)) + " patients";
+  }));
+
+  domains.push_back(MachineDomain("duration_min", [](util::Rng& rng) {
+    return std::to_string(rng.UniformInt(60, 220)) + " min";
+  }));
+
+  domains.push_back(MachineDomain("hex_color", [](util::Rng& rng) {
+    const char* hex = "0123456789abcdef";
+    std::string out = "#";
+    for (int i = 0; i < 6; ++i) out.push_back(hex[rng.UniformInt(0, 15)]);
+    return out;
+  }));
+
+  domains.push_back(MachineDomain("mac_address", [](util::Rng& rng) {
+    const char* hex = "0123456789abcdef";
+    std::string out;
+    for (int b = 0; b < 6; ++b) {
+      if (b > 0) out.push_back(':');
+      out.push_back(hex[rng.UniformInt(0, 15)]);
+      out.push_back(hex[rng.UniformInt(0, 15)]);
+    }
+    return out;
+  }));
+
+  domains.push_back(MachineDomain("product_code", [](util::Rng& rng) {
+    std::string out;
+    for (int i = 0; i < 3; ++i) {
+      out.push_back(static_cast<char>('A' + rng.UniformInt(0, 25)));
+    }
+    return out + "-" + Digits(rng, 4);
+  }));
+
+  // Closed, semi-structured domains (Figure 3 of the paper): the last
+  // members intentionally break the dominant pattern but are valid.
+  domains.push_back(ClosedDomain(
+      "age_range",
+      Vec({"16-18", "19-24", "25-29", "30-34", "35-54", "55-64"}),
+      Vec({"65 & above", "under 16"})));
+
+  domains.push_back(ClosedDomain(
+      "pay_range",
+      Vec({"$50-100k", "$100-200k", "$200-300k", "$300-500k", "$500-700k",
+           "$700-900k"}),
+      Vec({"less than $50k", "more than $900k"})));
+
+  domains.push_back(ClosedDomain(
+      "clothing_size",
+      Vec({"xs", "s", "m", "l", "xl", "xxl"}),
+      Vec({"one size", "3xl"})));
+
+  return domains;
+}
+
+}  // namespace autotest::datagen

@@ -1,0 +1,192 @@
+// Second batch of machine-generated domains: software artifacts, logistics
+// ids, finance codes and geo coordinates. Same conventions as
+// gazetteer_machine.cc (generators emit realistic format variation).
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/gazetteer.h"
+#include "util/hashing.h"
+
+namespace autotest::datagen {
+
+namespace {
+
+std::string Digits(util::Rng& rng, int n) {
+  std::string out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('0' + rng.UniformInt(0, 9)));
+  }
+  return out;
+}
+
+std::string UpperLetters(util::Rng& rng, int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('A' + rng.UniformInt(0, 25)));
+  }
+  return out;
+}
+
+// mod-97 remainder of a (possibly long) digit string.
+int Mod97(const std::string& digits) {
+  int rem = 0;
+  for (char c : digits) {
+    rem = (rem * 10 + (c - '0')) % 97;
+  }
+  return rem;
+}
+
+Domain MachineDomain(const char* name, ValueGenerator gen) {
+  Domain d;
+  d.name = name;
+  d.kind = DomainKind::kMachineGenerated;
+  d.generator = std::move(gen);
+  util::Rng rng(util::Fnv64Seeded(name, 0xfeedULL));
+  d.head.reserve(200);
+  for (int i = 0; i < 200; ++i) d.head.push_back(d.generator(rng));
+  return d;
+}
+
+}  // namespace
+
+std::string MakeValidIban(util::Rng& rng) {
+  // German-style IBAN: DE + check digits + 18-digit BBAN, with valid
+  // ISO-7064 mod-97 check digits.
+  std::string bban = Digits(rng, 18);
+  // Rearrange: BBAN + "DE00" with letters mapped (D=13, E=14).
+  std::string numeric = bban + "131400";
+  int check = 98 - Mod97(numeric);
+  char buf[4];
+  std::snprintf(buf, sizeof(buf), "%02d", check);
+  return "DE" + std::string(buf) + bban;
+}
+
+std::vector<Domain> BuildMachineDomains2() {
+  std::vector<Domain> domains;
+
+  domains.push_back(MachineDomain("version_number", [](util::Rng& rng) {
+    std::string out;
+    if (rng.Bernoulli(0.3)) out = "v";
+    out += std::to_string(rng.UniformInt(0, 12)) + "." +
+           std::to_string(rng.UniformInt(0, 20));
+    if (rng.Bernoulli(0.7)) {
+      out += "." + std::to_string(rng.UniformInt(0, 40));
+    }
+    return out;
+  }));
+
+  domains.push_back(MachineDomain("file_size", [](util::Rng& rng) {
+    const char* units[] = {"KB", "MB", "GB"};
+    const char* unit = units[rng.UniformInt(0, 2)];
+    if (rng.Bernoulli(0.5)) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%.1f %s",
+                    rng.UniformDouble(0.1, 900.0), unit);
+      return std::string(buf);
+    }
+    return std::to_string(rng.UniformInt(1, 900)) + " " +
+           std::string(unit);
+  }));
+
+  domains.push_back(MachineDomain("lat_lon", [](util::Rng& rng) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f,%.4f",
+                  rng.UniformDouble(-90.0, 90.0),
+                  rng.UniformDouble(-180.0, 180.0));
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("date_dmy_dots", [](util::Rng& rng) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02d.%02d.%04d",
+                  static_cast<int>(rng.UniformInt(1, 28)),
+                  static_cast<int>(rng.UniformInt(1, 12)),
+                  static_cast<int>(rng.UniformInt(1995, 2025)));
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("iban", [](util::Rng& rng) {
+    return MakeValidIban(rng);
+  }));
+
+  domains.push_back(MachineDomain("tracking_number", [](util::Rng& rng) {
+    // UPS-style 1Z tracking ids.
+    return "1Z" + UpperLetters(rng, 3) + Digits(rng, 11);
+  }));
+
+  domains.push_back(MachineDomain("sku", [](util::Rng& rng) {
+    return "SKU-" + Digits(rng, static_cast<int>(rng.UniformInt(5, 7)));
+  }));
+
+  domains.push_back(MachineDomain("ticket_id", [](util::Rng& rng) {
+    const char* projects[] = {"ENG", "OPS", "DATA", "WEB", "INFRA", "QA"};
+    return std::string(projects[rng.UniformInt(0, 5)]) + "-" +
+           Digits(rng, static_cast<int>(rng.UniformInt(3, 5)));
+  }));
+
+  domains.push_back(MachineDomain("invoice_no", [](util::Rng& rng) {
+    return "INV/" + std::to_string(rng.UniformInt(2015, 2025)) + "/" +
+           Digits(rng, 5);
+  }));
+
+  domains.push_back(MachineDomain("rating", [](util::Rng& rng) {
+    if (rng.Bernoulli(0.5)) {
+      char buf[12];
+      std::snprintf(buf, sizeof(buf), "%.1f/5",
+                    rng.UniformDouble(1.0, 5.0));
+      return std::string(buf);
+    }
+    return std::to_string(rng.UniformInt(1, 5)) + "/5";
+  }));
+
+  domains.push_back(MachineDomain("percent_change", [](util::Rng& rng) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                  rng.UniformDouble(-20.0, 20.0));
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("season_year", [](util::Rng& rng) {
+    int y = static_cast<int>(rng.UniformInt(1990, 2024));
+    char buf[12];
+    std::snprintf(buf, sizeof(buf), "%d-%02d", y, (y + 1) % 100);
+    return std::string(buf);
+  }));
+
+  domains.push_back(MachineDomain("file_path", [](util::Rng& rng) {
+    const char* dirs[] = {"usr", "var", "home", "opt", "etc", "data"};
+    const char* files[] = {"report", "config", "data", "index", "main",
+                           "readme"};
+    const char* exts[] = {"txt", "csv", "json", "log", "cfg", "md"};
+    std::string out = "/";
+    int depth = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < depth; ++i) {
+      out += std::string(dirs[rng.UniformInt(0, 5)]) + "/";
+    }
+    out += std::string(files[rng.UniformInt(0, 5)]) + "." +
+           exts[rng.UniformInt(0, 5)];
+    return out;
+  }));
+
+  domains.push_back(MachineDomain("user_handle", [](util::Rng& rng) {
+    const char* stems[] = {"data", "sky", "blue", "fast", "tech", "cloud",
+                           "pixel", "nova", "echo", "lumen"};
+    return "@" + std::string(stems[rng.UniformInt(0, 9)]) +
+           std::string(stems[rng.UniformInt(0, 9)]) + Digits(rng, 2);
+  }));
+
+  domains.push_back(MachineDomain("hashtag", [](util::Rng& rng) {
+    const char* stems[] = {"data",   "monday", "travel", "foodie",
+                           "fitness", "news",  "music",  "art",
+                           "science", "nature"};
+    std::string out = "#" + std::string(stems[rng.UniformInt(0, 9)]);
+    if (rng.Bernoulli(0.3)) out += std::string(stems[rng.UniformInt(0, 9)]);
+    return out;
+  }));
+
+  return domains;
+}
+
+}  // namespace autotest::datagen

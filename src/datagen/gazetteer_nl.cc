@@ -1,0 +1,432 @@
+// Natural-language semantic domains. Head lists hold common values; tail
+// lists hold rare-but-valid values that a naive per-value detector tends to
+// misflag (the paper's Example 2). All values are stored lowercase; the
+// column generators control surface casing.
+
+#include <initializer_list>
+
+#include "datagen/gazetteer.h"
+
+namespace autotest::datagen {
+
+namespace {
+
+std::vector<std::string> Vec(std::initializer_list<const char*> xs) {
+  std::vector<std::string> out;
+  out.reserve(xs.size());
+  for (const char* x : xs) out.emplace_back(x);
+  return out;
+}
+
+Domain NlDomain(const char* name, std::vector<std::string> head,
+                std::vector<std::string> tail) {
+  Domain d;
+  d.name = name;
+  d.kind = DomainKind::kNaturalLanguage;
+  d.head = std::move(head);
+  d.tail = std::move(tail);
+  return d;
+}
+
+}  // namespace
+
+std::vector<Domain> BuildNaturalLanguageDomains() {
+  std::vector<Domain> domains;
+
+  domains.push_back(NlDomain(
+      "country",
+      Vec({"germany",       "france",        "italy",        "spain",
+           "portugal",      "austria",       "switzerland",  "belgium",
+           "netherlands",   "denmark",       "sweden",       "norway",
+           "finland",       "poland",        "ireland",      "greece",
+           "hungary",       "romania",       "bulgaria",     "croatia",
+           "serbia",        "ukraine",       "russia",       "turkey",
+           "united states", "canada",        "mexico",       "brazil",
+           "argentina",     "chile",         "peru",         "colombia",
+           "venezuela",     "ecuador",       "bolivia",      "uruguay",
+           "china",         "japan",         "india",        "indonesia",
+           "thailand",      "vietnam",       "malaysia",     "singapore",
+           "philippines",   "south korea",   "australia",    "new zealand",
+           "egypt",         "morocco",       "nigeria",      "kenya",
+           "south africa",  "ethiopia",      "ghana",        "tanzania",
+           "israel",        "saudi arabia",  "iran",         "iraq",
+           "pakistan",      "bangladesh",    "afghanistan",  "kazakhstan",
+           "czech republic", "slovakia",     "slovenia",     "estonia",
+           "latvia",        "lithuania",     "iceland",      "luxembourg",
+           "cuba",          "jamaica",       "panama",       "costa rica",
+           "guatemala",     "honduras",      "nicaragua",    "paraguay",
+           "qatar",         "kuwait",        "oman",         "jordan",
+           "lebanon",       "syria",         "yemen",        "libya",
+           "algeria",       "tunisia",       "senegal",      "cameroon",
+           "zambia",        "zimbabwe",      "uganda",       "mozambique",
+           "nepal",         "sri lanka",     "myanmar",      "cambodia",
+           "laos",          "mongolia"}),
+      Vec({"liechtenstein", "andorra",     "san marino", "monaco",
+           "vanuatu",       "kiribati",    "tuvalu",     "nauru",
+           "palau",         "comoros",     "djibouti",   "eritrea",
+           "lesotho",       "eswatini",    "bhutan",     "brunei",
+           "suriname",      "guyana",      "belize",     "dominica",
+           "grenada",       "seychelles",  "maldives",   "timor-leste",
+           "montenegro",    "north macedonia",           "moldova",
+           "burkina faso",  "togo",        "benin"})));
+
+  domains.push_back(NlDomain(
+      "us_state_code",
+      Vec({"al", "az", "ar", "ca", "co", "ct", "fl", "ga", "il", "in",
+           "ia", "ks", "ky", "la", "ma", "md", "mi", "mn", "mo", "nc",
+           "nj", "ny", "oh", "ok", "or", "pa", "sc", "tn", "tx", "va",
+           "wa", "wi"}),
+      Vec({"ak", "de", "hi", "id", "me", "ms", "mt", "ne", "nv", "nh",
+           "nm", "nd", "ri", "sd", "ut", "vt", "wv", "wy", "dc"})));
+
+  domains.push_back(NlDomain(
+      "us_state_name",
+      Vec({"alabama",     "arizona",    "arkansas",     "california",
+           "colorado",    "connecticut", "florida",     "georgia",
+           "illinois",    "indiana",    "iowa",         "kansas",
+           "kentucky",    "louisiana",  "massachusetts", "maryland",
+           "michigan",    "minnesota",  "missouri",     "north carolina",
+           "new jersey",  "new york",   "ohio",         "oklahoma",
+           "oregon",      "pennsylvania", "south carolina", "tennessee",
+           "texas",       "virginia",   "washington",   "wisconsin"}),
+      Vec({"alaska",       "delaware",  "hawaii",       "idaho",
+           "maine",        "mississippi", "montana",    "nebraska",
+           "nevada",       "new hampshire", "new mexico", "north dakota",
+           "rhode island", "south dakota", "utah",      "vermont",
+           "west virginia", "wyoming"})));
+
+  domains.push_back(NlDomain(
+      "month",
+      Vec({"january", "february", "march", "april", "may", "june", "july",
+           "august", "september", "october", "november", "december"}),
+      Vec({})));
+
+  domains.push_back(NlDomain(
+      "month_abbrev",
+      Vec({"jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep",
+           "oct", "nov", "dec"}),
+      Vec({})));
+
+  domains.push_back(NlDomain(
+      "weekday",
+      Vec({"monday", "tuesday", "wednesday", "thursday", "friday",
+           "saturday", "sunday"}),
+      Vec({})));
+
+  domains.push_back(NlDomain(
+      "color",
+      Vec({"red", "blue", "green", "yellow", "orange", "purple", "black",
+           "white", "brown", "pink", "gray", "violet"}),
+      Vec({"magenta", "cyan", "turquoise", "beige", "maroon", "navy",
+           "teal", "olive", "coral", "indigo", "lavender", "crimson",
+           "salmon", "khaki", "plum", "orchid", "sienna", "ochre"})));
+
+  domains.push_back(NlDomain(
+      "first_name",
+      Vec({"james",    "mary",     "john",     "patricia", "robert",
+           "jennifer", "michael",  "linda",    "william",  "elizabeth",
+           "david",    "barbara",  "richard",  "susan",    "joseph",
+           "jessica",  "thomas",   "sarah",    "charles",  "karen",
+           "daniel",   "nancy",    "matthew",  "lisa",     "anthony",
+           "betty",    "mark",     "margaret", "donald",   "sandra",
+           "steven",   "ashley",   "paul",     "kimberly", "andrew",
+           "emily",    "joshua",   "donna",    "kenneth",  "michelle",
+           "kevin",    "dorothy",  "brian",    "carol",    "george",
+           "amanda",   "edward",   "melissa",  "ronald",   "deborah",
+           "timothy",  "stephanie", "jason",   "rebecca",  "jeffrey",
+           "sharon",   "ryan",     "laura",    "jacob",    "cynthia",
+           "gary",     "kathleen", "nicholas", "amy",      "eric",
+           "angela",   "jonathan", "shirley",  "stephen",  "anna",
+           "larry",    "brenda",   "justin",   "pamela",   "scott",
+           "emma",     "brandon",  "nicole",   "benjamin", "helen",
+           "samuel",   "samantha", "gregory",  "katherine", "frank",
+           "christine", "alexander", "debra",  "raymond",  "rachel",
+           "patrick",  "carolyn",  "jack",     "janet",    "dennis",
+           "catherine", "jerry",   "maria",    "tyler",    "heather",
+           "aaron",    "diane",    "jose",     "ruth",     "adam",
+           "julie",    "nathan",   "olivia",   "henry",    "joyce",
+           "douglas",  "virginia", "zachary",  "victoria", "peter",
+           "kelly",    "kyle",     "lauren",   "ethan",    "christina",
+           "walter",   "joan",     "noah",     "evelyn",   "jeremy",
+           "judith",   "christian", "megan",   "keith",    "andrea",
+           "roger",    "cheryl",   "terry",    "hannah",   "austin",
+           "jacqueline", "sean",   "martha",   "gerald",   "gloria",
+           "carl",     "teresa",   "harold",   "ann",      "dylan",
+           "bruce",    "vicky",    "angie",    "david",    "grace"}),
+      Vec({"omayra",   "hyosik",   "mauricio", "thandiwe", "bartholomew",
+           "xiomara",  "oluwaseun", "anoushka", "kazimierz", "svetlana",
+           "yerlan",   "bogdan",   "ingrid",   "soren",    "aoife",
+           "siobhan",  "tariq",    "yusuf",    "amara",    "kofi",
+           "nkechi",   "takeshi",  "haruki",   "mei",      "jiro",
+           "anouk",    "maarten",  "wietse",   "ilona",    "zsofia",
+           "vlad",     "dragan",   "milos",    "radka",    "bozena",
+           "eitan",    "shira",    "aviv",     "noa",      "idris",
+           "zainab",   "femi",     "chidi",    "adaeze",   "olamide",
+           "keanu",    "moana",    "aroha",    "wiremu",   "rangi",
+           "desiree",  "narek",    "anahit",   "tigran",   "gayane",
+           "altantsetseg", "bataar", "enkhjin", "oyuunaa", "saikhan"})));
+
+  domains.push_back(NlDomain(
+      "last_name",
+      Vec({"smith",    "johnson",  "williams", "brown",    "jones",
+           "garcia",   "miller",   "davis",    "rodriguez", "martinez",
+           "hernandez", "lopez",   "gonzalez", "wilson",   "anderson",
+           "thomas",   "taylor",   "moore",    "jackson",  "martin",
+           "lee",      "perez",    "thompson", "white",    "harris",
+           "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+           "walker",   "young",    "allen",    "king",     "wright",
+           "scott",    "torres",   "nguyen",   "hill",     "flores",
+           "green",    "adams",    "nelson",   "baker",    "hall",
+           "rivera",   "campbell", "mitchell", "carter",   "roberts",
+           "gomez",    "phillips", "evans",    "turner",   "diaz",
+           "parker",   "cruz",     "edwards",  "collins",  "reyes",
+           "stewart",  "morris",   "morales",  "murphy",   "cook",
+           "rogers",   "gutierrez", "ortiz",   "morgan",   "cooper",
+           "peterson", "bailey",   "reed",     "kelly",    "howard",
+           "ramos",    "kim",      "cox",      "ward",     "richardson",
+           "watson",   "brooks",   "chavez",   "wood",     "james",
+           "bennett",  "gray",     "mendoza",  "ruiz",     "hughes",
+           "price",    "alvarez",  "castillo", "sanders",  "patel",
+           "myers",    "long",     "ross",     "foster",   "jimenez",
+           "dominguez", "munoz",   "romero",   "rubio"}),
+      Vec({"lim",        "okonkwo",  "achterberg", "bjornstad",
+           "czajkowski", "dimitriou", "eriksdottir", "fitzwilliam",
+           "grzybowski", "hategan",  "ivanova",   "jokinen",
+           "kowalczyk",  "lindqvist", "mbeki",    "nakamura",
+           "obrecht",    "papadopoulos", "quispe", "rahimi",
+           "szczepanski", "tanaka",  "uchida",    "vanderberg",
+           "wachowski",  "xhaka",    "yamamoto",  "zielinski",
+           "abubakar",   "bhattacharya"})));
+
+  domains.push_back(NlDomain(
+      "city_us",
+      Vec({"new york",     "los angeles",  "chicago",      "houston",
+           "phoenix",      "philadelphia", "san antonio",  "san diego",
+           "dallas",       "san jose",     "austin",       "jacksonville",
+           "fort worth",   "columbus",     "charlotte",    "san francisco",
+           "indianapolis", "seattle",      "denver",       "washington",
+           "boston",       "el paso",      "nashville",    "detroit",
+           "oklahoma city", "portland",    "las vegas",    "memphis",
+           "louisville",   "baltimore",    "milwaukee",    "albuquerque",
+           "tucson",       "fresno",       "sacramento",   "kansas city",
+           "mesa",         "atlanta",      "omaha",        "colorado springs",
+           "raleigh",      "miami",        "oakland",      "minneapolis",
+           "tulsa",        "cleveland",    "wichita",      "arlington",
+           "new orleans",  "bakersfield",  "tampa",        "honolulu",
+           "aurora",       "anaheim",      "santa ana",    "st louis",
+           "riverside",    "pittsburgh",   "cincinnati",   "anchorage",
+           "henderson",    "greensboro",   "plano",        "newark",
+           "lincoln",      "toledo",       "orlando",      "chula vista",
+           "irvine",       "fort wayne",   "jersey city",  "durham",
+           "st petersburg", "laredo",      "buffalo",      "madison",
+           "lubbock",      "chandler",     "scottsdale",   "glendale",
+           "reno",         "norfolk",      "winston salem", "irving",
+           "chesapeake",   "gilbert",      "hialeah",      "garland",
+           "fremont",      "richmond",     "boise",        "baton rouge",
+           "saint paul",   "spokane",      "des moines",   "tacoma",
+           "san bernardino", "modesto",    "fontana",      "santa clarita",
+           "birmingham",   "oxnard",       "fayetteville", "rochester"}),
+      Vec({"mankato",      "shakopee",     "antioch",      "brentwood",
+           "goodlettsville", "old hickory", "mount juliet", "whites creek",
+           "madisonville", "hermitage",    "fairmont",     "st peter",
+           "owatonna",     "faribault",    "northfield",   "chanhassen",
+           "waconia",      "chaska",       "prior lake",   "savage",
+           "lakeville",    "farmington",   "rosemount",    "hastings",
+           "red wing",     "winona",       "austin town",  "albert lea",
+           "bemidji",      "brainerd",     "alexandria",   "fergus falls",
+           "thief river falls", "ely",     "grand marais", "two harbors",
+           "pipestone",    "luverne",      "windom",       "marshall"})));
+
+  domains.push_back(NlDomain(
+      "city_world",
+      Vec({"london",     "paris",      "berlin",    "madrid",
+           "rome",       "vienna",     "amsterdam", "brussels",
+           "lisbon",     "dublin",     "prague",    "warsaw",
+           "budapest",   "athens",     "stockholm", "oslo",
+           "copenhagen", "helsinki",   "zurich",    "geneva",
+           "munich",     "hamburg",    "frankfurt", "cologne",
+           "barcelona",  "valencia",   "seville",   "milan",
+           "naples",     "turin",      "florence",  "venice",
+           "moscow",     "kyiv",       "istanbul",  "ankara",
+           "cairo",      "lagos",      "nairobi",   "johannesburg",
+           "cape town",  "casablanca", "tokyo",     "osaka",
+           "kyoto",      "seoul",      "beijing",   "shanghai",
+           "shenzhen",   "guangzhou",  "hong kong", "taipei",
+           "singapore",  "bangkok",    "jakarta",   "manila",
+           "mumbai",     "delhi",      "bangalore", "chennai",
+           "sydney",     "melbourne",  "brisbane",  "perth",
+           "auckland",   "wellington", "toronto",   "vancouver",
+           "montreal",   "ottawa",     "mexico city", "guadalajara",
+           "bogota",     "lima",       "santiago",  "buenos aires",
+           "sao paulo",  "rio de janeiro", "brasilia", "montevideo",
+           "dubai",      "doha",       "riyadh",    "tel aviv",
+           "dortmund",   "stuttgart",  "dusseldorf", "leipzig",
+           "lyon",       "marseille",  "toulouse",  "bordeaux",
+           "manchester", "birmingham", "glasgow",   "edinburgh",
+           "cardiff",    "belfast",    "liverpool", "leeds"}),
+      Vec({"panama city",  "ljubljana",  "bratislava", "vilnius",
+           "riga",         "tallinn",    "reykjavik",  "valletta",
+           "podgorica",    "skopje",     "tirana",     "chisinau",
+           "sarajevo",     "pristina",   "nuuk",       "thimphu",
+           "paramaribo",   "georgetown", "windhoek",   "gaborone",
+           "maseru",       "mbabane",    "moroni",     "apia",
+           "suva",         "honiara",    "majuro",     "funafuti",
+           "ulaanbaatar",  "ashgabat",   "dushanbe",   "bishkek"})));
+
+  domains.push_back(NlDomain(
+      "language",
+      Vec({"english", "spanish", "french",  "german",    "italian",
+           "portuguese", "dutch", "russian", "polish",    "turkish",
+           "arabic",  "hebrew",  "hindi",   "bengali",   "urdu",
+           "chinese", "japanese", "korean", "vietnamese", "thai",
+           "indonesian", "malay", "swahili", "greek",     "czech",
+           "swedish", "norwegian", "danish", "finnish",   "hungarian"}),
+      Vec({"basque",   "catalan",  "galician", "welsh",    "irish",
+           "icelandic", "maltese", "estonian", "latvian",  "lithuanian",
+           "albanian", "macedonian", "armenian", "georgian", "azerbaijani",
+           "kazakh",   "uzbek",    "tagalog",  "cebuano",  "quechua",
+           "guarani",  "amharic",  "yoruba",   "igbo",     "zulu",
+           "xhosa",    "maori",    "samoan",   "tongan",   "fijian"})));
+
+  domains.push_back(NlDomain(
+      "currency_code",
+      Vec({"usd", "eur", "gbp", "jpy", "cny", "chf", "cad", "aud", "nzd",
+           "sek", "nok", "dkk", "pln", "czk", "huf", "rub", "try", "inr",
+           "brl", "mxn", "krw", "sgd", "hkd", "zar"}),
+      Vec({"thb", "idr", "myr", "php", "vnd", "aed", "sar", "qar", "ils",
+           "egp", "ngn", "kes", "ghs", "mad", "clp", "cop", "pen", "ars",
+           "uyu", "bob", "isk", "ron", "bgn", "hrk", "uah", "kzt"})));
+
+  domains.push_back(NlDomain(
+      "job_title",
+      Vec({"software engineer", "data analyst",    "project manager",
+           "product manager",   "accountant",      "sales manager",
+           "marketing manager", "graphic designer", "teacher",
+           "nurse",             "physician",       "pharmacist",
+           "electrician",       "plumber",         "carpenter",
+           "mechanic",          "chef",            "waiter",
+           "cashier",           "receptionist",    "office manager",
+           "hr specialist",     "recruiter",       "consultant",
+           "financial analyst", "auditor",         "lawyer",
+           "paralegal",         "architect",       "civil engineer",
+           "mechanical engineer", "data scientist", "web developer",
+           "system administrator", "network engineer", "security analyst",
+           "operations manager", "warehouse manager", "truck driver",
+           "delivery driver"}),
+      Vec({"actuary",            "horticulturist",  "oenologist",
+           "glassblower",        "locksmith",       "taxidermist",
+           "cartographer",       "archivist",       "conservator",
+           "lexicographer",      "ethnographer",    "volcanologist",
+           "hydrologist",        "metallurgist",    "falconer",
+           "milliner",           "cooper",          "farrier",
+           "chandler",           "wheelwright"})));
+
+  domains.push_back(NlDomain(
+      "department",
+      Vec({"sales",          "marketing",     "finance",
+           "human resources", "engineering",  "operations",
+           "legal",          "procurement",   "customer support",
+           "information technology",          "research and development",
+           "quality assurance", "logistics",  "facilities",
+           "accounting",     "public relations", "administration",
+           "product",        "design",        "security"}),
+      Vec({"internal audit",  "treasury",      "investor relations",
+           "corporate strategy", "business intelligence",
+           "regulatory affairs", "clinical operations",
+           "supply chain",    "field services", "technical writing"})));
+
+  domains.push_back(NlDomain(
+      "gender",
+      Vec({"male", "female"}),
+      Vec({"nonbinary", "other", "prefer not to say"})));
+
+  domains.push_back(NlDomain(
+      "yes_no",
+      Vec({"yes", "no"}),
+      Vec({"n/a", "unknown"})));
+
+  domains.push_back(NlDomain(
+      "element",
+      Vec({"hydrogen", "helium",   "lithium",  "carbon",   "nitrogen",
+           "oxygen",   "fluorine", "neon",     "sodium",   "magnesium",
+           "aluminum", "silicon",  "phosphorus", "sulfur", "chlorine",
+           "argon",    "potassium", "calcium", "iron",     "copper",
+           "zinc",     "silver",   "gold",     "mercury",  "lead",
+           "nickel",   "tin",      "platinum", "titanium", "chromium"}),
+      Vec({"scandium",  "vanadium",   "gallium",   "germanium",
+           "arsenic",   "selenium",   "bromine",   "krypton",
+           "rubidium",  "strontium",  "yttrium",   "zirconium",
+           "niobium",   "molybdenum", "technetium", "ruthenium",
+           "rhodium",   "palladium",  "cadmium",   "indium",
+           "antimony",  "tellurium",  "iodine",    "xenon",
+           "cesium",    "barium",     "lanthanum", "cerium",
+           "praseodymium", "neodymium"})));
+
+  domains.push_back(NlDomain(
+      "sport",
+      Vec({"soccer",     "basketball", "baseball",  "football",
+           "tennis",     "golf",       "hockey",    "swimming",
+           "volleyball", "cricket",    "rugby",     "boxing",
+           "cycling",    "running",    "skiing",    "snowboarding",
+           "skating",    "wrestling",  "gymnastics", "badminton"}),
+      Vec({"curling",    "biathlon",   "pentathlon", "fencing",
+           "archery",    "rowing",     "canoeing",  "equestrian",
+           "handball",   "squash",     "lacrosse",  "softball",
+           "triathlon",  "taekwondo",  "judo",      "karate",
+           "weightlifting", "water polo", "sailing", "surfing"})));
+
+  domains.push_back(NlDomain(
+      "soccer_position",
+      Vec({"goalkeeper", "defender", "midfielder", "forward", "striker",
+           "winger", "midfield", "defense"}),
+      Vec({"sweeper", "fullback", "wingback", "centre back",
+           "attacking midfielder", "defensive midfielder",
+           "centre forward", "second striker"})));
+
+  domains.push_back(NlDomain(
+      "fruit",
+      Vec({"apple",      "banana",   "orange",    "grape",
+           "strawberry", "pear",     "peach",     "cherry",
+           "watermelon", "pineapple", "mango",    "lemon",
+           "lime",       "kiwi",     "blueberry", "raspberry",
+           "plum",       "apricot",  "melon",     "fig"}),
+      Vec({"durian",     "rambutan", "lychee",    "longan",
+           "mangosteen", "jackfruit", "tamarind", "persimmon",
+           "quince",     "medlar",   "loquat",    "soursop",
+           "cherimoya",  "feijoa",   "salak",     "pawpaw",
+           "cloudberry", "lingonberry", "gooseberry", "mulberry"})));
+
+  domains.push_back(NlDomain(
+      "facility_type",
+      Vec({"restaurant",    "school",        "grocery store",
+           "hospital",      "bakery",        "catering",
+           "daycare",       "gas station",   "convenience store",
+           "mobile food vendor", "coffee shop", "bar",
+           "long term care", "banquet hall", "butcher shop"}),
+      Vec({"children's service facility", "shared kitchen",
+           "commissary",     "tavern",       "paleteria",
+           "wholesale bakery", "live poultry", "cold storage",
+           "shelter",        "adult family care"})));
+
+  domains.push_back(NlDomain(
+      "hospital_type",
+      Vec({"acute care hospitals", "critical access hospitals",
+           "childrens hospitals", "psychiatric hospitals",
+           "rehabilitation hospitals"}),
+      Vec({"long term care hospitals", "veterans affairs hospitals",
+           "military hospitals"})));
+
+  domains.push_back(NlDomain(
+      "race",
+      Vec({"white", "black", "asian", "hispanic", "other"}),
+      Vec({"amer-indian-eskimo", "asian-pac-islander", "two or more"})));
+
+  domains.push_back(NlDomain(
+      "marital_status",
+      Vec({"married", "single", "divorced", "widowed", "separated"}),
+      Vec({"never-married", "married-civ-spouse", "married-spouse-absent"})));
+
+  return domains;
+}
+
+}  // namespace autotest::datagen

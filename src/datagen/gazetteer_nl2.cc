@@ -1,0 +1,201 @@
+// Second batch of natural-language semantic domains: transportation,
+// technology, education and commerce vocabularies. Same head/tail
+// convention as gazetteer_nl.cc.
+
+#include <initializer_list>
+
+#include "datagen/gazetteer.h"
+
+namespace autotest::datagen {
+
+namespace {
+
+std::vector<std::string> Vec(std::initializer_list<const char*> xs) {
+  std::vector<std::string> out;
+  out.reserve(xs.size());
+  for (const char* x : xs) out.emplace_back(x);
+  return out;
+}
+
+Domain NlDomain(const char* name, std::vector<std::string> head,
+                std::vector<std::string> tail) {
+  Domain d;
+  d.name = name;
+  d.kind = DomainKind::kNaturalLanguage;
+  d.head = std::move(head);
+  d.tail = std::move(tail);
+  return d;
+}
+
+}  // namespace
+
+std::vector<Domain> BuildNaturalLanguageDomains2() {
+  std::vector<Domain> domains;
+
+  domains.push_back(NlDomain(
+      "airport_code",
+      Vec({"jfk", "lax", "ord", "dfw", "den", "atl", "sfo", "sea", "las",
+           "mco", "ewr", "mia", "phx", "iah", "bos", "msp", "dtw", "fll",
+           "lga", "clt", "bwi", "slc", "iad", "dca", "mdw", "san", "tpa",
+           "pdx", "hnl", "stl", "lhr", "cdg", "fra", "ams", "mad", "bcn",
+           "fco", "muc", "zrh", "vie", "arn", "osl", "cph", "hel", "dub",
+           "bru", "lis", "ath", "nrt", "hnd", "icn", "pek", "pvg", "hkg",
+           "sin", "bkk", "kul", "del", "bom", "syd"}),
+      Vec({"anc", "ogg", "bzn", "jac", "mso", "fca", "rap", "fsd", "grb",
+           "atw", "azo", "cid", "dsm", "far", "bis", "mot", "gfk", "isn",
+           "cod", "riw"})));
+
+  domains.push_back(NlDomain(
+      "university",
+      Vec({"harvard university",       "stanford university",
+           "mit",                      "yale university",
+           "princeton university",     "columbia university",
+           "university of chicago",    "university of pennsylvania",
+           "cornell university",       "duke university",
+           "northwestern university",  "johns hopkins university",
+           "caltech",                  "brown university",
+           "dartmouth college",        "vanderbilt university",
+           "rice university",          "university of michigan",
+           "uc berkeley",              "ucla",
+           "university of virginia",   "georgetown university",
+           "carnegie mellon university", "university of washington",
+           "nyu",                      "boston university",
+           "university of texas",      "georgia tech",
+           "ohio state university",    "penn state university",
+           "university of florida",    "university of wisconsin",
+           "university of illinois",   "university of minnesota",
+           "purdue university",        "texas a&m university",
+           "university of oxford",     "university of cambridge",
+           "imperial college london",  "eth zurich"}),
+      Vec({"gustavus adolphus college", "carleton college",
+           "macalester college",        "st olaf college",
+           "luther college",            "beloit college",
+           "knox college",              "grinnell college",
+           "oberlin college",           "kenyon college",
+           "reed college",              "whitman college",
+           "colorado college",          "lewis & clark college",
+           "university of tartu",       "university of ljubljana"})));
+
+  domains.push_back(NlDomain(
+      "car_brand",
+      Vec({"toyota", "honda", "ford", "chevrolet", "nissan", "bmw",
+           "mercedes-benz", "volkswagen", "audi", "hyundai", "kia",
+           "subaru", "mazda", "lexus", "jeep", "dodge", "ram", "gmc",
+           "volvo", "porsche", "tesla", "buick", "cadillac", "chrysler",
+           "acura", "infiniti", "lincoln", "mitsubishi", "mini", "fiat"}),
+      Vec({"lada", "dacia", "seat", "skoda", "saab", "lancia", "proton",
+           "tata", "mahindra", "geely", "byd", "chery", "great wall",
+           "ssangyong", "holden"})));
+
+  domains.push_back(NlDomain(
+      "country_capital",
+      Vec({"washington", "london",   "paris",     "berlin",   "rome",
+           "madrid",     "lisbon",   "dublin",    "vienna",   "bern",
+           "brussels",   "amsterdam", "copenhagen", "stockholm", "oslo",
+           "helsinki",   "warsaw",   "prague",    "budapest", "athens",
+           "moscow",     "kyiv",     "ankara",    "cairo",    "nairobi",
+           "pretoria",   "ottawa",   "mexico city", "brasilia", "buenos aires",
+           "santiago",   "lima",     "bogota",    "tokyo",    "seoul",
+           "beijing",    "new delhi", "bangkok",  "jakarta",  "manila",
+           "canberra",   "wellington", "riyadh",  "abu dhabi", "doha"}),
+      Vec({"vaduz",      "san marino", "andorra la vella", "monaco",
+           "luxembourg city",          "valletta",  "nicosia",
+           "reykjavik",  "tirana",     "skopje",    "podgorica",
+           "sarajevo",   "chisinau",   "minsk",     "tbilisi",
+           "yerevan",    "baku",       "astana",    "tashkent",
+           "thimphu"})));
+
+  domains.push_back(NlDomain(
+      "programming_language",
+      Vec({"python", "java", "javascript", "c++", "c#", "go", "rust",
+           "ruby", "php", "swift", "kotlin", "typescript", "scala", "r",
+           "matlab", "perl", "haskell", "lua", "dart", "julia", "c",
+           "objective-c", "sql", "bash", "fortran", "cobol", "vba",
+           "groovy", "elixir", "clojure"}),
+      Vec({"ada", "apl", "forth", "prolog", "smalltalk", "erlang", "ocaml",
+           "scheme", "racket", "tcl", "rexx", "abap", "pl/sql", "vhdl",
+           "verilog", "nim", "zig", "crystal", "idris", "agda"})));
+
+  domains.push_back(NlDomain(
+      "browser",
+      Vec({"chrome", "safari", "firefox", "edge", "opera",
+           "samsung internet", "internet explorer"}),
+      Vec({"brave", "vivaldi", "tor browser", "konqueror", "lynx",
+           "pale moon", "seamonkey"})));
+
+  domains.push_back(NlDomain(
+      "operating_system",
+      Vec({"windows 10", "windows 11", "macos", "ubuntu", "android", "ios",
+           "debian", "fedora", "centos", "red hat enterprise linux",
+           "windows 7", "chrome os"}),
+      Vec({"freebsd", "openbsd", "netbsd", "solaris", "aix", "haiku",
+           "alpine linux", "arch linux", "gentoo", "slackware"})));
+
+  domains.push_back(NlDomain(
+      "music_genre",
+      Vec({"rock", "pop", "jazz", "classical", "hip hop", "country",
+           "blues", "electronic", "folk", "reggae", "metal", "r&b",
+           "soul", "funk", "punk", "disco", "techno", "house", "indie",
+           "latin"}),
+      Vec({"zydeco", "klezmer", "bluegrass", "gospel", "ska", "dub",
+           "ambient", "drum and bass", "grime", "shoegaze", "flamenco",
+           "bossa nova", "afrobeat", "k-pop", "mariachi"})));
+
+  domains.push_back(NlDomain(
+      "education_level",
+      Vec({"high school", "associate degree", "bachelors degree",
+           "masters degree", "doctorate", "some college", "no diploma"}),
+      Vec({"trade school", "professional degree", "postdoctoral"})));
+
+  domains.push_back(NlDomain(
+      "employment_status",
+      Vec({"employed", "unemployed", "self-employed", "retired", "student",
+           "part-time", "full-time"}),
+      Vec({"on leave", "furloughed", "seasonal worker"})));
+
+  domains.push_back(NlDomain(
+      "payment_method",
+      Vec({"credit card", "debit card", "cash", "paypal", "bank transfer",
+           "check", "apple pay", "google pay", "gift card"}),
+      Vec({"money order", "cryptocurrency", "wire transfer",
+           "cash on delivery", "klarna"})));
+
+  domains.push_back(NlDomain(
+      "shipping_carrier",
+      Vec({"ups", "fedex", "usps", "dhl", "amazon logistics"}),
+      Vec({"ontrac", "lasership", "purolator", "royal mail",
+           "canada post", "tnt", "gls", "hermes"})));
+
+  domains.push_back(NlDomain(
+      "blood_type",
+      Vec({"a+", "a-", "b+", "b-", "ab+", "ab-", "o+", "o-"}),
+      Vec({})));
+
+  domains.push_back(NlDomain(
+      "continent",
+      Vec({"africa", "antarctica", "asia", "europe", "north america",
+           "oceania", "south america"}),
+      Vec({})));
+
+  domains.push_back(NlDomain(
+      "zodiac_sign",
+      Vec({"aries", "taurus", "gemini", "cancer", "leo", "virgo", "libra",
+           "scorpio", "sagittarius", "capricorn", "aquarius", "pisces"}),
+      Vec({})));
+
+  domains.push_back(NlDomain(
+      "weekday_abbrev",
+      Vec({"mon", "tue", "wed", "thu", "fri", "sat", "sun"}),
+      Vec({})));
+
+  domains.push_back(NlDomain(
+      "timezone",
+      Vec({"utc", "est", "cst", "mst", "pst", "edt", "cdt", "mdt", "pdt",
+           "gmt", "cet", "eet"}),
+      Vec({"akst", "hst", "ist", "jst", "aest", "acst", "awst", "nzst",
+           "wat", "eat", "msk", "bst"})));
+
+  return domains;
+}
+
+}  // namespace autotest::datagen

@@ -1,0 +1,151 @@
+#include "embed/embedding.h"
+
+#include "datagen/gazetteer.h"
+#include "util/string_util.h"
+
+namespace autotest::embed {
+
+namespace {
+
+constexpr size_t kDim = 64;
+
+// Shared machinery: domain centroids + membership-weighted composition.
+Vector DomainCentroid(const std::string& domain_name, uint64_t seed) {
+  return HashGaussianUnit("centroid:" + domain_name, seed, kDim);
+}
+
+// Averaged centroid over a value's memberships; returns false if the value
+// belongs to no NL domain. `weight` receives the semantic tier weight.
+bool SemanticComponent(const std::string& value, uint64_t seed,
+                       double head_weight, double tail_weight, Vector* out,
+                       double* weight) {
+  const auto* memberships = datagen::Gazetteer::Instance().Lookup(value);
+  if (memberships == nullptr || memberships->empty()) return false;
+  Vector acc(kDim, 0.0f);
+  double w_acc = 0.0;
+  for (const auto& m : *memberships) {
+    const auto& domain =
+        datagen::Gazetteer::Instance().domains()[m.domain_index];
+    double w = (m.tier == datagen::Tier::kHead) ? head_weight : tail_weight;
+    AddScaled(&acc, DomainCentroid(domain.name, seed), w);
+    w_acc += w;
+  }
+  Normalize(&acc);
+  *out = std::move(acc);
+  *weight = w_acc / static_cast<double>(memberships->size());
+  return true;
+}
+
+class GloveSim : public EmbeddingModel {
+ public:
+  explicit GloveSim(uint64_t seed) : seed_(seed) {}
+
+  const std::string& name() const override {
+    static const std::string& n = *new std::string("glove-sim");
+    return n;
+  }
+  size_t dim() const override { return kDim; }
+  double oov_distance() const override { return 2.0 * kScale; }
+
+  bool Embed(const std::string& value, Vector* out) const override {
+    // Closed vocabulary: head members only. Tails and unknown strings are
+    // OOV, like rare names missing from GloVe's vocabulary.
+    const auto* memberships = datagen::Gazetteer::Instance().Lookup(value);
+    if (memberships == nullptr) return false;
+    bool any_head = false;
+    Vector sem(kDim, 0.0f);
+    for (const auto& m : *memberships) {
+      if (m.tier != datagen::Tier::kHead) continue;
+      const auto& domain =
+          datagen::Gazetteer::Instance().domains()[m.domain_index];
+      AddScaled(&sem, DomainCentroid(domain.name, seed_), 1.0);
+      any_head = true;
+    }
+    if (!any_head) return false;
+    Normalize(&sem);
+    Vector v = sem;
+    AddScaled(&v, LexicalVector(value, seed_ ^ 0x11ee, kDim), 0.35);
+    AddScaled(&v, HashGaussianUnit(value, seed_ ^ 0x77aa, kDim), 0.15);
+    Normalize(&v);
+    Scale(&v, kScale);
+    *out = std::move(v);
+    return true;
+  }
+
+ private:
+  static constexpr double kScale = 4.0;  // paper-like GloVe distance scale
+  uint64_t seed_;
+};
+
+class SbertSim : public EmbeddingModel {
+ public:
+  explicit SbertSim(uint64_t seed) : seed_(seed) {}
+
+  const std::string& name() const override {
+    static const std::string& n = *new std::string("sbert-sim");
+    return n;
+  }
+  size_t dim() const override { return kDim; }
+  double oov_distance() const override { return 2.0 * kScale; }  // unused
+
+  bool Embed(const std::string& value, Vector* out) const override {
+    Vector sem;
+    double sem_weight = 0.0;
+    bool has_sem = SemanticComponent(value, seed_, /*head_weight=*/0.8,
+                                     /*tail_weight=*/0.5, &sem, &sem_weight);
+    Vector v(kDim, 0.0f);
+    if (has_sem) AddScaled(&v, sem, sem_weight);
+    AddScaled(&v, LexicalVector(value, seed_ ^ 0x22ff, kDim),
+              1.0 - (has_sem ? sem_weight : 0.0));
+    AddScaled(&v, HashGaussianUnit(value, seed_ ^ 0x88bb, kDim), 0.05);
+    Normalize(&v);
+    Scale(&v, kScale);
+    *out = std::move(v);
+    return true;
+  }
+
+ private:
+  static constexpr double kScale = 1.2;  // paper-like S-BERT distance scale
+  uint64_t seed_;
+};
+
+}  // namespace
+
+bool EmbeddingModel::EmbedCached(const std::string& value,
+                                 Vector* out) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(value);
+    if (it != cache_.end()) {
+      *out = it->second.second;
+      return it->second.first;
+    }
+  }
+  Vector v;
+  bool ok = Embed(value, &v);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_.size() >= kMaxCacheEntries) cache_.clear();
+    cache_.emplace(value, std::make_pair(ok, v));
+  }
+  *out = std::move(v);
+  return ok;
+}
+
+double EmbeddingModel::Distance(const std::string& a,
+                                const std::string& b) const {
+  Vector va;
+  Vector vb;
+  if (!EmbedCached(a, &va) || !EmbedCached(b, &vb)) return oov_distance();
+  return EuclideanDistance(va, vb);
+}
+
+std::unique_ptr<EmbeddingModel> MakeGloveSim(uint64_t seed) {
+  return std::make_unique<GloveSim>(seed);
+}
+
+std::unique_ptr<EmbeddingModel> MakeSbertSim(uint64_t seed) {
+  return std::make_unique<SbertSim>(seed);
+}
+
+}  // namespace autotest::embed

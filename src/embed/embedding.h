@@ -1,0 +1,67 @@
+#ifndef AUTOTEST_EMBED_EMBEDDING_H_
+#define AUTOTEST_EMBED_EMBEDDING_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "embed/vector_math.h"
+
+namespace autotest::embed {
+
+/// A text-embedding model mapping cell values to vectors, the paper's
+/// second family of domain-evaluation functions (Equation 2).
+///
+/// These are *simulations* of pre-trained embeddings (GloVe /
+/// Sentence-BERT); see DESIGN.md. They are built from the gazetteer's
+/// domain memberships — the stand-in for what a real embedding absorbed
+/// from web text — and preserve the calibration geometry the paper relies
+/// on: same-domain common values cluster tightly, rare valid values form a
+/// middle ring, and unrelated strings land far away.
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual size_t dim() const = 0;
+
+  /// Embeds the value; returns false when the value is out of vocabulary
+  /// (only GloveSim has a closed vocabulary).
+  virtual bool Embed(const std::string& value, Vector* out) const = 0;
+
+  /// Memoized Embed: vectors are computed once per distinct value (the
+  /// embedding computation dominates distance evaluation against many
+  /// centroids). Bounded cache.
+  bool EmbedCached(const std::string& value, Vector* out) const;
+
+  /// Distance reported for value pairs involving an OOV value.
+  virtual double oov_distance() const = 0;
+
+  /// Distance between two values: Euclidean between embeddings, or
+  /// oov_distance() when either side is OOV.
+  double Distance(const std::string& a, const std::string& b) const;
+
+ private:
+  static constexpr size_t kMaxCacheEntries = 2'000'000;
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::pair<bool, Vector>> cache_;
+};
+
+/// GloVe-like embedding: closed vocabulary consisting of the *head* values
+/// of every natural-language domain. Rare-but-valid values (domain tails)
+/// are OOV — exactly the failure mode of the paper's Example 2 ("omayra"
+/// gets no vector, so naive embedding-based detectors misflag it).
+std::unique_ptr<EmbeddingModel> MakeGloveSim(uint64_t seed = 0x61ce);
+
+/// Sentence-BERT-like embedding: open vocabulary. Every value gets a
+/// vector that blends a semantic component (strong for head members, weak
+/// for tail members, absent for unknown strings) with a character-level
+/// lexical component. Typos land measurably farther from domain centroids
+/// than rare valid members.
+std::unique_ptr<EmbeddingModel> MakeSbertSim(uint64_t seed = 0x5be7);
+
+}  // namespace autotest::embed
+
+#endif  // AUTOTEST_EMBED_EMBEDDING_H_

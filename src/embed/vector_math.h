@@ -1,0 +1,41 @@
+#ifndef AUTOTEST_EMBED_VECTOR_MATH_H_
+#define AUTOTEST_EMBED_VECTOR_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace autotest::embed {
+
+using Vector = std::vector<float>;
+
+/// Euclidean distance; vectors must have equal dimension.
+double EuclideanDistance(const Vector& a, const Vector& b);
+
+/// Dot product.
+double Dot(const Vector& a, const Vector& b);
+
+/// L2 norm.
+double Norm(const Vector& a);
+
+/// Normalizes in place to unit length (no-op on the zero vector).
+void Normalize(Vector* v);
+
+/// Scales in place.
+void Scale(Vector* v, double factor);
+
+/// a += factor * b.
+void AddScaled(Vector* a, const Vector& b, double factor);
+
+/// Deterministic pseudo-Gaussian unit vector derived from a string key;
+/// used for domain centroids and per-value noise.
+Vector HashGaussianUnit(std::string_view key, uint64_t seed, size_t dim);
+
+/// Character-trigram lexical vector (signed hashing, unit norm). Two
+/// strings within small edit distance get strongly correlated vectors.
+Vector LexicalVector(std::string_view value, uint64_t seed, size_t dim);
+
+}  // namespace autotest::embed
+
+#endif  // AUTOTEST_EMBED_VECTOR_MATH_H_

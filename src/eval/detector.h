@@ -1,0 +1,33 @@
+#ifndef AUTOTEST_EVAL_DETECTOR_H_
+#define AUTOTEST_EVAL_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+
+namespace autotest::eval {
+
+/// One flagged cell with a detection score (higher = more confident).
+struct ScoredCell {
+  size_t row = 0;
+  double score = 0.0;
+};
+
+/// Common interface for every error-detection method compared in the
+/// paper's Section 6: Auto-Test variants, column-type-detection baselines,
+/// outlier detectors, LLM/vendor simulations.
+class ErrorDetector {
+ public:
+  virtual ~ErrorDetector() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Flags suspicious cells of one column. Must be deterministic.
+  virtual std::vector<ScoredCell> Detect(const table::Column& column)
+      const = 0;
+};
+
+}  // namespace autotest::eval
+
+#endif  // AUTOTEST_EVAL_DETECTOR_H_

@@ -1,0 +1,67 @@
+#include "eval/harness.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/thread_pool.h"
+
+namespace autotest::eval {
+
+BenchmarkRun RunDetector(const ErrorDetector& detector,
+                         const datagen::LabeledBenchmark& bench,
+                         size_t num_threads) {
+  BenchmarkRun run;
+  run.method = detector.name();
+  run.benchmark = bench.name;
+  run.total_true_errors = bench.TotalErrors();
+
+  std::vector<std::vector<ScoredCell>> per_column(bench.columns.size());
+  auto t0 = std::chrono::steady_clock::now();
+  util::ParallelFor(
+      bench.columns.size(),
+      [&](size_t c) {
+        per_column[c] = detector.Detect(bench.columns[c].column);
+      },
+      num_threads);
+  auto t1 = std::chrono::steady_clock::now();
+
+  std::vector<ScoredPrediction> predictions;
+  for (size_t c = 0; c < bench.columns.size(); ++c) {
+    for (const auto& cell : per_column[c]) {
+      ScoredPrediction p;
+      p.column = c;
+      p.row = cell.row;
+      p.score = cell.score;
+      p.is_true_error = bench.columns[c].IsErrorRow(cell.row);
+      predictions.push_back(p);
+    }
+  }
+  run.num_predictions = predictions.size();
+  run.curve = ComputePrCurve(std::move(predictions), run.total_true_errors);
+  run.pr_auc = run.curve.auc;
+  run.f1_at_p08 = F1AtPrecision(run.curve, 0.8);
+  run.seconds_per_column =
+      std::chrono::duration<double>(t1 - t0).count() /
+      static_cast<double>(std::max<size_t>(1, bench.columns.size()));
+  return run;
+}
+
+std::string FormatQuality(const BenchmarkRun& run) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f, %.2f", run.f1_at_p08, run.pr_auc);
+  return buf;
+}
+
+std::string FormatTableRow(const std::string& method,
+                           const std::vector<BenchmarkRun>& runs) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-24s", method.c_str());
+  std::string out = buf;
+  for (const auto& run : runs) {
+    std::snprintf(buf, sizeof(buf), " | %10s", FormatQuality(run).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace autotest::eval

@@ -1,0 +1,41 @@
+#ifndef AUTOTEST_EVAL_HARNESS_H_
+#define AUTOTEST_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/bench_gen.h"
+#include "eval/detector.h"
+#include "eval/metrics.h"
+
+namespace autotest::eval {
+
+/// Result of running one detector over one labeled benchmark.
+struct BenchmarkRun {
+  std::string method;
+  std::string benchmark;
+  PrCurve curve;
+  double pr_auc = 0.0;
+  double f1_at_p08 = 0.0;
+  double seconds_per_column = 0.0;
+  size_t num_predictions = 0;
+  size_t total_true_errors = 0;
+};
+
+/// Runs the detector over every benchmark column, collects cell-level
+/// predictions, and computes the paper's two summary metrics (PR-AUC and
+/// F1@P=0.8) plus per-column latency.
+BenchmarkRun RunDetector(const ErrorDetector& detector,
+                         const datagen::LabeledBenchmark& bench,
+                         size_t num_threads = 0);
+
+/// Formats "(F1@P=0.8, PR-AUC)" the way the paper's tables print it.
+std::string FormatQuality(const BenchmarkRun& run);
+
+/// Prints a fixed-width table row: method, then (F1, AUC) per run.
+std::string FormatTableRow(const std::string& method,
+                           const std::vector<BenchmarkRun>& runs);
+
+}  // namespace autotest::eval
+
+#endif  // AUTOTEST_EVAL_HARNESS_H_

@@ -1,0 +1,72 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace autotest::eval {
+
+PrCurve ComputePrCurve(std::vector<ScoredPrediction> predictions,
+                       size_t total_true_errors) {
+  PrCurve curve;
+  if (predictions.empty() || total_true_errors == 0) return curve;
+  std::sort(predictions.begin(), predictions.end(),
+            [](const ScoredPrediction& a, const ScoredPrediction& b) {
+              return a.score > b.score;
+            });
+  size_t tp = 0;
+  size_t fp = 0;
+  double prev_recall = 0.0;
+  size_t i = 0;
+  while (i < predictions.size()) {
+    double s = predictions[i].score;
+    // Consume the whole tie group: one operating point per threshold.
+    while (i < predictions.size() && predictions[i].score == s) {
+      if (predictions[i].is_true_error) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    PrPoint p;
+    p.threshold = s;
+    p.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    p.recall =
+        static_cast<double>(tp) / static_cast<double>(total_true_errors);
+    curve.auc += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+    curve.points.push_back(p);
+  }
+  return curve;
+}
+
+double F1AtPrecision(const PrCurve& curve, double min_precision) {
+  double best = 0.0;
+  for (const auto& p : curve.points) {
+    if (p.precision + 1e-12 < min_precision) continue;
+    if (p.precision + p.recall == 0.0) continue;
+    double f1 = 2.0 * p.precision * p.recall / (p.precision + p.recall);
+    best = std::max(best, f1);
+  }
+  return best;
+}
+
+PrecisionRecall ComputePrecisionRecall(
+    const std::vector<ScoredPrediction>& predictions,
+    size_t total_true_errors) {
+  PrecisionRecall pr;
+  pr.predictions = predictions.size();
+  for (const auto& p : predictions) {
+    if (p.is_true_error) ++pr.true_positives;
+  }
+  if (pr.predictions > 0) {
+    pr.precision = static_cast<double>(pr.true_positives) /
+                   static_cast<double>(pr.predictions);
+  }
+  if (total_true_errors > 0) {
+    pr.recall = static_cast<double>(pr.true_positives) /
+                static_cast<double>(total_true_errors);
+  }
+  return pr;
+}
+
+}  // namespace autotest::eval

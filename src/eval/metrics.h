@@ -1,0 +1,53 @@
+#ifndef AUTOTEST_EVAL_METRICS_H_
+#define AUTOTEST_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autotest::eval {
+
+/// One scored cell-level prediction with its ground-truth label.
+struct ScoredPrediction {
+  size_t column = 0;
+  size_t row = 0;
+  double score = 0.0;  // higher = more confident it is an error
+  bool is_true_error = false;
+};
+
+struct PrPoint {
+  double precision = 0.0;
+  double recall = 0.0;
+  double threshold = 0.0;
+};
+
+/// Precision-recall curve with area under the curve (step interpolation).
+struct PrCurve {
+  std::vector<PrPoint> points;  // descending threshold order
+  double auc = 0.0;
+};
+
+/// Computes the PR curve by sweeping the score threshold. Ties in score are
+/// processed together (a single operating point). `total_true_errors` is
+/// the number of ground-truth errors in the benchmark (recall denominator).
+PrCurve ComputePrCurve(std::vector<ScoredPrediction> predictions,
+                       size_t total_true_errors);
+
+/// F1 at high precision (paper Section 6.1): the best F1 among operating
+/// points whose precision is at least `min_precision`; 0 if none qualify.
+double F1AtPrecision(const PrCurve& curve, double min_precision = 0.8);
+
+/// Precision/recall of a fixed (unthresholded) prediction set.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t true_positives = 0;
+  size_t predictions = 0;
+};
+PrecisionRecall ComputePrecisionRecall(
+    const std::vector<ScoredPrediction>& predictions,
+    size_t total_true_errors);
+
+}  // namespace autotest::eval
+
+#endif  // AUTOTEST_EVAL_METRICS_H_

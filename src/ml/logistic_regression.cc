@@ -1,0 +1,71 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace autotest::ml {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+void LogisticRegression::Train(const std::vector<std::vector<float>>& x,
+                               const std::vector<int>& y,
+                               const LogRegConfig& config) {
+  AT_CHECK(!x.empty());
+  AT_CHECK(x.size() == y.size());
+  size_t dim = x.front().size();
+  for (const auto& row : x) AT_CHECK(row.size() == dim);
+
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+
+  std::vector<size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(config.seed);
+
+  double n = static_cast<double>(x.size());
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    // 1/sqrt decay keeps early epochs aggressive and late epochs stable.
+    double lr = config.learning_rate / std::sqrt(1.0 + epoch);
+    for (size_t idx : order) {
+      const auto& row = x[idx];
+      double z = bias_;
+      for (size_t j = 0; j < dim; ++j) {
+        z += weights_[j] * static_cast<double>(row[j]);
+      }
+      double p = Sigmoid(z);
+      double g = p - static_cast<double>(y[idx]);
+      for (size_t j = 0; j < dim; ++j) {
+        weights_[j] -= lr * (g * static_cast<double>(row[j]) +
+                             config.l2 * weights_[j] / n);
+      }
+      bias_ -= lr * g;
+    }
+  }
+}
+
+double LogisticRegression::Decision(const std::vector<float>& x) const {
+  AT_CHECK(x.size() == weights_.size());
+  double z = bias_;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    z += weights_[j] * static_cast<double>(x[j]);
+  }
+  return z;
+}
+
+double LogisticRegression::Predict(const std::vector<float>& x) const {
+  if (weights_.empty()) return 0.5;
+  return Sigmoid(Decision(x));
+}
+
+}  // namespace autotest::ml

@@ -1,0 +1,50 @@
+#ifndef AUTOTEST_ML_LOGISTIC_REGRESSION_H_
+#define AUTOTEST_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace autotest::ml {
+
+/// Training hyperparameters for binary logistic regression.
+struct LogRegConfig {
+  int epochs = 25;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  uint64_t seed = 7;
+};
+
+/// Dense binary logistic regression trained with shuffled SGD.
+/// This is the per-type scorer behind the CTA-sim classifier zoos:
+/// Predict() returns P(value belongs to type) in [0, 1].
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  /// Trains on feature rows `x` with labels `y` (0/1). All rows must share
+  /// the same dimension. Replaces any existing model.
+  void Train(const std::vector<std::vector<float>>& x,
+             const std::vector<int>& y, const LogRegConfig& config);
+
+  /// Probability of the positive class; 0.5 for an untrained model on any
+  /// input of matching dimension.
+  double Predict(const std::vector<float>& x) const;
+
+  /// Raw decision value w.x + b.
+  double Decision(const std::vector<float>& x) const;
+
+  bool trained() const { return !weights_.empty(); }
+  size_t dim() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Numerically stable sigmoid.
+double Sigmoid(double z);
+
+}  // namespace autotest::ml
+
+#endif  // AUTOTEST_ML_LOGISTIC_REGRESSION_H_

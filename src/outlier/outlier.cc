@@ -1,0 +1,410 @@
+#include "outlier/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace autotest::outlier {
+
+namespace {
+
+double SqDist(const Point& a, const Point& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+// Full pairwise distance matrix (columns have at most a few hundred
+// distinct values, so O(n^2 d) is fine).
+std::vector<double> DistanceMatrix(const std::vector<Point>& points) {
+  size_t n = points.size();
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dist = std::sqrt(SqDist(points[i], points[j]));
+      d[i * n + j] = dist;
+      d[j * n + i] = dist;
+    }
+  }
+  return d;
+}
+
+// Indices of the k nearest neighbors of i (excluding i), ascending by
+// distance with index tie-breaks for determinism.
+std::vector<size_t> Neighbors(const std::vector<double>& dist, size_t n,
+                              size_t i, size_t k) {
+  std::vector<size_t> idx;
+  idx.reserve(n - 1);
+  for (size_t j = 0; j < n; ++j) {
+    if (j != i) idx.push_back(j);
+  }
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    double da = dist[i * n + a];
+    double db = dist[i * n + b];
+    if (da != db) return da < db;
+    return a < b;
+  });
+  if (idx.size() > k) idx.resize(k);
+  return idx;
+}
+
+}  // namespace
+
+std::vector<double> KnnDistanceScores(const std::vector<Point>& points,
+                                      size_t k) {
+  size_t n = points.size();
+  std::vector<double> out(n, 0.0);
+  if (n <= 1) return out;
+  k = std::min(k, n - 1);
+  std::vector<double> dist = DistanceMatrix(points);
+  for (size_t i = 0; i < n; ++i) {
+    auto nb = Neighbors(dist, n, i, k);
+    out[i] = dist[i * n + nb.back()];
+  }
+  return out;
+}
+
+std::vector<double> LofScores(const std::vector<Point>& points, size_t k) {
+  size_t n = points.size();
+  std::vector<double> out(n, 1.0);
+  if (n <= 2) return out;
+  k = std::min(k, n - 1);
+  std::vector<double> dist = DistanceMatrix(points);
+
+  std::vector<std::vector<size_t>> knn(n);
+  std::vector<double> k_dist(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    knn[i] = Neighbors(dist, n, i, k);
+    k_dist[i] = dist[i * n + knn[i].back()];
+  }
+  // Local reachability density.
+  std::vector<double> lrd(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (size_t j : knn[i]) {
+      reach_sum += std::max(k_dist[j], dist[i * n + j]);
+    }
+    lrd[i] = reach_sum > 0.0
+                 ? static_cast<double>(knn[i].size()) / reach_sum
+                 : 1e12;  // duplicate-heavy neighborhoods
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double ratio_sum = 0.0;
+    for (size_t j : knn[i]) {
+      ratio_sum += lrd[j] / std::max(lrd[i], 1e-12);
+    }
+    out[i] = ratio_sum / static_cast<double>(knn[i].size());
+  }
+  return out;
+}
+
+std::vector<double> RkdeScores(const std::vector<Point>& points,
+                               int robust_iterations) {
+  size_t n = points.size();
+  std::vector<double> out(n, 0.0);
+  if (n <= 1) return out;
+  std::vector<double> dist = DistanceMatrix(points);
+
+  // Bandwidth: median positive pairwise distance (fallback 1).
+  std::vector<double> positive;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dist[i * n + j] > 0) positive.push_back(dist[i * n + j]);
+    }
+  }
+  double h = 1.0;
+  if (!positive.empty()) {
+    std::nth_element(positive.begin(),
+                     positive.begin() + static_cast<ptrdiff_t>(
+                                            positive.size() / 2),
+                     positive.end());
+    h = std::max(1e-6, positive[positive.size() / 2]);
+  }
+
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  std::vector<double> density(n, 0.0);
+  for (int iter = 0; iter <= robust_iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        double u = dist[i * n + j] / h;
+        s += weights[j] * std::exp(-0.5 * u * u);
+      }
+      density[i] = s;
+    }
+    if (iter == robust_iterations) break;
+    // Robust reweighting: points in low-density regions (likely outliers)
+    // contribute less to the next density estimate.
+    double total = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      weights[j] = std::sqrt(std::max(density[j], 1e-12));
+      total += weights[j];
+    }
+    for (size_t j = 0; j < n; ++j) weights[j] /= total;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = -std::log(std::max(density[i], 1e-300));
+  }
+  return out;
+}
+
+std::vector<double> PpcaScores(const std::vector<Point>& points,
+                               size_t num_components) {
+  size_t n = points.size();
+  std::vector<double> out(n, 0.0);
+  if (n <= 2) return out;
+  size_t d = points[0].size();
+  num_components = std::min(num_components, d);
+
+  // Center the data.
+  std::vector<double> mean(d, 0.0);
+  for (const auto& p : points) {
+    for (size_t j = 0; j < d; ++j) mean[j] += p[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(n);
+  std::vector<std::vector<double>> x(n, std::vector<double>(d));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) x[i][j] = points[i][j] - mean[j];
+  }
+
+  // Principal directions via power iteration with deflation. For each
+  // point we keep its projections (for the in-subspace Mahalanobis term)
+  // and the final residual (the off-subspace term), giving a PPCA-style
+  // negative log-likelihood score.
+  std::vector<std::vector<double>> projections;  // [component][point]
+  std::vector<double> lambdas;                   // per-component variance
+  std::vector<std::vector<double>> residual = x;
+  util::Rng rng(4242);
+  for (size_t c = 0; c < num_components; ++c) {
+    std::vector<double> v(d);
+    for (size_t j = 0; j < d; ++j) v[j] = rng.Gaussian();
+    for (int it = 0; it < 60; ++it) {
+      // v <- X^T X v, normalized.
+      std::vector<double> xv(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < d; ++j) xv[i] += residual[i][j] * v[j];
+      }
+      std::vector<double> next(d, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < d; ++j) next[j] += residual[i][j] * xv[i];
+      }
+      double norm = 0.0;
+      for (size_t j = 0; j < d; ++j) norm += next[j] * next[j];
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (size_t j = 0; j < d; ++j) v[j] = next[j] / norm;
+    }
+    std::vector<double> proj(n, 0.0);
+    double lambda = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) proj[i] += residual[i][j] * v[j];
+      lambda += proj[i] * proj[i];
+      for (size_t j = 0; j < d; ++j) residual[i][j] -= proj[i] * v[j];
+    }
+    lambda /= static_cast<double>(n);
+    projections.push_back(std::move(proj));
+    lambdas.push_back(std::max(lambda, 1e-12));
+  }
+  // Residual noise variance.
+  double sigma2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) sigma2 += residual[i][j] * residual[i][j];
+  }
+  sigma2 = std::max(sigma2 / static_cast<double>(n), 1e-12);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t c = 0; c < projections.size(); ++c) {
+      s += projections[c][i] * projections[c][i] / lambdas[c];
+    }
+    double r2 = 0.0;
+    for (size_t j = 0; j < d; ++j) r2 += residual[i][j] * residual[i][j];
+    out[i] = std::sqrt(s + r2 / sigma2);
+  }
+  return out;
+}
+
+namespace {
+
+struct IsoNode {
+  int split_dim = -1;   // -1 = leaf
+  float split_value = 0.0f;
+  int left = -1;
+  int right = -1;
+  size_t size = 0;  // leaf size
+};
+
+// Average unsuccessful-search path length in a BST of n nodes.
+double AvgPathLength(size_t n) {
+  if (n <= 1) return 0.0;
+  double h = std::log(static_cast<double>(n - 1)) + 0.5772156649;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) /
+                       static_cast<double>(n);
+}
+
+class IsoTree {
+ public:
+  void Build(const std::vector<Point>& points, std::vector<size_t> sample,
+             size_t max_depth, util::Rng* rng) {
+    nodes_.clear();
+    root_ = BuildNode(points, std::move(sample), 0, max_depth, rng);
+  }
+
+  double PathLength(const Point& p) const {
+    int node = root_;
+    double depth = 0.0;
+    while (node >= 0 && nodes_[static_cast<size_t>(node)].split_dim >= 0) {
+      const IsoNode& nd = nodes_[static_cast<size_t>(node)];
+      node = p[static_cast<size_t>(nd.split_dim)] < nd.split_value
+                 ? nd.left
+                 : nd.right;
+      depth += 1.0;
+    }
+    if (node >= 0) {
+      depth += AvgPathLength(nodes_[static_cast<size_t>(node)].size);
+    }
+    return depth;
+  }
+
+ private:
+  int BuildNode(const std::vector<Point>& points, std::vector<size_t> sample,
+                size_t depth, size_t max_depth, util::Rng* rng) {
+    IsoNode node;
+    if (sample.size() <= 1 || depth >= max_depth) {
+      node.size = sample.size();
+      nodes_.push_back(node);
+      return static_cast<int>(nodes_.size() - 1);
+    }
+    size_t d = points[0].size();
+    // Pick a dimension with spread; give up after a few tries.
+    int dim = -1;
+    float lo = 0;
+    float hi = 0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      int cand = static_cast<int>(
+          rng->UniformInt(0, static_cast<int64_t>(d) - 1));
+      lo = hi = points[sample[0]][static_cast<size_t>(cand)];
+      for (size_t i : sample) {
+        lo = std::min(lo, points[i][static_cast<size_t>(cand)]);
+        hi = std::max(hi, points[i][static_cast<size_t>(cand)]);
+      }
+      if (hi > lo) {
+        dim = cand;
+        break;
+      }
+    }
+    if (dim < 0) {
+      node.size = sample.size();
+      nodes_.push_back(node);
+      return static_cast<int>(nodes_.size() - 1);
+    }
+    float split = static_cast<float>(rng->UniformDouble(lo, hi));
+    std::vector<size_t> left;
+    std::vector<size_t> right;
+    for (size_t i : sample) {
+      if (points[i][static_cast<size_t>(dim)] < split) {
+        left.push_back(i);
+      } else {
+        right.push_back(i);
+      }
+    }
+    if (left.empty() || right.empty()) {
+      node.size = sample.size();
+      nodes_.push_back(node);
+      return static_cast<int>(nodes_.size() - 1);
+    }
+    node.split_dim = dim;
+    node.split_value = split;
+    nodes_.push_back(node);
+    size_t self = nodes_.size() - 1;
+    int l = BuildNode(points, std::move(left), depth + 1, max_depth, rng);
+    int r = BuildNode(points, std::move(right), depth + 1, max_depth, rng);
+    nodes_[self].left = l;
+    nodes_[self].right = r;
+    return static_cast<int>(self);
+  }
+
+  std::vector<IsoNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace
+
+std::vector<double> IForestScores(const std::vector<Point>& points,
+                                  const IForestOptions& options) {
+  size_t n = points.size();
+  std::vector<double> out(n, 0.0);
+  if (n <= 2) return out;
+  size_t sample_size = std::min(options.sample_size, n);
+  size_t max_depth = static_cast<size_t>(
+      std::ceil(std::log2(static_cast<double>(sample_size)))) + 1;
+  util::Rng rng(options.seed);
+
+  std::vector<IsoTree> trees(options.num_trees);
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  for (auto& tree : trees) {
+    std::vector<size_t> sample = all;
+    rng.Shuffle(sample);
+    sample.resize(sample_size);
+    tree.Build(points, std::move(sample), max_depth, &rng);
+  }
+  double c = AvgPathLength(sample_size);
+  for (size_t i = 0; i < n; ++i) {
+    double path = 0.0;
+    for (const auto& tree : trees) path += tree.PathLength(points[i]);
+    path /= static_cast<double>(trees.size());
+    out[i] = std::pow(2.0, -path / std::max(c, 1e-9));
+  }
+  return out;
+}
+
+std::vector<double> SvddScores(const std::vector<Point>& points,
+                               int iterations) {
+  size_t n = points.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  size_t d = points[0].size();
+  // Badoiu-Clarkson: start at the mean, repeatedly step toward the
+  // farthest point with decaying step size; converges to the minimum
+  // enclosing ball center.
+  std::vector<double> center(d, 0.0);
+  for (const auto& p : points) {
+    for (size_t j = 0; j < d; ++j) center[j] += p[j];
+  }
+  for (size_t j = 0; j < d; ++j) center[j] /= static_cast<double>(n);
+  for (int t = 1; t <= iterations; ++t) {
+    size_t far = 0;
+    double far_d = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double diff = points[i][j] - center[j];
+        s += diff * diff;
+      }
+      if (s > far_d) {
+        far_d = s;
+        far = i;
+      }
+    }
+    double step = 1.0 / static_cast<double>(t + 1);
+    for (size_t j = 0; j < d; ++j) {
+      center[j] += step * (points[far][j] - center[j]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      double diff = points[i][j] - center[j];
+      s += diff * diff;
+    }
+    out[i] = std::sqrt(s);
+  }
+  return out;
+}
+
+}  // namespace autotest::outlier

@@ -1,0 +1,51 @@
+#ifndef AUTOTEST_OUTLIER_OUTLIER_H_
+#define AUTOTEST_OUTLIER_OUTLIER_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace autotest::outlier {
+
+/// Classical outlier-detection algorithms operating on per-value feature
+/// vectors (the paper's Section 6.2 baselines: LOF, DBOD, RKDE, PPCA,
+/// IForest, SVDD). Each returns one score per input point; higher = more
+/// outlying. All are deterministic (IForest takes an explicit seed).
+using Point = std::vector<float>;
+
+/// Local Outlier Factor (Breunig et al. 2000).
+std::vector<double> LofScores(const std::vector<Point>& points, size_t k);
+
+/// Distance-based outliers (Knorr & Ng 1998): distance to the k-th nearest
+/// neighbor.
+std::vector<double> KnnDistanceScores(const std::vector<Point>& points,
+                                      size_t k);
+
+/// Robust kernel density estimation (Kim & Scott 2012, simplified):
+/// Gaussian KDE with iteratively reweighted points; score = -log density.
+std::vector<double> RkdeScores(const std::vector<Point>& points,
+                               int robust_iterations = 2);
+
+/// Probabilistic PCA (Tipping & Bishop 1999): reconstruction error outside
+/// the top principal subspace.
+std::vector<double> PpcaScores(const std::vector<Point>& points,
+                               size_t num_components);
+
+/// Isolation Forest (Liu et al. 2008).
+struct IForestOptions {
+  size_t num_trees = 50;
+  size_t sample_size = 64;
+  uint64_t seed = 17;
+};
+std::vector<double> IForestScores(const std::vector<Point>& points,
+                                  const IForestOptions& options = {});
+
+/// Support Vector Data Description (Tax & Duin 2004), approximated by the
+/// Badoiu-Clarkson minimum-enclosing-ball iteration: score = distance to
+/// the ball center.
+std::vector<double> SvddScores(const std::vector<Point>& points,
+                               int iterations = 100);
+
+}  // namespace autotest::outlier
+
+#endif  // AUTOTEST_OUTLIER_OUTLIER_H_

@@ -1,0 +1,87 @@
+#include "pattern/miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "table/column.h"
+
+namespace autotest::pattern {
+
+namespace {
+
+bool IsTrivial(const Pattern& p) {
+  if (p.atoms().size() != 1) return false;
+  const Atom& a = p.atoms().front();
+  if (a.cls != AtomClass::kAlpha && a.cls != AtomClass::kDigit) return false;
+  return a.max_len == Atom::kUnbounded;
+}
+
+// Most common generalized pattern over distinct values; empty if below
+// the dominance threshold.
+Pattern Dominant(const table::DistinctValues& distinct,
+                 GeneralizationLevel level, double dominance) {
+  if (distinct.values.empty()) return Pattern();
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& v : distinct.values) {
+    ++counts[Generalize(v, level).ToString()];
+  }
+  std::string best;
+  size_t best_count = 0;
+  for (const auto& [text, count] : counts) {
+    if (count > best_count || (count == best_count && text < best)) {
+      best = text;
+      best_count = count;
+    }
+  }
+  double frac = static_cast<double>(best_count) /
+                static_cast<double>(distinct.values.size());
+  if (frac < dominance) return Pattern();
+  auto parsed = Pattern::Parse(best);
+  return parsed ? *parsed : Pattern();
+}
+
+}  // namespace
+
+Pattern DominantPattern(const table::Column& column,
+                        GeneralizationLevel level, double dominance) {
+  return Dominant(table::Distinct(column), level, dominance);
+}
+
+std::vector<MinedPattern> MinePatterns(const table::Corpus& corpus,
+                                       const MinerOptions& options) {
+  std::unordered_map<std::string, size_t> support;
+  for (const auto& column : corpus) {
+    table::DistinctValues distinct = table::Distinct(column);
+    if (distinct.values.size() < options.min_distinct_values) continue;
+    std::string exact =
+        Dominant(distinct, GeneralizationLevel::kExactDigits,
+                 options.column_dominance)
+            .ToString();
+    std::string general =
+        Dominant(distinct, GeneralizationLevel::kGeneral,
+                 options.column_dominance)
+            .ToString();
+    if (!exact.empty()) ++support[exact];
+    if (!general.empty() && general != exact) ++support[general];
+  }
+
+  std::vector<MinedPattern> out;
+  for (const auto& [text, count] : support) {
+    if (count < options.min_column_support) continue;
+    auto parsed = Pattern::Parse(text);
+    if (!parsed || parsed->empty()) continue;
+    if (options.drop_trivial && IsTrivial(*parsed)) continue;
+    out.push_back(MinedPattern{*parsed, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MinedPattern& a, const MinedPattern& b) {
+              if (a.column_support != b.column_support) {
+                return a.column_support > b.column_support;
+              }
+              return a.pattern.ToString() < b.pattern.ToString();
+            });
+  if (out.size() > options.max_patterns) out.resize(options.max_patterns);
+  return out;
+}
+
+}  // namespace autotest::pattern

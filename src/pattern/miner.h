@@ -1,0 +1,50 @@
+#ifndef AUTOTEST_PATTERN_MINER_H_
+#define AUTOTEST_PATTERN_MINER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "table/table.h"
+
+namespace autotest::pattern {
+
+/// A pattern mined from the corpus with the number of columns it dominates.
+struct MinedPattern {
+  Pattern pattern;
+  size_t column_support = 0;
+};
+
+struct MinerOptions {
+  /// Fraction of a column's distinct values that must share the pattern for
+  /// the column to count as supporting it.
+  double column_dominance = 0.9;
+  /// Minimum distinct values for a column to be considered.
+  size_t min_distinct_values = 5;
+  /// Minimum number of supporting columns for a pattern to be emitted.
+  size_t min_column_support = 3;
+  /// Keep at most this many patterns (by descending support). The paper's
+  /// deployment mined 45 patterns from its corpus.
+  size_t max_patterns = 45;
+  /// Drop patterns that are a single unbounded class atom ([a-zA-Z]+ or
+  /// \d+): they describe "any word" / "any number" rather than a
+  /// machine-generated syntax, and numeric columns are excluded anyway.
+  bool drop_trivial = true;
+};
+
+/// Mines the dominant value patterns of a corpus: for every column, if one
+/// generalized pattern (at either generalization level) covers at least
+/// `column_dominance` of its distinct values, that pattern gains one column
+/// of support. Returns the most-supported patterns.
+std::vector<MinedPattern> MinePatterns(const table::Corpus& corpus,
+                                       const MinerOptions& options = {});
+
+/// Returns the dominant pattern of a single column at the given level, or
+/// an empty pattern if no pattern reaches `dominance` over distinct values.
+Pattern DominantPattern(const table::Column& column,
+                        GeneralizationLevel level, double dominance);
+
+}  // namespace autotest::pattern
+
+#endif  // AUTOTEST_PATTERN_MINER_H_

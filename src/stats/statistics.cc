@@ -1,0 +1,123 @@
+#include "stats/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace autotest::stats {
+
+double ContingencyTable::TriggerRateCovered() const {
+  int64_t c = covered();
+  return c == 0 ? 0.0
+               : static_cast<double>(covered_triggered) /
+                     static_cast<double>(c);
+}
+
+double ContingencyTable::TriggerRateUncovered() const {
+  int64_t u = uncovered();
+  return u == 0 ? 0.0
+               : static_cast<double>(uncovered_triggered) /
+                     static_cast<double>(u);
+}
+
+double CohensH(double p1, double p2) {
+  AT_CHECK(p1 >= 0.0 && p1 <= 1.0);
+  AT_CHECK(p2 >= 0.0 && p2 <= 1.0);
+  return 2.0 * (std::asin(std::sqrt(p1)) - std::asin(std::sqrt(p2)));
+}
+
+double CohensH(const ContingencyTable& table) {
+  return CohensH(table.TriggerRateUncovered(), table.TriggerRateCovered());
+}
+
+double ChiSquaredStatistic(const ContingencyTable& table) {
+  double a = static_cast<double>(table.covered_triggered);
+  double b = static_cast<double>(table.uncovered_triggered);
+  double c = static_cast<double>(table.covered_not_triggered);
+  double d = static_cast<double>(table.uncovered_not_triggered);
+  double n = a + b + c + d;
+  double r1 = a + b;  // triggered row
+  double r2 = c + d;  // not-triggered row
+  double c1 = a + c;  // covered col
+  double c2 = b + d;  // uncovered col
+  if (n == 0 || r1 == 0 || r2 == 0 || c1 == 0 || c2 == 0) return 0.0;
+  double det = a * d - b * c;
+  return n * det * det / (r1 * r2 * c1 * c2);
+}
+
+double ChiSquaredPValue1Dof(double statistic) {
+  if (statistic <= 0.0) return 1.0;
+  return std::erfc(std::sqrt(statistic / 2.0));
+}
+
+double ChiSquaredTestPValue(const ContingencyTable& table) {
+  return ChiSquaredPValue1Dof(ChiSquaredStatistic(table));
+}
+
+double WilsonLowerBound(int64_t successes, int64_t trials, double z) {
+  if (trials <= 0) return 0.0;
+  AT_CHECK(successes >= 0 && successes <= trials);
+  double n = static_cast<double>(trials);
+  double ns = static_cast<double>(successes);
+  double nf = n - ns;
+  double z2 = z * z;
+  double center = (ns + 0.5 * z2) / (n + z2);
+  double margin = (z / (n + z2)) * std::sqrt(ns * nf / n + z2 / 4.0);
+  double lo = center - margin;
+  return std::clamp(lo, 0.0, 1.0);
+}
+
+double SdcConfidence(const ContingencyTable& table, double z) {
+  // Paper Eq. 9: c = 1 - Wilson-upper-bound of the false-trigger rate,
+  // which equals the Wilson lower bound of the non-trigger rate.
+  return WilsonLowerBound(table.covered_not_triggered, table.covered(), z);
+}
+
+double SdcConfidenceUpperBound(int64_t covered, double z) {
+  if (covered <= 0) return 0.0;
+  double z2 = z * z;
+  return 1.0 - z2 / (static_cast<double>(covered) + z2);
+}
+
+int64_t MinCoverageForConfidence(double threshold, double z) {
+  AT_CHECK(threshold >= 0.0 && threshold < 1.0);
+  // 1 - z^2/(n + z^2) >= t  <=>  n >= z^2 * t / (1 - t).
+  double z2 = z * z;
+  double n = z2 * threshold / (1.0 - threshold);
+  return static_cast<int64_t>(std::ceil(n));
+}
+
+Moments ComputeMoments(const std::vector<double>& xs) {
+  Moments m;
+  if (xs.empty()) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  m.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - m.mean) * (x - m.mean);
+  var /= static_cast<double>(xs.size());
+  m.stddev = std::sqrt(var);
+  return m;
+}
+
+std::vector<double> ZScores(const std::vector<double>& xs) {
+  Moments m = ComputeMoments(xs);
+  std::vector<double> out(xs.size(), 0.0);
+  if (m.stddev == 0.0) return out;
+  for (size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m.mean) / m.stddev;
+  return out;
+}
+
+double Quantile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  AT_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  double pos = p * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace autotest::stats

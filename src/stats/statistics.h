@@ -1,0 +1,87 @@
+#ifndef AUTOTEST_STATS_STATISTICS_H_
+#define AUTOTEST_STATS_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace autotest::stats {
+
+/// 2x2 contingency table over corpus columns for one SDC candidate
+/// (paper Table 2). "Covered" = pre-condition holds; "triggered" =
+/// post-condition produced detections.
+struct ContingencyTable {
+  int64_t covered_triggered = 0;        // |C_{C,T}|
+  int64_t covered_not_triggered = 0;    // |C_{C,notT}|
+  int64_t uncovered_triggered = 0;      // |C_{notC,T}|
+  int64_t uncovered_not_triggered = 0;  // |C_{notC,notT}|
+
+  int64_t covered() const { return covered_triggered + covered_not_triggered; }
+  int64_t uncovered() const {
+    return uncovered_triggered + uncovered_not_triggered;
+  }
+  int64_t total() const { return covered() + uncovered(); }
+
+  /// rho(r) = covered_triggered / covered (0 if nothing covered).
+  double TriggerRateCovered() const;
+  /// rho-bar(r) = uncovered_triggered / uncovered (0 if nothing uncovered).
+  double TriggerRateUncovered() const;
+};
+
+/// Cohen's h effect size between two proportions (paper Eq. 8):
+///   h = 2 (arcsin sqrt(p1) - arcsin sqrt(p2)).
+/// Sign convention: positive when p1 > p2. The paper compares
+/// |h(rho, rho-bar)| against a large-effect threshold of 0.8.
+double CohensH(double p1, double p2);
+
+/// Cohen's h for a contingency table: h(rho-bar, rho) — large positive
+/// values mean the rule triggers much less often on covered (in-domain)
+/// columns than on the out-of-domain background, i.e., a clean separation.
+double CohensH(const ContingencyTable& table);
+
+/// Pearson chi-squared statistic for a 2x2 contingency table (no Yates
+/// correction). Returns 0 when any marginal is 0.
+double ChiSquaredStatistic(const ContingencyTable& table);
+
+/// Upper-tail p-value of the chi-squared distribution with 1 degree of
+/// freedom: P(X >= x) = erfc(sqrt(x/2)).
+double ChiSquaredPValue1Dof(double statistic);
+
+/// Chi-squared independence test p-value for a 2x2 table.
+double ChiSquaredTestPValue(const ContingencyTable& table);
+
+/// Lower bound of the Wilson score interval for a binomial proportion with
+/// `successes` successes out of `trials` trials, at normal quantile z.
+/// Returns 0 for trials == 0.
+double WilsonLowerBound(int64_t successes, int64_t trials, double z);
+
+/// The paper's confidence estimate (Eq. 9): a "safe" lower bound on the
+/// probability that a covered column is NOT falsely triggered, i.e., the
+/// Wilson lower bound of (covered_not_triggered / covered) with z = 1.65
+/// by default.
+double SdcConfidence(const ContingencyTable& table, double z = 1.65);
+
+/// Confidence upper bound when assuming zero false triggers (Appendix B,
+/// Eq. 19): ub = 1 - z^2 / (covered + z^2).
+double SdcConfidenceUpperBound(int64_t covered, double z = 1.65);
+
+/// Minimum number of covered columns required for the confidence upper
+/// bound to reach `threshold` (Appendix B.1 pruning).
+int64_t MinCoverageForConfidence(double threshold, double z = 1.65);
+
+/// Descriptive statistics of a sample.
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+Moments ComputeMoments(const std::vector<double>& xs);
+
+/// Z-scores of a sample ((x - mean) / stddev); all zeros if stddev == 0.
+std::vector<double> ZScores(const std::vector<double>& xs);
+
+/// p-quantile (0 <= p <= 1) of a sample by linear interpolation on the
+/// sorted values. Returns 0 for an empty sample.
+double Quantile(std::vector<double> xs, double p);
+
+}  // namespace autotest::stats
+
+#endif  // AUTOTEST_STATS_STATISTICS_H_

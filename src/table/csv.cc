@@ -1,0 +1,169 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace autotest::table {
+
+namespace {
+
+// Parses the raw grid of cells; returns false on unterminated quote.
+bool ParseCells(std::string_view text, char delim,
+                std::vector<std::vector<std::string>>* rows) {
+  std::vector<std::string> row;
+  std::string field;
+  size_t i = 0;
+  bool in_row = false;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '"') {
+      // Quoted field.
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '"') {
+          if (i + 1 < text.size() && text[i + 1] == '"') {
+            field.push_back('"');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          field.push_back(text[i]);
+          ++i;
+        }
+      }
+      if (!closed) return false;
+      in_row = true;
+    } else if (c == delim) {
+      row.push_back(std::move(field));
+      field.clear();
+      in_row = true;
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // handled together with the following \n (or alone)
+      if (i < text.size() && text[i] == '\n') ++i;
+      row.push_back(std::move(field));
+      field.clear();
+      rows->push_back(std::move(row));
+      row.clear();
+      in_row = false;
+    } else if (c == '\n') {
+      ++i;
+      row.push_back(std::move(field));
+      field.clear();
+      rows->push_back(std::move(row));
+      row.clear();
+      in_row = false;
+    } else {
+      field.push_back(c);
+      in_row = true;
+      ++i;
+    }
+  }
+  if (in_row || !field.empty()) {
+    row.push_back(std::move(field));
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  for (char c : s) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& s, char delim, std::string* out) {
+  if (!NeedsQuoting(s, delim)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::optional<Table> ParseCsv(std::string_view text,
+                              const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  if (!ParseCells(text, options.delimiter, &rows)) return std::nullopt;
+  Table t;
+  if (rows.empty()) return t;
+
+  size_t width = rows.front().size();
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (size_t j = 0; j < width; ++j) {
+      Column c;
+      c.name = rows[0][j];
+      t.columns.push_back(std::move(c));
+    }
+    first_data_row = 1;
+  } else {
+    for (size_t j = 0; j < width; ++j) {
+      Column c;
+      c.name = "col" + std::to_string(j);
+      t.columns.push_back(std::move(c));
+    }
+  }
+  for (size_t i = first_data_row; i < rows.size(); ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      t.columns[j].values.push_back(j < rows[i].size() ? rows[i][j]
+                                                       : std::string());
+    }
+  }
+  return t;
+}
+
+std::string WriteCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (size_t j = 0; j < table.columns.size(); ++j) {
+      if (j > 0) out.push_back(options.delimiter);
+      AppendField(table.columns[j].name, options.delimiter, &out);
+    }
+    out.push_back('\n');
+  }
+  size_t rows = table.num_rows();
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < table.columns.size(); ++j) {
+      if (j > 0) out.push_back(options.delimiter);
+      const auto& col = table.columns[j].values;
+      AppendField(i < col.size() ? col[i] : std::string(), options.delimiter,
+                  &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::optional<Table> ReadCsvFile(const std::string& path,
+                                 const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto t = ParseCsv(ss.str(), options);
+  if (t) t->name = path;
+  return t;
+}
+
+bool WriteCsvFile(const Table& table, const std::string& path,
+                  const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << WriteCsv(table, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace autotest::table

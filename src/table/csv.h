@@ -1,0 +1,39 @@
+#ifndef AUTOTEST_TABLE_CSV_H_
+#define AUTOTEST_TABLE_CSV_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "table/table.h"
+
+namespace autotest::table {
+
+/// Options for CSV parsing/serialization (RFC-4180-style quoting).
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+/// Parses CSV text into a Table. Handles quoted fields with embedded
+/// delimiters, quotes ("" escape) and newlines. Short rows are padded with
+/// empty strings; long rows are truncated to the header width.
+/// Returns nullopt on malformed input (unterminated quote).
+std::optional<Table> ParseCsv(std::string_view text,
+                              const CsvOptions& options = {});
+
+/// Serializes a Table to CSV text, quoting fields when necessary.
+std::string WriteCsv(const Table& table, const CsvOptions& options = {});
+
+/// Reads and parses a CSV file; nullopt if the file is unreadable or
+/// malformed.
+std::optional<Table> ReadCsvFile(const std::string& path,
+                                 const CsvOptions& options = {});
+
+/// Writes a table as a CSV file; returns false on I/O failure.
+bool WriteCsvFile(const Table& table, const std::string& path,
+                  const CsvOptions& options = {});
+
+}  // namespace autotest::table
+
+#endif  // AUTOTEST_TABLE_CSV_H_

@@ -1,0 +1,13 @@
+#include "table/table.h"
+
+namespace autotest::table {
+
+Corpus ToCorpus(const std::vector<Table>& tables) {
+  Corpus corpus;
+  for (const auto& t : tables) {
+    for (const auto& c : t.columns) corpus.push_back(c);
+  }
+  return corpus;
+}
+
+}  // namespace autotest::table

@@ -1,0 +1,31 @@
+#ifndef AUTOTEST_TABLE_TABLE_H_
+#define AUTOTEST_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+
+namespace autotest::table {
+
+/// A relational table: a set of equally-long named columns.
+struct Table {
+  std::string name;
+  std::vector<Column> columns;
+
+  size_t num_rows() const {
+    return columns.empty() ? 0 : columns.front().values.size();
+  }
+  size_t num_columns() const { return columns.size(); }
+};
+
+/// A corpus is modeled (like in the paper, Section 4) as a flat collection
+/// of individual columns.
+using Corpus = std::vector<Column>;
+
+/// Flattens tables into a corpus of columns.
+Corpus ToCorpus(const std::vector<Table>& tables);
+
+}  // namespace autotest::table
+
+#endif  // AUTOTEST_TABLE_TABLE_H_

@@ -1,0 +1,159 @@
+#include "typedet/cta_zoo.h"
+
+#include <cctype>
+
+#include "datagen/gazetteer.h"
+#include "util/check.h"
+#include "util/hashing.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace autotest::typedet {
+
+namespace {
+
+std::string TitleCase(const std::string& s) {
+  std::string out = s;
+  bool start = true;
+  for (char& c : out) {
+    if (start && std::isalpha(static_cast<unsigned char>(c))) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    start = (c == ' ' || c == '-');
+  }
+  return out;
+}
+
+// Collects negative examples: head values of other domains plus fresh
+// machine-generated values, so classifiers see both text and id shapes.
+std::vector<std::string> SampleNegatives(const std::string& own_domain,
+                                         size_t count, util::Rng* rng) {
+  const auto& gaz = datagen::Gazetteer::Instance();
+  std::vector<std::string> out;
+  out.reserve(count);
+  const auto& domains = gaz.domains();
+  while (out.size() < count) {
+    const datagen::Domain& d = domains[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(domains.size()) - 1))];
+    if (d.name == own_domain) continue;
+    std::string v = d.has_generator() && rng->Bernoulli(0.5)
+                        ? d.generator(*rng)
+                        : rng->Pick(d.head);
+    if (gaz.Contains(own_domain, v)) continue;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<CtaModelZoo> CtaModelZoo::Train(const CtaZooConfig& config) {
+  AT_CHECK(!config.type_names.empty());
+  auto zoo = std::unique_ptr<CtaModelZoo>(new CtaModelZoo(config));
+  zoo->models_.resize(config.type_names.size());
+
+  const auto& gaz = datagen::Gazetteer::Instance();
+  util::ParallelFor(config.type_names.size(), [&](size_t t) {
+    const std::string& type_name = config.type_names[t];
+    const datagen::Domain* domain = gaz.Find(type_name);
+    AT_CHECK_MSG(domain != nullptr, type_name.c_str());
+    util::Rng rng(config.seed ^ util::Fnv64(type_name));
+
+    // Positives: head values (with casing variants), oversampled to
+    // balance the negatives, plus tail values added once with low weight.
+    // Like a real pre-trained CTA model, the classifier is confident on
+    // common members and lukewarm on rare ones — the micro-level
+    // miscalibration of the paper's Example 2: rare valid values score in
+    // the middle, so naive per-value thresholds misflag them while SDCs'
+    // calibrated outer balls spare them.
+    std::vector<std::string> positives;
+    for (const auto& v : domain->head) {
+      positives.push_back(v);
+      positives.push_back(TitleCase(v));
+    }
+    if (domain->has_generator()) {
+      for (int i = 0; i < 150; ++i) positives.push_back(domain->generator(rng));
+    }
+    size_t neg_count =
+        std::max(config.negatives_per_type, positives.size());
+    std::vector<std::string> negatives =
+        SampleNegatives(type_name, neg_count, &rng);
+    // Balance the classes: small domains would otherwise be swamped by
+    // negatives and the classifier would underfit toward "no".
+    size_t base_positives = positives.size();
+    while (positives.size() < negatives.size()) {
+      positives.push_back(positives[positives.size() % base_positives]);
+    }
+    for (const auto& v : domain->tail) {
+      positives.push_back(v);  // once: rare values are weakly represented
+    }
+
+    std::vector<std::vector<float>> x;
+    std::vector<int> y;
+    x.reserve(positives.size() + negatives.size());
+    for (const auto& v : positives) {
+      x.push_back(zoo->extractor_.Extract(v));
+      y.push_back(1);
+    }
+    for (const auto& v : negatives) {
+      x.push_back(zoo->extractor_.Extract(v));
+      y.push_back(0);
+    }
+    ml::LogRegConfig train = config.train_config;
+    train.seed = config.seed ^ (t * 0x9e37ULL);
+    zoo->models_[t].Train(x, y, train);
+  });
+  return zoo;
+}
+
+double CtaModelZoo::Score(size_t type_index, const std::string& value) const {
+  AT_CHECK(type_index < models_.size());
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = score_cache_.find(value);
+    if (it != score_cache_.end()) {
+      return static_cast<double>(it->second[type_index]);
+    }
+  }
+  std::vector<float> features = extractor_.Extract(value);
+  std::vector<float> scores(models_.size());
+  for (size_t t = 0; t < models_.size(); ++t) {
+    scores[t] = static_cast<float>(models_[t].Predict(features));
+  }
+  double out = static_cast<double>(scores[type_index]);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (score_cache_.size() >= kMaxCacheEntries) score_cache_.clear();
+  score_cache_.emplace(value, std::move(scores));
+  return out;
+}
+
+std::unique_ptr<CtaModelZoo> TrainSherlockSim() {
+  const auto& gaz = datagen::Gazetteer::Instance();
+  std::vector<std::string> all =
+      gaz.DomainNames(datagen::DomainKind::kNaturalLanguage);
+  CtaZooConfig config;
+  config.name = "sherlock-sim";
+  // Sherlock covers fewer types than Doduo: take ~60% of the NL domains.
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i % 5 != 4 && i % 5 != 2) config.type_names.push_back(all[i]);
+  }
+  config.feature_config.hash_dim = 248;
+  config.feature_config.seed = 0x5e1;
+  config.train_config.epochs = 25;
+  config.seed = 0x5e1f00d;
+  return CtaModelZoo::Train(config);
+}
+
+std::unique_ptr<CtaModelZoo> TrainDoduoSim() {
+  const auto& gaz = datagen::Gazetteer::Instance();
+  CtaZooConfig config;
+  config.name = "doduo-sim";
+  config.type_names = gaz.DomainNames(datagen::DomainKind::kNaturalLanguage);
+  config.feature_config.hash_dim = 312;
+  config.feature_config.seed = 0xd0d;
+  config.train_config.epochs = 25;
+  config.seed = 0xd0d0f00d;
+  return CtaModelZoo::Train(config);
+}
+
+}  // namespace autotest::typedet

@@ -1,0 +1,73 @@
+#ifndef AUTOTEST_TYPEDET_CTA_ZOO_H_
+#define AUTOTEST_TYPEDET_CTA_ZOO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/features.h"
+#include "ml/logistic_regression.h"
+
+namespace autotest::typedet {
+
+/// Configuration of one CTA classifier zoo (a simulated Sherlock / Doduo).
+struct CtaZooConfig {
+  std::string name;  // "sherlock-sim" | "doduo-sim"
+  /// Gazetteer domain names to train one binary classifier for.
+  std::vector<std::string> type_names;
+  ml::FeatureConfig feature_config;
+  ml::LogRegConfig train_config;
+  /// Negative examples sampled per type (from other domains).
+  size_t negatives_per_type = 500;
+  uint64_t seed = 1;
+};
+
+/// A zoo of per-type binary classifiers (CTA as per the paper's Section 3:
+/// multi-class CTA viewed as one binary classifier per type). Classifiers
+/// are trained in-process on gazetteer *head* values, which reproduces the
+/// real-world miscalibration on rare values: a valid-but-uncommon member
+/// can score low even when the column-level (macro) prediction is right.
+class CtaModelZoo {
+ public:
+  /// Trains all classifiers (parallelized over types). Deterministic in
+  /// the config seed.
+  static std::unique_ptr<CtaModelZoo> Train(const CtaZooConfig& config);
+
+  /// P(value belongs to type) in [0, 1]. Scores for all types of a value
+  /// are computed on first use and memoized (feature extraction dominates
+  /// the cost and is shared across the zoo's types).
+  double Score(size_t type_index, const std::string& value) const;
+
+  const std::string& name() const { return config_.name; }
+  const std::vector<std::string>& type_names() const {
+    return config_.type_names;
+  }
+  size_t num_types() const { return config_.type_names.size(); }
+
+ private:
+  explicit CtaModelZoo(CtaZooConfig config)
+      : config_(std::move(config)), extractor_(config_.feature_config) {}
+
+  CtaZooConfig config_;
+  ml::FeatureExtractor extractor_;
+  std::vector<ml::LogisticRegression> models_;
+
+  // Per-value score cache (all types at once), bounded to keep memory flat
+  // across long benchmark sweeps.
+  static constexpr size_t kMaxCacheEntries = 2'000'000;
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::vector<float>> score_cache_;
+};
+
+/// The two built-in zoos. Sherlock-sim covers a subset of NL domains
+/// (Sherlock: 78 DBpedia types); Doduo-sim covers all NL domains with a
+/// different feature space (Doduo: 121 Freebase types).
+std::unique_ptr<CtaModelZoo> TrainSherlockSim();
+std::unique_ptr<CtaModelZoo> TrainDoduoSim();
+
+}  // namespace autotest::typedet
+
+#endif  // AUTOTEST_TYPEDET_CTA_ZOO_H_

@@ -1,0 +1,64 @@
+#ifndef AUTOTEST_TYPEDET_DOMAIN_EVAL_H_
+#define AUTOTEST_TYPEDET_DOMAIN_EVAL_H_
+
+#include <string>
+
+namespace autotest::typedet {
+
+/// The four column-type detection families the paper unifies (Section 3),
+/// plus the adversarial random-hash family used in the robustness study
+/// (Section 6.5).
+enum class Family {
+  kCta,
+  kEmbedding,
+  kPattern,
+  kFunction,
+  kHash,
+};
+
+const char* FamilyName(Family family);
+
+/// Domain-evaluation function (paper Definition 1): a distance between a
+/// candidate value and a semantic type. Smaller distance = more likely "in"
+/// the type's domain. Concrete subclasses adapt CTA classifiers (1 - score),
+/// embeddings (distance to a centroid), patterns (0/1 match), validation
+/// functions (0/1) and random hashes.
+class DomainEvalFunction {
+ public:
+  virtual ~DomainEvalFunction() = default;
+
+  /// Unique stable identifier, e.g. "cta:sherlock-sim:country" or
+  /// "emb:sbert-sim:seattle".
+  const std::string& id() const { return id_; }
+
+  Family family() const { return family_; }
+
+  /// Distance between the type represented by this function and `value`.
+  /// Must be deterministic and thread-safe.
+  virtual double Distance(const std::string& value) const = 0;
+
+  /// Smallest / largest distance this function can produce; the candidate
+  /// generator enumerates thresholds inside this range.
+  virtual double min_distance() const = 0;
+  virtual double max_distance() const = 0;
+
+  /// True if the function only emits {min_distance, max_distance} (pattern
+  /// and function families): the threshold grid degenerates to one cell.
+  virtual bool binary() const { return false; }
+
+  /// Human-readable description used in rule explanations, mirroring the
+  /// paper's Table 1 wording.
+  virtual std::string Describe() const = 0;
+
+ protected:
+  DomainEvalFunction(std::string id, Family family)
+      : id_(std::move(id)), family_(family) {}
+
+ private:
+  std::string id_;
+  Family family_;
+};
+
+}  // namespace autotest::typedet
+
+#endif  // AUTOTEST_TYPEDET_DOMAIN_EVAL_H_

@@ -1,0 +1,281 @@
+#include "typedet/eval_functions.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "pattern/miner.h"
+#include "table/column.h"
+#include "util/check.h"
+#include "util/hashing.h"
+#include "util/rng.h"
+
+namespace autotest::typedet {
+
+namespace {
+
+class CtaEval : public DomainEvalFunction {
+ public:
+  CtaEval(const CtaModelZoo* zoo, size_t type_index)
+      : DomainEvalFunction(
+            "cta:" + zoo->name() + ":" + zoo->type_names()[type_index],
+            Family::kCta),
+        zoo_(zoo),
+        type_index_(type_index) {}
+
+  double Distance(const std::string& value) const override {
+    // Paper Eq. 1: distance = 1 - classifier score.
+    return 1.0 - zoo_->Score(type_index_, value);
+  }
+  double min_distance() const override { return 0.0; }
+  double max_distance() const override { return 1.0; }
+
+  std::string Describe() const override {
+    return zoo_->name() + " " + zoo_->type_names()[type_index_] +
+           "-classifier score";
+  }
+
+ private:
+  const CtaModelZoo* zoo_;
+  size_t type_index_;
+};
+
+class EmbeddingEval : public DomainEvalFunction {
+ public:
+  EmbeddingEval(const embed::EmbeddingModel* model,
+                std::string centroid_value, embed::Vector centroid)
+      : DomainEvalFunction("emb:" + model->name() + ":" + centroid_value,
+                           Family::kEmbedding),
+        model_(model),
+        centroid_value_(std::move(centroid_value)),
+        centroid_(std::move(centroid)) {}
+
+  double Distance(const std::string& value) const override {
+    embed::Vector v;
+    if (!model_->EmbedCached(value, &v)) return model_->oov_distance();
+    return embed::EuclideanDistance(v, centroid_);
+  }
+  double min_distance() const override { return 0.0; }
+  double max_distance() const override { return model_->oov_distance(); }
+
+  std::string Describe() const override {
+    return model_->name() + " distance to \"" + centroid_value_ + "\"";
+  }
+
+ private:
+  const embed::EmbeddingModel* model_;
+  std::string centroid_value_;
+  embed::Vector centroid_;
+};
+
+class PatternEval : public DomainEvalFunction {
+ public:
+  explicit PatternEval(pattern::Pattern pattern)
+      : DomainEvalFunction("pat:" + pattern.ToString(), Family::kPattern),
+        pattern_(std::move(pattern)) {}
+
+  double Distance(const std::string& value) const override {
+    // Paper Eq. 3: match -> 0, non-match -> 1.
+    return pattern_.Matches(value) ? 0.0 : 1.0;
+  }
+  double min_distance() const override { return 0.0; }
+  double max_distance() const override { return 1.0; }
+  bool binary() const override { return true; }
+
+  std::string Describe() const override {
+    return "match pattern \"" + pattern_.ToString() + "\"";
+  }
+
+ private:
+  pattern::Pattern pattern_;
+};
+
+class FunctionEval : public DomainEvalFunction {
+ public:
+  explicit FunctionEval(NamedValidator validator)
+      : DomainEvalFunction("fun:" + validator.name, Family::kFunction),
+        validator_(validator) {}
+
+  double Distance(const std::string& value) const override {
+    // Paper Eq. 4: returns-true -> 0, returns-false -> 1.
+    return validator_.fn(value) ? 0.0 : 1.0;
+  }
+  double min_distance() const override { return 0.0; }
+  double max_distance() const override { return 1.0; }
+  bool binary() const override { return true; }
+
+  std::string Describe() const override {
+    return "function " + validator_.name + "() [" + validator_.library + "]";
+  }
+
+ private:
+  NamedValidator validator_;
+};
+
+class RandomHashEval : public DomainEvalFunction {
+ public:
+  explicit RandomHashEval(uint64_t seed)
+      : DomainEvalFunction("hash:" + std::to_string(seed), Family::kHash),
+        seed_(seed) {}
+
+  double Distance(const std::string& value) const override {
+    // A hash function maps every value to an arbitrary number in [0, 1]:
+    // it corresponds to no meaningful domain (paper Section 6.5).
+    return util::HashToUnitDouble(util::Fnv64Seeded(value, seed_));
+  }
+  double min_distance() const override { return 0.0; }
+  double max_distance() const override { return 1.0; }
+
+  std::string Describe() const override {
+    return "random hash #" + std::to_string(seed_);
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+// Samples centroid values from the corpus, occurrence-weighted like the
+// paper ("randomly sample 1000 values"): values common across many columns
+// (countries, months, cities) are proportionally more likely to become
+// centroids than one-off ids. Duplicates are skipped, and a value is kept
+// only if the model can embed it (an OOV centroid yields a constant
+// function).
+std::vector<std::string> SampleCentroids(const table::Corpus& corpus,
+                                         const embed::EmbeddingModel& model,
+                                         size_t count, uint64_t seed) {
+  std::vector<const std::string*> pool;
+  for (const auto& column : corpus) {
+    for (const auto& v : column.values) {
+      if (v.size() >= 2) pool.push_back(&v);
+    }
+  }
+  util::Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  embed::Vector tmp;
+  size_t attempts = 0;
+  const size_t max_attempts = pool.size() * 2 + 1000;
+  while (out.size() < count && attempts++ < max_attempts && !pool.empty()) {
+    const std::string& v = *pool[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+    if (!seen.insert(v).second) continue;
+    if (model.Embed(v, &tmp)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FamilyName(Family family) {
+  switch (family) {
+    case Family::kCta:
+      return "cta";
+    case Family::kEmbedding:
+      return "embedding";
+    case Family::kPattern:
+      return "pattern";
+    case Family::kFunction:
+      return "function";
+    case Family::kHash:
+      return "hash";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<DomainEvalFunction> MakeCtaEval(const CtaModelZoo* zoo,
+                                                size_t type_index) {
+  AT_CHECK(zoo != nullptr && type_index < zoo->num_types());
+  return std::make_unique<CtaEval>(zoo, type_index);
+}
+
+std::unique_ptr<DomainEvalFunction> MakeEmbeddingEval(
+    const embed::EmbeddingModel* model, const std::string& centroid_value) {
+  AT_CHECK(model != nullptr);
+  embed::Vector centroid;
+  AT_CHECK_MSG(model->Embed(centroid_value, &centroid),
+               "centroid value must be embeddable");
+  return std::make_unique<EmbeddingEval>(model, centroid_value,
+                                         std::move(centroid));
+}
+
+std::unique_ptr<DomainEvalFunction> MakePatternEval(
+    const pattern::Pattern& pattern) {
+  return std::make_unique<PatternEval>(pattern);
+}
+
+std::unique_ptr<DomainEvalFunction> MakeFunctionEval(
+    const NamedValidator& validator) {
+  return std::make_unique<FunctionEval>(validator);
+}
+
+std::unique_ptr<DomainEvalFunction> MakeRandomHashEval(uint64_t seed) {
+  return std::make_unique<RandomHashEval>(seed);
+}
+
+EvalFunctionSet EvalFunctionSet::Build(const table::Corpus& corpus,
+                                       const EvalFunctionSetOptions& options) {
+  EvalFunctionSet set;
+
+  if (options.include_cta) {
+    set.cta_zoos_.push_back(TrainSherlockSim());
+    set.cta_zoos_.push_back(TrainDoduoSim());
+    for (const auto& zoo : set.cta_zoos_) {
+      for (size_t t = 0; t < zoo->num_types(); ++t) {
+        set.functions_.push_back(MakeCtaEval(zoo.get(), t));
+      }
+    }
+  }
+
+  if (options.include_embedding) {
+    set.embedding_models_.push_back(embed::MakeGloveSim());
+    set.embedding_models_.push_back(embed::MakeSbertSim());
+    uint64_t seed = options.seed;
+    for (const auto& model : set.embedding_models_) {
+      auto centroids =
+          SampleCentroids(corpus, *model,
+                          options.embedding_centroids_per_model, seed++);
+      for (const auto& c : centroids) {
+        set.functions_.push_back(MakeEmbeddingEval(model.get(), c));
+      }
+    }
+  }
+
+  if (options.include_pattern) {
+    pattern::MinerOptions miner;
+    miner.max_patterns = options.max_patterns;
+    for (const auto& mined : pattern::MinePatterns(corpus, miner)) {
+      set.functions_.push_back(MakePatternEval(mined.pattern));
+    }
+  }
+
+  if (options.include_function) {
+    for (const auto& v : AllValidators()) {
+      set.functions_.push_back(MakeFunctionEval(v));
+    }
+  }
+
+  for (size_t i = 0; i < options.num_random_hash; ++i) {
+    set.functions_.push_back(
+        MakeRandomHashEval(options.seed ^ (0x1000 + i)));
+  }
+
+  return set;
+}
+
+void EvalFunctionSet::Add(std::unique_ptr<DomainEvalFunction> function) {
+  AT_CHECK(function != nullptr);
+  for (const auto& f : functions_) {
+    AT_CHECK_MSG(f->id() != function->id(), "duplicate eval function id");
+  }
+  functions_.push_back(std::move(function));
+}
+
+std::vector<const DomainEvalFunction*> EvalFunctionSet::FamilyFunctions(
+    Family family) const {
+  std::vector<const DomainEvalFunction*> out;
+  for (const auto& f : functions_) {
+    if (f->family() == family) out.push_back(f.get());
+  }
+  return out;
+}
+
+}  // namespace autotest::typedet

@@ -1,0 +1,453 @@
+#include "typedet/validators.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace autotest::typedet {
+
+namespace {
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+bool IsHex(char c) {
+  return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+// Parses a run of 1..max_len digits at *pos; returns -1 on failure.
+int ParseInt(std::string_view v, size_t* pos, size_t min_len,
+             size_t max_len) {
+  size_t start = *pos;
+  int out = 0;
+  while (*pos < v.size() && IsDigit(v[*pos]) && *pos - start < max_len) {
+    out = out * 10 + (v[*pos] - '0');
+    ++*pos;
+  }
+  size_t len = *pos - start;
+  if (len < min_len || len > max_len) return -1;
+  return out;
+}
+
+bool ConsumeChar(std::string_view v, size_t* pos, char c) {
+  if (*pos < v.size() && v[*pos] == c) {
+    ++*pos;
+    return true;
+  }
+  return false;
+}
+
+bool IsLeapYear(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+bool ValidYmd(int y, int m, int d) {
+  if (y < 1000 || y > 2200 || m < 1 || m > 12 || d < 1) return false;
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  int max_d = kDays[m - 1];
+  if (m == 2 && IsLeapYear(y)) max_d = 29;
+  return d <= max_d;
+}
+
+// m/d/yyyy with 1-2 digit month/day (also accepts yy years 2 digits).
+bool ParseMdy(std::string_view v) {
+  size_t pos = 0;
+  int m = ParseInt(v, &pos, 1, 2);
+  if (m < 0 || !ConsumeChar(v, &pos, '/')) return false;
+  int d = ParseInt(v, &pos, 1, 2);
+  if (d < 0 || !ConsumeChar(v, &pos, '/')) return false;
+  size_t year_start = pos;
+  int y = ParseInt(v, &pos, 2, 4);
+  if (y < 0 || pos != v.size()) return false;
+  size_t year_len = pos - year_start;
+  if (year_len == 2) y += (y < 50) ? 2000 : 1900;
+  if (year_len == 3) return false;
+  return ValidYmd(y, m, d);
+}
+
+// yyyy-mm-dd.
+bool ParseIso(std::string_view v) {
+  size_t pos = 0;
+  int y = ParseInt(v, &pos, 4, 4);
+  if (y < 0 || !ConsumeChar(v, &pos, '-')) return false;
+  int m = ParseInt(v, &pos, 1, 2);
+  if (m < 0 || !ConsumeChar(v, &pos, '-')) return false;
+  int d = ParseInt(v, &pos, 1, 2);
+  if (d < 0 || pos != v.size()) return false;
+  return ValidYmd(y, m, d);
+}
+
+bool ParseTimeAt(std::string_view v, size_t* pos) {
+  int h = ParseInt(v, pos, 1, 2);
+  if (h < 0 || h > 23 || !ConsumeChar(v, pos, ':')) return false;
+  int m = ParseInt(v, pos, 2, 2);
+  if (m < 0 || m > 59) return false;
+  if (*pos < v.size() && v[*pos] == ':') {
+    ++*pos;
+    int s = ParseInt(v, pos, 2, 2);
+    if (s < 0 || s > 59) return false;
+  }
+  return true;
+}
+
+bool AllDigits(std::string_view v) {
+  if (v.empty()) return false;
+  for (char c : v) {
+    if (!IsDigit(c)) return false;
+  }
+  return true;
+}
+
+bool LuhnValid(std::string_view digits) {
+  int sum = 0;
+  bool dbl = false;
+  for (size_t i = digits.size(); i > 0; --i) {
+    int d = digits[i - 1] - '0';
+    if (dbl) {
+      d *= 2;
+      if (d > 9) d -= 9;
+    }
+    sum += d;
+    dbl = !dbl;
+  }
+  return sum % 10 == 0;
+}
+
+bool ValidHostname(std::string_view host) {
+  if (host.empty() || host.size() > 253) return false;
+  auto labels = util::Split(std::string(host), '.');
+  if (labels.size() < 2) return false;
+  for (const auto& label : labels) {
+    if (label.empty() || label.size() > 63) return false;
+    for (char c : label) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') {
+        return false;
+      }
+    }
+    if (label.front() == '-' || label.back() == '-') return false;
+  }
+  // TLD must be alphabetic, 2..12 chars.
+  const auto& tld = labels.back();
+  if (tld.size() < 2 || tld.size() > 12) return false;
+  for (char c : tld) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidateDate(std::string_view v) {
+  v = util::Trim(v);
+  if (v.empty()) return false;
+  return ParseMdy(v) || ParseIso(v);
+}
+
+bool ValidateTime(std::string_view v) {
+  v = util::Trim(v);
+  size_t pos = 0;
+  return !v.empty() && ParseTimeAt(v, &pos) && pos == v.size();
+}
+
+bool ValidateDateTime(std::string_view v) {
+  v = util::Trim(v);
+  size_t space = v.find(' ');
+  if (space == std::string_view::npos) return false;
+  std::string_view date = v.substr(0, space);
+  std::string_view time = v.substr(space + 1);
+  size_t pos = 0;
+  return ValidateDate(date) && !time.empty() && ParseTimeAt(time, &pos) &&
+         pos == time.size();
+}
+
+bool ValidateUrl(std::string_view v) {
+  v = util::Trim(v);
+  size_t host_start = 0;
+  if (util::StartsWith(v, "https://")) {
+    host_start = 8;
+  } else if (util::StartsWith(v, "http://")) {
+    host_start = 7;
+  } else {
+    return false;
+  }
+  std::string_view rest = v.substr(host_start);
+  if (rest.empty()) return false;
+  size_t slash = rest.find('/');
+  std::string_view host =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  if (!ValidHostname(host)) return false;
+  // Path: printable, no spaces.
+  if (slash != std::string_view::npos) {
+    for (char c : rest.substr(slash)) {
+      if (c == ' ' || !std::isprint(static_cast<unsigned char>(c))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ValidateEmail(std::string_view v) {
+  v = util::Trim(v);
+  size_t at = v.find('@');
+  if (at == std::string_view::npos || at == 0) return false;
+  if (v.find('@', at + 1) != std::string_view::npos) return false;
+  std::string_view local = v.substr(0, at);
+  std::string_view domain = v.substr(at + 1);
+  for (char c : local) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '_' && c != '-' && c != '+') {
+      return false;
+    }
+  }
+  return ValidHostname(domain);
+}
+
+bool ValidateIpv4(std::string_view v) {
+  v = util::Trim(v);
+  auto parts = util::Split(std::string(v), '.');
+  if (parts.size() != 4) return false;
+  for (const auto& p : parts) {
+    if (!AllDigits(p) || p.size() > 3) return false;
+    if (p.size() > 1 && p[0] == '0') return false;  // no leading zeros
+    int x = std::stoi(p);
+    if (x < 0 || x > 255) return false;
+  }
+  return true;
+}
+
+bool ValidateUuid(std::string_view v) {
+  v = util::Trim(v);
+  if (v.size() != 36) return false;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (v[i] != '-') return false;
+    } else if (!IsHex(v[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidateCreditCard(std::string_view v) {
+  v = util::Trim(v);
+  std::string digits;
+  for (char c : v) {
+    if (IsDigit(c)) {
+      digits.push_back(c);
+    } else if (c != ' ' && c != '-') {
+      return false;
+    }
+  }
+  if (digits.size() < 13 || digits.size() > 19) return false;
+  return LuhnValid(digits);
+}
+
+bool ValidateUpc(std::string_view v) {
+  v = util::Trim(v);
+  if (v.size() != 12 || !AllDigits(v)) return false;
+  int odd = 0;
+  int even = 0;
+  for (size_t i = 0; i + 1 < v.size(); ++i) {
+    if (i % 2 == 0) {
+      odd += v[i] - '0';
+    } else {
+      even += v[i] - '0';
+    }
+  }
+  int check = (10 - (odd * 3 + even) % 10) % 10;
+  return v.back() - '0' == check;
+}
+
+bool ValidateIsbn13(std::string_view v) {
+  v = util::Trim(v);
+  if (v.size() != 13 || !AllDigits(v)) return false;
+  if (!util::StartsWith(v, "978") && !util::StartsWith(v, "979")) {
+    return false;
+  }
+  int sum = 0;
+  for (size_t i = 0; i < 12; ++i) {
+    int d = v[i] - '0';
+    sum += (i % 2 == 0) ? d : 3 * d;
+  }
+  int check = (10 - sum % 10) % 10;
+  return v.back() - '0' == check;
+}
+
+bool ValidatePhoneUs(std::string_view v) {
+  v = util::Trim(v);
+  // Accepted: ddd-ddd-dddd, (ddd) ddd-dddd, ddd.ddd.dddd, 10 digits.
+  std::string digits;
+  size_t i = 0;
+  bool paren = false;
+  if (i < v.size() && v[i] == '(') {
+    paren = true;
+    ++i;
+  }
+  for (; i < v.size(); ++i) {
+    char c = v[i];
+    if (IsDigit(c)) {
+      digits.push_back(c);
+    } else if (c == ')' && paren && digits.size() == 3) {
+      paren = false;
+    } else if ((c == '-' || c == '.' || c == ' ') &&
+               (digits.size() == 3 || digits.size() == 6)) {
+      // separator at a group boundary
+    } else {
+      return false;
+    }
+  }
+  if (paren) return false;
+  return digits.size() == 10 && digits[0] >= '2';
+}
+
+bool ValidatePercent(std::string_view v) {
+  v = util::Trim(v);
+  if (v.size() < 2 || v.back() != '%') return false;
+  std::string_view num = v.substr(0, v.size() - 1);
+  size_t i = 0;
+  if (num[i] == '+' || num[i] == '-') ++i;
+  bool digits = false;
+  bool dot = false;
+  for (; i < num.size(); ++i) {
+    if (IsDigit(num[i])) {
+      digits = true;
+    } else if (num[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+bool ValidateHexColor(std::string_view v) {
+  v = util::Trim(v);
+  if (v.size() != 7 && v.size() != 4) return false;
+  if (v[0] != '#') return false;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (!IsHex(v[i])) return false;
+  }
+  return true;
+}
+
+bool ValidateMacAddress(std::string_view v) {
+  v = util::Trim(v);
+  if (v.size() != 17) return false;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i % 3 == 2) {
+      if (v[i] != ':' && v[i] != '-') return false;
+    } else if (!IsHex(v[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidateWebDomain(std::string_view v) {
+  v = util::Trim(v);
+  if (v.find("://") != std::string_view::npos) return false;
+  if (v.find('/') != std::string_view::npos) return false;
+  return ValidHostname(v);
+}
+
+bool ValidateIban(std::string_view v) {
+  v = util::Trim(v);
+  // Strip spaces (pretty-printed IBANs group digits in fours).
+  std::string compact;
+  for (char c : v) {
+    if (c == ' ') continue;
+    compact.push_back(c);
+  }
+  if (compact.size() < 15 || compact.size() > 34) return false;
+  for (size_t i = 0; i < 2; ++i) {
+    if (!std::isupper(static_cast<unsigned char>(compact[i]))) return false;
+  }
+  if (!IsDigit(compact[2]) || !IsDigit(compact[3])) return false;
+  // ISO 7064 mod-97: move the first four chars to the end, map letters to
+  // numbers (A=10..Z=35), and the remainder must be 1.
+  std::string rearranged = compact.substr(4) + compact.substr(0, 4);
+  int rem = 0;
+  for (char c : rearranged) {
+    if (IsDigit(c)) {
+      rem = (rem * 10 + (c - '0')) % 97;
+    } else if (std::isupper(static_cast<unsigned char>(c))) {
+      rem = (rem * 100 + (c - 'A' + 10)) % 97;
+    } else {
+      return false;
+    }
+  }
+  return rem == 1;
+}
+
+bool ValidateVersion(std::string_view v) {
+  v = util::Trim(v);
+  size_t i = 0;
+  if (i < v.size() && (v[i] == 'v' || v[i] == 'V')) ++i;
+  int parts = 0;
+  while (parts < 4) {
+    size_t start = i;
+    while (i < v.size() && IsDigit(v[i])) ++i;
+    if (i == start) return false;
+    ++parts;
+    if (i == v.size()) return parts >= 2;
+    if (v[i] != '.') return false;
+    ++i;
+  }
+  return false;
+}
+
+bool ValidateLatLon(std::string_view v) {
+  v = util::Trim(v);
+  size_t comma = v.find(',');
+  if (comma == std::string_view::npos) return false;
+  auto parse = [](std::string_view s, double lo, double hi) {
+    s = util::Trim(s);
+    if (s.empty()) return false;
+    size_t i = 0;
+    if (s[i] == '+' || s[i] == '-') ++i;
+    bool digits = false;
+    bool dot = false;
+    for (; i < s.size(); ++i) {
+      if (IsDigit(s[i])) {
+        digits = true;
+      } else if (s[i] == '.' && !dot) {
+        dot = true;
+      } else {
+        return false;
+      }
+    }
+    if (!digits) return false;
+    double x = std::strtod(std::string(s).c_str(), nullptr);
+    return x >= lo && x <= hi;
+  };
+  return parse(v.substr(0, comma), -90.0, 90.0) &&
+         parse(v.substr(comma + 1), -180.0, 180.0);
+}
+
+const std::vector<NamedValidator>& AllValidators() {
+  static const auto& validators = *new std::vector<NamedValidator>{
+      {"validate_date", "dataprep-sim", &ValidateDate},
+      {"validate_time", "dataprep-sim", &ValidateTime},
+      {"validate_datetime", "dataprep-sim", &ValidateDateTime},
+      {"validate_url", "dataprep-sim", &ValidateUrl},
+      {"validate_email", "dataprep-sim", &ValidateEmail},
+      {"validate_phone_us", "dataprep-sim", &ValidatePhoneUs},
+      {"validate_percent", "dataprep-sim", &ValidatePercent},
+      {"validate_web_domain", "dataprep-sim", &ValidateWebDomain},
+      {"validate_ipv4", "validators-sim", &ValidateIpv4},
+      {"validate_uuid", "validators-sim", &ValidateUuid},
+      {"validate_credit_card", "validators-sim", &ValidateCreditCard},
+      {"validate_upc", "validators-sim", &ValidateUpc},
+      {"validate_isbn13", "validators-sim", &ValidateIsbn13},
+      {"validate_hex_color", "validators-sim", &ValidateHexColor},
+      {"validate_mac_address", "validators-sim", &ValidateMacAddress},
+      {"validate_iban", "validators-sim", &ValidateIban},
+      {"validate_version", "dataprep-sim", &ValidateVersion},
+      {"validate_lat_lon", "dataprep-sim", &ValidateLatLon},
+  };
+  return validators;
+}
+
+}  // namespace autotest::typedet

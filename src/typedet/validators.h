@@ -1,0 +1,47 @@
+#ifndef AUTOTEST_TYPEDET_VALIDATORS_H_
+#define AUTOTEST_TYPEDET_VALIDATORS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autotest::typedet {
+
+/// Validation functions for rich semantic types (paper Section 3, category
+/// 4) — our stand-ins for the DataPrep / Validators libraries. Each returns
+/// true iff the value is a well-formed member of the type, including
+/// check-digit and calendar validation where applicable.
+
+bool ValidateDate(std::string_view v);       // m/d/yyyy or yyyy-mm-dd
+bool ValidateTime(std::string_view v);       // HH:MM or HH:MM:SS (24h)
+bool ValidateDateTime(std::string_view v);   // yyyy-mm-dd HH:MM:SS
+bool ValidateUrl(std::string_view v);        // scheme://host/path
+bool ValidateEmail(std::string_view v);
+bool ValidateIpv4(std::string_view v);
+bool ValidateUuid(std::string_view v);
+bool ValidateCreditCard(std::string_view v);  // 13-19 digits + Luhn
+bool ValidateUpc(std::string_view v);         // 12 digits + check digit
+bool ValidateIsbn13(std::string_view v);
+bool ValidatePhoneUs(std::string_view v);     // ddd-ddd-dddd etc.
+bool ValidatePercent(std::string_view v);     // number + %
+bool ValidateHexColor(std::string_view v);    // #rrggbb
+bool ValidateMacAddress(std::string_view v);
+bool ValidateWebDomain(std::string_view v);   // host.tld
+bool ValidateIban(std::string_view v);        // ISO 13616 + mod-97 check
+bool ValidateVersion(std::string_view v);     // v?1.2[.3]
+bool ValidateLatLon(std::string_view v);      // "44.98,-93.27"
+
+/// A named validator, grouped by the library it simulates ("dataprep-sim"
+/// or "validators-sim").
+struct NamedValidator {
+  std::string name;     // e.g. "validate_date"
+  std::string library;  // "dataprep-sim" | "validators-sim"
+  bool (*fn)(std::string_view);
+};
+
+/// All validators (the paper uses 8 functions; we ship 15).
+const std::vector<NamedValidator>& AllValidators();
+
+}  // namespace autotest::typedet
+
+#endif  // AUTOTEST_TYPEDET_VALIDATORS_H_

@@ -1,0 +1,28 @@
+#ifndef AUTOTEST_UTIL_CHECK_H_
+#define AUTOTEST_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight CHECK macros for programmer errors. The library does not use
+// exceptions; invariant violations abort with a source location.
+
+#define AT_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AT_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define AT_CHECK_MSG(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AT_CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, (msg));                                  \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // AUTOTEST_UTIL_CHECK_H_

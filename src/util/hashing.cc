@@ -1,0 +1,30 @@
+#include "util/hashing.h"
+
+namespace autotest::util {
+
+uint64_t Fnv64(std::string_view s) { return Fnv64Seeded(s, 0); }
+
+uint64_t Fnv64Seeded(std::string_view s, uint64_t seed) {
+  uint64_t h = 14695981039346656037ULL ^ SplitMix64(seed);
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double HashToUnitDouble(uint64_t h) {
+  // Finalize first: FNV of short strings perturbs mostly the low bits, and
+  // the top 53 bits feed the double.
+  h = SplitMix64(h);
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace autotest::util

@@ -1,0 +1,23 @@
+#ifndef AUTOTEST_UTIL_HASHING_H_
+#define AUTOTEST_UTIL_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace autotest::util {
+
+/// FNV-1a 64-bit hash.
+uint64_t Fnv64(std::string_view s);
+
+/// FNV-1a seeded variant (mix the seed into the initial state).
+uint64_t Fnv64Seeded(std::string_view s, uint64_t seed);
+
+/// SplitMix64 finalizer — turns any 64-bit value into a well-mixed one.
+uint64_t SplitMix64(uint64_t x);
+
+/// Maps a 64-bit hash to a double in [0, 1).
+double HashToUnitDouble(uint64_t h);
+
+}  // namespace autotest::util
+
+#endif  // AUTOTEST_UTIL_HASHING_H_

@@ -1,0 +1,22 @@
+#include "util/rng.h"
+
+namespace autotest::util {
+
+size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  AT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    AT_CHECK(w >= 0.0);
+    total += w;
+  }
+  AT_CHECK(total > 0.0);
+  double x = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace autotest::util

@@ -1,0 +1,79 @@
+#ifndef AUTOTEST_UTIL_RNG_H_
+#define AUTOTEST_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace autotest::util {
+
+/// Deterministic random number generator used by every stochastic component
+/// (data generators, SGD, randomized rounding). All experiments take explicit
+/// seeds so results are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    AT_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal sample.
+  double Gaussian() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    AT_CHECK(!items.empty());
+    return items[static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples an index according to non-negative weights (at least one > 0).
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  /// Derives a child RNG; children with different tags are independent.
+  Rng Fork(uint64_t tag) {
+    uint64_t s = engine_();
+    return Rng(s ^ (tag * 0x9e3779b97f4a7c15ULL));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace autotest::util
+
+#endif  // AUTOTEST_UTIL_RNG_H_

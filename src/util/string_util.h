@@ -1,0 +1,46 @@
+#ifndef AUTOTEST_UTIL_STRING_UTIL_H_
+#define AUTOTEST_UTIL_STRING_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autotest::util {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True if every character is an ASCII digit (and s is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// True if every character is an ASCII letter (and s is non-empty).
+bool IsAllAlpha(std::string_view s);
+
+/// Fraction of characters that are digits (0 for empty strings).
+double DigitRatio(std::string_view s);
+
+/// Fraction of characters that are ASCII letters (0 for empty strings).
+double AlphaRatio(std::string_view s);
+
+/// Levenshtein edit distance; O(|a|*|b|).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// True if s starts with the given prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if s ends with the given suffix.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace autotest::util
+
+#endif  // AUTOTEST_UTIL_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace autotest::util {
+
+size_t DefaultThreadCount() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (size_t t = 0; t + 1 < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace autotest::util

@@ -1,0 +1,25 @@
+#ifndef AUTOTEST_UTIL_THREAD_POOL_H_
+#define AUTOTEST_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace autotest::util {
+
+/// Runs fn(i) for every i in [0, n) on up to num_threads workers.
+/// Work is handed out via an atomic counter so long items balance naturally.
+/// The call blocks until all items are done. fn must be thread-safe with
+/// respect to distinct indices; results should be written to per-index slots
+/// so the overall computation stays deterministic.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+/// Default worker count: hardware_concurrency, at least 1.
+size_t DefaultThreadCount();
+
+}  // namespace autotest::util
+
+#endif  // AUTOTEST_UTIL_THREAD_POOL_H_

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datagen/bench_gen.h"
+#include "datagen/cleaning_bench.h"
+#include "datagen/column_gen.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/error_injector.h"
+#include "datagen/gazetteer.h"
+#include "table/column.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace autotest::datagen {
+namespace {
+
+TEST(GazetteerTest, HasBothKinds) {
+  const Gazetteer& g = Gazetteer::Instance();
+  EXPECT_GE(g.DomainNames(DomainKind::kNaturalLanguage).size(), 20u);
+  EXPECT_GE(g.DomainNames(DomainKind::kMachineGenerated).size(), 20u);
+}
+
+TEST(GazetteerTest, LookupByName) {
+  const Gazetteer& g = Gazetteer::Instance();
+  const Domain* country = g.Find("country");
+  ASSERT_NE(country, nullptr);
+  EXPECT_GE(country->head.size(), 80u);
+  EXPECT_GE(country->tail.size(), 20u);
+  EXPECT_EQ(g.Find("nonexistent_domain"), nullptr);
+}
+
+TEST(GazetteerTest, ContainsHeadAndTail) {
+  const Gazetteer& g = Gazetteer::Instance();
+  EXPECT_TRUE(g.Contains("country", "germany"));
+  EXPECT_TRUE(g.Contains("country", "Germany"));        // case-insensitive
+  EXPECT_TRUE(g.Contains("country", "liechtenstein"));  // tail member
+  EXPECT_FALSE(g.Contains("country", "liechstein"));    // typo
+  EXPECT_FALSE(g.Contains("country", "seattle"));
+}
+
+TEST(GazetteerTest, MembershipsOnlyForNlDomains) {
+  const Gazetteer& g = Gazetteer::Instance();
+  const auto* m = g.Lookup("germany");
+  ASSERT_NE(m, nullptr);
+  bool in_country = false;
+  for (const auto& mem : *m) {
+    if (g.domains()[mem.domain_index].name == "country") {
+      in_country = true;
+      EXPECT_EQ(mem.tier, Tier::kHead);
+    }
+  }
+  EXPECT_TRUE(in_country);
+  // Machine-generated ids are not "known" to the membership map.
+  const Domain* movie = g.Find("movie_id");
+  ASSERT_NE(movie, nullptr);
+  EXPECT_EQ(g.Lookup(movie->head.front()), nullptr);
+}
+
+TEST(GazetteerTest, TailTierRecorded) {
+  const Gazetteer& g = Gazetteer::Instance();
+  const auto* m = g.Lookup("omayra");
+  ASSERT_NE(m, nullptr);
+  bool tail_name = false;
+  for (const auto& mem : *m) {
+    if (g.domains()[mem.domain_index].name == "first_name" &&
+        mem.tier == Tier::kTail) {
+      tail_name = true;
+    }
+  }
+  EXPECT_TRUE(tail_name);
+}
+
+TEST(GazetteerTest, GeneratorsProduceFreshValidValues) {
+  const Gazetteer& g = Gazetteer::Instance();
+  util::Rng rng(5);
+  for (const char* name : {"date_mdy", "url", "email", "ipv4", "uuid",
+                           "credit_card", "movie_id", "gene"}) {
+    const Domain* d = g.Find(name);
+    ASSERT_NE(d, nullptr) << name;
+    ASSERT_TRUE(d->has_generator()) << name;
+    std::set<std::string> vals;
+    for (int i = 0; i < 50; ++i) vals.insert(d->generator(rng));
+    EXPECT_GE(vals.size(), 30u) << name;  // mostly distinct
+  }
+}
+
+TEST(ColumnGenTest, NlColumnDrawsFromDomain) {
+  const Gazetteer& g = Gazetteer::Instance();
+  const Domain* d = g.Find("month");
+  util::Rng rng(1);
+  ColumnGenOptions opt;
+  opt.min_values = 30;
+  opt.max_values = 30;
+  table::Column col = GenerateColumn(*d, opt, rng);
+  EXPECT_EQ(col.values.size(), 30u);
+  for (const auto& v : col.values) {
+    EXPECT_TRUE(g.Contains("month", v)) << v;
+  }
+}
+
+TEST(ColumnGenTest, TailFractionControlsRareValues) {
+  const Gazetteer& g = Gazetteer::Instance();
+  const Domain* d = g.Find("first_name");
+  util::Rng rng(2);
+  ColumnGenOptions opt;
+  opt.min_values = 200;
+  opt.max_values = 200;
+  opt.tail_fraction = 0.0;
+  table::Column col = GenerateColumn(*d, opt, rng);
+  for (const auto& v : col.values) {
+    bool in_tail = false;
+    for (const auto& t : d->tail) {
+      if (t == v) in_tail = true;
+    }
+    EXPECT_FALSE(in_tail) << v;
+  }
+}
+
+TEST(ColumnGenTest, MachineColumnHighDistinct) {
+  const Gazetteer& g = Gazetteer::Instance();
+  util::Rng rng(3);
+  ColumnGenOptions opt;
+  opt.min_values = 100;
+  opt.max_values = 100;
+  table::Column col = GenerateColumn(*g.Find("uuid"), opt, rng);
+  table::DistinctValues d = table::Distinct(col);
+  EXPECT_GE(d.values.size(), 80u);
+}
+
+TEST(ErrorInjectorTest, TypoDiffersAndClose) {
+  util::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    std::string t = MakeTypo("february", rng);
+    EXPECT_NE(t, "february");
+    EXPECT_LE(util::EditDistance(t, "february"), 2u);
+  }
+}
+
+TEST(ErrorInjectorTest, IncompatibleNotInOwnDomain) {
+  const Gazetteer& g = Gazetteer::Instance();
+  util::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    std::string v = MakeIncompatible(g, "month", rng);
+    EXPECT_FALSE(g.Contains("month", v)) << v;
+  }
+}
+
+TEST(ErrorInjectorTest, InjectErrorRecordsGroundTruth) {
+  const Gazetteer& g = Gazetteer::Instance();
+  util::Rng rng(4);
+  table::Column col;
+  col.values = {"january", "february", "march", "april"};
+  auto err = InjectError(&col, ErrorType::kPlaceholder, g, "month", rng);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(col.values[err->row], err->corrupted);
+  EXPECT_NE(err->corrupted, err->original);
+}
+
+TEST(ErrorInjectorTest, EmptyColumnRejected) {
+  const Gazetteer& g = Gazetteer::Instance();
+  util::Rng rng(4);
+  table::Column col;
+  EXPECT_FALSE(
+      InjectError(&col, ErrorType::kTypo, g, "month", rng).has_value());
+}
+
+TEST(CorpusGenTest, ProfilesShapeTheCorpus) {
+  auto rel = GenerateCorpus(RelationalTablesProfile(200, 1));
+  auto spr = GenerateCorpus(SpreadsheetTablesProfile(200, 2));
+  ASSERT_EQ(rel.size(), 200u);
+  ASSERT_EQ(spr.size(), 200u);
+  double rel_len = 0;
+  double spr_len = 0;
+  for (const auto& c : rel) rel_len += static_cast<double>(c.values.size());
+  for (const auto& c : spr) spr_len += static_cast<double>(c.values.size());
+  // Relational columns are much longer on average (paper Table 3).
+  EXPECT_GT(rel_len / 200.0, 2.0 * spr_len / 200.0);
+}
+
+TEST(CorpusGenTest, Deterministic) {
+  auto a = GenerateCorpus(TablibProfile(50, 7));
+  auto b = GenerateCorpus(TablibProfile(50, 7));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values, b[i].values);
+  }
+}
+
+TEST(BenchGenTest, DirtyRateApproximatelyRespected) {
+  auto bench = GenerateBenchmark(StBenchProfile(1200, 101));
+  EXPECT_EQ(bench.columns.size(), 1200u);
+  size_t dirty = bench.DirtyColumns();
+  // 3.9% of 1200 = ~47; allow generous slack for Bernoulli noise.
+  EXPECT_GE(dirty, 25u);
+  EXPECT_LE(dirty, 75u);
+  EXPECT_GE(bench.TotalErrors(), dirty);
+}
+
+TEST(BenchGenTest, ErrorRowsPointAtCorruptedCells) {
+  auto bench = GenerateBenchmark(RtBenchProfile(300, 9));
+  const Gazetteer& g = Gazetteer::Instance();
+  for (const auto& lc : bench.columns) {
+    for (size_t row : lc.error_rows) {
+      ASSERT_LT(row, lc.column.values.size());
+      // The corrupted cell must not be a valid member of the column domain.
+      EXPECT_FALSE(g.Contains(lc.domain, lc.column.values[row]))
+          << lc.domain << " / " << lc.column.values[row];
+    }
+  }
+}
+
+TEST(BenchGenTest, NoNumericColumns) {
+  auto bench = GenerateBenchmark(StBenchProfile(400, 11));
+  for (const auto& lc : bench.columns) {
+    EXPECT_FALSE(table::IsMostlyNumeric(lc.column)) << lc.domain;
+  }
+}
+
+TEST(BenchGenTest, SyntheticInjectionAddsLabeledErrors) {
+  auto bench = GenerateBenchmark(StBenchProfile(400, 12));
+  auto noisy = WithSyntheticErrors(bench, 0.2, 55);
+  EXPECT_GT(noisy.TotalErrors(), bench.TotalErrors());
+  // Injection shifts rows correctly: every labeled row stays in range.
+  for (const auto& lc : noisy.columns) {
+    for (size_t row : lc.error_rows) {
+      ASSERT_LT(row, lc.column.values.size());
+    }
+  }
+}
+
+TEST(BenchGenTest, SyntheticInjectionPreservesOriginalLabels) {
+  auto bench = GenerateBenchmark(StBenchProfile(200, 13));
+  auto noisy = WithSyntheticErrors(bench, 1.0, 56);
+  const Gazetteer& g = Gazetteer::Instance();
+  for (const auto& lc : noisy.columns) {
+    for (size_t row : lc.error_rows) {
+      EXPECT_FALSE(g.Contains(lc.domain, lc.column.values[row]));
+    }
+  }
+}
+
+TEST(CleaningBenchTest, AllNineDatasets) {
+  auto datasets = BuildCleaningDatasets();
+  ASSERT_EQ(datasets.size(), 9u);
+  std::set<std::string> names;
+  for (const auto& d : datasets) names.insert(d.name);
+  for (const char* expected : {"adults", "beers", "flights", "food",
+                               "hospital", "movies", "rayyan", "soccer",
+                               "tax"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(CleaningBenchTest, ErrorsAppliedToCells) {
+  auto datasets = BuildCleaningDatasets();
+  for (const auto& d : datasets) {
+    for (const auto& e : d.errors) {
+      ASSERT_LT(e.column_index, d.data.columns.size());
+      ASSERT_LT(e.row, d.data.columns[e.column_index].values.size());
+      EXPECT_EQ(d.data.columns[e.column_index].values[e.row], e.dirty_value);
+      EXPECT_NE(e.dirty_value, e.clean_value);
+    }
+  }
+}
+
+TEST(CleaningBenchTest, MoviesHasManyIdErrors) {
+  auto datasets = BuildCleaningDatasets();
+  const CleaningDataset* movies = nullptr;
+  for (const auto& d : datasets) {
+    if (d.name == "movies") movies = &d;
+  }
+  ASSERT_NE(movies, nullptr);
+  EXPECT_GE(movies->errors.size(), 12u);
+}
+
+TEST(CleaningBenchTest, SomeErrorsMissingFromGroundTruth) {
+  auto datasets = BuildCleaningDatasets();
+  size_t missed = 0;
+  for (const auto& d : datasets) {
+    for (const auto& e : d.errors) {
+      if (!e.in_ground_truth) ++missed;
+    }
+  }
+  EXPECT_GE(missed, 3u);  // the paper's Table-11 phenomenon
+}
+
+}  // namespace
+}  // namespace autotest::datagen

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "datagen/bench_gen.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+
+namespace autotest::eval {
+namespace {
+
+ScoredPrediction Pred(double score, bool correct) {
+  ScoredPrediction p;
+  p.score = score;
+  p.is_true_error = correct;
+  return p;
+}
+
+TEST(MetricsTest, PerfectDetector) {
+  std::vector<ScoredPrediction> preds = {Pred(0.9, true), Pred(0.8, true)};
+  PrCurve c = ComputePrCurve(preds, 2);
+  EXPECT_NEAR(c.auc, 1.0, 1e-9);
+  EXPECT_NEAR(F1AtPrecision(c, 0.8), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, AllWrongDetector) {
+  std::vector<ScoredPrediction> preds = {Pred(0.9, false), Pred(0.8, false)};
+  PrCurve c = ComputePrCurve(preds, 5);
+  EXPECT_DOUBLE_EQ(c.auc, 0.0);
+  EXPECT_DOUBLE_EQ(F1AtPrecision(c), 0.0);
+}
+
+TEST(MetricsTest, MixedCurveShape) {
+  // hit, miss, hit with 4 total true errors.
+  std::vector<ScoredPrediction> preds = {Pred(0.9, true), Pred(0.8, false),
+                                         Pred(0.7, true)};
+  PrCurve c = ComputePrCurve(preds, 4);
+  ASSERT_EQ(c.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.points[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(c.points[0].recall, 0.25);
+  EXPECT_DOUBLE_EQ(c.points[1].precision, 0.5);
+  EXPECT_DOUBLE_EQ(c.points[2].precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.points[2].recall, 0.5);
+  // AUC = 0.25*1.0 + 0*0.5 + 0.25*(2/3).
+  EXPECT_NEAR(c.auc, 0.25 + 0.25 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, TiesProcessedTogether) {
+  // Flat scores (like the LLM baseline) collapse to one operating point.
+  std::vector<ScoredPrediction> preds = {Pred(1.0, true), Pred(1.0, false),
+                                         Pred(1.0, true)};
+  PrCurve c = ComputePrCurve(preds, 3);
+  ASSERT_EQ(c.points.size(), 1u);
+  EXPECT_NEAR(c.points[0].precision, 2.0 / 3.0, 1e-9);
+  // Precision 0.67 < 0.8 -> F1@P=0.8 is 0, matching the paper's GPT rows.
+  EXPECT_DOUBLE_EQ(F1AtPrecision(c, 0.8), 0.0);
+}
+
+TEST(MetricsTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(ComputePrCurve({}, 10).auc, 0.0);
+  EXPECT_DOUBLE_EQ(ComputePrCurve({Pred(1, true)}, 0).auc, 0.0);
+}
+
+TEST(MetricsTest, PrecisionRecallFixedSet) {
+  std::vector<ScoredPrediction> preds = {Pred(1, true), Pred(1, false),
+                                         Pred(1, true), Pred(1, true)};
+  PrecisionRecall pr = ComputePrecisionRecall(preds, 6);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.75);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+  EXPECT_EQ(pr.true_positives, 3u);
+}
+
+// A detector that flags exactly the labeled errors (cheats via closure).
+class OracleDetector : public ErrorDetector {
+ public:
+  explicit OracleDetector(const datagen::LabeledBenchmark* bench)
+      : bench_(bench) {}
+  std::string name() const override { return "oracle"; }
+  std::vector<ScoredCell> Detect(const table::Column& column) const override {
+    for (const auto& lc : bench_->columns) {
+      if (&lc.column == &column) {
+        std::vector<ScoredCell> out;
+        for (size_t r : lc.error_rows) out.push_back({r, 1.0});
+        return out;
+      }
+    }
+    // Columns are matched by address; fall back to name comparison.
+    for (const auto& lc : bench_->columns) {
+      if (lc.column.name == column.name &&
+          lc.column.values == column.values) {
+        std::vector<ScoredCell> out;
+        for (size_t r : lc.error_rows) out.push_back({r, 1.0});
+        return out;
+      }
+    }
+    return {};
+  }
+
+ private:
+  const datagen::LabeledBenchmark* bench_;
+};
+
+class SilentDetector : public ErrorDetector {
+ public:
+  std::string name() const override { return "silent"; }
+  std::vector<ScoredCell> Detect(const table::Column&) const override {
+    return {};
+  }
+};
+
+TEST(HarnessTest, OracleGetsPerfectScores) {
+  auto bench = datagen::GenerateBenchmark(datagen::StBenchProfile(150, 77));
+  OracleDetector oracle(&bench);
+  BenchmarkRun run = RunDetector(oracle, bench, 2);
+  EXPECT_EQ(run.total_true_errors, bench.TotalErrors());
+  EXPECT_NEAR(run.pr_auc, 1.0, 1e-9);
+  EXPECT_NEAR(run.f1_at_p08, 1.0, 1e-9);
+}
+
+TEST(HarnessTest, SilentDetectorScoresZero) {
+  auto bench = datagen::GenerateBenchmark(datagen::StBenchProfile(100, 78));
+  SilentDetector silent;
+  BenchmarkRun run = RunDetector(silent, bench, 2);
+  EXPECT_DOUBLE_EQ(run.pr_auc, 0.0);
+  EXPECT_DOUBLE_EQ(run.f1_at_p08, 0.0);
+  EXPECT_EQ(run.num_predictions, 0u);
+}
+
+TEST(HarnessTest, FormatHelpers) {
+  BenchmarkRun run;
+  run.f1_at_p08 = 0.34;
+  run.pr_auc = 0.45;
+  EXPECT_EQ(FormatQuality(run), "0.34, 0.45");
+  std::string row = FormatTableRow("fine-select", {run, run});
+  EXPECT_NE(row.find("fine-select"), std::string::npos);
+  EXPECT_NE(row.find("0.34, 0.45"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autotest::eval

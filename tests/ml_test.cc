@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/features.h"
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+
+namespace autotest::ml {
+namespace {
+
+TEST(FeaturesTest, DimensionAndDeterminism) {
+  FeatureConfig cfg;
+  cfg.hash_dim = 64;
+  FeatureExtractor fx(cfg);
+  EXPECT_EQ(fx.dim(), 64u + FeatureExtractor::kShapeDims);
+  auto a = fx.Extract("hello");
+  auto b = fx.Extract("hello");
+  EXPECT_EQ(a, b);
+}
+
+TEST(FeaturesTest, CaseFoldedNgramsButShapeDiffers) {
+  FeatureConfig cfg;
+  cfg.hash_dim = 64;
+  FeatureExtractor fx(cfg);
+  auto lower = fx.Extract("abc");
+  auto upper = fx.Extract("ABC");
+  // N-gram block identical (case-folded)...
+  for (size_t i = 0; i < cfg.hash_dim; ++i) EXPECT_FLOAT_EQ(lower[i], upper[i]);
+  // ...but the upper-ratio shape feature differs.
+  EXPECT_NE(lower[cfg.hash_dim + 3], upper[cfg.hash_dim + 3]);
+}
+
+TEST(FeaturesTest, NgramBlockIsUnitNorm) {
+  FeatureConfig cfg;
+  FeatureExtractor fx(cfg);
+  auto v = fx.Extract("germany");
+  double norm = 0;
+  for (size_t i = 0; i < cfg.hash_dim; ++i) norm += v[i] * v[i];
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(FeaturesTest, SimilarStringsHaveSimilarNgrams) {
+  FeatureConfig cfg;
+  FeatureExtractor fx(cfg);
+  auto a = fx.Extract("february");
+  auto b = fx.Extract("febuary");   // typo: mostly shared n-grams
+  auto c = fx.Extract("zxqwvjkp");  // unrelated
+  auto dot = [&](const std::vector<float>& x, const std::vector<float>& y) {
+    double d = 0;
+    for (size_t i = 0; i < cfg.hash_dim; ++i) d += x[i] * y[i];
+    return d;
+  };
+  EXPECT_GT(dot(a, b), dot(a, c));
+  EXPECT_GT(dot(a, b), 0.5);
+}
+
+TEST(FeaturesTest, DifferentSeedsDecorrelate) {
+  FeatureConfig c1;
+  c1.seed = 1;
+  FeatureConfig c2;
+  c2.seed = 2;
+  auto a = FeatureExtractor(c1).Extract("hello");
+  auto b = FeatureExtractor(c2).Extract("hello");
+  bool same = true;
+  for (size_t i = 0; i < c1.hash_dim; ++i) {
+    if (a[i] != b[i]) same = false;
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(FeaturesTest, EmptyStringSafe) {
+  FeatureExtractor fx(FeatureConfig{});
+  auto v = fx.Extract("");
+  EXPECT_EQ(v.size(), fx.dim());
+  for (float x : v) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(SigmoidTest, StableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-9);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-9);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(LogRegTest, LearnsLinearlySeparableData) {
+  // y = 1 iff x0 > x1.
+  util::Rng rng(1);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    float a = static_cast<float>(rng.UniformDouble(-1, 1));
+    float b = static_cast<float>(rng.UniformDouble(-1, 1));
+    x.push_back({a, b});
+    y.push_back(a > b ? 1 : 0);
+  }
+  LogisticRegression lr;
+  LogRegConfig cfg;
+  cfg.epochs = 50;
+  lr.Train(x, y, cfg);
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double p = lr.Predict(x[i]);
+    if ((p > 0.5) == (y[i] == 1)) ++correct;
+  }
+  EXPECT_GT(correct, 380);
+}
+
+TEST(LogRegTest, UntrainedPredictsHalf) {
+  LogisticRegression lr;
+  EXPECT_DOUBLE_EQ(lr.Predict({1.0f, 2.0f}), 0.5);
+  EXPECT_FALSE(lr.trained());
+}
+
+TEST(LogRegTest, DeterministicTraining) {
+  std::vector<std::vector<float>> x = {{0.f, 1.f}, {1.f, 0.f}, {0.2f, 0.9f},
+                                       {0.9f, 0.1f}};
+  std::vector<int> y = {0, 1, 0, 1};
+  LogisticRegression a;
+  LogisticRegression b;
+  LogRegConfig cfg;
+  a.Train(x, y, cfg);
+  b.Train(x, y, cfg);
+  EXPECT_DOUBLE_EQ(a.Predict({0.5f, 0.5f}), b.Predict({0.5f, 0.5f}));
+}
+
+TEST(LogRegTest, SeparatesStringClassesViaFeatures) {
+  // Country-like words vs numeric ids: a tiny end-to-end check of the
+  // feature + classifier stack used by the CTA-sim zoos.
+  FeatureExtractor fx(FeatureConfig{});
+  std::vector<std::string> pos = {"germany", "france",  "italy", "spain",
+                                  "austria", "belgium", "norway", "sweden",
+                                  "poland",  "ireland", "greece", "hungary"};
+  std::vector<std::string> neg = {"tt001234", "12/3/2020", "b5000123",
+                                  "fy17",     "12 oz",     "#a3f2c1",
+                                  "num00001", "10:23",     "55416",
+                                  "4-55-01",  "a@b.com",   "1.2.3.4"};
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (const auto& s : pos) {
+    x.push_back(fx.Extract(s));
+    y.push_back(1);
+  }
+  for (const auto& s : neg) {
+    x.push_back(fx.Extract(s));
+    y.push_back(0);
+  }
+  LogisticRegression lr;
+  LogRegConfig cfg;
+  cfg.epochs = 60;
+  lr.Train(x, y, cfg);
+  EXPECT_GT(lr.Predict(fx.Extract("portugal")), 0.5);
+  EXPECT_LT(lr.Predict(fx.Extract("zz99817")), 0.5);
+}
+
+}  // namespace
+}  // namespace autotest::ml

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "outlier/outlier.h"
+#include "util/rng.h"
+
+namespace autotest::outlier {
+namespace {
+
+// A tight Gaussian cluster plus one far-away outlier at the last index.
+std::vector<Point> ClusterWithOutlier(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Point> points;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    Point p(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      p[j] = static_cast<float>(rng.Gaussian() * 0.1);
+    }
+    points.push_back(std::move(p));
+  }
+  Point out(dim, 0.0f);
+  out[0] = 5.0f;
+  out[1] = 5.0f;
+  points.push_back(std::move(out));
+  return points;
+}
+
+// The planted outlier (last point) must receive the highest score.
+void ExpectOutlierWins(const std::vector<double>& scores) {
+  ASSERT_FALSE(scores.empty());
+  size_t best = static_cast<size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  EXPECT_EQ(best, scores.size() - 1);
+}
+
+TEST(OutlierTest, LofFindsPlantedOutlier) {
+  auto points = ClusterWithOutlier(40, 8, 1);
+  ExpectOutlierWins(LofScores(points, 10));
+}
+
+TEST(OutlierTest, DbodFindsPlantedOutlier) {
+  auto points = ClusterWithOutlier(40, 8, 2);
+  ExpectOutlierWins(KnnDistanceScores(points, 5));
+}
+
+TEST(OutlierTest, RkdeFindsPlantedOutlier) {
+  auto points = ClusterWithOutlier(40, 8, 3);
+  ExpectOutlierWins(RkdeScores(points));
+}
+
+TEST(OutlierTest, PpcaFindsPlantedOutlier) {
+  auto points = ClusterWithOutlier(40, 8, 4);
+  ExpectOutlierWins(PpcaScores(points, 3));
+}
+
+TEST(OutlierTest, IForestFindsPlantedOutlier) {
+  auto points = ClusterWithOutlier(60, 8, 5);
+  ExpectOutlierWins(IForestScores(points));
+}
+
+TEST(OutlierTest, SvddFindsPlantedOutlier) {
+  auto points = ClusterWithOutlier(40, 8, 6);
+  ExpectOutlierWins(SvddScores(points));
+}
+
+TEST(OutlierTest, DegenerateInputsSafe) {
+  std::vector<Point> one = {{1.0f, 2.0f}};
+  EXPECT_EQ(LofScores(one, 5).size(), 1u);
+  EXPECT_EQ(KnnDistanceScores(one, 5).size(), 1u);
+  EXPECT_EQ(RkdeScores(one).size(), 1u);
+  EXPECT_EQ(PpcaScores(one, 2).size(), 1u);
+  EXPECT_EQ(IForestScores(one).size(), 1u);
+  EXPECT_EQ(SvddScores(one).size(), 1u);
+  std::vector<Point> empty;
+  EXPECT_TRUE(SvddScores(empty).empty());
+}
+
+TEST(OutlierTest, DuplicatePointsNoNan) {
+  std::vector<Point> dup(10, Point{1.0f, 1.0f, 1.0f});
+  for (double s : LofScores(dup, 3)) EXPECT_TRUE(std::isfinite(s));
+  for (double s : RkdeScores(dup)) EXPECT_TRUE(std::isfinite(s));
+  for (double s : KnnDistanceScores(dup, 3)) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(OutlierTest, IForestDeterministicInSeed) {
+  auto points = ClusterWithOutlier(50, 8, 7);
+  IForestOptions opt;
+  opt.seed = 5;
+  auto a = IForestScores(points, opt);
+  auto b = IForestScores(points, opt);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace autotest::outlier

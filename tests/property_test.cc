@@ -1,0 +1,212 @@
+// Property-based tests over the generator/validator/metric invariants,
+// using parameterized gtest sweeps.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/sdc.h"
+#include "datagen/column_gen.h"
+#include "datagen/gazetteer.h"
+#include "eval/metrics.h"
+#include "pattern/pattern.h"
+#include "stats/statistics.h"
+#include "typedet/validators.h"
+#include "util/rng.h"
+
+namespace autotest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: every value a machine generator emits passes the matching
+// validation function (validators and generators agree on the formats).
+// ---------------------------------------------------------------------------
+
+struct DomainValidator {
+  const char* domain;
+  bool (*validate)(std::string_view);
+};
+
+class GeneratorValidatorTest
+    : public ::testing::TestWithParam<DomainValidator> {};
+
+TEST_P(GeneratorValidatorTest, GeneratedValuesValidate) {
+  const auto& p = GetParam();
+  const datagen::Domain* d = datagen::Gazetteer::Instance().Find(p.domain);
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->has_generator());
+  util::Rng rng(0xabc);
+  for (int i = 0; i < 300; ++i) {
+    std::string v = d->generator(rng);
+    EXPECT_TRUE(p.validate(v)) << p.domain << ": " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachineDomains, GeneratorValidatorTest,
+    ::testing::Values(
+        DomainValidator{"date_mdy", &typedet::ValidateDate},
+        DomainValidator{"date_iso", &typedet::ValidateDate},
+        DomainValidator{"time_hm", &typedet::ValidateTime},
+        DomainValidator{"datetime_iso", &typedet::ValidateDateTime},
+        DomainValidator{"url", &typedet::ValidateUrl},
+        DomainValidator{"email", &typedet::ValidateEmail},
+        DomainValidator{"ipv4", &typedet::ValidateIpv4},
+        DomainValidator{"uuid", &typedet::ValidateUuid},
+        DomainValidator{"credit_card", &typedet::ValidateCreditCard},
+        DomainValidator{"upc", &typedet::ValidateUpc},
+        DomainValidator{"isbn13", &typedet::ValidateIsbn13},
+        DomainValidator{"phone_us", &typedet::ValidatePhoneUs},
+        DomainValidator{"percent", &typedet::ValidatePercent},
+        DomainValidator{"hex_color", &typedet::ValidateHexColor},
+        DomainValidator{"mac_address", &typedet::ValidateMacAddress},
+        DomainValidator{"web_domain", &typedet::ValidateWebDomain},
+        DomainValidator{"iban", &typedet::ValidateIban},
+        DomainValidator{"version_number", &typedet::ValidateVersion},
+        DomainValidator{"lat_lon", &typedet::ValidateLatLon}),
+    [](const ::testing::TestParamInfo<DomainValidator>& info) {
+      return info.param.domain;
+    });
+
+// ---------------------------------------------------------------------------
+// Property: every generated value matches its own pattern generalization,
+// at both levels, across every domain.
+// ---------------------------------------------------------------------------
+
+class GeneralizationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneralizationTest, SelfMatch) {
+  const datagen::Domain* d =
+      datagen::Gazetteer::Instance().Find(GetParam());
+  ASSERT_NE(d, nullptr);
+  util::Rng rng(0x123);
+  datagen::ColumnGenOptions opt;
+  opt.min_values = 60;
+  opt.max_values = 60;
+  table::Column col = datagen::GenerateColumn(*d, opt, rng);
+  for (const auto& v : col.values) {
+    EXPECT_TRUE(pattern::Generalize(
+                    v, pattern::GeneralizationLevel::kExactDigits)
+                    .Matches(v))
+        << v;
+    EXPECT_TRUE(
+        pattern::Generalize(v, pattern::GeneralizationLevel::kGeneral)
+            .Matches(v))
+        << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampledDomains, GeneralizationTest,
+    ::testing::Values("country", "city_us", "first_name", "date_mdy", "url",
+                      "email", "gene", "article_number", "money_usd",
+                      "percent", "phone_us", "age_range"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------------
+// Property: PR-curve invariants hold on random prediction sets.
+// ---------------------------------------------------------------------------
+
+class PrCurvePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrCurvePropertyTest, Invariants) {
+  util::Rng rng(GetParam());
+  std::vector<eval::ScoredPrediction> preds;
+  size_t total_true = 40;
+  for (int i = 0; i < 300; ++i) {
+    eval::ScoredPrediction p;
+    p.score = rng.UniformDouble();
+    p.is_true_error = rng.Bernoulli(0.1);
+    preds.push_back(p);
+  }
+  size_t hits = 0;
+  for (const auto& p : preds) {
+    if (p.is_true_error) ++hits;
+  }
+  total_true = std::max(total_true, hits);
+  eval::PrCurve curve = eval::ComputePrCurve(preds, total_true);
+  double prev_recall = 0.0;
+  double prev_threshold = 2.0;
+  for (const auto& pt : curve.points) {
+    EXPECT_GE(pt.recall, prev_recall - 1e-12);   // recall non-decreasing
+    EXPECT_LT(pt.threshold, prev_threshold);      // thresholds descending
+    EXPECT_GE(pt.precision, 0.0);
+    EXPECT_LE(pt.precision, 1.0);
+    prev_recall = pt.recall;
+    prev_threshold = pt.threshold;
+  }
+  EXPECT_GE(curve.auc, 0.0);
+  EXPECT_LE(curve.auc, 1.0 + 1e-12);
+  EXPECT_LE(eval::F1AtPrecision(curve, 0.8), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrCurvePropertyTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// ---------------------------------------------------------------------------
+// Property: Wilson lower bound never exceeds the raw proportion and grows
+// with evidence.
+// ---------------------------------------------------------------------------
+
+class WilsonPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WilsonPropertyTest, LowerBoundBelowRatio) {
+  int trials = GetParam();
+  for (int successes = 0; successes <= trials; ++successes) {
+    double lb = stats::WilsonLowerBound(successes, trials, 1.65);
+    double ratio = static_cast<double>(successes) / trials;
+    EXPECT_LE(lb, ratio + 1e-12);
+    EXPECT_GE(lb, 0.0);
+    // More evidence at the same proportion tightens the bound.
+    double lb10 = stats::WilsonLowerBound(successes * 10, trials * 10, 1.65);
+    EXPECT_GE(lb10, lb - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TrialCounts, WilsonPropertyTest,
+                         ::testing::Values(1, 2, 5, 10, 50, 200));
+
+// ---------------------------------------------------------------------------
+// Property: pre-condition monotonicity — growing the inner ball or
+// loosening m can only keep/extend coverage.
+// ---------------------------------------------------------------------------
+
+class PreconditionMonotoneTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(PreconditionMonotoneTest, Monotone) {
+  util::Rng rng(GetParam());
+  core::ColumnDistanceProfile profile;
+  size_t n = 30;
+  double acc = 0.0;
+  size_t wacc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += rng.UniformDouble(0.0, 0.2);
+    size_t w = static_cast<size_t>(rng.UniformInt(1, 5));
+    profile.sorted_distances.push_back(acc);
+    profile.sorted_weights.push_back(w);
+    wacc += w;
+    profile.prefix_weights.push_back(wacc);
+  }
+  profile.total_weight = wacc;
+  for (int trial = 0; trial < 50; ++trial) {
+    double d1 = rng.UniformDouble(0.0, acc);
+    double d2 = rng.UniformDouble(d1, acc);
+    double m1 = rng.UniformDouble(0.0, 1.0);
+    double m2 = rng.UniformDouble(0.0, m1);
+    if (profile.PreconditionHolds(d1, m1)) {
+      EXPECT_TRUE(profile.PreconditionHolds(d2, m1));  // bigger ball
+      EXPECT_TRUE(profile.PreconditionHolds(d1, m2));  // looser m
+    }
+    EXPECT_EQ(profile.CountWithin(d1) + profile.CountBeyond(d1),
+              profile.total_weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreconditionMonotoneTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace autotest

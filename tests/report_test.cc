@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/sdc.h"
+#include "typedet/eval_functions.h"
+#include "typedet/validators.h"
+
+namespace autotest::core {
+namespace {
+
+// A predictor with one hand-built rule: validate_date with m = 0.9.
+SdcPredictor MakeDatePredictor(
+    const std::unique_ptr<typedet::DomainEvalFunction>& eval) {
+  Sdc rule;
+  rule.eval = eval.get();
+  rule.d_in = 0.0;
+  rule.d_out = 0.5;
+  rule.m = 0.9;
+  rule.confidence = 0.95;
+  return SdcPredictor({rule});
+}
+
+table::Table MakeTable() {
+  table::Table t;
+  t.name = "orders";
+  table::Column dates;
+  dates.name = "order date";
+  for (int i = 1; i <= 19; ++i) {
+    dates.values.push_back("4/" + std::to_string(i) + "/2022");
+  }
+  dates.values.push_back("pending");  // the error
+  table::Column amounts;
+  amounts.name = "amount";
+  for (int i = 0; i < 20; ++i) amounts.values.push_back(std::to_string(i));
+  table::Column notes;
+  notes.name = "note";
+  for (int i = 0; i < 20; ++i) notes.values.push_back("ok");
+  t.columns = {dates, amounts, notes};
+  return t;
+}
+
+TEST(ReportTest, AnalyzeTableFindsTheError) {
+  auto eval = typedet::MakeFunctionEval(typedet::NamedValidator{
+      "validate_date", "dataprep-sim", &typedet::ValidateDate});
+  SdcPredictor pred = MakeDatePredictor(eval);
+  table::Table t = MakeTable();
+  TableReport report = AnalyzeTable(pred, t);
+  EXPECT_EQ(report.table_name, "orders");
+  EXPECT_EQ(report.columns_skipped_numeric, 1u);  // "amount"
+  EXPECT_EQ(report.columns_checked, 2u);
+  ASSERT_EQ(report.columns.size(), 1u);
+  EXPECT_EQ(report.columns[0].column_name, "order date");
+  ASSERT_EQ(report.columns[0].detections.size(), 1u);
+  EXPECT_EQ(report.columns[0].detections[0].value, "pending");
+  EXPECT_EQ(report.TotalDetections(), 1u);
+}
+
+TEST(ReportTest, MinConfidenceFilters) {
+  auto eval = typedet::MakeFunctionEval(typedet::NamedValidator{
+      "validate_date", "dataprep-sim", &typedet::ValidateDate});
+  SdcPredictor pred = MakeDatePredictor(eval);
+  table::Table t = MakeTable();
+  AnalyzeOptions opt;
+  opt.min_confidence = 0.99;  // above the rule's 0.95
+  TableReport report = AnalyzeTable(pred, t, opt);
+  EXPECT_EQ(report.TotalDetections(), 0u);
+}
+
+TEST(ReportTest, KeepNumericColumnsWhenAsked) {
+  auto eval = typedet::MakeFunctionEval(typedet::NamedValidator{
+      "validate_date", "dataprep-sim", &typedet::ValidateDate});
+  SdcPredictor pred = MakeDatePredictor(eval);
+  table::Table t = MakeTable();
+  AnalyzeOptions opt;
+  opt.skip_numeric_columns = false;
+  TableReport report = AnalyzeTable(pred, t, opt);
+  EXPECT_EQ(report.columns_checked, 3u);
+  EXPECT_EQ(report.columns_skipped_numeric, 0u);
+}
+
+TEST(ReportTest, TextRenderingContainsCard) {
+  auto eval = typedet::MakeFunctionEval(typedet::NamedValidator{
+      "validate_date", "dataprep-sim", &typedet::ValidateDate});
+  SdcPredictor pred = MakeDatePredictor(eval);
+  TableReport report = AnalyzeTable(pred, MakeTable());
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("pending"), std::string::npos);
+  EXPECT_NE(text.find("order date"), std::string::npos);
+  EXPECT_NE(text.find("suggestion 1"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyTable) {
+  auto eval = typedet::MakeFunctionEval(typedet::NamedValidator{
+      "validate_date", "dataprep-sim", &typedet::ValidateDate});
+  SdcPredictor pred = MakeDatePredictor(eval);
+  table::Table t;
+  t.name = "empty";
+  TableReport report = AnalyzeTable(pred, t);
+  EXPECT_EQ(report.TotalDetections(), 0u);
+  EXPECT_EQ(report.columns_checked, 0u);
+}
+
+}  // namespace
+}  // namespace autotest::core

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "core/serialization.h"
+#include "core/trainer.h"
+#include "datagen/corpus_gen.h"
+#include "typedet/eval_functions.h"
+
+namespace autotest::core {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new table::Corpus(
+        datagen::GenerateCorpus(datagen::TablibProfile(400, 5)));
+    typedet::EvalFunctionSetOptions opt;
+    opt.embedding_centroids_per_model = 30;
+    evals_ = new typedet::EvalFunctionSet(
+        typedet::EvalFunctionSet::Build(*corpus_, opt));
+    TrainOptions topt;
+    topt.synthetic_count = 200;
+    model_ = new TrainedModel(TrainAutoTest(*corpus_, *evals_, topt));
+  }
+  static table::Corpus* corpus_;
+  static typedet::EvalFunctionSet* evals_;
+  static TrainedModel* model_;
+};
+
+table::Corpus* SerializationTest::corpus_ = nullptr;
+typedet::EvalFunctionSet* SerializationTest::evals_ = nullptr;
+TrainedModel* SerializationTest::model_ = nullptr;
+
+TEST_F(SerializationTest, RoundTripPreservesRules) {
+  ASSERT_FALSE(model_->constraints.empty());
+  std::string text = SerializeRules(model_->constraints);
+  size_t unresolved = 123;
+  auto loaded = DeserializeRules(text, *evals_, &unresolved);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(unresolved, 0u);
+  ASSERT_EQ(loaded->size(), model_->constraints.size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    const Sdc& a = model_->constraints[i];
+    const Sdc& b = (*loaded)[i];
+    EXPECT_EQ(a.eval, b.eval);
+    EXPECT_DOUBLE_EQ(a.d_in, b.d_in);
+    EXPECT_DOUBLE_EQ(a.d_out, b.d_out);
+    EXPECT_DOUBLE_EQ(a.m, b.m);
+    EXPECT_DOUBLE_EQ(a.confidence, b.confidence);
+    EXPECT_DOUBLE_EQ(a.fpr, b.fpr);
+    EXPECT_EQ(a.contingency.covered_triggered,
+              b.contingency.covered_triggered);
+    EXPECT_DOUBLE_EQ(a.cohens_h, b.cohens_h);
+  }
+}
+
+TEST_F(SerializationTest, FileRoundTrip) {
+  std::string path = "/tmp/autotest_rules_test.sdc";
+  ASSERT_TRUE(SaveRulesToFile(model_->constraints, path));
+  auto loaded = LoadRulesFromFile(path, *evals_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), model_->constraints.size());
+}
+
+TEST_F(SerializationTest, UnknownIdsSkippedAndCounted) {
+  std::string text = SerializeRules(model_->constraints);
+  text += "rule\tfun:does_not_exist\t0\t0.5\t0.9\t0.9\t0.001\t1\t2\t3\t4\t1"
+          "\t0.01\n";
+  size_t unresolved = 0;
+  auto loaded = DeserializeRules(text, *evals_, &unresolved);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(unresolved, 1u);
+  EXPECT_EQ(loaded->size(), model_->constraints.size());
+}
+
+TEST_F(SerializationTest, MalformedInputsRejected) {
+  EXPECT_FALSE(DeserializeRules("", *evals_).has_value());  // no header
+  EXPECT_FALSE(DeserializeRules("# autotest-sdc v1\nrule\tx\t1\n", *evals_)
+                   .has_value());  // wrong field count
+  EXPECT_FALSE(
+      DeserializeRules("# autotest-sdc v1\nbogus line\n", *evals_)
+          .has_value());
+}
+
+TEST_F(SerializationTest, EmptyRuleSetRoundTrips) {
+  auto loaded = DeserializeRules(SerializeRules({}), *evals_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(SerializationTest, FindEvalById) {
+  ASSERT_GT(evals_->size(), 0u);
+  const auto& first = evals_->at(0);
+  EXPECT_EQ(FindEvalById(*evals_, first.id()), &first);
+  EXPECT_EQ(FindEvalById(*evals_, "nope:nope"), nullptr);
+}
+
+TEST_F(SerializationTest, LoadedRulesPredictIdentically) {
+  std::string text = SerializeRules(model_->constraints);
+  auto loaded = DeserializeRules(text, *evals_);
+  ASSERT_TRUE(loaded.has_value());
+  SdcPredictor original(model_->constraints);
+  SdcPredictor reloaded(*loaded);
+  table::Column col;
+  col.name = "dates";
+  for (int i = 1; i <= 20; ++i) {
+    col.values.push_back("6/" + std::to_string(i) + "/2022");
+  }
+  col.values.push_back("unknown");
+  auto a = original.Predict(col);
+  auto b = reloaded.Predict(col);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].row, b[i].row);
+    EXPECT_DOUBLE_EQ(a[i].confidence, b[i].confidence);
+  }
+}
+
+}  // namespace
+}  // namespace autotest::core

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "table/column.h"
+#include "table/csv.h"
+#include "table/table.h"
+
+namespace autotest::table {
+namespace {
+
+TEST(ColumnTest, DistinctOrderAndCounts) {
+  Column c;
+  c.values = {"a", "b", "a", "c", "b", "a"};
+  DistinctValues d = Distinct(c);
+  ASSERT_EQ(d.values.size(), 3u);
+  EXPECT_EQ(d.values[0], "a");
+  EXPECT_EQ(d.values[1], "b");
+  EXPECT_EQ(d.values[2], "c");
+  EXPECT_EQ(d.counts[0], 3u);
+  EXPECT_EQ(d.counts[1], 2u);
+  EXPECT_EQ(d.counts[2], 1u);
+  EXPECT_EQ(d.total, 6u);
+}
+
+TEST(ColumnTest, DistinctEmpty) {
+  Column c;
+  DistinctValues d = Distinct(c);
+  EXPECT_TRUE(d.values.empty());
+  EXPECT_EQ(d.total, 0u);
+}
+
+TEST(ColumnTest, LooksNumeric) {
+  EXPECT_TRUE(LooksNumeric("123"));
+  EXPECT_TRUE(LooksNumeric("-1.5"));
+  EXPECT_TRUE(LooksNumeric("+0.25"));
+  EXPECT_TRUE(LooksNumeric(" 42 "));
+  EXPECT_FALSE(LooksNumeric("1.2.3"));
+  EXPECT_FALSE(LooksNumeric("12a"));
+  EXPECT_FALSE(LooksNumeric(""));
+  EXPECT_FALSE(LooksNumeric("-"));
+  EXPECT_FALSE(LooksNumeric("$12"));
+}
+
+TEST(ColumnTest, IsMostlyNumeric) {
+  Column c;
+  c.values = {"1", "2", "3", "4", "x"};
+  EXPECT_TRUE(IsMostlyNumeric(c, 0.8));
+  EXPECT_FALSE(IsMostlyNumeric(c, 0.9));
+  Column empty;
+  EXPECT_FALSE(IsMostlyNumeric(empty));
+}
+
+TEST(ColumnTest, Stats) {
+  Column c;
+  c.values = {"ab", "ab", "12"};
+  ColumnStats s = ComputeStats(c);
+  EXPECT_EQ(s.num_values, 3u);
+  EXPECT_EQ(s.num_distinct, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_length, 2.0);
+  EXPECT_NEAR(s.numeric_fraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(TableTest, ToCorpusFlattens) {
+  Table t1;
+  t1.columns.resize(2);
+  Table t2;
+  t2.columns.resize(3);
+  Corpus c = ToCorpus({t1, t2});
+  EXPECT_EQ(c.size(), 5u);
+}
+
+TEST(CsvTest, RoundTripSimple) {
+  Table t;
+  Column a;
+  a.name = "x";
+  a.values = {"1", "2"};
+  Column b;
+  b.name = "y";
+  b.values = {"foo", "bar"};
+  t.columns = {a, b};
+  std::string text = WriteCsv(t);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->columns.size(), 2u);
+  EXPECT_EQ(parsed->columns[0].name, "x");
+  EXPECT_EQ(parsed->columns[1].values[1], "bar");
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto t = ParseCsv("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->columns[0].values[0], "x,y");
+  EXPECT_EQ(t->columns[1].values[0], "he said \"hi\"");
+}
+
+TEST(CsvTest, EmbeddedNewline) {
+  auto t = ParseCsv("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->columns[0].values.size(), 1u);
+  EXPECT_EQ(t->columns[0].values[0], "line1\nline2");
+}
+
+TEST(CsvTest, CrlfHandling) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->columns[0].values.size(), 2u);
+  EXPECT_EQ(t->columns[1].values[1], "4");
+}
+
+TEST(CsvTest, ShortRowsPadded) {
+  auto t = ParseCsv("a,b,c\n1,2\n");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->columns[2].values[0], "");
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").has_value());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  CsvOptions opt;
+  opt.has_header = false;
+  auto t = ParseCsv("1,2\n3,4\n", opt);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->columns[0].name, "col0");
+  EXPECT_EQ(t->columns[0].values.size(), 2u);
+}
+
+TEST(CsvTest, RoundTripWithSpecials) {
+  Table t;
+  Column a;
+  a.name = "weird,name";
+  a.values = {"v\"q", "a,b", "line\nbreak", "plain"};
+  t.columns = {a};
+  auto parsed = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->columns[0].name, "weird,name");
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(parsed->columns[0].values[i], a.values[i]);
+  }
+}
+
+}  // namespace
+}  // namespace autotest::table

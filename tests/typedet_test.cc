@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "typedet/cta_zoo.h"
+#include "typedet/eval_functions.h"
+#include "typedet/validators.h"
+
+namespace autotest::typedet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Validators
+// ---------------------------------------------------------------------------
+
+TEST(ValidatorsTest, Date) {
+  EXPECT_TRUE(ValidateDate("12/3/2020"));
+  EXPECT_TRUE(ValidateDate("1/31/1999"));
+  EXPECT_TRUE(ValidateDate("2020-02-29"));  // leap year
+  EXPECT_TRUE(ValidateDate("4/2/15"));      // 2-digit year
+  EXPECT_FALSE(ValidateDate("2019-02-29"));  // not a leap year
+  EXPECT_FALSE(ValidateDate("13/1/2020"));
+  EXPECT_FALSE(ValidateDate("2/30/2020"));
+  EXPECT_FALSE(ValidateDate("new facility"));
+  EXPECT_FALSE(ValidateDate("nan"));
+  EXPECT_FALSE(ValidateDate("june"));
+  EXPECT_FALSE(ValidateDate(""));
+}
+
+TEST(ValidatorsTest, Time) {
+  EXPECT_TRUE(ValidateTime("14:35"));
+  EXPECT_TRUE(ValidateTime("0:00"));
+  EXPECT_TRUE(ValidateTime("23:59:59"));
+  EXPECT_FALSE(ValidateTime("24:00"));
+  EXPECT_FALSE(ValidateTime("12:60"));
+  EXPECT_FALSE(ValidateTime("12:5"));
+  EXPECT_FALSE(ValidateTime("noon"));
+}
+
+TEST(ValidatorsTest, DateTime) {
+  EXPECT_TRUE(ValidateDateTime("2020-03-04 12:33:01"));
+  EXPECT_FALSE(ValidateDateTime("2020-03-04"));
+  EXPECT_FALSE(ValidateDateTime("2020-13-04 12:33:01"));
+}
+
+TEST(ValidatorsTest, Url) {
+  EXPECT_TRUE(ValidateUrl("https://www.apple.com/products/123"));
+  EXPECT_TRUE(ValidateUrl("http://a.io"));
+  EXPECT_TRUE(
+      ValidateUrl("https://twitter.com/#!/nyctbus/status/803706869944"));
+  EXPECT_FALSE(ValidateUrl("_/status/799512626703323140"));
+  EXPECT_FALSE(ValidateUrl("new facility"));
+  EXPECT_FALSE(ValidateUrl("https://"));
+  EXPECT_FALSE(ValidateUrl("ftp://host.com/x"));
+  EXPECT_FALSE(ValidateUrl("https://nodot/x"));
+}
+
+TEST(ValidatorsTest, Email) {
+  EXPECT_TRUE(ValidateEmail("john.doe@example.com"));
+  EXPECT_TRUE(ValidateEmail("a+b@sub.domain.org"));
+  EXPECT_FALSE(ValidateEmail("@example.com"));
+  EXPECT_FALSE(ValidateEmail("a@b"));
+  EXPECT_FALSE(ValidateEmail("a b@c.com"));
+  EXPECT_FALSE(ValidateEmail("a@@c.com"));
+}
+
+TEST(ValidatorsTest, Ipv4) {
+  EXPECT_TRUE(ValidateIpv4("192.168.1.1"));
+  EXPECT_TRUE(ValidateIpv4("8.8.8.8"));
+  EXPECT_FALSE(ValidateIpv4("256.1.1.1"));
+  EXPECT_FALSE(ValidateIpv4("1.2.3"));
+  EXPECT_FALSE(ValidateIpv4("01.2.3.4"));
+  EXPECT_FALSE(ValidateIpv4("a.b.c.d"));
+}
+
+TEST(ValidatorsTest, Uuid) {
+  EXPECT_TRUE(ValidateUuid("123e4567-e89b-12d3-a456-426614174000"));
+  EXPECT_FALSE(ValidateUuid("123e4567e89b12d3a456426614174000"));
+  EXPECT_FALSE(ValidateUuid("123e4567-e89b-12d3-a456-42661417400g"));
+}
+
+TEST(ValidatorsTest, CreditCardLuhn) {
+  EXPECT_TRUE(ValidateCreditCard("4539578763621486"));  // Luhn-valid
+  EXPECT_TRUE(ValidateCreditCard("4539 5787 6362 1486"));
+  EXPECT_FALSE(ValidateCreditCard("4539578763621487"));  // bad check digit
+  EXPECT_FALSE(ValidateCreditCard("123"));
+  EXPECT_FALSE(ValidateCreditCard("abcd578763621486"));
+}
+
+TEST(ValidatorsTest, Upc) {
+  EXPECT_TRUE(ValidateUpc("036000291452"));   // classic example UPC
+  EXPECT_FALSE(ValidateUpc("036000291453"));  // bad check digit
+  EXPECT_FALSE(ValidateUpc("03600029145"));   // 11 digits
+}
+
+TEST(ValidatorsTest, Isbn13) {
+  EXPECT_TRUE(ValidateIsbn13("9780306406157"));
+  EXPECT_FALSE(ValidateIsbn13("9780306406158"));
+  EXPECT_FALSE(ValidateIsbn13("1234567890123"));
+}
+
+TEST(ValidatorsTest, PhoneUs) {
+  EXPECT_TRUE(ValidatePhoneUs("612-555-0184"));
+  EXPECT_TRUE(ValidatePhoneUs("(612) 555-0184"));
+  EXPECT_TRUE(ValidatePhoneUs("6125550184"));
+  EXPECT_FALSE(ValidatePhoneUs("612-555-018"));
+  EXPECT_FALSE(ValidatePhoneUs("112-555-0184"));  // area code starts with 1
+  EXPECT_FALSE(ValidatePhoneUs("call me"));
+}
+
+TEST(ValidatorsTest, Percent) {
+  EXPECT_TRUE(ValidatePercent("12.5%"));
+  EXPECT_TRUE(ValidatePercent("0.05%"));
+  EXPECT_TRUE(ValidatePercent("-3%"));
+  EXPECT_FALSE(ValidatePercent("12.5"));
+  EXPECT_FALSE(ValidatePercent("%"));
+  EXPECT_FALSE(ValidatePercent("a%"));
+}
+
+TEST(ValidatorsTest, HexColor) {
+  EXPECT_TRUE(ValidateHexColor("#a3f2c1"));
+  EXPECT_TRUE(ValidateHexColor("#fff"));
+  EXPECT_FALSE(ValidateHexColor("a3f2c1"));
+  EXPECT_FALSE(ValidateHexColor("#a3f2cg"));
+}
+
+TEST(ValidatorsTest, MacAddress) {
+  EXPECT_TRUE(ValidateMacAddress("00:1a:2b:3c:4d:5e"));
+  EXPECT_TRUE(ValidateMacAddress("00-1A-2B-3C-4D-5E"));
+  EXPECT_FALSE(ValidateMacAddress("00:1a:2b:3c:4d"));
+  EXPECT_FALSE(ValidateMacAddress("00:1a:2b:3c:4d:5g"));
+}
+
+TEST(ValidatorsTest, WebDomain) {
+  EXPECT_TRUE(ValidateWebDomain("apple.com"));
+  EXPECT_TRUE(ValidateWebDomain("google.com.hk"));
+  EXPECT_TRUE(ValidateWebDomain("dyndns.info"));
+  EXPECT_FALSE(ValidateWebDomain("https://apple.com"));
+  EXPECT_FALSE(ValidateWebDomain("no_dot"));
+  EXPECT_FALSE(ValidateWebDomain("bad..dot.com"));
+}
+
+TEST(ValidatorsTest, Iban) {
+  // Valid German IBAN (ISO 7064 mod-97 == 1).
+  EXPECT_TRUE(ValidateIban("DE89370400440532013000"));
+  EXPECT_TRUE(ValidateIban("DE89 3704 0044 0532 0130 00"));
+  EXPECT_FALSE(ValidateIban("DE88370400440532013000"));  // bad check
+  EXPECT_FALSE(ValidateIban("D989370400440532013000"));  // bad country
+  EXPECT_FALSE(ValidateIban("DE8937040"));               // too short
+}
+
+TEST(ValidatorsTest, Version) {
+  EXPECT_TRUE(ValidateVersion("1.2.3"));
+  EXPECT_TRUE(ValidateVersion("v2.0"));
+  EXPECT_TRUE(ValidateVersion("10.4.1.2"));
+  EXPECT_FALSE(ValidateVersion("1"));
+  EXPECT_FALSE(ValidateVersion("1."));
+  EXPECT_FALSE(ValidateVersion("a.b.c"));
+  EXPECT_FALSE(ValidateVersion("1.2.3.4.5"));
+}
+
+TEST(ValidatorsTest, LatLon) {
+  EXPECT_TRUE(ValidateLatLon("44.9778,-93.2650"));
+  EXPECT_TRUE(ValidateLatLon("-90,180"));
+  EXPECT_FALSE(ValidateLatLon("91,0"));
+  EXPECT_FALSE(ValidateLatLon("44.9778"));
+  EXPECT_FALSE(ValidateLatLon("north,west"));
+}
+
+TEST(ValidatorsTest, RegistryComplete) {
+  EXPECT_GE(AllValidators().size(), 8u);  // paper uses 8; we ship more
+  for (const auto& v : AllValidators()) {
+    EXPECT_TRUE(v.library == "dataprep-sim" || v.library == "validators-sim");
+    EXPECT_NE(v.fn, nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CTA zoos
+// ---------------------------------------------------------------------------
+
+class CtaZooTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sherlock_ = TrainSherlockSim().release();
+    doduo_ = TrainDoduoSim().release();
+  }
+  static CtaModelZoo* sherlock_;
+  static CtaModelZoo* doduo_;
+
+  static size_t TypeIndex(const CtaModelZoo& zoo, const std::string& name) {
+    for (size_t i = 0; i < zoo.type_names().size(); ++i) {
+      if (zoo.type_names()[i] == name) return i;
+    }
+    ADD_FAILURE() << "type not in zoo: " << name;
+    return 0;
+  }
+};
+
+CtaModelZoo* CtaZooTest::sherlock_ = nullptr;
+CtaModelZoo* CtaZooTest::doduo_ = nullptr;
+
+TEST_F(CtaZooTest, ZooSizes) {
+  EXPECT_GT(doduo_->num_types(), sherlock_->num_types());
+  EXPECT_GE(sherlock_->num_types(), 10u);
+}
+
+TEST_F(CtaZooTest, CountryClassifierSeparates) {
+  size_t t = TypeIndex(*doduo_, "country");
+  EXPECT_GT(doduo_->Score(t, "germany"), 0.6);
+  EXPECT_GT(doduo_->Score(t, "france"), 0.6);
+  EXPECT_LT(doduo_->Score(t, "tt0054215"), 0.3);
+  EXPECT_LT(doduo_->Score(t, "12/3/2020"), 0.3);
+}
+
+TEST_F(CtaZooTest, StateClassifierFlagsIncompatibles) {
+  // The paper's C2 example: "Germany" inside a state-code column.
+  size_t t = TypeIndex(*sherlock_, "us_state_code");
+  EXPECT_GT(sherlock_->Score(t, "fl"), 0.5);
+  EXPECT_GT(sherlock_->Score(t, "ca"), 0.5);
+  EXPECT_LT(sherlock_->Score(t, "germany"), 0.2);
+}
+
+TEST_F(CtaZooTest, ScoresInRange) {
+  for (const char* v : {"germany", "x", "", "12345", "hello world"}) {
+    double s = doduo_->Score(0, v);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation functions & registry
+// ---------------------------------------------------------------------------
+
+TEST(EvalFunctionTest, PatternEvalBinaryDistance) {
+  auto p = pattern::Pattern::Parse("[a-zA-Z]+\\d+");
+  auto f = MakePatternEval(*p);
+  EXPECT_EQ(f->family(), Family::kPattern);
+  EXPECT_TRUE(f->binary());
+  EXPECT_DOUBLE_EQ(f->Distance("fy17"), 0.0);
+  EXPECT_DOUBLE_EQ(f->Distance("fy definition"), 1.0);
+}
+
+TEST(EvalFunctionTest, FunctionEvalUsesValidator) {
+  auto f = MakeFunctionEval(AllValidators().front());  // validate_date
+  EXPECT_EQ(f->family(), Family::kFunction);
+  EXPECT_DOUBLE_EQ(f->Distance("12/3/2020"), 0.0);
+  EXPECT_DOUBLE_EQ(f->Distance("new facility"), 1.0);
+}
+
+TEST(EvalFunctionTest, HashEvalUniform) {
+  auto f = MakeRandomHashEval(77);
+  double d1 = f->Distance("a");
+  double d2 = f->Distance("b");
+  EXPECT_GE(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+  EXPECT_NE(d1, d2);
+  EXPECT_DOUBLE_EQ(f->Distance("a"), d1);  // deterministic
+}
+
+TEST(EvalFunctionSetTest, BuildAllFamilies) {
+  auto corpus = datagen::GenerateCorpus(datagen::TablibProfile(300, 5));
+  EvalFunctionSetOptions opt;
+  opt.embedding_centroids_per_model = 30;
+  auto set = EvalFunctionSet::Build(corpus, opt);
+  EXPECT_FALSE(set.FamilyFunctions(Family::kCta).empty());
+  EXPECT_FALSE(set.FamilyFunctions(Family::kEmbedding).empty());
+  EXPECT_FALSE(set.FamilyFunctions(Family::kPattern).empty());
+  EXPECT_FALSE(set.FamilyFunctions(Family::kFunction).empty());
+  EXPECT_TRUE(set.FamilyFunctions(Family::kHash).empty());
+  // Unique ids.
+  std::set<std::string> ids;
+  for (const auto& f : set.functions()) ids.insert(f->id());
+  EXPECT_EQ(ids.size(), set.size());
+}
+
+TEST(EvalFunctionSetTest, AblationSwitches) {
+  auto corpus = datagen::GenerateCorpus(datagen::TablibProfile(150, 6));
+  EvalFunctionSetOptions opt;
+  opt.include_cta = false;
+  opt.include_embedding = false;
+  opt.embedding_centroids_per_model = 10;
+  auto set = EvalFunctionSet::Build(corpus, opt);
+  EXPECT_TRUE(set.FamilyFunctions(Family::kCta).empty());
+  EXPECT_TRUE(set.FamilyFunctions(Family::kEmbedding).empty());
+  EXPECT_FALSE(set.FamilyFunctions(Family::kPattern).empty());
+}
+
+TEST(EvalFunctionSetTest, RandomHashInjection) {
+  auto corpus = datagen::GenerateCorpus(datagen::TablibProfile(100, 7));
+  EvalFunctionSetOptions opt;
+  opt.include_cta = false;
+  opt.include_embedding = false;
+  opt.include_pattern = false;
+  opt.include_function = false;
+  opt.num_random_hash = 25;
+  auto set = EvalFunctionSet::Build(corpus, opt);
+  EXPECT_EQ(set.size(), 25u);
+  for (const auto& f : set.functions()) {
+    EXPECT_EQ(f->family(), Family::kHash);
+  }
+}
+
+}  // namespace
+}  // namespace autotest::typedet

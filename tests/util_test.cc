@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/hashing.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace autotest::util {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.UniformInt(-3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PickCoversAllElements) {
+  Rng rng(3);
+  std::vector<int> items = {1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(3);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, PickWeightedRespectsZeroWeight) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.PickWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng base(9);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  // Different tags should diverge quickly.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Predicates) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_TRUE(IsAllAlpha("abcXYZ"));
+  EXPECT_FALSE(IsAllAlpha("ab1"));
+  EXPECT_FALSE(IsAllAlpha(""));
+}
+
+TEST(StringUtilTest, Ratios) {
+  EXPECT_DOUBLE_EQ(DigitRatio("a1b2"), 0.5);
+  EXPECT_DOUBLE_EQ(AlphaRatio("a1b2"), 0.5);
+  EXPECT_DOUBLE_EQ(DigitRatio(""), 0.0);
+}
+
+TEST(StringUtilTest, EditDistance) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("february", "febuary"), 1u);
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("https://x", "https://"));
+  EXPECT_FALSE(StartsWith("http://x", "https://"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(HashingTest, FnvStableAndDistinct) {
+  EXPECT_EQ(Fnv64("abc"), Fnv64("abc"));
+  EXPECT_NE(Fnv64("abc"), Fnv64("abd"));
+  EXPECT_NE(Fnv64Seeded("abc", 1), Fnv64Seeded("abc", 2));
+}
+
+TEST(HashingTest, HashToUnitDoubleRange) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    double x = HashToUnitDouble(SplitMix64(i));
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(ThreadPoolTest, RunsAllIndices) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(hits.size(), [&](size_t i) { hits[i] = 1; }, 8);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingle) {
+  std::atomic<int> count{0};
+  ParallelFor(0, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  ParallelFor(1, [&](size_t) { count++; }, 4);
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace autotest::util

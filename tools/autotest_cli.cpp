@@ -1,0 +1,206 @@
+// autotest — command-line front end for the Auto-Test library.
+//
+//   autotest train --corpus relational --columns 2000 --out rules.sdc
+//   autotest check data.csv --rules rules.sdc
+//   autotest check data.csv                       (trains a quick model)
+//   autotest rules rules.sdc
+//
+// Rule files record the training recipe (corpus profile, sizes, seed) in a
+// side header so `check` can rebuild the matching evaluation functions.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/auto_test.h"
+#include "core/serialization.h"
+#include "datagen/corpus_gen.h"
+#include "table/csv.h"
+
+namespace {
+
+using namespace autotest;
+
+struct Recipe {
+  std::string corpus = "relational";
+  size_t columns = 2000;
+  size_t centroids = 120;
+  size_t synthetic = 800;
+};
+
+std::string RecipePath(const std::string& rules_path) {
+  return rules_path + ".recipe";
+}
+
+bool SaveRecipe(const Recipe& r, const std::string& rules_path) {
+  std::ofstream out(RecipePath(rules_path));
+  if (!out) return false;
+  out << r.corpus << " " << r.columns << " " << r.centroids << " "
+      << r.synthetic << "\n";
+  return static_cast<bool>(out);
+}
+
+std::optional<Recipe> LoadRecipe(const std::string& rules_path) {
+  std::ifstream in(RecipePath(rules_path));
+  if (!in) return std::nullopt;
+  Recipe r;
+  if (!(in >> r.corpus >> r.columns >> r.centroids >> r.synthetic)) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+table::Corpus BuildCorpus(const Recipe& r) {
+  if (r.corpus == "spreadsheet") {
+    return datagen::GenerateCorpus(
+        datagen::SpreadsheetTablesProfile(r.columns));
+  }
+  if (r.corpus == "tablib") {
+    return datagen::GenerateCorpus(datagen::TablibProfile(r.columns));
+  }
+  return datagen::GenerateCorpus(datagen::RelationalTablesProfile(r.columns));
+}
+
+core::AutoTest TrainFromRecipe(const Recipe& r) {
+  std::fprintf(stderr, "training on %s corpus (%zu columns)...\n",
+               r.corpus.c_str(), r.columns);
+  core::AutoTestConfig config;
+  config.eval_options.embedding_centroids_per_model = r.centroids;
+  config.train_options.synthetic_count = r.synthetic;
+  return core::AutoTest::Train(BuildCorpus(r), config);
+}
+
+int CmdTrain(int argc, char** argv) {
+  Recipe recipe;
+  std::string out_path = "rules.sdc";
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--corpus") recipe.corpus = next();
+    else if (a == "--columns") recipe.columns = std::stoul(next());
+    else if (a == "--centroids") recipe.centroids = std::stoul(next());
+    else if (a == "--synthetic") recipe.synthetic = std::stoul(next());
+    else if (a == "--out") out_path = next();
+  }
+  core::AutoTest at = TrainFromRecipe(recipe);
+  auto sel = at.Select(core::Variant::kFineSelect);
+  std::vector<core::Sdc> rules;
+  for (size_t i : sel.selected) rules.push_back(at.model().constraints[i]);
+  if (!core::SaveRulesToFile(rules, out_path) ||
+      !SaveRecipe(recipe, out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("learned %zu constraints, distilled %zu rules -> %s\n",
+              at.model().constraints.size(), rules.size(), out_path.c_str());
+  return 0;
+}
+
+int CmdCheck(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: autotest check <file.csv> [--rules f]\n");
+    return 1;
+  }
+  std::string csv_path = argv[0];
+  std::string rules_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rules") == 0 && i + 1 < argc) {
+      rules_path = argv[++i];
+    }
+  }
+  auto table_opt = table::ReadCsvFile(csv_path);
+  if (!table_opt) {
+    std::fprintf(stderr, "cannot read %s\n", csv_path.c_str());
+    return 1;
+  }
+
+  Recipe recipe;
+  std::vector<core::Sdc> rules;
+  core::AutoTest at = [&]() {
+    if (!rules_path.empty()) {
+      if (auto r = LoadRecipe(rules_path)) recipe = *r;
+    } else {
+      recipe.columns = 1500;  // quick in-process training
+    }
+    return TrainFromRecipe(recipe);
+  }();
+  if (!rules_path.empty()) {
+    size_t unresolved = 0;
+    auto loaded =
+        core::LoadRulesFromFile(rules_path, at.evals(), &unresolved);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load rules from %s\n",
+                   rules_path.c_str());
+      return 1;
+    }
+    if (unresolved > 0) {
+      std::fprintf(stderr, "warning: %zu rules reference unknown "
+                   "evaluation functions and were skipped\n", unresolved);
+    }
+    rules = std::move(*loaded);
+  } else {
+    auto sel = at.Select(core::Variant::kFineSelect);
+    for (size_t i : sel.selected) rules.push_back(at.model().constraints[i]);
+  }
+  core::SdcPredictor predictor(std::move(rules));
+  std::printf("checking %s with %zu rules\n", csv_path.c_str(),
+              predictor.num_rules());
+
+  size_t total = 0;
+  for (const auto& column : table_opt->columns) {
+    if (table::IsMostlyNumeric(column)) continue;
+    for (const auto& d : predictor.Predict(column)) {
+      ++total;
+      std::printf("%s:%zu  \"%s\"  conf=%.2f\n    %s\n",
+                  column.name.c_str(), d.row + 2, d.value.c_str(),
+                  d.confidence, d.explanation.c_str());
+    }
+  }
+  std::printf("%zu potential error(s) found\n", total);
+  return 0;
+}
+
+int CmdRules(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: autotest rules <rules.sdc>\n");
+    return 1;
+  }
+  std::string rules_path = argv[0];
+  Recipe recipe;
+  if (auto r = LoadRecipe(rules_path)) recipe = *r;
+  core::AutoTest at = TrainFromRecipe(recipe);
+  size_t unresolved = 0;
+  auto rules = core::LoadRulesFromFile(rules_path, at.evals(), &unresolved);
+  if (!rules) {
+    std::fprintf(stderr, "cannot load %s\n", rules_path.c_str());
+    return 1;
+  }
+  for (const auto& r : *rules) {
+    std::printf("%s\n", r.Describe().c_str());
+  }
+  std::printf("(%zu rules, %zu unresolved)\n", rules->size(), unresolved);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: autotest <train|check|rules> [options]\n"
+                 "  train --corpus relational|spreadsheet|tablib "
+                 "--columns N --out rules.sdc\n"
+                 "  check file.csv [--rules rules.sdc]\n"
+                 "  rules rules.sdc\n");
+    return 1;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "train") return CmdTrain(argc - 2, argv + 2);
+  if (cmd == "check") return CmdCheck(argc - 2, argv + 2);
+  if (cmd == "rules") return CmdRules(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  return 1;
+}
