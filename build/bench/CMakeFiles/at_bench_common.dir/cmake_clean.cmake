@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/at_bench_common.dir/bench_common.cc.o.d"
+  "libat_bench_common.a"
+  "libat_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

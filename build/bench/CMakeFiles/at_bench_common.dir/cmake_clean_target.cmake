@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libat_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_specialized.dir/bench_fig11_specialized.cc.o"
+  "CMakeFiles/bench_fig11_specialized.dir/bench_fig11_specialized.cc.o.d"
+  "bench_fig11_specialized"
+  "bench_fig11_specialized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_specialized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_wilson.dir/bench_fig20_wilson.cc.o"
+  "CMakeFiles/bench_fig20_wilson.dir/bench_fig20_wilson.cc.o.d"
+  "bench_fig20_wilson"
+  "bench_fig20_wilson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_wilson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

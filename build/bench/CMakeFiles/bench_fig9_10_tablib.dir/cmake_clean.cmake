@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_10_tablib.dir/bench_fig9_10_tablib.cc.o"
+  "CMakeFiles/bench_fig9_10_tablib.dir/bench_fig9_10_tablib.cc.o.d"
+  "bench_fig9_10_tablib"
+  "bench_fig9_10_tablib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_10_tablib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_google.dir/bench_micro_google.cc.o"
+  "CMakeFiles/bench_micro_google.dir/bench_micro_google.cc.o.d"
+  "bench_micro_google"
+  "bench_micro_google.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_google.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_hash.dir/bench_robustness_hash.cc.o"
+  "CMakeFiles/bench_robustness_hash.dir/bench_robustness_hash.cc.o.d"
+  "bench_robustness_hash"
+  "bench_robustness_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

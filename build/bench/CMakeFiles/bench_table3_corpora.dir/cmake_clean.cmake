@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_corpora.dir/bench_table3_corpora.cc.o"
+  "CMakeFiles/bench_table3_corpora.dir/bench_table3_corpora.cc.o.d"
+  "bench_table3_corpora"
+  "bench_table3_corpora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_corpora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_ablation_families.dir/bench_table7_ablation_families.cc.o"
+  "CMakeFiles/bench_table7_ablation_families.dir/bench_table7_ablation_families.cc.o.d"
+  "bench_table7_ablation_families"
+  "bench_table7_ablation_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_ablation_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

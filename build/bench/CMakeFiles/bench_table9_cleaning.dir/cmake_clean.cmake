@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_cleaning.dir/bench_table9_cleaning.cc.o"
+  "CMakeFiles/bench_table9_cleaning.dir/bench_table9_cleaning.cc.o.d"
+  "bench_table9_cleaning"
+  "bench_table9_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_benchmarks.dir/cleaning_benchmarks.cpp.o"
+  "CMakeFiles/cleaning_benchmarks.dir/cleaning_benchmarks.cpp.o.d"
+  "cleaning_benchmarks"
+  "cleaning_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

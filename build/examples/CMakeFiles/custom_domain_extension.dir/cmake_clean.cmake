@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_domain_extension.dir/custom_domain_extension.cpp.o"
+  "CMakeFiles/custom_domain_extension.dir/custom_domain_extension.cpp.o.d"
+  "custom_domain_extension"
+  "custom_domain_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_domain_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

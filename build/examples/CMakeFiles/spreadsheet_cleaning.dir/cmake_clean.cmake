@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spreadsheet_cleaning.dir/spreadsheet_cleaning.cpp.o"
+  "CMakeFiles/spreadsheet_cleaning.dir/spreadsheet_cleaning.cpp.o.d"
+  "spreadsheet_cleaning"
+  "spreadsheet_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spreadsheet_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

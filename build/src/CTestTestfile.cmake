@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("table")
+subdirs("stats")
+subdirs("pattern")
+subdirs("ml")
+subdirs("datagen")
+subdirs("embed")
+subdirs("typedet")
+subdirs("lp")
+subdirs("core")
+subdirs("outlier")
+subdirs("eval")
+subdirs("baselines")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_baselines.dir/baselines.cc.o"
+  "CMakeFiles/at_baselines.dir/baselines.cc.o.d"
+  "libat_baselines.a"
+  "libat_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

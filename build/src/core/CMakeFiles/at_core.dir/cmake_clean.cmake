@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_core.dir/auto_test.cc.o"
+  "CMakeFiles/at_core.dir/auto_test.cc.o.d"
+  "CMakeFiles/at_core.dir/predictor.cc.o"
+  "CMakeFiles/at_core.dir/predictor.cc.o.d"
+  "CMakeFiles/at_core.dir/report.cc.o"
+  "CMakeFiles/at_core.dir/report.cc.o.d"
+  "CMakeFiles/at_core.dir/sdc.cc.o"
+  "CMakeFiles/at_core.dir/sdc.cc.o.d"
+  "CMakeFiles/at_core.dir/selection.cc.o"
+  "CMakeFiles/at_core.dir/selection.cc.o.d"
+  "CMakeFiles/at_core.dir/serialization.cc.o"
+  "CMakeFiles/at_core.dir/serialization.cc.o.d"
+  "CMakeFiles/at_core.dir/trainer.cc.o"
+  "CMakeFiles/at_core.dir/trainer.cc.o.d"
+  "libat_core.a"
+  "libat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/bench_gen.cc" "src/datagen/CMakeFiles/at_datagen.dir/bench_gen.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/bench_gen.cc.o.d"
+  "/root/repo/src/datagen/cleaning_bench.cc" "src/datagen/CMakeFiles/at_datagen.dir/cleaning_bench.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/cleaning_bench.cc.o.d"
+  "/root/repo/src/datagen/column_gen.cc" "src/datagen/CMakeFiles/at_datagen.dir/column_gen.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/column_gen.cc.o.d"
+  "/root/repo/src/datagen/corpus_gen.cc" "src/datagen/CMakeFiles/at_datagen.dir/corpus_gen.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/corpus_gen.cc.o.d"
+  "/root/repo/src/datagen/error_injector.cc" "src/datagen/CMakeFiles/at_datagen.dir/error_injector.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/error_injector.cc.o.d"
+  "/root/repo/src/datagen/gazetteer.cc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer.cc.o.d"
+  "/root/repo/src/datagen/gazetteer_machine.cc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer_machine.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer_machine.cc.o.d"
+  "/root/repo/src/datagen/gazetteer_machine2.cc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer_machine2.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer_machine2.cc.o.d"
+  "/root/repo/src/datagen/gazetteer_nl.cc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer_nl.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer_nl.cc.o.d"
+  "/root/repo/src/datagen/gazetteer_nl2.cc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer_nl2.cc.o" "gcc" "src/datagen/CMakeFiles/at_datagen.dir/gazetteer_nl2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/at_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/at_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

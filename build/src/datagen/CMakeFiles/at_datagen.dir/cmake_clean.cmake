@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_datagen.dir/bench_gen.cc.o"
+  "CMakeFiles/at_datagen.dir/bench_gen.cc.o.d"
+  "CMakeFiles/at_datagen.dir/cleaning_bench.cc.o"
+  "CMakeFiles/at_datagen.dir/cleaning_bench.cc.o.d"
+  "CMakeFiles/at_datagen.dir/column_gen.cc.o"
+  "CMakeFiles/at_datagen.dir/column_gen.cc.o.d"
+  "CMakeFiles/at_datagen.dir/corpus_gen.cc.o"
+  "CMakeFiles/at_datagen.dir/corpus_gen.cc.o.d"
+  "CMakeFiles/at_datagen.dir/error_injector.cc.o"
+  "CMakeFiles/at_datagen.dir/error_injector.cc.o.d"
+  "CMakeFiles/at_datagen.dir/gazetteer.cc.o"
+  "CMakeFiles/at_datagen.dir/gazetteer.cc.o.d"
+  "CMakeFiles/at_datagen.dir/gazetteer_machine.cc.o"
+  "CMakeFiles/at_datagen.dir/gazetteer_machine.cc.o.d"
+  "CMakeFiles/at_datagen.dir/gazetteer_machine2.cc.o"
+  "CMakeFiles/at_datagen.dir/gazetteer_machine2.cc.o.d"
+  "CMakeFiles/at_datagen.dir/gazetteer_nl.cc.o"
+  "CMakeFiles/at_datagen.dir/gazetteer_nl.cc.o.d"
+  "CMakeFiles/at_datagen.dir/gazetteer_nl2.cc.o"
+  "CMakeFiles/at_datagen.dir/gazetteer_nl2.cc.o.d"
+  "libat_datagen.a"
+  "libat_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

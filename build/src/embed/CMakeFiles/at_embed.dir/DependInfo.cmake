@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/embedding.cc" "src/embed/CMakeFiles/at_embed.dir/embedding.cc.o" "gcc" "src/embed/CMakeFiles/at_embed.dir/embedding.cc.o.d"
+  "/root/repo/src/embed/vector_math.cc" "src/embed/CMakeFiles/at_embed.dir/vector_math.cc.o" "gcc" "src/embed/CMakeFiles/at_embed.dir/vector_math.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/at_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/at_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/at_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_embed.dir/embedding.cc.o"
+  "CMakeFiles/at_embed.dir/embedding.cc.o.d"
+  "CMakeFiles/at_embed.dir/vector_math.cc.o"
+  "CMakeFiles/at_embed.dir/vector_math.cc.o.d"
+  "libat_embed.a"
+  "libat_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

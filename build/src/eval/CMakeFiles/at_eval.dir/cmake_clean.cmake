@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_eval.dir/harness.cc.o"
+  "CMakeFiles/at_eval.dir/harness.cc.o.d"
+  "CMakeFiles/at_eval.dir/metrics.cc.o"
+  "CMakeFiles/at_eval.dir/metrics.cc.o.d"
+  "libat_eval.a"
+  "libat_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

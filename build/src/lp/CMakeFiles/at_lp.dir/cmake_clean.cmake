@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_lp.dir/simplex.cc.o"
+  "CMakeFiles/at_lp.dir/simplex.cc.o.d"
+  "libat_lp.a"
+  "libat_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

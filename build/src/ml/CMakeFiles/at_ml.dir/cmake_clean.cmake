@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_ml.dir/features.cc.o"
+  "CMakeFiles/at_ml.dir/features.cc.o.d"
+  "CMakeFiles/at_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/at_ml.dir/logistic_regression.cc.o.d"
+  "libat_ml.a"
+  "libat_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_outlier.dir/outlier.cc.o"
+  "CMakeFiles/at_outlier.dir/outlier.cc.o.d"
+  "libat_outlier.a"
+  "libat_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/miner.cc" "src/pattern/CMakeFiles/at_pattern.dir/miner.cc.o" "gcc" "src/pattern/CMakeFiles/at_pattern.dir/miner.cc.o.d"
+  "/root/repo/src/pattern/pattern.cc" "src/pattern/CMakeFiles/at_pattern.dir/pattern.cc.o" "gcc" "src/pattern/CMakeFiles/at_pattern.dir/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/at_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/at_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_pattern.dir/miner.cc.o"
+  "CMakeFiles/at_pattern.dir/miner.cc.o.d"
+  "CMakeFiles/at_pattern.dir/pattern.cc.o"
+  "CMakeFiles/at_pattern.dir/pattern.cc.o.d"
+  "libat_pattern.a"
+  "libat_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_stats.dir/statistics.cc.o"
+  "CMakeFiles/at_stats.dir/statistics.cc.o.d"
+  "libat_stats.a"
+  "libat_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

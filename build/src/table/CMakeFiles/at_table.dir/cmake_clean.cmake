@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_table.dir/column.cc.o"
+  "CMakeFiles/at_table.dir/column.cc.o.d"
+  "CMakeFiles/at_table.dir/csv.cc.o"
+  "CMakeFiles/at_table.dir/csv.cc.o.d"
+  "CMakeFiles/at_table.dir/table.cc.o"
+  "CMakeFiles/at_table.dir/table.cc.o.d"
+  "libat_table.a"
+  "libat_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

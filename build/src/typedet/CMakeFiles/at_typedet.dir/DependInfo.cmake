@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typedet/cta_zoo.cc" "src/typedet/CMakeFiles/at_typedet.dir/cta_zoo.cc.o" "gcc" "src/typedet/CMakeFiles/at_typedet.dir/cta_zoo.cc.o.d"
+  "/root/repo/src/typedet/eval_functions.cc" "src/typedet/CMakeFiles/at_typedet.dir/eval_functions.cc.o" "gcc" "src/typedet/CMakeFiles/at_typedet.dir/eval_functions.cc.o.d"
+  "/root/repo/src/typedet/validators.cc" "src/typedet/CMakeFiles/at_typedet.dir/validators.cc.o" "gcc" "src/typedet/CMakeFiles/at_typedet.dir/validators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/at_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/at_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/at_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/at_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/at_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/at_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

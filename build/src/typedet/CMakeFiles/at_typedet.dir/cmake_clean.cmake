@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_typedet.dir/cta_zoo.cc.o"
+  "CMakeFiles/at_typedet.dir/cta_zoo.cc.o.d"
+  "CMakeFiles/at_typedet.dir/eval_functions.cc.o"
+  "CMakeFiles/at_typedet.dir/eval_functions.cc.o.d"
+  "CMakeFiles/at_typedet.dir/validators.cc.o"
+  "CMakeFiles/at_typedet.dir/validators.cc.o.d"
+  "libat_typedet.a"
+  "libat_typedet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_typedet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_util.dir/hashing.cc.o"
+  "CMakeFiles/at_util.dir/hashing.cc.o.d"
+  "CMakeFiles/at_util.dir/rng.cc.o"
+  "CMakeFiles/at_util.dir/rng.cc.o.d"
+  "CMakeFiles/at_util.dir/string_util.cc.o"
+  "CMakeFiles/at_util.dir/string_util.cc.o.d"
+  "CMakeFiles/at_util.dir/thread_pool.cc.o"
+  "CMakeFiles/at_util.dir/thread_pool.cc.o.d"
+  "libat_util.a"
+  "libat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/at_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/at_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/at_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/at_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/typedet/CMakeFiles/at_typedet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/at_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/at_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/at_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/at_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/at_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/at_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typedet_test.dir/typedet_test.cc.o"
+  "CMakeFiles/typedet_test.dir/typedet_test.cc.o.d"
+  "typedet_test"
+  "typedet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typedet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

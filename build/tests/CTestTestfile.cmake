@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/embed_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/outlier_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+add_test(typedet_test "/root/repo/build/tests/typedet_test")
+set_tests_properties(typedet_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;25;at_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;27;at_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;30;at_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;31;at_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(serialization_test "/root/repo/build/tests/serialization_test")
+set_tests_properties(serialization_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;32;at_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;33;at_test_single;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotest_cli.dir/autotest_cli.cpp.o"
+  "CMakeFiles/autotest_cli.dir/autotest_cli.cpp.o.d"
+  "autotest"
+  "autotest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotest_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
