@@ -9,6 +9,7 @@
 #include "core/selection.h"
 #include "core/trainer.h"
 #include "typedet/eval_functions.h"
+#include "util/parallel/thread_pool.h"
 
 int main() {
   using namespace autotest;
@@ -51,5 +52,6 @@ int main() {
       "\nExpected shape (paper Fig 14): candidate-gen dominates and grows "
       "~linearly with\ncorpus size; selection cost is negligible in "
       "comparison.\n");
+  std::printf("\n%s\n", util::parallel::FormatStats().c_str());
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "util/check.h"
 #include "util/hashing.h"
+#include "util/parallel/thread_pool.h"
 #include "util/rng.h"
 
 namespace autotest::core {
@@ -37,16 +38,22 @@ SelectionResult SelectWithDelta(const TrainedModel& model,
 
   // Eligible detection sets under the Fine-Select confidence requirement:
   // rule i counts for synthetic column j iff it detects j and its
-  // confidence is within delta of conf(C_j, R_all).
+  // confidence is within delta of conf(C_j, R_all). Per-rule slots keep
+  // the parallel scoring deterministic.
+  util::parallel::Options par_opt;
+  par_opt.num_threads = options.num_threads;
   std::vector<std::vector<uint32_t>> eligible(num_rules);
-  for (size_t i = 0; i < num_rules; ++i) {
-    double c = model.constraints[i].confidence;
-    for (uint32_t j : model.detections[i]) {
-      if (c >= model.synthetic_conf_all[j] - delta) {
-        eligible[i].push_back(j);
-      }
-    }
-  }
+  util::parallel::ParallelFor(
+      num_rules,
+      [&](size_t i) {
+        double c = model.constraints[i].confidence;
+        for (uint32_t j : model.detections[i]) {
+          if (c >= model.synthetic_conf_all[j] - delta) {
+            eligible[i].push_back(j);
+          }
+        }
+      },
+      par_opt);
 
   // Deduplicate rules with identical eligible sets: for the LP they are
   // interchangeable columns, so keep the cheapest (min FPR, then max
@@ -78,15 +85,21 @@ SelectionResult SelectWithDelta(const TrainedModel& model,
     }
   }
 
-  // Greedy pre-filter if the LP would be too large.
+  // Greedy pre-filter if the LP would be too large. Scores are computed
+  // in parallel once per rule, then the sort compares the cached values
+  // (same doubles the old in-comparator computation produced).
   if (kept.size() > options.max_lp_variables) {
-    std::stable_sort(kept.begin(), kept.end(), [&](size_t a, size_t b) {
-      double va = static_cast<double>(eligible[a].size()) /
-                  (model.constraints[a].fpr + 1e-4);
-      double vb = static_cast<double>(eligible[b].size()) /
-                  (model.constraints[b].fpr + 1e-4);
-      return va > vb;
-    });
+    std::vector<double> score(num_rules, 0.0);
+    util::parallel::ParallelFor(
+        kept.size(),
+        [&](size_t idx) {
+          size_t r = kept[idx];
+          score[r] = static_cast<double>(eligible[r].size()) /
+                     (model.constraints[r].fpr + 1e-4);
+        },
+        par_opt);
+    std::stable_sort(kept.begin(), kept.end(),
+                     [&](size_t a, size_t b) { return score[a] > score[b]; });
     kept.resize(options.max_lp_variables);
     std::sort(kept.begin(), kept.end());
   }

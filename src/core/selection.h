@@ -23,6 +23,10 @@ struct SelectionOptions {
   /// Optional post-rounding repair to meet the budgets deterministically
   /// (the paper's guarantees hold in expectation without repair).
   bool repair_to_budgets = false;
+  /// Workers for the per-candidate scoring passes (0 = hardware
+  /// concurrency). Results are written to per-candidate slots, so the
+  /// selection outcome is independent of this setting.
+  size_t num_threads = 0;
 };
 
 struct SelectionResult {

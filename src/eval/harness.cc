@@ -3,7 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "util/thread_pool.h"
+#include "util/parallel/thread_pool.h"
 
 namespace autotest::eval {
 
@@ -17,12 +17,17 @@ BenchmarkRun RunDetector(const ErrorDetector& detector,
 
   std::vector<std::vector<ScoredCell>> per_column(bench.columns.size());
   auto t0 = std::chrono::steady_clock::now();
-  util::ParallelFor(
+  // Per-column detection cost is skewed (column lengths vary widely), so
+  // run one column per chunk and let idle workers steal.
+  util::parallel::Options par_opt;
+  par_opt.num_threads = num_threads;
+  par_opt.grain = 1;
+  util::parallel::ParallelFor(
       bench.columns.size(),
       [&](size_t c) {
         per_column[c] = detector.Detect(bench.columns[c].column);
       },
-      num_threads);
+      par_opt);
   auto t1 = std::chrono::steady_clock::now();
 
   std::vector<ScoredPrediction> predictions;

@@ -5,8 +5,8 @@
 #include "datagen/gazetteer.h"
 #include "util/check.h"
 #include "util/hashing.h"
+#include "util/parallel/thread_pool.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace autotest::typedet {
 
@@ -53,7 +53,11 @@ std::unique_ptr<CtaModelZoo> CtaModelZoo::Train(const CtaZooConfig& config) {
   zoo->models_.resize(config.type_names.size());
 
   const auto& gaz = datagen::Gazetteer::Instance();
-  util::ParallelFor(config.type_names.size(), [&](size_t t) {
+  // One classifier per chunk: training cost varies with domain size, so
+  // work stealing at item granularity keeps the pool busy.
+  util::parallel::Options par_opt;
+  par_opt.grain = 1;
+  util::parallel::ParallelFor(config.type_names.size(), [&](size_t t) {
     const std::string& type_name = config.type_names[t];
     const datagen::Domain* domain = gaz.Find(type_name);
     AT_CHECK_MSG(domain != nullptr, type_name.c_str());
@@ -102,7 +106,7 @@ std::unique_ptr<CtaModelZoo> CtaModelZoo::Train(const CtaZooConfig& config) {
     ml::LogRegConfig train = config.train_config;
     train.seed = config.seed ^ (t * 0x9e37ULL);
     zoo->models_[t].Train(x, y, train);
-  });
+  }, par_opt);
   return zoo;
 }
 

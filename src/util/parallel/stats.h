@@ -1,0 +1,63 @@
+#ifndef AUTOTEST_UTIL_PARALLEL_STATS_H_
+#define AUTOTEST_UTIL_PARALLEL_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace autotest::util::parallel {
+
+/// Process-wide counters for the parallel runtime. All counters are
+/// monotonically increasing and updated with relaxed atomics; they are
+/// diagnostics, not synchronization. Benches and the CLI dump them via
+/// FormatStats().
+struct Stats {
+  /// Parallel-region entries, including ones that fell back to serial.
+  std::atomic<uint64_t> invocations{0};
+  /// Subset of invocations executed inline on the caller (n too small,
+  /// one thread requested, or a nested call inside a running region).
+  std::atomic<uint64_t> serial_invocations{0};
+  /// Loop items (indices) executed across all invocations.
+  std::atomic<uint64_t> items{0};
+  /// Chunks executed across all invocations.
+  std::atomic<uint64_t> chunks{0};
+  /// Chunks a worker claimed from another worker's range.
+  std::atomic<uint64_t> steals{0};
+  /// Sum over parallel invocations of participants that actually joined
+  /// (submitter included).
+  std::atomic<uint64_t> participants{0};
+  /// Sum over parallel invocations of participant slots offered.
+  std::atomic<uint64_t> slots_offered{0};
+};
+
+/// The global counter block shared by every pool invocation.
+Stats& GlobalStats();
+
+/// Copies of the counters at one instant (relaxed loads).
+struct StatsSnapshot {
+  uint64_t invocations = 0;
+  uint64_t serial_invocations = 0;
+  uint64_t items = 0;
+  uint64_t chunks = 0;
+  uint64_t steals = 0;
+  uint64_t participants = 0;
+  uint64_t slots_offered = 0;
+
+  /// Fraction of offered participant slots that were actually manned.
+  double utilization() const {
+    return slots_offered == 0
+               ? 1.0
+               : static_cast<double>(participants) /
+                     static_cast<double>(slots_offered);
+  }
+};
+
+StatsSnapshot SnapshotStats();
+void ResetStats();
+
+/// One-line human-readable dump, e.g. for benches and `--parallel-stats`.
+std::string FormatStats();
+
+}  // namespace autotest::util::parallel
+
+#endif  // AUTOTEST_UTIL_PARALLEL_STATS_H_

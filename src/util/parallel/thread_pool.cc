@@ -1,0 +1,313 @@
+#include "util/parallel/thread_pool.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace autotest::util::parallel {
+
+namespace {
+
+// Hard cap on pool threads; regions requesting more are clamped. Generous
+// relative to any machine this runs on while bounding oversubscription in
+// tests that ask for more threads than cores.
+constexpr size_t kMaxWorkers = 63;
+
+// Target chunks per participant: enough slack for stealing to balance
+// skewed items without paying a CAS per index.
+constexpr size_t kChunksPerParticipant = 8;
+constexpr size_t kMaxGrain = 4096;
+
+// A claimable range of chunk indices packed as (hi << 32) | lo. Owners pop
+// lo upward, thieves pop hi downward; the interval only shrinks, so a CAS
+// can never succeed against a stale snapshot.
+uint64_t PackRange(uint32_t lo, uint32_t hi) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+uint32_t RangeLo(uint64_t bits) { return static_cast<uint32_t>(bits); }
+uint32_t RangeHi(uint64_t bits) { return static_cast<uint32_t>(bits >> 32); }
+
+// True while the current thread is executing inside a parallel region
+// (as submitter or worker); nested regions then run inline.
+thread_local bool tl_in_region = false;
+
+size_t HeuristicGrain(size_t n, size_t participants) {
+  size_t grain = n / (participants * kChunksPerParticipant);
+  return std::clamp<size_t>(grain, 1, kMaxGrain);
+}
+
+}  // namespace
+
+Stats& GlobalStats() {
+  static Stats stats;
+  return stats;
+}
+
+StatsSnapshot SnapshotStats() {
+  const Stats& s = GlobalStats();
+  StatsSnapshot out;
+  out.invocations = s.invocations.load(std::memory_order_relaxed);
+  out.serial_invocations =
+      s.serial_invocations.load(std::memory_order_relaxed);
+  out.items = s.items.load(std::memory_order_relaxed);
+  out.chunks = s.chunks.load(std::memory_order_relaxed);
+  out.steals = s.steals.load(std::memory_order_relaxed);
+  out.participants = s.participants.load(std::memory_order_relaxed);
+  out.slots_offered = s.slots_offered.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetStats() {
+  Stats& s = GlobalStats();
+  s.invocations.store(0, std::memory_order_relaxed);
+  s.serial_invocations.store(0, std::memory_order_relaxed);
+  s.items.store(0, std::memory_order_relaxed);
+  s.chunks.store(0, std::memory_order_relaxed);
+  s.steals.store(0, std::memory_order_relaxed);
+  s.participants.store(0, std::memory_order_relaxed);
+  s.slots_offered.store(0, std::memory_order_relaxed);
+}
+
+std::string FormatStats() {
+  StatsSnapshot s = SnapshotStats();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "parallel::Stats: invocations=%llu (serial=%llu) "
+                "items=%llu chunks=%llu steals=%llu utilization=%.0f%% "
+                "(participants %llu/%llu)",
+                static_cast<unsigned long long>(s.invocations),
+                static_cast<unsigned long long>(s.serial_invocations),
+                static_cast<unsigned long long>(s.items),
+                static_cast<unsigned long long>(s.chunks),
+                static_cast<unsigned long long>(s.steals),
+                100.0 * s.utilization(),
+                static_cast<unsigned long long>(s.participants),
+                static_cast<unsigned long long>(s.slots_offered));
+  return buf;
+}
+
+size_t DefaultThreadCount() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+size_t ReduceGrain(size_t n) {
+  return std::clamp<size_t>(n / 64, 1, kMaxGrain);
+}
+
+struct ThreadPool::JobState {
+  const ChunkFn* body = nullptr;
+  size_t n = 0;
+  size_t grain = 0;
+  size_t num_chunks = 0;
+  size_t slots = 0;  // max participants, submitter included
+  // Per-participant claimable chunk ranges, padded against false sharing.
+  struct alignas(64) Range {
+    std::atomic<uint64_t> bits{0};
+  };
+  std::vector<Range> ranges;
+  // Next participant slot; the submitter holds ticket 0.
+  std::atomic<uint32_t> tickets{1};
+  // Chunks not yet fully executed; the region is done at zero.
+  std::atomic<uint64_t> remaining{0};
+  // Pool workers currently inside WorkOn for this job. The submitter waits
+  // for this to drain before the JobState leaves scope.
+  std::atomic<uint32_t> active{0};
+};
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkers(size_t want) {
+  want = std::min(want, kMaxWorkers);
+  std::lock_guard<std::mutex> lk(mu_);
+  while (workers_.size() < want) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::RunSerial(size_t n, size_t grain, const ChunkFn& body) {
+  for (size_t begin = 0; begin < n; begin += grain) {
+    body(begin, std::min(n, begin + grain));
+  }
+}
+
+void ThreadPool::RunChunked(size_t n, size_t grain, size_t num_threads,
+                            const ChunkFn& body) {
+  Stats& st = GlobalStats();
+  st.invocations.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  num_threads = std::min(num_threads, kMaxWorkers + 1);
+  if (grain == 0) grain = HeuristicGrain(n, num_threads);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  AT_CHECK_MSG(num_chunks <= UINT32_MAX, "parallel region too large");
+  const size_t slots = std::min(num_threads, num_chunks);
+
+  st.items.fetch_add(n, std::memory_order_relaxed);
+  st.chunks.fetch_add(num_chunks, std::memory_order_relaxed);
+
+  if (tl_in_region || slots <= 1) {
+    st.serial_invocations.fetch_add(1, std::memory_order_relaxed);
+    RunSerial(n, grain, body);
+    return;
+  }
+
+  EnsureWorkers(slots - 1);
+
+  JobState job;
+  job.body = &body;
+  job.n = n;
+  job.grain = grain;
+  job.num_chunks = num_chunks;
+  job.slots = slots;
+  job.ranges = std::vector<JobState::Range>(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    uint32_t lo = static_cast<uint32_t>(num_chunks * s / slots);
+    uint32_t hi = static_cast<uint32_t>(num_chunks * (s + 1) / slots);
+    job.ranges[s].bits.store(PackRange(lo, hi), std::memory_order_relaxed);
+  }
+  job.remaining.store(num_chunks, std::memory_order_relaxed);
+
+  // One region at a time: concurrent external submitters queue here.
+  std::lock_guard<std::mutex> run_lk(run_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+
+  tl_in_region = true;
+  WorkOn(job, 0);
+  tl_in_region = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job.remaining.load(std::memory_order_acquire) == 0 &&
+             job.active.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+  }
+
+  uint32_t joined =
+      std::min<uint32_t>(job.tickets.load(std::memory_order_relaxed),
+                         static_cast<uint32_t>(slots));
+  st.participants.fetch_add(joined, std::memory_order_relaxed);
+  st.slots_offered.fetch_add(slots, std::memory_order_relaxed);
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    wake_cv_.wait(lk, [&] {
+      return stop_ || (epoch_ != seen_epoch && job_ != nullptr);
+    });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    JobState* job = job_;
+    uint32_t ticket = job->tickets.fetch_add(1, std::memory_order_relaxed);
+    if (ticket >= job->slots) continue;  // region already fully staffed
+    job->active.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+
+    tl_in_region = true;
+    WorkOn(*job, ticket);
+    tl_in_region = false;
+
+    lk.lock();
+    job->active.fetch_sub(1, std::memory_order_release);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkOn(JobState& job, size_t slot) {
+  const size_t n = job.n;
+  const size_t grain = job.grain;
+  uint64_t local_steals = 0;
+
+  auto exec = [&](uint32_t chunk) {
+    size_t begin = static_cast<size_t>(chunk) * grain;
+    (*job.body)(begin, std::min(n, begin + grain));
+    job.remaining.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  for (;;) {
+    // Drain the front of our own range.
+    uint64_t bits = job.ranges[slot].bits.load(std::memory_order_acquire);
+    while (RangeLo(bits) < RangeHi(bits)) {
+      if (job.ranges[slot].bits.compare_exchange_weak(
+              bits, PackRange(RangeLo(bits) + 1, RangeHi(bits)),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        uint32_t chunk = RangeLo(bits);
+        exec(chunk);
+        bits = job.ranges[slot].bits.load(std::memory_order_acquire);
+      }
+    }
+    if (job.remaining.load(std::memory_order_acquire) == 0) break;
+
+    // Steal one chunk from the back of the first non-empty victim.
+    bool stole = false;
+    for (size_t k = 1; k < job.slots && !stole; ++k) {
+      size_t victim = (slot + k) % job.slots;
+      uint64_t vb = job.ranges[victim].bits.load(std::memory_order_acquire);
+      while (RangeLo(vb) < RangeHi(vb)) {
+        if (job.ranges[victim].bits.compare_exchange_weak(
+                vb, PackRange(RangeLo(vb), RangeHi(vb) - 1),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          ++local_steals;
+          exec(RangeHi(vb) - 1);
+          stole = true;
+          break;
+        }
+      }
+    }
+    // No claimable work anywhere: remaining chunks (if any) are already
+    // being executed by other participants.
+    if (!stole) break;
+  }
+
+  if (local_steals != 0) {
+    GlobalStats().steals.fetch_add(local_steals,
+                                   std::memory_order_relaxed);
+  }
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 const Options& opt) {
+  ThreadPool::Global().RunChunked(
+      n, opt.grain, opt.num_threads, [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      });
+}
+
+void ParallelForEachChunk(size_t n, const ChunkFn& fn, const Options& opt) {
+  size_t grain = opt.grain;
+  if (grain == 0) {
+    size_t threads =
+        opt.num_threads == 0 ? DefaultThreadCount() : opt.num_threads;
+    grain = HeuristicGrain(n, threads);
+  }
+  ThreadPool::Global().RunChunked(n, grain, opt.num_threads, fn);
+}
+
+}  // namespace autotest::util::parallel

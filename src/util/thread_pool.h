@@ -1,24 +1,30 @@
 #ifndef AUTOTEST_UTIL_THREAD_POOL_H_
 #define AUTOTEST_UTIL_THREAD_POOL_H_
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "util/parallel/thread_pool.h"
 
 namespace autotest::util {
 
 /// Runs fn(i) for every i in [0, n) on up to num_threads workers.
-/// Work is handed out via an atomic counter so long items balance naturally.
+/// Forwarding shim over util::parallel::ParallelFor — the persistent
+/// work-stealing pool — kept so legacy call sites compile unchanged.
 /// The call blocks until all items are done. fn must be thread-safe with
-/// respect to distinct indices; results should be written to per-index slots
-/// so the overall computation stays deterministic.
-void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                 size_t num_threads = 0);
+/// respect to distinct indices; results should be written to per-index
+/// slots so the overall computation stays deterministic.
+inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                        size_t num_threads = 0) {
+  parallel::Options opt;
+  opt.num_threads = num_threads;
+  parallel::ParallelFor(n, fn, opt);
+}
 
 /// Default worker count: hardware_concurrency, at least 1.
-size_t DefaultThreadCount();
+inline size_t DefaultThreadCount() {
+  return parallel::DefaultThreadCount();
+}
 
 }  // namespace autotest::util
 

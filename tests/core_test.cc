@@ -73,6 +73,20 @@ TEST(SyntheticCorpusTest, AlienValuesAreAlien) {
   }
 }
 
+TEST(SyntheticCorpusTest, IdenticalColumnsAbortInsteadOfSpinning) {
+  // Regression: when every donor value is present in every base column no
+  // alien value exists; the rejection loop used to spin forever. It must
+  // now hit the attempt cap and abort with a diagnostic.
+  table::Corpus corpus;
+  table::Column c;
+  c.name = "dup";
+  c.values = {"a", "b", "c"};
+  corpus.push_back(c);
+  corpus.push_back(c);
+  EXPECT_DEATH(BuildSyntheticCorpus(corpus, 4, 7),
+               "alien donor values");
+}
+
 TEST(SyntheticCorpusTest, Deterministic) {
   auto corpus = datagen::GenerateCorpus(datagen::TablibProfile(100, 3));
   auto a = BuildSyntheticCorpus(corpus, 100, 7);

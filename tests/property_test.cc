@@ -6,11 +6,15 @@
 #include <string>
 
 #include "core/sdc.h"
+#include "core/selection.h"
+#include "core/trainer.h"
 #include "datagen/column_gen.h"
+#include "datagen/corpus_gen.h"
 #include "datagen/gazetteer.h"
 #include "eval/metrics.h"
 #include "pattern/pattern.h"
 #include "stats/statistics.h"
+#include "typedet/eval_functions.h"
 #include "typedet/validators.h"
 #include "util/rng.h"
 
@@ -207,6 +211,76 @@ TEST_P(PreconditionMonotoneTest, Monotone) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PreconditionMonotoneTest,
                          ::testing::Range<uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Property: training is deterministic in the thread count. The parallel
+// runtime writes per-function results to per-index slots and merges them
+// in index order, so the trained model — constraints, calibrated
+// confidences, detection lists — must be byte-identical for any
+// num_threads. Exact (==) comparison on every double is intentional.
+// ---------------------------------------------------------------------------
+
+void ExpectSameModel(const core::TrainedModel& a,
+                     const core::TrainedModel& b) {
+  ASSERT_EQ(a.constraints.size(), b.constraints.size());
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  EXPECT_EQ(a.num_synthetic, b.num_synthetic);
+  EXPECT_EQ(a.candidates_enumerated, b.candidates_enumerated);
+  EXPECT_EQ(a.candidates_pruned, b.candidates_pruned);
+  EXPECT_EQ(a.candidates_rejected, b.candidates_rejected);
+  for (size_t i = 0; i < a.constraints.size(); ++i) {
+    const core::Sdc& x = a.constraints[i];
+    const core::Sdc& y = b.constraints[i];
+    EXPECT_EQ(x.eval_index, y.eval_index) << i;
+    EXPECT_EQ(x.d_in, y.d_in) << i;
+    EXPECT_EQ(x.d_out, y.d_out) << i;
+    EXPECT_EQ(x.m, y.m) << i;
+    EXPECT_EQ(x.confidence, y.confidence) << i;
+    EXPECT_EQ(x.fpr, y.fpr) << i;
+    EXPECT_EQ(x.cohens_h, y.cohens_h) << i;
+    EXPECT_EQ(x.chi_squared_p, y.chi_squared_p) << i;
+    EXPECT_EQ(x.contingency.covered_triggered,
+              y.contingency.covered_triggered)
+        << i;
+    EXPECT_EQ(x.contingency.covered_not_triggered,
+              y.contingency.covered_not_triggered)
+        << i;
+    EXPECT_EQ(a.detections[i], b.detections[i]) << i;
+  }
+  EXPECT_EQ(a.synthetic_conf_all, b.synthetic_conf_all);
+}
+
+TEST(TrainingDeterminismTest, IdenticalModelAcrossThreadCounts) {
+  auto corpus =
+      datagen::GenerateCorpus(datagen::RelationalTablesProfile(150));
+  typedet::EvalFunctionSetOptions eval_opt;
+  eval_opt.embedding_centroids_per_model = 20;
+  auto evals = typedet::EvalFunctionSet::Build(corpus, eval_opt);
+
+  core::TrainOptions topt;
+  topt.synthetic_count = 200;
+
+  topt.num_threads = 1;
+  core::TrainedModel m1 = core::TrainAutoTest(corpus, evals, topt);
+  topt.num_threads = 2;
+  core::TrainedModel m2 = core::TrainAutoTest(corpus, evals, topt);
+  topt.num_threads = 8;
+  core::TrainedModel m8 = core::TrainAutoTest(corpus, evals, topt);
+
+  ASSERT_GT(m1.constraints.size(), 0u);
+  ExpectSameModel(m1, m2);
+  ExpectSameModel(m1, m8);
+
+  // Selection consumes only per-rule slots, so it is thread-count
+  // invariant too.
+  core::SelectionOptions sopt;
+  sopt.num_threads = 1;
+  auto s1 = core::FineSelect(m1, sopt);
+  sopt.num_threads = 8;
+  auto s8 = core::FineSelect(m8, sopt);
+  EXPECT_EQ(s1.selected, s8.selected);
+  EXPECT_EQ(s1.lp_objective, s8.lp_objective);
+}
 
 }  // namespace
 }  // namespace autotest

@@ -19,6 +19,7 @@
 #include "core/serialization.h"
 #include "datagen/corpus_gen.h"
 #include "table/csv.h"
+#include "util/parallel/thread_pool.h"
 
 namespace {
 
@@ -188,9 +189,21 @@ int CmdRules(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --parallel-stats flag before command dispatch.
+  bool parallel_stats = false;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--parallel-stats") == 0) {
+      parallel_stats = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: autotest <train|check|rules> [options]\n"
+                 "usage: autotest <train|check|rules> [options] "
+                 "[--parallel-stats]\n"
                  "  train --corpus relational|spreadsheet|tablib "
                  "--columns N --out rules.sdc\n"
                  "  check file.csv [--rules rules.sdc]\n"
@@ -198,9 +211,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string cmd = argv[1];
-  if (cmd == "train") return CmdTrain(argc - 2, argv + 2);
-  if (cmd == "check") return CmdCheck(argc - 2, argv + 2);
-  if (cmd == "rules") return CmdRules(argc - 2, argv + 2);
-  std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
-  return 1;
+  int rc = 1;
+  if (cmd == "train") rc = CmdTrain(argc - 2, argv + 2);
+  else if (cmd == "check") rc = CmdCheck(argc - 2, argv + 2);
+  else if (cmd == "rules") rc = CmdRules(argc - 2, argv + 2);
+  else std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  if (parallel_stats) {
+    std::fprintf(stderr, "%s\n", util::parallel::FormatStats().c_str());
+  }
+  return rc;
 }
