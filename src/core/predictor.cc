@@ -1,18 +1,38 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_map>
 
-#include "util/check.h"
+#include "util/failpoint.h"
 
 namespace autotest::core {
 
-SdcPredictor::SdcPredictor(std::vector<Sdc> rules)
-    : rules_(std::move(rules)) {
+namespace {
+
+// A rule the online stage can serve: resolved eval and sane parameters.
+// Anything else is dropped with a counted warning (graceful degradation)
+// rather than aborting the serve path.
+bool IsServableRule(const Sdc& rule) {
+  return rule.eval != nullptr && std::isfinite(rule.d_in) &&
+         std::isfinite(rule.d_out) && std::isfinite(rule.m) &&
+         std::isfinite(rule.confidence) && rule.d_in <= rule.d_out;
+}
+
+}  // namespace
+
+SdcPredictor::SdcPredictor(std::vector<Sdc> rules) {
+  rules_.reserve(rules.size());
+  for (Sdc& rule : rules) {
+    if (!IsServableRule(rule)) {
+      ++skipped_rules_;
+      continue;
+    }
+    rules_.push_back(std::move(rule));
+  }
   std::unordered_map<const typedet::DomainEvalFunction*, size_t> group_of;
   for (size_t r = 0; r < rules_.size(); ++r) {
-    AT_CHECK(rules_[r].eval != nullptr);
     auto it = group_of.find(rules_[r].eval);
     if (it == group_of.end()) {
       group_of.emplace(rules_[r].eval, groups_.size());
@@ -91,4 +111,15 @@ std::vector<CellDetection> SdcPredictor::Predict(
   return out;
 }
 
+util::Result<std::vector<CellDetection>> SdcPredictor::TryPredict(
+    const table::Column& column) const {
+  if (util::FailpointFires(util::kFpPredictorColumn)) {
+    return util::InjectedFault(util::StatusCode::kResourceExhausted,
+                               util::kFpPredictorColumn)
+        .WithContext("predicting column '" + column.name + "'");
+  }
+  return Predict(column);
+}
+
 }  // namespace autotest::core
+

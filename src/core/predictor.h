@@ -6,6 +6,7 @@
 
 #include "core/sdc.h"
 #include "table/column.h"
+#include "util/status.h"
 
 namespace autotest::core {
 
@@ -31,13 +32,28 @@ class SdcPredictor {
  public:
   /// `rules` reference evaluation functions owned elsewhere (the
   /// EvalFunctionSet must outlive the predictor).
+  ///
+  /// Rules that cannot be served — unresolved evaluation function (null
+  /// eval, e.g. from a rule file loaded against a mismatched function set)
+  /// or semantically invalid parameters (non-finite, d_in > d_out) — are
+  /// dropped and counted in skipped_rules() instead of aborting: the online
+  /// stage degrades to the rules it can trust (Figure 5's serve path must
+  /// survive stale/corrupt rule files).
   explicit SdcPredictor(std::vector<Sdc> rules);
 
   /// Detects erroneous cells in a column. Returns one entry per offending
   /// row, each carrying the best-rule confidence and explanation.
   std::vector<CellDetection> Predict(const table::Column& column) const;
 
+  /// Predict with an error channel: fails only under injected faults
+  /// (failpoint "predictor.column", simulating per-column resource
+  /// exhaustion) so callers can exercise column-level skip logic.
+  util::Result<std::vector<CellDetection>> TryPredict(
+      const table::Column& column) const;
+
   size_t num_rules() const { return rules_.size(); }
+  /// Rules rejected at construction (unresolved or invalid).
+  size_t skipped_rules() const { return skipped_rules_; }
   const std::vector<Sdc>& rules() const { return rules_; }
 
  private:
@@ -48,6 +64,7 @@ class SdcPredictor {
 
   std::vector<Sdc> rules_;
   std::vector<Group> groups_;
+  size_t skipped_rules_ = 0;
 };
 
 }  // namespace autotest::core

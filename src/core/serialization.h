@@ -8,6 +8,7 @@
 
 #include "core/sdc.h"
 #include "typedet/eval_functions.h"
+#include "util/status.h"
 
 namespace autotest::core {
 
@@ -31,14 +32,36 @@ namespace autotest::core {
 std::string SerializeRules(const std::vector<Sdc>& rules);
 
 /// Parses rules and resolves their evaluation functions against `evals`.
-/// Returns nullopt on malformed input. Rules whose eval id is unknown are
-/// skipped and counted in *unresolved (if non-null).
-std::optional<std::vector<Sdc>> DeserializeRules(
+/// Rules whose eval id is unknown are skipped and counted in *unresolved
+/// (if non-null) — a counted degradation, not an error.
+///
+/// Everything else about the input is treated as untrusted: errors carry
+/// the 1-based line number and the offending field name. kInvalidArgument
+/// for a missing or wrong-version header and for semantically invalid
+/// parameters (non-finite values, d_in > d_out, m/conf/fpr outside [0,1],
+/// negative contingency counts); kDataLoss for truncated or corrupt rule
+/// lines.
+util::Result<std::vector<Sdc>> TryDeserializeRules(
     std::string_view text, const typedet::EvalFunctionSet& evals,
     size_t* unresolved = nullptr);
 
-/// File helpers.
+/// Loads rules from a file; kNotFound/kIoError for unreadable files, else
+/// TryDeserializeRules diagnostics with the path as context.
+util::Result<std::vector<Sdc>> TryLoadRulesFromFile(
+    const std::string& path, const typedet::EvalFunctionSet& evals,
+    size_t* unresolved = nullptr);
+
+/// Atomically writes rules to `path`: serializes into `path` + ".tmp" and
+/// renames over the target, so a failed save never leaves a truncated
+/// rules.sdc behind. kIoError on any write/rename failure.
+util::Status TrySaveRulesToFile(const std::vector<Sdc>& rules,
+                                const std::string& path);
+
+/// Legacy shims over the Try* functions; they discard the diagnostic.
 bool SaveRulesToFile(const std::vector<Sdc>& rules, const std::string& path);
+std::optional<std::vector<Sdc>> DeserializeRules(
+    std::string_view text, const typedet::EvalFunctionSet& evals,
+    size_t* unresolved = nullptr);
 std::optional<std::vector<Sdc>> LoadRulesFromFile(
     const std::string& path, const typedet::EvalFunctionSet& evals,
     size_t* unresolved = nullptr);

@@ -8,6 +8,7 @@
 
 #include "stats/statistics.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/parallel/thread_pool.h"
 #include "util/rng.h"
 
@@ -27,6 +28,7 @@ struct FunctionResult {
   size_t enumerated = 0;
   size_t pruned = 0;
   size_t rejected = 0;
+  bool skipped = false;  // dropped under an injected fault
   double candidate_seconds = 0.0;
   double synthetic_seconds = 0.0;
 };
@@ -129,9 +131,15 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
   util::parallel::ParallelFor(
       evals.size(),
       [&](size_t fi) {
+        FunctionResult& res = results[fi];
+        // Injected allocation/compute fault for this evaluation family:
+        // drop the family (counted) and train on the rest.
+        if (util::FailpointFires(util::kFpTrainerEval)) {
+          res.skipped = true;
+          return;
+        }
         auto t0 = Clock::now();
         const auto& eval = evals.at(fi);
-        FunctionResult& res = results[fi];
         Thresholds th = MakeThresholds(eval, options);
         const size_t ni = th.d_ins.size();
         const size_t no = th.d_outs.size();
@@ -317,6 +325,7 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
   TrainedModel model;
   model.num_synthetic = synthetic.size();
   for (auto& res : results) {
+    if (res.skipped) ++model.evals_skipped;
     model.candidates_enumerated += res.enumerated;
     model.candidates_pruned += res.pruned;
     model.candidates_rejected += res.rejected;

@@ -100,6 +100,10 @@ struct TrainedModel {
   size_t candidates_enumerated = 0;
   size_t candidates_pruned = 0;    // skipped by the Appendix-B.1 bound
   size_t candidates_rejected = 0;  // failed the statistical tests
+  /// Evaluation families dropped under injected faults (failpoint
+  /// "trainer.eval"): training degrades to the remaining families instead
+  /// of crashing; callers should surface a warning when non-zero.
+  size_t evals_skipped = 0;
   TrainTimings timings;
 };
 

@@ -4,21 +4,88 @@
 #include <sstream>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace autotest::table {
 
 namespace {
 
-// Parses the raw grid of cells; returns false on unterminated quote.
-bool ParseCells(std::string_view text, char delim,
-                std::vector<std::vector<std::string>>* rows) {
+using util::DataLossError;
+using util::IoError;
+using util::NotFoundError;
+using util::ResourceExhaustedError;
+using util::Result;
+using util::Status;
+
+// Cursor state threaded through the cell parser so limit violations and
+// malformed input report the exact line (1-based, physical), field (1-based
+// within the row) and byte offset.
+struct ParsePos {
+  size_t line = 1;
+  size_t field = 1;
+  size_t row_bytes = 0;
+};
+
+std::string At(size_t line, size_t field, size_t byte) {
+  return "line " + std::to_string(line) + ", field " +
+         std::to_string(field) + ", byte offset " + std::to_string(byte);
+}
+
+// Parses the raw grid of cells with resource limits applied as the input
+// streams through (a hostile input fails fast, before large allocations).
+Status ParseCells(std::string_view text, const CsvOptions& opt,
+                  std::vector<std::vector<std::string>>* rows) {
   std::vector<std::string> row;
   std::string field;
   size_t i = 0;
   bool in_row = false;
+  ParsePos pos;
+
+  auto check_field = [&](size_t at_byte) -> Status {
+    if (opt.max_field_bytes != 0 && field.size() > opt.max_field_bytes) {
+      return ResourceExhaustedError(
+          "field exceeds max_field_bytes=" +
+          std::to_string(opt.max_field_bytes) + " at " +
+          At(pos.line, pos.field, at_byte));
+    }
+    if (opt.max_row_bytes != 0 &&
+        pos.row_bytes + field.size() > opt.max_row_bytes) {
+      return ResourceExhaustedError(
+          "row exceeds max_row_bytes=" + std::to_string(opt.max_row_bytes) +
+          " at " + At(pos.line, pos.field, at_byte));
+    }
+    return Status::Ok();
+  };
+  auto end_field = [&](size_t at_byte) -> Status {
+    AT_RETURN_IF_ERROR(check_field(at_byte));
+    if (opt.max_columns != 0 && row.size() >= opt.max_columns) {
+      return ResourceExhaustedError(
+          "row exceeds max_columns=" + std::to_string(opt.max_columns) +
+          " at " + At(pos.line, pos.field, at_byte));
+    }
+    pos.row_bytes += field.size();
+    row.push_back(std::move(field));
+    field.clear();
+    ++pos.field;
+    return Status::Ok();
+  };
+  auto end_row = [&](size_t at_byte) -> Status {
+    AT_RETURN_IF_ERROR(end_field(at_byte));
+    rows->push_back(std::move(row));
+    row.clear();
+    pos.field = 1;
+    pos.row_bytes = 0;
+    in_row = false;
+    return Status::Ok();
+  };
+
   while (i < text.size()) {
     char c = text[i];
     if (c == '"') {
       // Quoted field.
+      size_t open_line = pos.line;
+      size_t open_field = pos.field;
+      size_t open_byte = i;
       ++i;
       bool closed = false;
       while (i < text.size()) {
@@ -32,43 +99,41 @@ bool ParseCells(std::string_view text, char delim,
             break;
           }
         } else {
+          if (text[i] == '\n') ++pos.line;
           field.push_back(text[i]);
           ++i;
         }
+        AT_RETURN_IF_ERROR(check_field(i));
       }
-      if (!closed) return false;
+      if (!closed) {
+        return DataLossError("unterminated quoted field (quote opened at " +
+                             At(open_line, open_field, open_byte) + ")");
+      }
       in_row = true;
-    } else if (c == delim) {
-      row.push_back(std::move(field));
-      field.clear();
+    } else if (c == opt.delimiter) {
+      AT_RETURN_IF_ERROR(end_field(i));
       in_row = true;
       ++i;
     } else if (c == '\r') {
       ++i;  // handled together with the following \n (or alone)
       if (i < text.size() && text[i] == '\n') ++i;
-      row.push_back(std::move(field));
-      field.clear();
-      rows->push_back(std::move(row));
-      row.clear();
-      in_row = false;
+      AT_RETURN_IF_ERROR(end_row(i));
+      ++pos.line;
     } else if (c == '\n') {
       ++i;
-      row.push_back(std::move(field));
-      field.clear();
-      rows->push_back(std::move(row));
-      row.clear();
-      in_row = false;
+      AT_RETURN_IF_ERROR(end_row(i));
+      ++pos.line;
     } else {
       field.push_back(c);
       in_row = true;
       ++i;
+      AT_RETURN_IF_ERROR(check_field(i));
     }
   }
   if (in_row || !field.empty()) {
-    row.push_back(std::move(field));
-    rows->push_back(std::move(row));
+    AT_RETURN_IF_ERROR(end_row(text.size()));
   }
-  return true;
+  return Status::Ok();
 }
 
 bool NeedsQuoting(const std::string& s, char delim) {
@@ -93,10 +158,13 @@ void AppendField(const std::string& s, char delim, std::string* out) {
 
 }  // namespace
 
-std::optional<Table> ParseCsv(std::string_view text,
-                              const CsvOptions& options) {
+Result<Table> TryParseCsv(std::string_view text, const CsvOptions& options) {
+  if (util::FailpointFires(util::kFpCsvParse)) {
+    return util::InjectedFault(util::StatusCode::kDataLoss,
+                               util::kFpCsvParse);
+  }
   std::vector<std::vector<std::string>> rows;
-  if (!ParseCells(text, options.delimiter, &rows)) return std::nullopt;
+  AT_RETURN_IF_ERROR(ParseCells(text, options, &rows));
   Table t;
   if (rows.empty()) return t;
 
@@ -147,23 +215,52 @@ std::string WriteCsv(const Table& table, const CsvOptions& options) {
   return out;
 }
 
-std::optional<Table> ReadCsvFile(const std::string& path,
-                                 const CsvOptions& options) {
+Result<Table> TryReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  if (util::FailpointFires(util::kFpCsvOpen)) {
+    return util::InjectedFault(util::StatusCode::kIoError, util::kFpCsvOpen)
+        .WithContext("reading CSV file " + path);
+  }
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
   std::ostringstream ss;
   ss << in.rdbuf();
-  auto t = ParseCsv(ss.str(), options);
-  if (t) t->name = path;
+  if (in.bad()) {
+    return IoError("read failure on " + path);
+  }
+  auto t = TryParseCsv(ss.str(), options);
+  if (!t.ok()) {
+    return Status(t.status()).WithContext("parsing CSV file " + path);
+  }
+  t->name = path;
   return t;
+}
+
+util::Status TryWriteCsvFile(const Table& table, const std::string& path,
+                             const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return IoError("cannot open " + path + " for writing");
+  out << WriteCsv(table, options);
+  out.flush();
+  if (!out) return IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+std::optional<Table> ParseCsv(std::string_view text,
+                              const CsvOptions& options) {
+  return TryParseCsv(text, options).ToOptional();
+}
+
+std::optional<Table> ReadCsvFile(const std::string& path,
+                                 const CsvOptions& options) {
+  return TryReadCsvFile(path, options).ToOptional();
 }
 
 bool WriteCsvFile(const Table& table, const std::string& path,
                   const CsvOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out << WriteCsv(table, options);
-  return static_cast<bool>(out);
+  return TryWriteCsvFile(table, path, options).ok();
 }
 
 }  // namespace autotest::table

@@ -1,0 +1,194 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/hashing.h"
+#include "util/string_util.h"
+
+namespace autotest::util {
+
+namespace {
+
+bool IsKnownFailpoint(std::string_view name) {
+  for (std::string_view fp : kAllFailpoints) {
+    if (fp == name) return true;
+  }
+  return false;
+}
+
+std::string KnownFailpointList() {
+  std::string out;
+  for (std::string_view fp : kAllFailpoints) {
+    if (!out.empty()) out += ", ";
+    out += fp;
+  }
+  return out;
+}
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() {
+  for (std::string_view fp : kAllFailpoints) {
+    points_.emplace(std::string(fp), Point{});
+  }
+  if (const char* env = std::getenv("AT_FAILPOINTS")) {
+    // Environment arming is best-effort: a bad spec must not turn a
+    // production binary into an aborting one, so report and continue
+    // disarmed rather than AT_CHECK-ing here.
+    Status st = Configure(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: ignoring bad AT_FAILPOINTS: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Status FailpointRegistry::Configure(std::string_view spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& raw : Split(spec, ',')) {
+    std::string_view entry = Trim(raw);
+    if (entry.empty()) continue;
+
+    size_t eq = entry.rfind('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == entry.size()) {
+      return InvalidArgumentError("bad failpoint entry '" +
+                                  std::string(entry) +
+                                  "' (want name=on|off, name:p=<prob> or "
+                                  "seed=<n>)");
+    }
+    std::string_view key = entry.substr(0, eq);
+    std::string value(entry.substr(eq + 1));
+    char* endp = nullptr;
+
+    if (key == "seed") {
+      uint64_t s = std::strtoull(value.c_str(), &endp, 10);
+      if (endp == value.c_str() || *endp != '\0') {
+        return InvalidArgumentError("bad failpoint seed '" + value + "'");
+      }
+      seed_ = s;
+      continue;
+    }
+
+    bool armed;
+    double probability = 1.0;
+    std::string_view name = key;
+    if (EndsWith(key, ":p")) {
+      name = key.substr(0, key.size() - 2);
+      probability = std::strtod(value.c_str(), &endp);
+      if (endp == value.c_str() || *endp != '\0' || probability < 0.0 ||
+          probability > 1.0) {
+        return InvalidArgumentError("bad failpoint probability '" + value +
+                                    "' for '" + std::string(name) +
+                                    "' (want a number in [0,1])");
+      }
+      armed = probability > 0.0;
+    } else if (value == "on") {
+      armed = true;
+    } else if (value == "off") {
+      armed = false;
+    } else {
+      return InvalidArgumentError("bad failpoint value '" + value +
+                                  "' for '" + std::string(name) +
+                                  "' (want on, off or :p=<prob>)");
+    }
+
+    if (name == "all") {
+      for (auto& [fp, point] : points_) {
+        (void)fp;
+        point.armed = armed;
+        point.probability = probability;
+      }
+    } else {
+      auto it = points_.find(name);
+      if (it == points_.end() || !IsKnownFailpoint(name)) {
+        return InvalidArgumentError("unknown failpoint '" +
+                                    std::string(name) + "' (known: " +
+                                    KnownFailpointList() + ")");
+      }
+      it->second.armed = armed;
+      it->second.probability = probability;
+    }
+  }
+  any_armed_ = false;
+  for (const auto& [fp, point] : points_) {
+    (void)fp;
+    if (point.armed) any_armed_ = true;
+  }
+  armed_flag_.store(any_armed_, std::memory_order_release);
+  return Status::Ok();
+}
+
+void FailpointRegistry::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [fp, point] : points_) {
+    (void)fp;
+    point.armed = false;
+  }
+  any_armed_ = false;
+  armed_flag_.store(false, std::memory_order_release);
+}
+
+void FailpointRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [fp, point] : points_) {
+    (void)fp;
+    point = Point{};
+  }
+  seed_ = 0;
+  any_armed_ = false;
+  armed_flag_.store(false, std::memory_order_release);
+}
+
+bool FailpointRegistry::ShouldFail(std::string_view name) {
+  if (!armed_flag_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return false;
+  Point& point = it->second;
+  uint64_t k = point.evaluations++;
+  if (!point.armed) return false;
+  // Deterministic per-(seed, name, evaluation-index) decision stream.
+  double roll = HashToUnitDouble(SplitMix64(seed_ ^ Fnv64Seeded(name, k)));
+  if (roll >= point.probability) return false;
+  ++point.fires;
+  return true;
+}
+
+uint64_t FailpointRegistry::evaluations(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.evaluations;
+}
+
+uint64_t FailpointRegistry::fires(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::string FailpointRegistry::StatsString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "failpoints:";
+  bool any = false;
+  for (const auto& [fp, point] : points_) {
+    if (!point.armed && point.fires == 0) continue;
+    any = true;
+    out += " " + fp + " evals=" + std::to_string(point.evaluations) +
+           " fires=" + std::to_string(point.fires);
+  }
+  if (!any) out += " (none armed)";
+  return out;
+}
+
+Status InjectedFault(StatusCode code, std::string_view name) {
+  return Status(code,
+                "injected fault at failpoint '" + std::string(name) + "'");
+}
+
+}  // namespace autotest::util

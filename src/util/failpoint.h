@@ -1,0 +1,114 @@
+#ifndef AUTOTEST_UTIL_FAILPOINT_H_
+#define AUTOTEST_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+// Fault-injection framework for the load/serve path. Code at an injection
+// site asks `FailpointFires("rules.parse")`; when the failpoint is armed the
+// site returns a structured Status instead of doing its work, so tests (and
+// soak runs) can prove the pipeline degrades gracefully under I/O failures,
+// corrupt inputs and allocation pressure without mocking the filesystem.
+//
+// Arming:
+//   - environment: AT_FAILPOINTS="rules.parse=on,csv.open:p=0.01,seed=7"
+//   - CLI:         autotest --failpoints "all:p=0.01" ...
+//   - tests:       FailpointRegistry::Global().Configure("rules.save=on")
+//
+// Spec grammar (comma-separated entries):
+//   <name>=on | <name>=off | <name>:p=<prob> | all=on | all:p=<prob>
+//   seed=<uint64>      (decision-stream seed; default 0)
+//
+// Firing is deterministic: the decision for the k-th evaluation of failpoint
+// `name` is a pure function of (seed, name, k), so a failing soak run is
+// reproducible from its seed alone — no global RNG state involved.
+//
+// Naming scheme: `<component>.<operation>`, lower-case. The canonical list
+// lives in kAllFailpoints below; sites must use these constants so the
+// robustness suite can assert every registered failpoint fires somewhere.
+
+namespace autotest::util {
+
+inline constexpr std::string_view kFpCsvOpen = "csv.open";
+inline constexpr std::string_view kFpCsvParse = "csv.parse";
+inline constexpr std::string_view kFpRulesOpen = "rules.open";
+inline constexpr std::string_view kFpRulesParse = "rules.parse";
+inline constexpr std::string_view kFpRulesSave = "rules.save";
+inline constexpr std::string_view kFpRecipeLoad = "recipe.load";
+inline constexpr std::string_view kFpRecipeSave = "recipe.save";
+inline constexpr std::string_view kFpTrainerEval = "trainer.eval";
+inline constexpr std::string_view kFpPredictorColumn = "predictor.column";
+
+/// Every failpoint compiled into the binary. Keep in sync with the
+/// constants above; tests/robustness_test.cc walks this list.
+inline constexpr std::string_view kAllFailpoints[] = {
+    kFpCsvOpen,    kFpCsvParse,  kFpRulesOpen,
+    kFpRulesParse, kFpRulesSave, kFpRecipeLoad,
+    kFpRecipeSave, kFpTrainerEval, kFpPredictorColumn,
+};
+
+/// Process-wide registry. Thread-safe; the disarmed fast path is a single
+/// relaxed atomic load, so injection sites are free in production.
+class FailpointRegistry {
+ public:
+  /// The process singleton. Arms itself from AT_FAILPOINTS (if set) on
+  /// first access.
+  static FailpointRegistry& Global();
+
+  /// Parses and applies a spec (see grammar above). Entries apply in
+  /// order; later entries override earlier ones. Unknown failpoint names
+  /// and malformed probabilities are kInvalidArgument.
+  Status Configure(std::string_view spec);
+
+  /// Disarms every failpoint; evaluation/fire counters are preserved.
+  void Disarm();
+
+  /// Disarms and zeroes all counters (fresh-process state).
+  void Reset();
+
+  /// True if the named failpoint should inject a fault at this evaluation.
+  /// Counts the evaluation (and the fire, if any) either way.
+  bool ShouldFail(std::string_view name);
+
+  /// Counters, for tests and --failpoints diagnostics.
+  uint64_t evaluations(std::string_view name) const;
+  uint64_t fires(std::string_view name) const;
+
+  /// "failpoints: csv.open evals=12 fires=1, ..." (armed or fired only).
+  std::string StatsString() const;
+
+ private:
+  FailpointRegistry();
+
+  struct Point {
+    bool armed = false;
+    double probability = 1.0;
+    uint64_t evaluations = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  bool any_armed_ = false;  // mirrors armed_flag_ under mu_
+  std::atomic<bool> armed_flag_{false};
+  uint64_t seed_ = 0;
+  std::map<std::string, Point, std::less<>> points_;
+};
+
+/// Injection-site helper: true when `name` should fail now.
+inline bool FailpointFires(std::string_view name) {
+  return FailpointRegistry::Global().ShouldFail(name);
+}
+
+/// Canonical error for a fired failpoint, e.g.
+/// IO_ERROR: injected fault at failpoint 'rules.open'.
+Status InjectedFault(StatusCode code, std::string_view name);
+
+}  // namespace autotest::util
+
+#endif  // AUTOTEST_UTIL_FAILPOINT_H_

@@ -109,6 +109,12 @@ class TrainedFixture : public ::testing::Test {
     config.train_options.synthetic_count = 400;
     at_ = new AutoTest(AutoTest::Train(*corpus_, config));
   }
+  static void TearDownTestSuite() {
+    delete at_;
+    at_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
+  }
   static table::Corpus* corpus_;
   static AutoTest* at_;
 };

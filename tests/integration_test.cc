@@ -28,6 +28,14 @@ class IntegrationTest : public ::testing::Test {
     rt_ = new datagen::LabeledBenchmark(
         datagen::GenerateBenchmark(datagen::RtBenchProfile(400, 6161)));
   }
+  static void TearDownTestSuite() {
+    delete rt_;
+    rt_ = nullptr;
+    delete st_;
+    st_ = nullptr;
+    delete at_;
+    at_ = nullptr;
+  }
   static core::AutoTest* at_;
   static datagen::LabeledBenchmark* st_;
   static datagen::LabeledBenchmark* rt_;

@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "core/predictor.h"
 #include "core/serialization.h"
 #include "core/trainer.h"
 #include "datagen/corpus_gen.h"
 #include "typedet/eval_functions.h"
+#include "util/failpoint.h"
+#include "util/status.h"
 
 namespace autotest::core {
 namespace {
@@ -21,6 +27,14 @@ class SerializationTest : public ::testing::Test {
     TrainOptions topt;
     topt.synthetic_count = 200;
     model_ = new TrainedModel(TrainAutoTest(*corpus_, *evals_, topt));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete evals_;
+    evals_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
   }
   static table::Corpus* corpus_;
   static typedet::EvalFunctionSet* evals_;
@@ -80,6 +94,187 @@ TEST_F(SerializationTest, MalformedInputsRejected) {
   EXPECT_FALSE(
       DeserializeRules("# autotest-sdc v1\nbogus line\n", *evals_)
           .has_value());
+}
+
+// --- structured diagnostics on the Try* surface ---
+
+namespace {
+
+// A syntactically and semantically valid rule line with an unknown eval id
+// (so it parses and validates without needing a resolvable function).
+std::string RuleLine(const std::string& d_in = "0.1",
+                     const std::string& d_out = "0.9",
+                     const std::string& m = "0.8",
+                     const std::string& conf = "0.95",
+                     const std::string& fpr = "0.01",
+                     const std::string& ct = "1") {
+  return "rule\tfun:unknown\t" + d_in + "\t" + d_out + "\t" + m + "\t" +
+         conf + "\t" + fpr + "\t" + ct + "\t2\t3\t4\t1\t0.01\n";
+}
+
+constexpr char kV1[] = "# autotest-sdc v1\n";
+
+}  // namespace
+
+TEST_F(SerializationTest, MissingHeaderDiagnostic) {
+  auto r = TryDeserializeRules("", *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("header"), std::string::npos);
+}
+
+TEST_F(SerializationTest, WrongVersionHeaderDiagnostic) {
+  auto r = TryDeserializeRules("# autotest-sdc v2\n" + RuleLine(), *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("unsupported rule-file version 'v2'"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SerializationTest, RuleBeforeHeaderRejected) {
+  auto r = TryDeserializeRules(RuleLine() + kV1, *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, TruncatedRuleLineDiagnostic) {
+  std::string text = SerializeRules(model_->constraints);
+  // Cut the last line in half: field count drops below 13.
+  text.resize(text.size() - text.size() / 4);
+  while (!text.empty() && text.back() != '\t') text.pop_back();
+  auto r = TryDeserializeRules(text, *evals_);
+  if (!r.ok()) {
+    EXPECT_NE(r.status().ToString().find("rule line"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST_F(SerializationTest, BadNumberNamesFieldAndLine) {
+  auto r =
+      TryDeserializeRules(kV1 + RuleLine("zzz"), *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("rule line 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("field 'd_in'"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SerializationTest, TrailingGarbageInNumberRejected) {
+  auto r = TryDeserializeRules(kV1 + RuleLine("0.1abc"), *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST_F(SerializationTest, NonFiniteValuesRejected) {
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    auto r = TryDeserializeRules(kV1 + RuleLine(bad), *evals_);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(r.status().message().find("not finite"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST_F(SerializationTest, InvertedRadiiRejected) {
+  auto r = TryDeserializeRules(kV1 + RuleLine("0.9", "0.1"), *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("d_in exceeds outer radius"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SerializationTest, OutOfRangeUnitFieldsRejected) {
+  // m, conf, fpr each outside [0, 1].
+  EXPECT_FALSE(
+      TryDeserializeRules(kV1 + RuleLine("0.1", "0.9", "1.5"), *evals_)
+          .ok());
+  EXPECT_FALSE(TryDeserializeRules(
+                   kV1 + RuleLine("0.1", "0.9", "0.8", "-0.2"), *evals_)
+                   .ok());
+  EXPECT_FALSE(
+      TryDeserializeRules(
+          kV1 + RuleLine("0.1", "0.9", "0.8", "0.95", "2.0"), *evals_)
+          .ok());
+}
+
+TEST_F(SerializationTest, NegativeCountsRejected) {
+  auto r = TryDeserializeRules(
+      kV1 + RuleLine("0.1", "0.9", "0.8", "0.95", "0.01", "-5"), *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("is negative"), std::string::npos);
+}
+
+TEST_F(SerializationTest, LoadMissingFileIsNotFound) {
+  auto r = TryLoadRulesFromFile("/nonexistent/rules.sdc", *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(SerializationTest, LoadErrorCarriesPathContext) {
+  const std::string path = "/tmp/autotest_rules_corrupt.sdc";
+  {
+    std::ofstream out(path);
+    out << "# autotest-sdc v1\nrule\tx\t1\n";
+  }
+  auto r = TryLoadRulesFromFile(path, *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find(path), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+// --- atomic save (satellite: temp-file + rename) ---
+
+TEST_F(SerializationTest, SaveIsAtomicUnderInjectedFault) {
+  const std::string path = "/tmp/autotest_rules_atomic.sdc";
+  ASSERT_TRUE(TrySaveRulesToFile(model_->constraints, path).ok());
+  std::string before;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    before = ss.str();
+  }
+  ASSERT_FALSE(before.empty());
+
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("rules.save=on").ok());
+  util::Status st = TrySaveRulesToFile({}, path);
+  reg.Reset();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+
+  // The failed save must not have touched the existing file.
+  std::string after;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    after = ss.str();
+  }
+  EXPECT_EQ(before, after);
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializationTest, SaveToUnwritableDirFailsCleanly) {
+  util::Status st =
+      TrySaveRulesToFile(model_->constraints, "/nonexistent/dir/rules.sdc");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+}
+
+// Death tests documenting which AT_CHECKs remain programmer-error
+// invariants after the Result migration (DESIGN.md §4c): corrupt *input*
+// must never abort, but API misuse still does.
+using SerializationDeathTest = SerializationTest;
+
+TEST_F(SerializationDeathTest, UnwrappingErrorResultAborts) {
+  auto r = TryDeserializeRules("", *evals_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_DEATH({ (void)r.value(); }, "Result::value\\(\\) on error status");
 }
 
 TEST_F(SerializationTest, EmptyRuleSetRoundTrips) {

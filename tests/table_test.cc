@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "table/column.h"
 #include "table/csv.h"
 #include "table/table.h"
@@ -114,6 +117,108 @@ TEST(CsvTest, ShortRowsPadded) {
 
 TEST(CsvTest, UnterminatedQuoteFails) {
   EXPECT_FALSE(ParseCsv("a\n\"oops\n").has_value());
+}
+
+TEST(CsvTest, UnterminatedQuoteDiagnostic) {
+  auto r = TryParseCsv("a,b\n1,\"oops\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  // The quote opens on line 2, field 2, byte 6.
+  EXPECT_NE(r.status().message().find("line 2, field 2, byte offset 6"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvTest, OversizedFieldRejected) {
+  CsvOptions opt;
+  opt.max_field_bytes = 8;
+  auto r = TryParseCsv("a,b\nshort,waytoolongforthelimit\n", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("max_field_bytes=8"),
+            std::string::npos);
+  EXPECT_NE(r.status().message().find("line 2, field 2"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvTest, OversizedQuotedFieldRejected) {
+  CsvOptions opt;
+  opt.max_field_bytes = 4;
+  auto r = TryParseCsv("a\n\"123456789\"\n", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(CsvTest, OversizedRowRejected) {
+  CsvOptions opt;
+  opt.max_row_bytes = 10;
+  auto r = TryParseCsv("a,b,c\n1234,5678,9012\n", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("max_row_bytes=10"),
+            std::string::npos);
+}
+
+TEST(CsvTest, TooManyColumnsRejected) {
+  CsvOptions opt;
+  opt.max_columns = 3;
+  auto r = TryParseCsv("a,b,c,d,e\n", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("max_columns=3"), std::string::npos);
+}
+
+TEST(CsvTest, LimitsOffByDefaultForNormalInput) {
+  // Defaults are generous: a perfectly ordinary table sails through.
+  auto r = TryParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(CsvTest, ZeroDisablesLimit) {
+  CsvOptions opt;
+  opt.max_field_bytes = 0;
+  opt.max_row_bytes = 0;
+  opt.max_columns = 0;
+  std::string big(1 << 10, 'x');
+  auto r = TryParseCsv("a\n" + big + "\n", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns[0].values[0].size(), size_t{1} << 10);
+}
+
+TEST(CsvTest, TruncatedInputStillParses) {
+  // Truncation mid-row (no trailing newline) is tolerated — the partial
+  // row is kept, matching the historical contract.
+  auto r = TryParseCsv("a,b\n1,2\n3,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->columns[1].values[1], "");
+}
+
+TEST(CsvTest, ReadMissingFileIsNotFound) {
+  auto r = TryReadCsvFile("/nonexistent/no/such.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(CsvTest, ReadFileParseErrorCarriesPathContext) {
+  const std::string path = "/tmp/autotest_csv_badquote.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a\n\"unterminated\n";
+  }
+  auto r = TryReadCsvFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(r.status().ToString().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ShimsMatchTryVariants) {
+  EXPECT_TRUE(ParseCsv("a\n1\n").has_value());
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").has_value());
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/no/such.csv").has_value());
 }
 
 TEST(CsvTest, NoHeaderMode) {

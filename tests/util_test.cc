@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <set>
 
+#include "util/failpoint.h"
 #include "util/hashing.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -150,6 +154,199 @@ TEST(HashingTest, HashToUnitDoubleRange) {
     EXPECT_GE(x, 0.0);
     EXPECT_LT(x, 1.0);
   }
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = DataLossError("truncated at byte 17");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(st.message(), "truncated at byte 17");
+  EXPECT_EQ(st.ToString(), "DATA_LOSS: truncated at byte 17");
+}
+
+TEST(StatusTest, ContextChainRendersInnermostFirst) {
+  Status st = IoError("read failed")
+                  .WithContext("loading rules from rules.sdc")
+                  .WithContext("serving request");
+  EXPECT_EQ(st.ToString(),
+            "IO_ERROR: read failed\n  while loading rules from rules.sdc"
+            "\n  while serving request");
+  ASSERT_EQ(st.context().size(), 2u);
+  EXPECT_EQ(st.context()[0], "loading rules from rules.sdc");
+}
+
+TEST(StatusTest, ContextOnOkIsNoOp) {
+  Status st = Status::Ok().WithContext("ignored");
+  EXPECT_TRUE(st.ok());
+  EXPECT_TRUE(st.context().empty());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgumentError("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ToOptionalShimShape) {
+  EXPECT_EQ(Result<int>(5).ToOptional(), std::optional<int>(5));
+  EXPECT_EQ(Result<int>(NotFoundError("gone")).ToOptional(), std::nullopt);
+}
+
+Result<int> NeedsPositive(int x) {
+  if (x <= 0) return InvalidArgumentError("x must be positive");
+  return x * 2;
+}
+
+Result<int> MacroChain(int x) {
+  AT_ASSIGN_OR_RETURN(int doubled, NeedsPositive(x));
+  AT_RETURN_IF_ERROR(Status::Ok());
+  return doubled + 1;
+}
+
+TEST(ResultTest, MacrosPropagateAndUnwrap) {
+  auto ok = MacroChain(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  auto err = MacroChain(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Programmer-error invariants stay aborts (DESIGN.md §4c): unwrapping an
+// error Result is a bug in the caller, not a recoverable condition.
+using StatusDeathTest = ::testing::Test;
+
+TEST(StatusDeathTest, ValueOnErrorAborts) {
+  Result<int> r = InternalError("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "Result::value\\(\\) on error status");
+}
+
+TEST(StatusDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> r(Status::Ok()); (void)r; },
+               "Result constructed from OK status");
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().Reset(); }
+};
+
+TEST_F(FailpointTest, DisarmedByDefault) {
+  EXPECT_FALSE(FailpointFires(kFpCsvOpen));
+  EXPECT_FALSE(FailpointFires(kFpRulesParse));
+}
+
+TEST_F(FailpointTest, ArmOnAlwaysFires) {
+  auto& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("rules.parse=on").ok());
+  EXPECT_TRUE(FailpointFires(kFpRulesParse));
+  EXPECT_TRUE(FailpointFires(kFpRulesParse));
+  EXPECT_FALSE(FailpointFires(kFpCsvOpen));  // others stay disarmed
+  EXPECT_EQ(reg.fires(kFpRulesParse), 2u);
+  EXPECT_EQ(reg.evaluations(kFpRulesParse), 2u);
+}
+
+TEST_F(FailpointTest, OffDisarms) {
+  auto& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("rules.parse=on").ok());
+  ASSERT_TRUE(reg.Configure("rules.parse=off").ok());
+  EXPECT_FALSE(FailpointFires(kFpRulesParse));
+}
+
+TEST_F(FailpointTest, AllArmsEveryPoint) {
+  auto& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("all=on").ok());
+  for (std::string_view fp : kAllFailpoints) {
+    EXPECT_TRUE(FailpointFires(fp)) << fp;
+  }
+}
+
+TEST_F(FailpointTest, ProbabilisticFiringIsDeterministicPerSeed) {
+  auto& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("csv.parse:p=0.5,seed=42").ok());
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(FailpointFires(kFpCsvParse));
+  uint64_t fires_first = reg.fires(kFpCsvParse);
+  // Same seed, fresh counters: identical decision stream.
+  reg.Reset();
+  ASSERT_TRUE(reg.Configure("csv.parse:p=0.5,seed=42").ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(FailpointFires(kFpCsvParse), first[i]) << "i=" << i;
+  }
+  EXPECT_EQ(reg.fires(kFpCsvParse), fires_first);
+  // p=0.5 over 64 draws should both fire and not fire at least once.
+  EXPECT_GT(fires_first, 0u);
+  EXPECT_LT(fires_first, 64u);
+}
+
+TEST_F(FailpointTest, DifferentSeedsDiverge) {
+  auto& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("csv.parse:p=0.5,seed=1").ok());
+  std::vector<bool> a;
+  for (int i = 0; i < 64; ++i) a.push_back(FailpointFires(kFpCsvParse));
+  reg.Reset();
+  ASSERT_TRUE(reg.Configure("csv.parse:p=0.5,seed=2").ok());
+  std::vector<bool> b;
+  for (int i = 0; i < 64; ++i) b.push_back(FailpointFires(kFpCsvParse));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FailpointTest, BadSpecsRejected) {
+  auto& reg = FailpointRegistry::Global();
+  Status unknown = reg.Configure("no.such.point=on");
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.message().find("unknown failpoint"), std::string::npos);
+  EXPECT_EQ(reg.Configure("csv.parse:p=1.5").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("csv.parse:p=abc").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("csv.parse=maybe").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("seed=notanumber").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("garbage").code(), StatusCode::kInvalidArgument);
+  // A rejected spec must not leave anything half-armed... entries before
+  // the bad one may have applied; a disarmed registry stays usable.
+  reg.Reset();
+  EXPECT_FALSE(FailpointFires(kFpCsvParse));
+}
+
+TEST_F(FailpointTest, ZeroProbabilityNeverFires) {
+  auto& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("csv.parse:p=0").ok());
+  for (int i = 0; i < 32; ++i) EXPECT_FALSE(FailpointFires(kFpCsvParse));
 }
 
 TEST(ThreadPoolTest, RunsAllIndices) {

@@ -7,8 +7,19 @@
 //
 // Rule files record the training recipe (corpus profile, sizes, seed) in a
 // side header so `check` can rebuild the matching evaluation functions.
+//
+// Exit codes (one per failure class, so scripts can branch on the kind of
+// failure rather than scraping stderr):
+//   0  success
+//   1  internal error
+//   2  usage error (bad command line)
+//   3  invalid input (malformed/invalid CSV, rule file or recipe)
+//   4  missing file (CSV, rules or recipe not found)
+//   5  I/O failure (read/write/rename failed, injected I/O faults)
+//   6  resource exhausted (input over limits, injected allocation faults)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -19,11 +30,50 @@
 #include "core/serialization.h"
 #include "datagen/corpus_gen.h"
 #include "table/csv.h"
+#include "util/failpoint.h"
 #include "util/parallel/thread_pool.h"
+#include "util/status.h"
 
 namespace {
 
 using namespace autotest;
+using util::Result;
+using util::Status;
+using util::StatusCode;
+
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInvalidInput = 3;
+constexpr int kExitNotFound = 4;
+constexpr int kExitIo = 5;
+constexpr int kExitResource = 6;
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kDataLoss:
+      return kExitInvalidInput;
+    case StatusCode::kNotFound:
+      return kExitNotFound;
+    case StatusCode::kIoError:
+      return kExitIo;
+    case StatusCode::kResourceExhausted:
+      return kExitResource;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
+}
+
+// Prints the structured diagnostic and maps it to the exit code.
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
 
 struct Recipe {
   std::string corpus = "relational";
@@ -32,25 +82,73 @@ struct Recipe {
   size_t synthetic = 800;
 };
 
+bool IsKnownCorpus(const std::string& name) {
+  return name == "relational" || name == "spreadsheet" || name == "tablib";
+}
+
 std::string RecipePath(const std::string& rules_path) {
   return rules_path + ".recipe";
 }
 
-bool SaveRecipe(const Recipe& r, const std::string& rules_path) {
-  std::ofstream out(RecipePath(rules_path));
-  if (!out) return false;
-  out << r.corpus << " " << r.columns << " " << r.centroids << " "
-      << r.synthetic << "\n";
-  return static_cast<bool>(out);
+Status ValidateRecipe(const Recipe& r, const std::string& source) {
+  if (!IsKnownCorpus(r.corpus)) {
+    return util::InvalidArgumentError(
+        source + ": field 'corpus' must be relational, spreadsheet or "
+        "tablib, got '" + r.corpus + "'");
+  }
+  if (r.columns == 0) {
+    return util::InvalidArgumentError(source +
+                                      ": field 'columns' must be positive");
+  }
+  if (r.centroids == 0) {
+    return util::InvalidArgumentError(
+        source + ": field 'centroids' must be positive");
+  }
+  return Status::Ok();
 }
 
-std::optional<Recipe> LoadRecipe(const std::string& rules_path) {
-  std::ifstream in(RecipePath(rules_path));
-  if (!in) return std::nullopt;
+// Atomic like TrySaveRulesToFile: temp file + rename, so an interrupted
+// train never leaves a torn recipe next to a valid rules file.
+Status TrySaveRecipe(const Recipe& r, const std::string& rules_path) {
+  if (util::FailpointFires(util::kFpRecipeSave)) {
+    return util::InjectedFault(StatusCode::kIoError, util::kFpRecipeSave)
+        .WithContext("saving recipe for " + rules_path);
+  }
+  const std::string path = RecipePath(rules_path);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return util::IoError("cannot open temp file " + tmp);
+    out << r.corpus << " " << r.columns << " " << r.centroids << " "
+        << r.synthetic << "\n";
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return util::IoError("write failure on temp file " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Recipe> TryLoadRecipe(const std::string& rules_path) {
+  const std::string path = RecipePath(rules_path);
+  if (util::FailpointFires(util::kFpRecipeLoad)) {
+    return util::InjectedFault(StatusCode::kIoError, util::kFpRecipeLoad)
+        .WithContext("loading recipe " + path);
+  }
+  std::ifstream in(path);
+  if (!in) return util::NotFoundError("cannot open recipe " + path);
   Recipe r;
   if (!(in >> r.corpus >> r.columns >> r.centroids >> r.synthetic)) {
-    return std::nullopt;
+    return util::DataLossError(
+        "recipe " + path +
+        " is malformed (want: <corpus> <columns> <centroids> <synthetic>)");
   }
+  AT_RETURN_IF_ERROR(ValidateRecipe(r, "recipe " + path));
   return r;
 }
 
@@ -65,13 +163,37 @@ table::Corpus BuildCorpus(const Recipe& r) {
   return datagen::GenerateCorpus(datagen::RelationalTablesProfile(r.columns));
 }
 
-core::AutoTest TrainFromRecipe(const Recipe& r) {
+Result<core::AutoTest> TryTrainFromRecipe(const Recipe& r) {
   std::fprintf(stderr, "training on %s corpus (%zu columns)...\n",
                r.corpus.c_str(), r.columns);
   core::AutoTestConfig config;
   config.eval_options.embedding_centroids_per_model = r.centroids;
   config.train_options.synthetic_count = r.synthetic;
-  return core::AutoTest::Train(BuildCorpus(r), config);
+  core::AutoTest at = core::AutoTest::Train(BuildCorpus(r), config);
+  size_t skipped = at.model().evals_skipped;
+  if (skipped > 0) {
+    size_t total = at.evals().size();
+    if (skipped == total) {
+      return util::ResourceExhaustedError(
+          "all " + std::to_string(total) +
+          " evaluation families failed during training");
+    }
+    std::fprintf(stderr,
+                 "warning: %zu/%zu evaluation families skipped under "
+                 "injected faults; training degraded\n",
+                 skipped, total);
+  }
+  return at;
+}
+
+// Exception-free size parse; the CLI must not terminate on `--columns xyz`.
+bool ParseSize(const std::string& s, size_t* out) {
+  if (s.empty()) return false;
+  char* endp = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &endp, 10);
+  if (endp != s.c_str() + s.size()) return false;
+  *out = static_cast<size_t>(v);
+  return true;
 }
 
 int CmdTrain(int argc, char** argv) {
@@ -79,31 +201,44 @@ int CmdTrain(int argc, char** argv) {
   std::string out_path = "rules.sdc";
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];
-    auto next = [&]() { return i + 1 < argc ? argv[++i] : ""; };
+    auto next = [&]() { return std::string(i + 1 < argc ? argv[++i] : ""); };
+    bool ok = true;
     if (a == "--corpus") recipe.corpus = next();
-    else if (a == "--columns") recipe.columns = std::stoul(next());
-    else if (a == "--centroids") recipe.centroids = std::stoul(next());
-    else if (a == "--synthetic") recipe.synthetic = std::stoul(next());
+    else if (a == "--columns") ok = ParseSize(next(), &recipe.columns);
+    else if (a == "--centroids") ok = ParseSize(next(), &recipe.centroids);
+    else if (a == "--synthetic") ok = ParseSize(next(), &recipe.synthetic);
     else if (a == "--out") out_path = next();
+    else {
+      std::fprintf(stderr, "unknown train option %s\n", a.c_str());
+      return kExitUsage;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "option %s wants a non-negative integer\n",
+                   a.c_str());
+      return kExitUsage;
+    }
   }
-  core::AutoTest at = TrainFromRecipe(recipe);
-  auto sel = at.Select(core::Variant::kFineSelect);
+  Status valid = ValidateRecipe(recipe, "command line");
+  if (!valid.ok()) return Fail(valid);
+  auto at = TryTrainFromRecipe(recipe);
+  if (!at.ok()) return Fail(at.status());
+  auto sel = at->Select(core::Variant::kFineSelect);
   std::vector<core::Sdc> rules;
-  for (size_t i : sel.selected) rules.push_back(at.model().constraints[i]);
-  if (!core::SaveRulesToFile(rules, out_path) ||
-      !SaveRecipe(recipe, out_path)) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
+  for (size_t i : sel.selected) rules.push_back(at->model().constraints[i]);
+  Status saved = core::TrySaveRulesToFile(rules, out_path);
+  if (!saved.ok()) return Fail(saved);
+  saved = TrySaveRecipe(recipe, out_path);
+  if (!saved.ok()) return Fail(saved);
   std::printf("learned %zu constraints, distilled %zu rules -> %s\n",
-              at.model().constraints.size(), rules.size(), out_path.c_str());
-  return 0;
+              at->model().constraints.size(), rules.size(),
+              out_path.c_str());
+  return kExitOk;
 }
 
 int CmdCheck(int argc, char** argv) {
   if (argc < 1) {
     std::fprintf(stderr, "usage: autotest check <file.csv> [--rules f]\n");
-    return 1;
+    return kExitUsage;
   }
   std::string csv_path = argv[0];
   std::string rules_path;
@@ -112,89 +247,124 @@ int CmdCheck(int argc, char** argv) {
       rules_path = argv[++i];
     }
   }
-  auto table_opt = table::ReadCsvFile(csv_path);
-  if (!table_opt) {
-    std::fprintf(stderr, "cannot read %s\n", csv_path.c_str());
-    return 1;
-  }
+  auto table = table::TryReadCsvFile(csv_path);
+  if (!table.ok()) return Fail(table.status());
 
   Recipe recipe;
-  std::vector<core::Sdc> rules;
-  core::AutoTest at = [&]() {
-    if (!rules_path.empty()) {
-      if (auto r = LoadRecipe(rules_path)) recipe = *r;
-    } else {
-      recipe.columns = 1500;  // quick in-process training
+  if (!rules_path.empty()) {
+    auto loaded_recipe = TryLoadRecipe(rules_path);
+    if (loaded_recipe.ok()) {
+      recipe = *loaded_recipe;
+    } else if (loaded_recipe.status().code() != StatusCode::kNotFound) {
+      // A missing recipe falls back to the default; a corrupt or
+      // unreadable one is a hard error (it would rebuild the wrong
+      // evaluation functions and silently unresolve every rule).
+      return Fail(loaded_recipe.status());
     }
-    return TrainFromRecipe(recipe);
-  }();
+  } else {
+    recipe.columns = 1500;  // quick in-process training
+  }
+  auto at = TryTrainFromRecipe(recipe);
+  if (!at.ok()) return Fail(at.status());
+
+  std::vector<core::Sdc> rules;
   if (!rules_path.empty()) {
     size_t unresolved = 0;
     auto loaded =
-        core::LoadRulesFromFile(rules_path, at.evals(), &unresolved);
-    if (!loaded) {
-      std::fprintf(stderr, "cannot load rules from %s\n",
-                   rules_path.c_str());
-      return 1;
-    }
+        core::TryLoadRulesFromFile(rules_path, at->evals(), &unresolved);
+    if (!loaded.ok()) return Fail(loaded.status());
     if (unresolved > 0) {
       std::fprintf(stderr, "warning: %zu rules reference unknown "
                    "evaluation functions and were skipped\n", unresolved);
     }
     rules = std::move(*loaded);
   } else {
-    auto sel = at.Select(core::Variant::kFineSelect);
-    for (size_t i : sel.selected) rules.push_back(at.model().constraints[i]);
+    auto sel = at->Select(core::Variant::kFineSelect);
+    for (size_t i : sel.selected) {
+      rules.push_back(at->model().constraints[i]);
+    }
   }
   core::SdcPredictor predictor(std::move(rules));
+  if (predictor.skipped_rules() > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu invalid/unresolved rules dropped by the "
+                 "predictor\n",
+                 predictor.skipped_rules());
+  }
   std::printf("checking %s with %zu rules\n", csv_path.c_str(),
               predictor.num_rules());
 
   size_t total = 0;
-  for (const auto& column : table_opt->columns) {
+  size_t columns_skipped = 0;
+  for (const auto& column : table->columns) {
     if (table::IsMostlyNumeric(column)) continue;
-    for (const auto& d : predictor.Predict(column)) {
+    auto detections = predictor.TryPredict(column);
+    if (!detections.ok()) {
+      // Column-level degradation: report, count, move on — one poisoned
+      // column must not take down the whole check.
+      std::fprintf(stderr, "warning: skipping column '%s': %s\n",
+                   column.name.c_str(),
+                   detections.status().ToString().c_str());
+      ++columns_skipped;
+      continue;
+    }
+    for (const auto& d : *detections) {
       ++total;
       std::printf("%s:%zu  \"%s\"  conf=%.2f\n    %s\n",
                   column.name.c_str(), d.row + 2, d.value.c_str(),
                   d.confidence, d.explanation.c_str());
     }
   }
+  if (columns_skipped > 0) {
+    std::fprintf(stderr, "warning: %zu column(s) skipped under faults\n",
+                 columns_skipped);
+  }
   std::printf("%zu potential error(s) found\n", total);
-  return 0;
+  return kExitOk;
 }
 
 int CmdRules(int argc, char** argv) {
   if (argc < 1) {
     std::fprintf(stderr, "usage: autotest rules <rules.sdc>\n");
-    return 1;
+    return kExitUsage;
   }
   std::string rules_path = argv[0];
   Recipe recipe;
-  if (auto r = LoadRecipe(rules_path)) recipe = *r;
-  core::AutoTest at = TrainFromRecipe(recipe);
-  size_t unresolved = 0;
-  auto rules = core::LoadRulesFromFile(rules_path, at.evals(), &unresolved);
-  if (!rules) {
-    std::fprintf(stderr, "cannot load %s\n", rules_path.c_str());
-    return 1;
+  auto loaded_recipe = TryLoadRecipe(rules_path);
+  if (loaded_recipe.ok()) {
+    recipe = *loaded_recipe;
+  } else if (loaded_recipe.status().code() != StatusCode::kNotFound) {
+    return Fail(loaded_recipe.status());
   }
+  auto at = TryTrainFromRecipe(recipe);
+  if (!at.ok()) return Fail(at.status());
+  size_t unresolved = 0;
+  auto rules =
+      core::TryLoadRulesFromFile(rules_path, at->evals(), &unresolved);
+  if (!rules.ok()) return Fail(rules.status());
   for (const auto& r : *rules) {
     std::printf("%s\n", r.Describe().c_str());
   }
   std::printf("(%zu rules, %zu unresolved)\n", rules->size(), unresolved);
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --parallel-stats flag before command dispatch.
+  // Strip the global flags before command dispatch.
   bool parallel_stats = false;
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--parallel-stats") == 0) {
       parallel_stats = true;
+    } else if (std::strcmp(argv[i], "--failpoints") == 0 && i + 1 < argc) {
+      autotest::util::Status st =
+          autotest::util::FailpointRegistry::Global().Configure(argv[++i]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return kExitUsage;
+      }
     } else {
       argv[out_argc++] = argv[i];
     }
@@ -203,21 +373,25 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: autotest <train|check|rules> [options] "
-                 "[--parallel-stats]\n"
+                 "[--parallel-stats] [--failpoints spec]\n"
                  "  train --corpus relational|spreadsheet|tablib "
                  "--columns N --out rules.sdc\n"
                  "  check file.csv [--rules rules.sdc]\n"
                  "  rules rules.sdc\n");
-    return 1;
+    return kExitUsage;
   }
   std::string cmd = argv[1];
-  int rc = 1;
+  int rc;
   if (cmd == "train") rc = CmdTrain(argc - 2, argv + 2);
   else if (cmd == "check") rc = CmdCheck(argc - 2, argv + 2);
   else if (cmd == "rules") rc = CmdRules(argc - 2, argv + 2);
-  else std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  else {
+    std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+    rc = kExitUsage;
+  }
   if (parallel_stats) {
-    std::fprintf(stderr, "%s\n", util::parallel::FormatStats().c_str());
+    std::fprintf(stderr, "%s\n",
+                 autotest::util::parallel::FormatStats().c_str());
   }
   return rc;
 }

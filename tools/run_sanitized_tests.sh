@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under AddressSanitizer, then soaks the
+# robustness suite with every failpoint armed at low probability so the
+# fault paths stay exercised in CI.
+#
+#   tools/run_sanitized_tests.sh [build-dir]      (default: build-asan)
+#
+# Environment:
+#   JOBS            parallel build/test jobs (default 2)
+#   SOAK_SPEC       failpoint spec for the soak (default all:p=0.01,seed=1)
+#   SKIP_ASAN=1     reuse an existing build dir without reconfiguring
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+JOBS="${JOBS:-2}"
+SOAK_SPEC="${SOAK_SPEC:-all:p=0.01,seed=1}"
+
+if [[ "${SKIP_ASAN:-0}" != "1" || ! -d "$BUILD_DIR" ]]; then
+  echo "== configuring $BUILD_DIR with AT_SANITIZE=address"
+  cmake -B "$BUILD_DIR" -S . -DAT_SANITIZE=address > /dev/null
+fi
+
+echo "== building (j$JOBS)"
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+echo "== tier-1 ctest under ASan"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo "== failpoint soak: AT_FAILPOINTS=$SOAK_SPEC"
+# Drive the CLI end-to-end with every failpoint armed. The contract under
+# injected faults is "structured failure, never a crash": any documented
+# exit code (0-6) is acceptable, a signal death (rc >= 128), sanitizer
+# report or hang is not.
+SOAK_DIR="$(mktemp -d)"
+trap 'rm -rf "$SOAK_DIR"' EXIT
+cat > "$SOAK_DIR/sample.csv" <<'EOF'
+city,population
+seattle,737015
+tokyo,13960000
+notacity,12
+EOF
+
+soak_run() {
+  local rc=0
+  AT_FAILPOINTS="$1" timeout 600 "${@:2}" > /dev/null 2>&1 || rc=$?
+  if (( rc > 6 )); then
+    echo "FAIL: '${*:2}' under AT_FAILPOINTS=$1 exited $rc" >&2
+    exit 1
+  fi
+}
+
+for seed in 1 2 3; do
+  spec="${SOAK_SPEC%,seed=*},seed=$seed"
+  echo "--  CLI soak (seed=$seed)"
+  soak_run "$spec" "$BUILD_DIR/tools/autotest" train --columns 150 \
+    --centroids 20 --synthetic 100 --out "$SOAK_DIR/rules.sdc"
+  if [[ -f "$SOAK_DIR/rules.sdc" ]]; then
+    soak_run "$spec" "$BUILD_DIR/tools/autotest" check \
+      "$SOAK_DIR/sample.csv" --rules "$SOAK_DIR/rules.sdc"
+  fi
+done
+
+echo "== OK: ASan-clean, soak survived"
