@@ -48,7 +48,7 @@ class SdcPredictor {
   /// Predict with an error channel: fails only under injected faults
   /// (failpoint "predictor.column", simulating per-column resource
   /// exhaustion) so callers can exercise column-level skip logic.
-  util::Result<std::vector<CellDetection>> TryPredict(
+  [[nodiscard]] util::Result<std::vector<CellDetection>> TryPredict(
       const table::Column& column) const;
 
   size_t num_rules() const { return rules_.size(); }

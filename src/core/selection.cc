@@ -31,7 +31,7 @@ uint64_t HashIds(const std::vector<uint32_t>& ids) {
 SelectionResult SelectWithDelta(const TrainedModel& model,
                                 const SelectionOptions& options,
                                 double delta) {
-  auto t0 = Clock::now();
+  auto t0 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
   SelectionResult result;
   const size_t num_rules = model.constraints.size();
   if (num_rules == 0) return result;
@@ -157,6 +157,7 @@ SelectionResult SelectWithDelta(const TrainedModel& model,
   result.lp_num_variables = prog.num_vars;
   result.lp_num_rows = prog.constraints.size();
   if (sol.status != lp::SolveStatus::kOptimal) {
+    // at_lint: disable(R2) wall-clock phase timing
     result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
     return result;
   }
@@ -198,6 +199,7 @@ SelectionResult SelectWithDelta(const TrainedModel& model,
   result.selected.reserve(chosen.size());
   for (const auto& [r, x] : chosen) result.selected.push_back(r);
   std::sort(result.selected.begin(), result.selected.end());
+  // at_lint: disable(R2) wall-clock phase timing
   result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   return result;
 }

@@ -41,21 +41,21 @@ std::string SerializeRules(const std::vector<Sdc>& rules);
 /// parameters (non-finite values, d_in > d_out, m/conf/fpr outside [0,1],
 /// negative contingency counts); kDataLoss for truncated or corrupt rule
 /// lines.
-util::Result<std::vector<Sdc>> TryDeserializeRules(
+[[nodiscard]] util::Result<std::vector<Sdc>> TryDeserializeRules(
     std::string_view text, const typedet::EvalFunctionSet& evals,
     size_t* unresolved = nullptr);
 
 /// Loads rules from a file; kNotFound/kIoError for unreadable files, else
 /// TryDeserializeRules diagnostics with the path as context.
-util::Result<std::vector<Sdc>> TryLoadRulesFromFile(
+[[nodiscard]] util::Result<std::vector<Sdc>> TryLoadRulesFromFile(
     const std::string& path, const typedet::EvalFunctionSet& evals,
     size_t* unresolved = nullptr);
 
 /// Atomically writes rules to `path`: serializes into `path` + ".tmp" and
 /// renames over the target, so a failed save never leaves a truncated
 /// rules.sdc behind. kIoError on any write/rename failure.
-util::Status TrySaveRulesToFile(const std::vector<Sdc>& rules,
-                                const std::string& path);
+[[nodiscard]] util::Status TrySaveRulesToFile(const std::vector<Sdc>& rules,
+                                              const std::string& path);
 
 /// Legacy shims over the Try* functions; they discard the diagnostic.
 bool SaveRulesToFile(const std::vector<Sdc>& rules, const std::string& path);

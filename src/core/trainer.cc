@@ -138,7 +138,7 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
           res.skipped = true;
           return;
         }
-        auto t0 = Clock::now();
+        auto t0 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
         const auto& eval = evals.at(fi);
         Thresholds th = MakeThresholds(eval, options);
         const size_t ni = th.d_ins.size();
@@ -212,7 +212,7 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
             }
           }
         }
-        auto t1 = Clock::now();
+        auto t1 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
         res.candidate_seconds += Seconds(t0, t1);
 
         // Distances of the synthetic alien values (recall estimation).
@@ -221,7 +221,7 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
           syn_dist[j] = eval.Distance(synthetic[j].error_value);
         }
 
-        auto t2 = Clock::now();
+        auto t2 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
         res.synthetic_seconds += Seconds(t1, t2);
 
         // Candidate loop. The statistical tests are timed as one block
@@ -276,7 +276,7 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
                 ++res.rejected;
                 continue;
               }
-              auto tc1 = Clock::now();
+              auto tc1 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
 
               Sdc sdc;
               sdc.eval_index = fi;
@@ -305,7 +305,7 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
                   det.push_back(static_cast<uint32_t>(j));
                 }
               }
-              detect_seconds += Seconds(tc1, Clock::now());
+              detect_seconds += Seconds(tc1, Clock::now());  // at_lint: disable(R2) wall-clock phase timing
               if (options.drop_zero_recall && det.empty()) {
                 ++res.rejected;
                 continue;
@@ -315,7 +315,7 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
             }
           }
         }
-        auto t3 = Clock::now();
+        auto t3 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
         res.candidate_seconds += Seconds(t2, t3) - detect_seconds;
         res.synthetic_seconds += detect_seconds;
       },

@@ -34,17 +34,18 @@ struct CsvOptions {
 /// Errors carry precise diagnostics: kDataLoss for malformed input
 /// (unterminated quote, with the line/field/byte offset where the quote
 /// opened) and kResourceExhausted for inputs exceeding CsvOptions limits.
-util::Result<Table> TryParseCsv(std::string_view text,
-                                const CsvOptions& options = {});
+[[nodiscard]] util::Result<Table> TryParseCsv(std::string_view text,
+                                              const CsvOptions& options = {});
 
 /// Reads and parses a CSV file. kIoError / kNotFound if the file is
 /// unreadable, else TryParseCsv's diagnostics with the path as context.
-util::Result<Table> TryReadCsvFile(const std::string& path,
-                                   const CsvOptions& options = {});
+[[nodiscard]] util::Result<Table> TryReadCsvFile(
+    const std::string& path, const CsvOptions& options = {});
 
 /// Writes a table as a CSV file; kIoError on failure.
-util::Status TryWriteCsvFile(const Table& table, const std::string& path,
-                             const CsvOptions& options = {});
+[[nodiscard]] util::Status TryWriteCsvFile(const Table& table,
+                                           const std::string& path,
+                                           const CsvOptions& options = {});
 
 /// Serializes a Table to CSV text, quoting fields when necessary.
 std::string WriteCsv(const Table& table, const CsvOptions& options = {});

@@ -64,7 +64,7 @@ class FailpointRegistry {
   /// Parses and applies a spec (see grammar above). Entries apply in
   /// order; later entries override earlier ones. Unknown failpoint names
   /// and malformed probabilities are kInvalidArgument.
-  Status Configure(std::string_view spec);
+  [[nodiscard]] Status Configure(std::string_view spec);
 
   /// Disarms every failpoint; evaluation/fire counters are preserved.
   void Disarm();
@@ -107,7 +107,7 @@ inline bool FailpointFires(std::string_view name) {
 
 /// Canonical error for a fired failpoint, e.g.
 /// IO_ERROR: injected fault at failpoint 'rules.open'.
-Status InjectedFault(StatusCode code, std::string_view name);
+[[nodiscard]] Status InjectedFault(StatusCode code, std::string_view name);
 
 }  // namespace autotest::util
 

@@ -45,13 +45,19 @@ std::string_view StatusCodeName(StatusCode code);
 /// A success-or-error value. Default construction and `Status::Ok()` are OK;
 /// error states carry a code, message, and optional context chain. Copyable
 /// and cheap to move; an OK status allocates nothing.
-class Status {
+///
+/// The class itself is [[nodiscard]]: dropping a returned Status on the
+/// floor silently swallows the diagnostic the whole error layer exists to
+/// carry, so builds treat it as an error (-Werror=unused-result) and
+/// at_lint rule R1 flags it. An intentional discard must say so with
+/// `(void)`.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,20 +86,23 @@ class Status {
 };
 
 /// Error constructors, one per code.
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status DataLossError(std::string message);
-Status IoError(std::string message);
-Status ResourceExhaustedError(std::string message);
-Status FailedPreconditionError(std::string message);
-Status InternalError(std::string message);
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status DataLossError(std::string message);
+[[nodiscard]] Status IoError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
+[[nodiscard]] Status FailedPreconditionError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
 
 /// A value-or-error. Implicitly constructible from either a `T` or a
 /// non-OK `Status`, so functions can `return value;` and
 /// `return DataLossError(...);` symmetrically. Accessing `value()` on an
 /// error state is a programmer error and aborts (AT_CHECK).
+///
+/// [[nodiscard]] for the same reason as Status: a discarded Result<T> is
+/// both a lost value and a lost diagnostic.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit.
   Result(T value) : value_(std::move(value)) {}

@@ -1,0 +1,16 @@
+// R1 fixture: a Try* call whose Result is dropped on the floor.
+#include <string>
+
+namespace fixture {
+
+struct Result {
+  bool ok() const { return true; }
+};
+
+Result TryParseThing(const std::string& text);
+
+void Discards(const std::string& text) {
+  TryParseThing(text);  // line 13: the violation
+}
+
+}  // namespace fixture

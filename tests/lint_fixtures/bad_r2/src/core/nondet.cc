@@ -1,0 +1,11 @@
+// R2 fixture: raw nondeterminism inside a deterministic subsystem (the
+// fixture path contains src/core, which puts it in scope).
+#include <cstdlib>
+
+namespace fixture {
+
+int Roll() {
+  return std::rand();  // line 8: the violation
+}
+
+}  // namespace fixture

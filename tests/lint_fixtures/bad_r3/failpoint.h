@@ -1,0 +1,17 @@
+// R3 fixture registry: mirrors the real src/util/failpoint.h shape. The
+// kAllFailpoints marker is what makes at_lint treat this as the registry.
+#ifndef FIXTURE_FAILPOINT_H_
+#define FIXTURE_FAILPOINT_H_
+
+#include <string_view>
+
+namespace fixture {
+
+inline constexpr std::string_view kFpGood = "good.point";
+inline constexpr std::string_view kFpDead = "dead.point";  // line 11: dead
+
+inline constexpr std::string_view kAllFailpoints[] = {kFpGood, kFpDead};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_FAILPOINT_H_

@@ -1,0 +1,15 @@
+// R3 fixture use site: one registered failpoint used correctly, one
+// unregistered literal at an injection-site call.
+#include "failpoint.h"
+
+namespace fixture {
+
+bool FailpointFires(std::string_view name);
+
+bool Good() { return FailpointFires(kFpGood); }
+
+bool Bad() {
+  return FailpointFires("fixture.unknown");  // line 12: the violation
+}
+
+}  // namespace fixture

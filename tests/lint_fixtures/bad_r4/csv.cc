@@ -1,0 +1,11 @@
+// R4 fixture: an AT_CHECK on an untrusted-input file (the csv.cc basename
+// puts it in scope) — corrupt bytes must return a Status, not abort.
+#define AT_CHECK(cond) ((void)(cond))
+
+namespace fixture {
+
+void Parse(const char* bytes) {
+  AT_CHECK(bytes != nullptr);  // line 8: the violation
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// R5 fixture: Status- and Result-returning declarations missing
+// [[nodiscard]].
+#ifndef FIXTURE_BAD_H_
+#define FIXTURE_BAD_H_
+
+#include <string>
+
+namespace fixture {
+
+class [[nodiscard]] Status {};
+template <typename T>
+class Result {};
+
+Status TrySave(const std::string& path);  // line 14: the violation
+
+Result<int> TryCount(const std::string& path);  // line 16: the violation
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_H_

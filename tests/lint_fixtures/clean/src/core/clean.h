@@ -1,0 +1,22 @@
+#ifndef FIXTURE_CLEAN_H_
+#define FIXTURE_CLEAN_H_
+
+#include <string>
+
+namespace fixture {
+
+class [[nodiscard]] Status {};
+
+// R5 near-miss: annotated declaration.
+[[nodiscard]] Status TryAnnotated(const std::string& text);
+
+// R5 near-miss: reference return carries no owned diagnostic.
+Status& MutableStatus();
+
+// R5 near-miss: StatusCode is a different type despite the prefix.
+enum class StatusCode { kOk };
+StatusCode CodeOf(const Status& s);
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_H_

@@ -1,0 +1,174 @@
+// Self-test for tools/at_lint: every rule R1-R5 must fire on its
+// violation fixture at exactly the expected location, and the clean
+// fixture (which is packed with near-misses — suppressed R2, consumed
+// Try* results, annotated declarations) must pass.
+//
+// The binary path and fixture directory come in via compile definitions
+// (see tests/CMakeLists.txt); the test shells out to the real binary so
+// the exit-code contract and output format are covered too.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::vector<std::string> lines;  // stdout, one violation per line
+};
+
+struct ParsedViolation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+};
+
+LintRun RunLint(const std::string& args) {
+  std::string cmd = std::string(AT_LINT_BINARY) + " --quiet " + args;
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  char buf[4096];
+  std::string current;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    current += buf;
+    size_t nl;
+    while ((nl = current.find('\n')) != std::string::npos) {
+      run.lines.push_back(current.substr(0, nl));
+      current.erase(0, nl + 1);
+    }
+  }
+  int rc = pclose(pipe);
+  run.exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  return run;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(AT_LINT_FIXTURES) + "/" + name;
+}
+
+// "path/to/file.cc:13: [R1] message" -> {file, 13, "R1"}.
+ParsedViolation Parse(const std::string& line) {
+  ParsedViolation v;
+  size_t bracket = line.find("[R");
+  size_t close = line.find(']', bracket);
+  EXPECT_NE(bracket, std::string::npos) << line;
+  EXPECT_NE(close, std::string::npos) << line;
+  v.rule = line.substr(bracket + 1, close - bracket - 1);
+  size_t colon2 = line.rfind(':', bracket);
+  size_t colon1 = line.rfind(':', colon2 - 1);
+  EXPECT_NE(colon1, std::string::npos) << line;
+  v.file = line.substr(0, colon1);
+  v.line = std::strtoull(line.c_str() + colon1 + 1, nullptr, 10);
+  return v;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+TEST(LintTest, CleanFixturePasses) {
+  LintRun run = RunLint(Fixture("clean"));
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(run.lines.empty())
+      << "unexpected violation: " << run.lines.front();
+}
+
+TEST(LintTest, R1FiresOnDiscardedTryCall) {
+  LintRun run = RunLint(Fixture("bad_r1"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 1u);
+  ParsedViolation v = Parse(run.lines[0]);
+  EXPECT_EQ(v.rule, "R1");
+  EXPECT_TRUE(EndsWith(v.file, "discard.cc")) << v.file;
+  EXPECT_EQ(v.line, 13u);
+}
+
+TEST(LintTest, R2FiresOnRawNondeterminism) {
+  LintRun run = RunLint(Fixture("bad_r2"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 1u);
+  ParsedViolation v = Parse(run.lines[0]);
+  EXPECT_EQ(v.rule, "R2");
+  EXPECT_TRUE(EndsWith(v.file, "nondet.cc")) << v.file;
+  EXPECT_EQ(v.line, 8u);
+}
+
+TEST(LintTest, R3FiresOnUnknownNameAndDeadRegistration) {
+  LintRun run = RunLint(Fixture("bad_r3"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 2u);
+  // Output is sorted by file: failpoint.h (dead) before use.cc (unknown).
+  ParsedViolation dead = Parse(run.lines[0]);
+  EXPECT_EQ(dead.rule, "R3");
+  EXPECT_TRUE(EndsWith(dead.file, "failpoint.h")) << dead.file;
+  EXPECT_EQ(dead.line, 11u);
+  EXPECT_NE(run.lines[0].find("dead.point"), std::string::npos);
+  EXPECT_NE(run.lines[0].find("dead registration"), std::string::npos);
+  ParsedViolation unknown = Parse(run.lines[1]);
+  EXPECT_EQ(unknown.rule, "R3");
+  EXPECT_TRUE(EndsWith(unknown.file, "use.cc")) << unknown.file;
+  EXPECT_EQ(unknown.line, 12u);
+  EXPECT_NE(run.lines[1].find("fixture.unknown"), std::string::npos);
+}
+
+TEST(LintTest, R4FiresOnAtCheckInUntrustedInputFile) {
+  LintRun run = RunLint(Fixture("bad_r4"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 1u);
+  ParsedViolation v = Parse(run.lines[0]);
+  EXPECT_EQ(v.rule, "R4");
+  EXPECT_TRUE(EndsWith(v.file, "csv.cc")) << v.file;
+  EXPECT_EQ(v.line, 8u);
+}
+
+TEST(LintTest, R5FiresOnMissingNodiscard) {
+  LintRun run = RunLint(Fixture("bad_r5"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 2u);
+  ParsedViolation status_decl = Parse(run.lines[0]);
+  EXPECT_EQ(status_decl.rule, "R5");
+  EXPECT_TRUE(EndsWith(status_decl.file, "bad.h")) << status_decl.file;
+  EXPECT_EQ(status_decl.line, 14u);
+  ParsedViolation result_decl = Parse(run.lines[1]);
+  EXPECT_EQ(result_decl.rule, "R5");
+  EXPECT_EQ(result_decl.line, 16u);
+  EXPECT_NE(run.lines[1].find("Result<T>"), std::string::npos);
+}
+
+TEST(LintTest, AllFixturesTogetherReportEveryRuleOnce) {
+  LintRun run = RunLint(Fixture("bad_r1") + " " + Fixture("bad_r2") + " " +
+                        Fixture("bad_r3") + " " + Fixture("bad_r4") + " " +
+                        Fixture("bad_r5"));
+  EXPECT_EQ(run.exit_code, 1);
+  std::vector<std::string> rules;
+  for (const auto& line : run.lines) rules.push_back(Parse(line).rule);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R1"), 1);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R2"), 1);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R3"), 2);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R4"), 1);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R5"), 2);
+}
+
+TEST(LintTest, NoArgumentsIsAUsageError) {
+  LintRun run = RunLint("");
+  EXPECT_EQ(run.exit_code, 2);
+}
+
+TEST(LintTest, ListRulesNamesEveryRule) {
+  LintRun run = RunLint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  std::string all;
+  for (const auto& line : run.lines) all += line + "\n";
+  for (const char* rule : {"R1", "R2", "R3", "R4", "R5"}) {
+    EXPECT_NE(all.find(rule), std::string::npos) << rule;
+  }
+}
+
+}  // namespace

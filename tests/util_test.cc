@@ -12,6 +12,22 @@
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
+// Compile-fail harness for the [[nodiscard]] contract. The ctest entry
+// `nodiscard_compile_fail` re-compiles this file with -fsyntax-only and
+// AT_NODISCARD_COMPILE_FAIL defined, and is registered WILL_FAIL: the
+// build MUST reject a discarded TryLoadRulesFromFile(...) result under
+// -Werror=unused-result. The twin entry `nodiscard_compile_fail_control`
+// compiles without the define to prove the harness itself is well-formed.
+#ifdef AT_NODISCARD_COMPILE_FAIL
+#include "core/serialization.h"
+namespace autotest::core {
+void DiscardsNodiscardResult(const typedet::EvalFunctionSet& evals) {
+  // at_lint: disable(R1) deliberate discard; this must fail to compile
+  TryLoadRulesFromFile("rules.sdc", evals);
+}
+}  // namespace autotest::core
+#endif  // AT_NODISCARD_COMPILE_FAIL
+
 namespace autotest::util {
 namespace {
 

@@ -1,0 +1,779 @@
+#include "at_lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace autotest::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// True if `token` occurs in `line` starting at a non-identifier boundary
+/// (the char before, if any, is not part of an identifier).
+bool ContainsToken(std::string_view line, std::string_view token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    if (pos == 0 || !IsIdentChar(line[pos - 1])) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// `<component>.<operation>`, lower-case — the failpoint naming scheme.
+bool IsFailpointShaped(std::string_view s) {
+  size_t dot = s.find('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == s.size()) {
+    return false;
+  }
+  if (s.find('.', dot + 1) != std::string_view::npos) return false;
+  auto lower_ident = [](std::string_view part) {
+    if (!std::islower(static_cast<unsigned char>(part.front()))) return false;
+    for (char c : part) {
+      if (!std::islower(static_cast<unsigned char>(c)) &&
+          !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+        return false;
+      }
+    }
+    return true;
+  };
+  return lower_ident(s.substr(0, dot)) && lower_ident(s.substr(dot + 1));
+}
+
+/// Normalizes path separators so scope checks work on any input spelling.
+std::string NormalizedPath(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing: comment stripping, literal extraction, suppressions.
+// ---------------------------------------------------------------------------
+
+/// Builds the code view (comments removed, literal bodies blanked) and the
+/// per-line literal list from raw text. Line structure is preserved.
+void StripAndCollect(const std::vector<std::string>& raw,
+                     std::vector<std::string>* code,
+                     std::vector<std::vector<std::string>>* literals) {
+  enum class State { kNormal, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kNormal;
+  std::string current_literal;
+
+  code->assign(raw.size(), std::string());
+  literals->assign(raw.size(), {});
+  for (size_t li = 0; li < raw.size(); ++li) {
+    const std::string& in = raw[li];
+    std::string& out = (*code)[li];
+    out.reserve(in.size());
+    if (state == State::kLineComment) state = State::kNormal;
+    for (size_t i = 0; i < in.size(); ++i) {
+      char c = in[i];
+      char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kNormal:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            i = in.size();  // rest of the line is comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            out += "  ";
+            ++i;
+          } else if (c == '"') {
+            state = State::kString;
+            current_literal.clear();
+            out += '"';
+          } else if (c == '\'') {
+            state = State::kChar;
+            out += '\'';
+          } else {
+            out += c;
+          }
+          break;
+        case State::kLineComment:
+          i = in.size();
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kNormal;
+            out += "  ";
+            ++i;
+          } else {
+            out += ' ';
+          }
+          break;
+        case State::kString:
+          if (c == '\\' && i + 1 < in.size()) {
+            current_literal += c;
+            current_literal += next;
+            out += "  ";
+            ++i;
+          } else if (c == '"') {
+            state = State::kNormal;
+            (*literals)[li].push_back(current_literal);
+            out += '"';
+          } else {
+            current_literal += c;
+            out += ' ';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\' && i + 1 < in.size()) {
+            out += "  ";
+            ++i;
+          } else if (c == '\'') {
+            state = State::kNormal;
+            out += '\'';
+          } else {
+            out += ' ';
+          }
+          break;
+      }
+    }
+    // An unterminated string at end-of-line: adjacent-line literals are not
+    // a thing in this codebase; close it to stay line-oriented.
+    if (state == State::kString) {
+      (*literals)[li].push_back(current_literal);
+      state = State::kNormal;
+    }
+    if (state == State::kChar) state = State::kNormal;
+  }
+}
+
+/// Per-file suppression state parsed from `at_lint:` comments.
+struct Suppressions {
+  /// Rules disabled for the whole file.
+  std::set<std::string> file_rules;
+  /// (line, rule) pairs; a line-level disable covers its own line and the
+  /// one after it, so the comment can sit above the offending statement.
+  std::set<std::pair<size_t, std::string>> line_rules;
+
+  bool Covers(size_t line, const std::string& rule) const {
+    return file_rules.count(rule) > 0 ||
+           line_rules.count({line, rule}) > 0;
+  }
+};
+
+void ParseRuleList(std::string_view text, size_t line, bool whole_file,
+                   Suppressions* out) {
+  size_t close = text.find(')');
+  if (close == std::string_view::npos) return;
+  std::string_view inside = text.substr(0, close);
+  size_t start = 0;
+  while (start <= inside.size()) {
+    size_t comma = inside.find(',', start);
+    size_t end = comma == std::string_view::npos ? inside.size() : comma;
+    std::string rule(TrimView(inside.substr(start, end - start)));
+    if (!rule.empty()) {
+      if (whole_file) {
+        out->file_rules.insert(rule);
+      } else {
+        out->line_rules.insert({line, rule});
+        out->line_rules.insert({line + 1, rule});
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+}
+
+Suppressions ParseSuppressions(const SourceFile& file) {
+  constexpr std::string_view kLineTag = "at_lint: disable(";
+  constexpr std::string_view kFileTag = "at_lint: disable-file(";
+  Suppressions out;
+  for (size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& line = file.raw[li];
+    size_t pos = line.find(kFileTag);
+    if (pos != std::string::npos) {
+      ParseRuleList(std::string_view(line).substr(pos + kFileTag.size()),
+                    li + 1, /*whole_file=*/true, &out);
+      continue;
+    }
+    pos = line.find(kLineTag);
+    if (pos != std::string::npos) {
+      ParseRuleList(std::string_view(line).substr(pos + kLineTag.size()),
+                    li + 1, /*whole_file=*/false, &out);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule R1 — discarded Status / Result<T> values.
+// ---------------------------------------------------------------------------
+
+/// True if the called function name propagates the Status contract: the
+/// Try* naming convention plus the registry's Configure.
+bool IsStatusReturningName(std::string_view name) {
+  if (name == "Configure") return true;
+  return name.size() > 3 && name.substr(0, 3) == "Try" &&
+         std::isupper(static_cast<unsigned char>(name[3]));
+}
+
+/// Analyses one full statement (joined across lines, comments stripped,
+/// literals blanked). Returns the name of the final call in a plain
+/// expression chain (`a::b().TryFoo(args);`) when the chain is the whole
+/// statement — i.e. the value of that call is discarded. Empty when the
+/// statement is anything else: a declaration (two adjacent identifiers),
+/// an assignment, a return, a cast, a control-flow keyword.
+std::string DiscardedCallName(std::string_view stmt) {
+  size_t i = 0;
+  std::string last_call;
+  bool prev_was_ident = false;
+  while (i < stmt.size()) {
+    char c = stmt[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t start = i;
+      while (i < stmt.size() && IsIdentChar(stmt[i])) ++i;
+      std::string_view word = stmt.substr(start, i - start);
+      if (i < stmt.size() && stmt[i] == '(') {
+        if (prev_was_ident) return "";  // `Type name(...)` — a declaration
+        // A call: skip its balanced argument list and carry on with
+        // whatever is chained after it.
+        int depth = 0;
+        while (i < stmt.size()) {
+          if (stmt[i] == '(') ++depth;
+          if (stmt[i] == ')' && --depth == 0) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        if (depth != 0) return "";  // unbalanced (macro soup) — bail
+        last_call = std::string(word);
+        prev_was_ident = false;
+        continue;
+      }
+      if (prev_was_ident) return "";  // `Type name` — a declaration
+      prev_was_ident = true;
+      continue;
+    }
+    if (c == ':' && i + 1 < stmt.size() && stmt[i + 1] == ':') {
+      i += 2;
+      prev_was_ident = false;
+      continue;
+    }
+    if (c == '.' ||
+        (c == '-' && i + 1 < stmt.size() && stmt[i + 1] == '>')) {
+      i += c == '.' ? 1 : 2;
+      prev_was_ident = false;
+      continue;
+    }
+    if (c == ';') return last_call;  // end of the bare expression chain
+    return "";  // '=', '<', '(', keywords with operators... — value used
+  }
+  return "";
+}
+
+/// Finds violations of the form `expr.TryFoo(args);` / `TryFoo(args);`
+/// where the returned value is not consumed. A statement starts on a line
+/// whose previous meaningful code char is one of `;{}:` (or the file
+/// begins there) and is joined across lines up to its terminating `;`.
+void CheckR1(const SourceFile& file, const Suppressions& supp,
+             std::vector<Violation>* out) {
+  char prev_meaningful = ';';  // file start behaves like a statement start
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    std::string_view trimmed = TrimView(file.code[li]);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') continue;  // preprocessor: neither code nor end
+    char statement_opener = prev_meaningful;
+    prev_meaningful = trimmed.back();
+    if (statement_opener != ';' && statement_opener != '{' &&
+        statement_opener != '}' && statement_opener != ':') {
+      continue;  // mid-statement continuation line
+    }
+    // Join the statement across lines, up to the ';' that ends it.
+    std::string stmt(trimmed);
+    size_t lj = li;
+    while (stmt.find(';') == std::string::npos &&
+           lj + 1 < file.code.size() && lj - li < 40) {
+      ++lj;
+      stmt += ' ';
+      stmt += TrimView(file.code[lj]);
+    }
+    std::string call = DiscardedCallName(stmt);
+    if (!call.empty() && IsStatusReturningName(call) &&
+        !supp.Covers(li + 1, "R1")) {
+      out->push_back({file.path, li + 1, "R1",
+                      "result of '" + call +
+                          "(...)' is discarded; Status/Result<T> carry "
+                          "the diagnostic — consume it or cast to (void) "
+                          "with a reason"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule R2 — raw nondeterminism in deterministic subsystems.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kR2Scopes[] = {
+    "src/core/", "src/stats/", "src/lp/", "src/util/parallel/"};
+
+bool InR2Scope(const std::string& normalized_path) {
+  for (std::string_view scope : kR2Scopes) {
+    if (normalized_path.find(scope) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CheckR2(const SourceFile& file, const Suppressions& supp,
+             std::vector<Violation>* out) {
+  if (!InR2Scope(NormalizedPath(file.path))) return;
+  struct Pattern {
+    std::string_view token;
+    bool ident_boundary;  // require non-identifier char before the match
+    std::string_view what;
+  };
+  static constexpr Pattern kPatterns[] = {
+      {"rand(", true, "rand()"},
+      {"srand(", true, "srand()"},
+      {"random_device", true, "std::random_device"},
+      {"std::time(", false, "std::time()"},
+      {"gettimeofday", true, "gettimeofday()"},
+      {"::now(", false, "a wall-clock read (Clock::now)"},
+  };
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (const Pattern& p : kPatterns) {
+      bool hit = p.ident_boundary ? ContainsToken(line, p.token)
+                                  : line.find(p.token) != std::string::npos;
+      if (!hit || supp.Covers(li + 1, "R2")) continue;
+      out->push_back(
+          {file.path, li + 1, "R2",
+           std::string("raw nondeterminism: ") + std::string(p.what) +
+               " inside a deterministic subsystem (DESIGN.md §4a); seed "
+               "an explicit util::Rng or suppress with a reason if this "
+               "is pure wall-clock telemetry"});
+      break;  // one report per line is enough
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule R3 — failpoint names vs. the registry.
+// ---------------------------------------------------------------------------
+
+struct FailpointRegistration {
+  std::string const_name;  // e.g. kFpCsvOpen
+  std::string name;        // e.g. csv.open
+  const SourceFile* file = nullptr;
+  size_t line = 0;
+};
+
+bool IsRegistryFile(const SourceFile& file) {
+  for (const std::string& line : file.code) {
+    if (line.find("kAllFailpoints") != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Parses `... kFpFoo = "component.operation";` registration lines.
+std::vector<FailpointRegistration> ParseRegistry(const SourceFile& file) {
+  std::vector<FailpointRegistration> regs;
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    size_t pos = line.find("kFp");
+    if (pos == std::string::npos) continue;
+    if (line.find('=', pos) == std::string::npos) continue;
+    size_t end = pos;
+    while (end < line.size() && IsIdentChar(line[end])) ++end;
+    if (end == pos + 3) continue;  // bare "kFp"
+    if (file.literals[li].size() != 1) continue;
+    const std::string& name = file.literals[li][0];
+    if (!IsFailpointShaped(name)) continue;
+    regs.push_back({line.substr(pos, end - pos), name, &file, li + 1});
+  }
+  return regs;
+}
+
+constexpr std::string_view kFailpointCalls[] = {"FailpointFires(",
+                                                "ShouldFail(",
+                                                "InjectedFault("};
+
+void CheckR3(const std::vector<SourceFile>& files,
+             const std::vector<const SourceFile*>& registry_files,
+             const std::vector<Suppressions>& supps,
+             std::vector<Violation>* out) {
+  if (registry_files.empty()) return;  // nothing to check against
+  std::vector<FailpointRegistration> regs;
+  for (const SourceFile* reg_file : registry_files) {
+    auto parsed = ParseRegistry(*reg_file);
+    regs.insert(regs.end(), parsed.begin(), parsed.end());
+  }
+  std::set<std::string> registered;
+  for (const auto& r : regs) registered.insert(r.name);
+
+  auto is_registry = [&](const SourceFile& f) {
+    for (const SourceFile* reg_file : registry_files) {
+      if (reg_file == &f) return true;
+    }
+    // The registry's own .cc (grammar diagnostics, kAllFailpoints walker)
+    // does not count as a use site either.
+    return Basename(NormalizedPath(f.path)) == "failpoint.cc";
+  };
+
+  std::map<std::string, size_t> uses;  // registered name -> use count
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& file = files[fi];
+    if (is_registry(file)) continue;
+    const Suppressions& supp = supps[fi];
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      // Uses via the kFp constants.
+      for (const auto& r : regs) {
+        if (ContainsToken(line, r.const_name)) ++uses[r.name];
+      }
+      // Literal names at injection-site calls.
+      bool at_call_site = false;
+      for (std::string_view call : kFailpointCalls) {
+        if (line.find(call) != std::string::npos) at_call_site = true;
+      }
+      for (const std::string& lit : file.literals[li]) {
+        if (IsFailpointShaped(lit)) {
+          if (registered.count(lit)) {
+            ++uses[lit];
+          } else if (at_call_site && !supp.Covers(li + 1, "R3")) {
+            out->push_back({file.path, li + 1, "R3",
+                            "failpoint '" + lit +
+                                "' is not registered in kAllFailpoints "
+                                "(src/util/failpoint.h)"});
+          }
+          continue;
+        }
+        // Arming specs: "name=on,other.name:p=0.5,seed=7".
+        if (lit.find("=on") == std::string::npos &&
+            lit.find("=off") == std::string::npos &&
+            lit.find(":p=") == std::string::npos) {
+          continue;
+        }
+        std::string_view rest = lit;
+        while (!rest.empty()) {
+          size_t comma = rest.find(',');
+          std::string_view entry = TrimView(rest.substr(0, comma));
+          rest = comma == std::string_view::npos
+                     ? std::string_view()
+                     : rest.substr(comma + 1);
+          size_t cut = entry.find_first_of(":=");
+          if (cut == std::string_view::npos) continue;
+          std::string name(TrimView(entry.substr(0, cut)));
+          if (!IsFailpointShaped(name)) continue;  // all / seed / prose
+          if (registered.count(name)) {
+            ++uses[name];
+          } else if (!supp.Covers(li + 1, "R3")) {
+            out->push_back({file.path, li + 1, "R3",
+                            "failpoint '" + name +
+                                "' in arming spec is not registered in "
+                                "kAllFailpoints (src/util/failpoint.h)"});
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& r : regs) {
+    if (uses[r.name] == 0) {
+      out->push_back({r.file->path, r.line, "R3",
+                      "failpoint '" + r.name + "' (" + r.const_name +
+                          ") is registered but no code site uses it — "
+                          "dead registration"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule R4 — AT_CHECK on untrusted-input paths.
+// ---------------------------------------------------------------------------
+
+/// Files whose whole job is parsing untrusted bytes; DESIGN.md §4c moved
+/// them to Status, so a new AT_CHECK there would abort on bad *input*.
+constexpr std::string_view kR4Basenames[] = {
+    "csv.cc", "csv.h", "serialization.cc", "serialization.h",
+    "autotest_cli.cpp"};
+
+bool InR4Scope(const std::string& normalized_path) {
+  std::string base = Basename(normalized_path);
+  for (std::string_view b : kR4Basenames) {
+    if (base == b) return true;
+  }
+  return normalized_path.find("recipe") != std::string::npos;
+}
+
+void CheckR4(const SourceFile& file, const Suppressions& supp,
+             std::vector<Violation>* out) {
+  if (!InR4Scope(NormalizedPath(file.path))) return;
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    std::string_view trimmed = TrimView(file.code[li]);
+    if (!trimmed.empty() && trimmed[0] == '#') continue;  // #define/#include
+    if (!ContainsToken(trimmed, "AT_CHECK")) continue;
+    if (supp.Covers(li + 1, "R4")) continue;
+    out->push_back(
+        {file.path, li + 1, "R4",
+         "AT_CHECK on an untrusted-input path; corrupt bytes must surface "
+         "as a Status, not an abort (DESIGN.md §4c)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule R5 — Status/Result<T> declarations missing [[nodiscard]].
+// ---------------------------------------------------------------------------
+
+bool IsHeaderPath(const std::string& normalized_path) {
+  return normalized_path.size() >= 2 &&
+         (normalized_path.rfind(".h") == normalized_path.size() - 2 ||
+          normalized_path.rfind(".hpp") == normalized_path.size() - 4);
+}
+
+/// True if the prefix of a line before a candidate return type consists
+/// only of whitespace, attributes and declaration specifiers.
+bool PrefixIsDeclSpecifiers(std::string_view prefix, bool* saw_nodiscard) {
+  static constexpr std::string_view kSpecifiers[] = {
+      "static", "virtual", "inline", "constexpr", "friend", "explicit",
+      "const"};
+  size_t i = 0;
+  while (i < prefix.size()) {
+    char c = prefix[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '[' && i + 1 < prefix.size() && prefix[i + 1] == '[') {
+      size_t close = prefix.find("]]", i);
+      if (close == std::string_view::npos) return false;
+      if (prefix.substr(i, close - i).find("nodiscard") !=
+          std::string_view::npos) {
+        *saw_nodiscard = true;
+      }
+      i = close + 2;
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t start = i;
+      while (i < prefix.size() && IsIdentChar(prefix[i])) ++i;
+      std::string_view word = prefix.substr(start, i - start);
+      bool known = false;
+      for (std::string_view s : kSpecifiers) {
+        if (word == s) known = true;
+      }
+      if (!known) return false;
+      continue;
+    }
+    return false;  // '=', 'return ... ;', template brackets, etc.
+  }
+  return true;
+}
+
+void CheckR5(const SourceFile& file, const Suppressions& supp,
+             std::vector<Violation>* out) {
+  if (!IsHeaderPath(NormalizedPath(file.path))) return;
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (std::string_view type : {std::string_view("Status"),
+                                  std::string_view("Result")}) {
+      size_t pos = 0;
+      while ((pos = line.find(type, pos)) != std::string::npos) {
+        size_t match = pos;
+        pos += type.size();
+        // Token boundaries: reject StatusCode / SolveStatus etc.
+        if (pos < line.size() && IsIdentChar(line[pos])) continue;
+        if (match > 0 && IsIdentChar(line[match - 1])) continue;
+        size_t after = pos;
+        if (type == "Result") {
+          if (after >= line.size() || line[after] != '<') continue;
+          int depth = 0;
+          while (after < line.size()) {
+            if (line[after] == '<') ++depth;
+            if (line[after] == '>' && --depth == 0) {
+              ++after;
+              break;
+            }
+            ++after;
+          }
+          if (depth != 0) continue;  // template args continue past the line
+        }
+        // Extend left over a namespace qualification (util::Status ...).
+        size_t type_start = match;
+        while (type_start >= 2 && line[type_start - 1] == ':' &&
+               line[type_start - 2] == ':') {
+          size_t q = type_start - 2;
+          while (q > 0 && IsIdentChar(line[q - 1])) --q;
+          type_start = q;
+        }
+        // Reference / pointer returns don't hold the diagnostic by value.
+        size_t cursor = after;
+        while (cursor < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[cursor]))) {
+          ++cursor;
+        }
+        if (cursor < line.size() &&
+            (line[cursor] == '&' || line[cursor] == '*')) {
+          continue;
+        }
+        // Function name directly after the type...
+        size_t name_start = cursor;
+        while (cursor < line.size() && IsIdentChar(line[cursor])) ++cursor;
+        if (cursor == name_start) continue;  // constructor or cast
+        while (cursor < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[cursor]))) {
+          ++cursor;
+        }
+        // ...followed by its parameter list: this is a declaration.
+        if (cursor >= line.size() || line[cursor] != '(') continue;
+        bool saw_nodiscard = false;
+        if (!PrefixIsDeclSpecifiers(
+                std::string_view(line).substr(0, type_start),
+                &saw_nodiscard)) {
+          continue;
+        }
+        if (!saw_nodiscard && li > 0) {
+          // The attribute may sit at the end of the previous line.
+          std::string_view prev = TrimView(file.code[li - 1]);
+          if (prev.size() >= 2 && prev.substr(prev.size() - 2) == "]]" &&
+              prev.find("nodiscard") != std::string_view::npos) {
+            saw_nodiscard = true;
+          }
+        }
+        if (!saw_nodiscard && !supp.Covers(li + 1, "R5")) {
+          out->push_back(
+              {file.path, li + 1, "R5",
+               "declaration returning " + std::string(type) +
+                   (type == "Result" ? "<T>" : "") +
+                   " by value is missing [[nodiscard]] (the error layer's "
+                   "diagnostics must not be silently droppable)"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+std::string Violation::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+bool LoadSourceFile(const std::string& path, SourceFile* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->path = path;
+  out->raw.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    out->raw.push_back(line);
+  }
+  StripAndCollect(out->raw, &out->code, &out->literals);
+  return true;
+}
+
+namespace {
+
+bool HasSourceExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool SkippedDirName(const std::string& name) {
+  return name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+         name == ".git";
+}
+
+void Walk(const fs::path& root, std::vector<std::string>* out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    out->push_back(root.string());
+    return;
+  }
+  if (!fs::is_directory(root, ec)) return;
+  for (fs::directory_iterator it(root, ec), end; it != end && !ec;
+       it.increment(ec)) {
+    const fs::path& p = it->path();
+    if (it->is_directory(ec)) {
+      if (!SkippedDirName(p.filename().string())) Walk(p, out);
+    } else if (HasSourceExtension(p)) {
+      out->push_back(p.string());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> CollectSources(
+    const std::vector<std::string>& roots) {
+  std::vector<std::string> out;
+  for (const std::string& root : roots) Walk(fs::path(root), &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Violation> LintFiles(const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  std::vector<Suppressions> supps;
+  supps.reserve(files.size());
+  std::vector<const SourceFile*> registry_files;
+  for (const SourceFile& file : files) {
+    supps.push_back(ParseSuppressions(file));
+    if (IsRegistryFile(file) &&
+        Basename(NormalizedPath(file.path)) != "failpoint.cc") {
+      registry_files.push_back(&file);
+    }
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    CheckR1(files[i], supps[i], &out);
+    CheckR2(files[i], supps[i], &out);
+    CheckR4(files[i], supps[i], &out);
+    CheckR5(files[i], supps[i], &out);
+  }
+  CheckR3(files, registry_files, supps, &out);
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+std::vector<Violation> LintTree(const std::vector<std::string>& roots) {
+  std::vector<SourceFile> files;
+  for (const std::string& path : CollectSources(roots)) {
+    SourceFile file;
+    if (LoadSourceFile(path, &file)) files.push_back(std::move(file));
+  }
+  return LintFiles(files);
+}
+
+}  // namespace autotest::lint

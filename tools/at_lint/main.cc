@@ -1,0 +1,70 @@
+// at_lint — walks the given roots and reports violations of the project's
+// Status / determinism / failpoint contracts (rules R1-R5, see linter.h
+// and DESIGN.md §4d).
+//
+//   at_lint src tools tests          lint the tree (exit 1 on violations)
+//   at_lint --list-rules             print the rule catalogue
+//
+// Output format, one violation per line on stdout:
+//   file:line: [R2] raw nondeterminism: rand() inside a deterministic ...
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "at_lint/linter.h"
+
+namespace {
+
+constexpr const char* kRuleCatalogue =
+    "R1  Try*/Configure call whose Status/Result<T> value is discarded\n"
+    "R2  raw nondeterminism (rand, srand, std::random_device, std::time,\n"
+    "    gettimeofday, Clock::now) in src/core, src/stats, src/lp,\n"
+    "    src/util/parallel\n"
+    "R3  failpoint-name literal absent from the registry in\n"
+    "    src/util/failpoint.h, or a registered failpoint no code uses\n"
+    "R4  AT_CHECK on an untrusted-input path (CSV, rule serialization,\n"
+    "    recipe loading) that was migrated to Status\n"
+    "R5  Status/Result<T>-returning declaration missing [[nodiscard]]\n"
+    "\n"
+    "Suppress one line:   // at_lint: disable(R2) <reason>\n"
+    "Suppress a file:     // at_lint: disable-file(R2) <reason>\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      std::fputs(kRuleCatalogue, stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: at_lint [--quiet] [--list-rules] <path>...\n");
+      return 0;
+    }
+    roots.push_back(argv[i]);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: at_lint [--quiet] [--list-rules] <path>...\n");
+    return 2;
+  }
+
+  std::vector<autotest::lint::Violation> violations =
+      autotest::lint::LintTree(roots);
+  for (const auto& v : violations) {
+    std::printf("%s\n", v.ToString().c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "at_lint: %zu violation(s)\n", violations.size());
+  }
+  return violations.empty() ? 0 : 1;
+}

@@ -90,7 +90,8 @@ std::string RecipePath(const std::string& rules_path) {
   return rules_path + ".recipe";
 }
 
-Status ValidateRecipe(const Recipe& r, const std::string& source) {
+[[nodiscard]] Status ValidateRecipe(const Recipe& r,
+                                    const std::string& source) {
   if (!IsKnownCorpus(r.corpus)) {
     return util::InvalidArgumentError(
         source + ": field 'corpus' must be relational, spreadsheet or "
@@ -109,7 +110,8 @@ Status ValidateRecipe(const Recipe& r, const std::string& source) {
 
 // Atomic like TrySaveRulesToFile: temp file + rename, so an interrupted
 // train never leaves a torn recipe next to a valid rules file.
-Status TrySaveRecipe(const Recipe& r, const std::string& rules_path) {
+[[nodiscard]] Status TrySaveRecipe(const Recipe& r,
+                                   const std::string& rules_path) {
   if (util::FailpointFires(util::kFpRecipeSave)) {
     return util::InjectedFault(StatusCode::kIoError, util::kFpRecipeSave)
         .WithContext("saving recipe for " + rules_path);
@@ -134,7 +136,7 @@ Status TrySaveRecipe(const Recipe& r, const std::string& rules_path) {
   return Status::Ok();
 }
 
-Result<Recipe> TryLoadRecipe(const std::string& rules_path) {
+[[nodiscard]] Result<Recipe> TryLoadRecipe(const std::string& rules_path) {
   const std::string path = RecipePath(rules_path);
   if (util::FailpointFires(util::kFpRecipeLoad)) {
     return util::InjectedFault(StatusCode::kIoError, util::kFpRecipeLoad)
@@ -163,7 +165,7 @@ table::Corpus BuildCorpus(const Recipe& r) {
   return datagen::GenerateCorpus(datagen::RelationalTablesProfile(r.columns));
 }
 
-Result<core::AutoTest> TryTrainFromRecipe(const Recipe& r) {
+[[nodiscard]] Result<core::AutoTest> TryTrainFromRecipe(const Recipe& r) {
   std::fprintf(stderr, "training on %s corpus (%zu columns)...\n",
                r.corpus.c_str(), r.columns);
   core::AutoTestConfig config;

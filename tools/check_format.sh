@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Verifies that the files touched on this branch satisfy .clang-format,
+# without reformatting anything (clang-format --dry-run -Werror).
+#
+#   tools/check_format.sh              # files changed vs origin/main (or HEAD~1)
+#   tools/check_format.sh --all        # every tracked C++ file
+#   tools/check_format.sh a.cc b.h     # just these files
+#
+# Scope is deliberately "changed files only": the tree predates the
+# .clang-format file and is NOT wholesale-reformatted (that churn would
+# bury real history), so only code this branch touches is held to it.
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (install it to" \
+       "enforce formatting locally — CI runs it)" >&2
+  exit 0
+fi
+
+is_cpp() {
+  case "$1" in
+    *.h|*.hpp|*.cc|*.cpp) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+files=()
+if [ "$#" -gt 0 ] && [ "$1" = "--all" ]; then
+  while IFS= read -r f; do
+    is_cpp "$f" && files+=("$f")
+  done < <(git ls-files)
+elif [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  # Prefer the merge-base with origin/main; fall back to the last commit.
+  base=$(git merge-base HEAD origin/main 2> /dev/null || echo "HEAD~1")
+  while IFS= read -r f; do
+    [ -f "$f" ] && is_cpp "$f" && files+=("$f")
+  done < <(git diff --name-only "$base" HEAD; git diff --name-only)
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no C++ files to check"
+  exit 0
+fi
+
+# Fixture files deliberately contain odd code; they are lint fixtures,
+# not style exemplars, but they still must be formatted. No exclusions.
+status=0
+for f in $(printf '%s\n' "${files[@]}" | sort -u); do
+  if ! clang-format --dry-run -Werror "$f" > /dev/null 2>&1; then
+    echo "needs formatting: $f (run: clang-format -i $f)"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_format: ${#files[@]} file(s) clean"
+fi
+exit "$status"
