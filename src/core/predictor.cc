@@ -113,9 +113,9 @@ std::vector<CellDetection> SdcPredictor::Predict(
 
 util::Result<std::vector<CellDetection>> SdcPredictor::TryPredict(
     const table::Column& column) const {
-  if (util::FailpointFires(util::kFpPredictorColumn)) {
-    return util::InjectedFault(util::StatusCode::kResourceExhausted,
-                               util::kFpPredictorColumn)
+  if (auto injected = util::FailpointFiresCode(
+          util::kFpPredictorColumn, util::StatusCode::kResourceExhausted)) {
+    return util::InjectedFault(*injected, util::kFpPredictorColumn)
         .WithContext("predicting column '" + column.name + "'");
   }
   return Predict(column);

@@ -191,9 +191,9 @@ Result<std::vector<Sdc>> TryDeserializeRules(
     std::string_view text, const typedet::EvalFunctionSet& evals,
     size_t* unresolved) {
   if (unresolved != nullptr) *unresolved = 0;
-  if (util::FailpointFires(util::kFpRulesParse)) {
-    return util::InjectedFault(util::StatusCode::kDataLoss,
-                               util::kFpRulesParse);
+  if (auto injected = util::FailpointFiresCode(
+          util::kFpRulesParse, util::StatusCode::kDataLoss)) {
+    return util::InjectedFault(*injected, util::kFpRulesParse);
   }
   std::vector<Sdc> rules;
   bool saw_header = false;
@@ -289,8 +289,9 @@ Result<std::vector<Sdc>> TryDeserializeRules(
 
 util::Status TrySaveRulesToFile(const std::vector<Sdc>& rules,
                                 const std::string& path) {
-  if (util::FailpointFires(util::kFpRulesSave)) {
-    return util::InjectedFault(util::StatusCode::kIoError, util::kFpRulesSave)
+  if (auto injected = util::FailpointFiresCode(util::kFpRulesSave,
+                                               util::StatusCode::kIoError)) {
+    return util::InjectedFault(*injected, util::kFpRulesSave)
         .WithContext("saving rules to " + path);
   }
   // Write-then-rename so a failure mid-write never truncates an existing
@@ -319,8 +320,9 @@ Result<std::vector<Sdc>> TryLoadRulesFromFile(
     const std::string& path, const typedet::EvalFunctionSet& evals,
     size_t* unresolved) {
   if (unresolved != nullptr) *unresolved = 0;
-  if (util::FailpointFires(util::kFpRulesOpen)) {
-    return util::InjectedFault(util::StatusCode::kIoError, util::kFpRulesOpen)
+  if (auto injected = util::FailpointFiresCode(util::kFpRulesOpen,
+                                               util::StatusCode::kIoError)) {
+    return util::InjectedFault(*injected, util::kFpRulesOpen)
         .WithContext("loading rules from " + path);
   }
   std::ifstream in(path, std::ios::binary);

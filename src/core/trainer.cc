@@ -10,6 +10,7 @@
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/parallel/thread_pool.h"
+#include "util/retry.h"
 #include "util/rng.h"
 
 namespace autotest::core {
@@ -132,11 +133,25 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
       evals.size(),
       [&](size_t fi) {
         FunctionResult& res = results[fi];
-        // Injected allocation/compute fault for this evaluation family:
-        // drop the family (counted) and train on the rest.
-        if (util::FailpointFires(util::kFpTrainerEval)) {
-          res.skipped = true;
-          return;
+        // Injected allocation/compute fault for this evaluation family.
+        // The decision is keyed on the family index so which family faults
+        // is independent of pool scheduling; retryable codes are retried
+        // in place (pure CPU work — no backoff needed), permanent codes or
+        // an exhausted budget drop the family (counted) and train on the
+        // rest.
+        const size_t budget = options.eval_retry_attempts > 0
+                                  ? options.eval_retry_attempts
+                                  : 1;
+        for (size_t attempt = 0; attempt < budget; ++attempt) {
+          auto injected = util::FailpointFiresKeyed(
+              util::kFpTrainerEval,
+              fi * 0x9e3779b97f4a7c15ULL + attempt,
+              util::StatusCode::kResourceExhausted);
+          if (!injected) break;
+          if (!util::IsRetryableCode(*injected) || attempt + 1 == budget) {
+            res.skipped = true;
+            return;
+          }
         }
         auto t0 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
         const auto& eval = evals.at(fi);

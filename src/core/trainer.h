@@ -64,6 +64,14 @@ struct TrainOptions {
 
   uint64_t seed = 77;
   size_t num_threads = 0;  // 0 = hardware concurrency
+
+  /// In-memory retry budget for a family whose evaluation pass hits a
+  /// transient injected fault (failpoint "trainer.eval" with a retryable
+  /// code). Evaluation is pure CPU work, so retries are immediate — no
+  /// backoff or sleeping — and the retry decision is keyed on the family
+  /// index, independent of pool scheduling. Permanent codes, or exhausting
+  /// the budget, degrade to skipping the family (evals_skipped).
+  size_t eval_retry_attempts = 3;
 };
 
 /// One synthetic error column C(v_e) = C union {v_e} (Section 5.3).

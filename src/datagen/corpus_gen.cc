@@ -3,6 +3,7 @@
 #include "datagen/column_gen.h"
 #include "datagen/error_injector.h"
 #include "datagen/gazetteer.h"
+#include "util/hashing.h"
 
 namespace autotest::datagen {
 
@@ -75,6 +76,57 @@ table::Corpus GenerateCorpus(const CorpusProfile& profile) {
       InjectError(&col, SampleErrorType(rng), gaz, domain.name, rng);
     }
     corpus.push_back(std::move(col));
+  }
+  return corpus;
+}
+
+CorpusProfile ShardProfile(const CorpusProfile& profile, size_t shard,
+                           size_t num_shards) {
+  if (num_shards <= 1) return profile;
+  CorpusProfile shard_profile = profile;
+  const size_t base = profile.num_columns / num_shards;
+  const size_t rem = profile.num_columns % num_shards;
+  shard_profile.num_columns = base + (shard < rem ? 1 : 0);
+  shard_profile.seed = util::SplitMix64(
+      profile.seed ^ ((shard + 1) * 0x9e3779b97f4a7c15ULL));
+  shard_profile.name = profile.name + ".shard" + std::to_string(shard);
+  return shard_profile;
+}
+
+util::Result<table::Corpus> TryGenerateCorpusSharded(
+    const CorpusProfile& profile, size_t num_shards,
+    const table::ShardLoadOptions& options, table::ShardLoadReport* report,
+    const std::vector<size_t>& include_shard) {
+  if (num_shards == 0) {
+    return util::InvalidArgumentError("num_shards must be positive");
+  }
+  // The effective shard list: all of them, or the caller's mask (original
+  // indices, so a shard's seed — and therefore its bytes — is identical
+  // whether or not its siblings are loaded).
+  std::vector<size_t> shards = include_shard;
+  if (shards.empty()) {
+    shards.resize(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) shards[i] = i;
+  }
+  for (size_t shard : shards) {
+    if (shard >= num_shards) {
+      return util::InvalidArgumentError(
+          "shard index " + std::to_string(shard) + " out of range (have " +
+          std::to_string(num_shards) + " shards)");
+    }
+  }
+  std::function<util::Result<table::Corpus>(size_t)> load_shard =
+      [&](size_t slot) -> util::Result<table::Corpus> {
+    return GenerateCorpus(ShardProfile(profile, shards[slot], num_shards));
+  };
+  AT_ASSIGN_OR_RETURN(
+      auto loaded, table::LoadShards(shards.size(), load_shard, options,
+                                     report));
+  table::Corpus corpus;
+  for (table::Corpus& shard_corpus : loaded) {
+    for (table::Column& column : shard_corpus) {
+      corpus.push_back(std::move(column));
+    }
   }
   return corpus;
 }

@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "table/shard_loader.h"
 #include "table/table.h"
+#include "util/status.h"
 
 namespace autotest::datagen {
 
@@ -34,6 +37,28 @@ CorpusProfile TablibProfile(size_t num_columns, uint64_t seed = 33);
 /// Generates a corpus of columns according to the profile. Deterministic in
 /// the profile seed.
 table::Corpus GenerateCorpus(const CorpusProfile& profile);
+
+/// The per-shard slice of `profile` for shard `shard` of `num_shards`:
+/// columns are split as evenly as possible and each shard derives an
+/// independent seed from the profile seed and its index, so a shard's
+/// contents never depend on which other shards load. With num_shards == 1
+/// the profile is returned unchanged (bit-compatible with the monolithic
+/// GenerateCorpus path, and with pre-sharding recipe files).
+CorpusProfile ShardProfile(const CorpusProfile& profile, size_t shard,
+                           size_t num_shards);
+
+/// Generates the corpus shard-by-shard through table::LoadShards: shards
+/// run on the parallel pool with per-shard retry, the shard.read /
+/// shard.retry failpoints as chaos hooks, and quorum-based degradation
+/// per `options`. `include_shard`, when non-empty, restricts generation
+/// to those shard indices (used to rebuild a degraded corpus exactly from
+/// recipe provenance). Shards are assembled in ascending index order, so
+/// the result is deterministic in (profile.seed, num_shards, mask).
+[[nodiscard]] util::Result<table::Corpus> TryGenerateCorpusSharded(
+    const CorpusProfile& profile, size_t num_shards,
+    const table::ShardLoadOptions& options,
+    table::ShardLoadReport* report = nullptr,
+    const std::vector<size_t>& include_shard = {});
 
 }  // namespace autotest::datagen
 

@@ -159,9 +159,9 @@ void AppendField(const std::string& s, char delim, std::string* out) {
 }  // namespace
 
 Result<Table> TryParseCsv(std::string_view text, const CsvOptions& options) {
-  if (util::FailpointFires(util::kFpCsvParse)) {
-    return util::InjectedFault(util::StatusCode::kDataLoss,
-                               util::kFpCsvParse);
+  if (auto injected = util::FailpointFiresCode(util::kFpCsvParse,
+                                               util::StatusCode::kDataLoss)) {
+    return util::InjectedFault(*injected, util::kFpCsvParse);
   }
   std::vector<std::vector<std::string>> rows;
   AT_RETURN_IF_ERROR(ParseCells(text, options, &rows));
@@ -217,8 +217,9 @@ std::string WriteCsv(const Table& table, const CsvOptions& options) {
 
 Result<Table> TryReadCsvFile(const std::string& path,
                              const CsvOptions& options) {
-  if (util::FailpointFires(util::kFpCsvOpen)) {
-    return util::InjectedFault(util::StatusCode::kIoError, util::kFpCsvOpen)
+  if (auto injected = util::FailpointFiresCode(util::kFpCsvOpen,
+                                               util::StatusCode::kIoError)) {
+    return util::InjectedFault(*injected, util::kFpCsvOpen)
         .WithContext("reading CSV file " + path);
   }
   std::ifstream in(path, std::ios::binary);

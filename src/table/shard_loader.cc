@@ -1,0 +1,110 @@
+#include "table/shard_loader.h"
+
+#include <algorithm>
+
+namespace autotest::table {
+
+namespace shard_internal {
+
+util::Status InjectShardFault(size_t shard, size_t attempt) {
+  // Key the decision on (shard, attempt) so the fault pattern is a pure
+  // function of the registry seed — independent of pool scheduling.
+  const uint64_t key =
+      static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ULL +
+      static_cast<uint64_t>(attempt);
+  std::string_view name =
+      attempt == 0 ? util::kFpShardRead : util::kFpShardRetry;
+  if (auto code = util::FailpointFiresKeyed(name, key,
+                                            util::StatusCode::kIoError)) {
+    return util::InjectedFault(*code, name)
+        .WithContext("reading shard " + std::to_string(shard) +
+                     " (attempt " + std::to_string(attempt + 1) + ")");
+  }
+  return util::Status::Ok();
+}
+
+util::Status CheckQuorum(const ShardLoadReport& report,
+                         double min_shard_fraction) {
+  if (report.num_shards == 0) return util::Status::Ok();
+  // ceil(fraction * n), but never less than one shard: an entirely lost
+  // corpus is useless at any quorum.
+  size_t need = static_cast<size_t>(
+      min_shard_fraction * static_cast<double>(report.num_shards));
+  if (static_cast<double>(need) <
+      min_shard_fraction * static_cast<double>(report.num_shards)) {
+    ++need;
+  }
+  need = std::max<size_t>(need, 1);
+  if (report.num_loaded >= need) return util::Status::Ok();
+  // Dominant failure code: prefer a permanent code (the actionable
+  // diagnosis — retries cannot help) over transient ones.
+  util::StatusCode code = util::StatusCode::kIoError;
+  bool found = false;
+  for (const ShardOutcome& outcome : report.outcomes) {
+    if (outcome.code == util::StatusCode::kOk) continue;
+    if (!found) {
+      code = outcome.code;
+      found = true;
+    }
+    if (!util::IsRetryableCode(outcome.code)) {
+      code = outcome.code;
+      break;
+    }
+  }
+  std::string message =
+      "shard quorum missed: " + std::to_string(report.num_loaded) + "/" +
+      std::to_string(report.num_shards) + " shards loaded, need " +
+      std::to_string(need);
+  for (const ShardOutcome& outcome : report.outcomes) {
+    if (outcome.code == util::StatusCode::kOk) continue;
+    message += "; shard " + std::to_string(outcome.shard) + ": " +
+               std::string(util::StatusCodeName(outcome.code)) + " after " +
+               std::to_string(outcome.attempts) + " attempt(s)";
+  }
+  return util::Status(code, std::move(message));
+}
+
+}  // namespace shard_internal
+
+std::vector<size_t> ShardLoadReport::LostShards() const {
+  std::vector<size_t> lost;
+  for (const ShardOutcome& outcome : outcomes) {
+    if (outcome.code != util::StatusCode::kOk) lost.push_back(outcome.shard);
+  }
+  return lost;
+}
+
+std::string ShardLoadReport::Summary() const {
+  std::string out = "shard-load: " + std::to_string(num_loaded) + "/" +
+                    std::to_string(num_shards) + " shards loaded, retries=" +
+                    std::to_string(total_retries);
+  if (num_failed > 0) {
+    out += ", lost:";
+    for (const ShardOutcome& outcome : outcomes) {
+      if (outcome.code == util::StatusCode::kOk) continue;
+      out += " " + std::to_string(outcome.shard) + ":" +
+             std::string(util::StatusCodeName(outcome.code));
+    }
+  }
+  return out;
+}
+
+util::Result<Corpus> TryLoadCorpusFromCsvShards(
+    const std::vector<std::string>& paths, const CsvOptions& csv_options,
+    const ShardLoadOptions& options, ShardLoadReport* report) {
+  std::function<util::Result<std::vector<Column>>(size_t)> load_shard =
+      [&](size_t shard) -> util::Result<std::vector<Column>> {
+    AT_ASSIGN_OR_RETURN(Table table,
+                        TryReadCsvFile(paths[shard], csv_options));
+    return std::move(table.columns);
+  };
+  AT_ASSIGN_OR_RETURN(auto shards,
+                      LoadShards(paths.size(), load_shard, options, report));
+  Corpus corpus;
+  for (std::vector<Column>& columns : shards) {
+    for (Column& column : columns) corpus.push_back(std::move(column));
+  }
+  return corpus;
+}
+
+}  // namespace autotest::table

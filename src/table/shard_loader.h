@@ -1,0 +1,168 @@
+#ifndef AUTOTEST_TABLE_SHARD_LOADER_H_
+#define AUTOTEST_TABLE_SHARD_LOADER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/csv.h"
+#include "table/table.h"
+#include "util/failpoint.h"
+#include "util/parallel/thread_pool.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+// Fault-tolerant sharded ingestion (DESIGN.md §4e). A corpus is many
+// independently-failing inputs, and partial availability is the norm at
+// serving scale: this layer loads shards in parallel, retries transient
+// failures (kIoError / kResourceExhausted) with deterministic backoff,
+// fails fast on permanent ones (kDataLoss / kInvalidArgument), and
+// degrades gracefully to a configurable quorum instead of dying on the
+// first bad shard. Every outcome is recorded in a ShardLoadReport so
+// degradation is observable, never silent.
+//
+// Chaos hooks: the `shard.read` failpoint fires on first attempts, the
+// `shard.retry` failpoint on retry attempts; both honor the arming spec's
+// `code=` flavor, and their decisions are keyed on (shard, attempt) so
+// which shard fails is independent of pool scheduling.
+
+namespace autotest::table {
+
+struct ShardLoadOptions {
+  util::RetryPolicy retry;
+  /// Quorum: the fraction of shards that must load for the overall load to
+  /// succeed. 1.0 (default) = all-or-nothing, today's monolithic behavior.
+  /// At least one shard must always load. Outside [0, 1] is
+  /// kInvalidArgument.
+  double min_shard_fraction = 1.0;
+  /// Parallelism for the shard loads; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Time source for retry backoff; nullptr = util::RealClock(). Tests
+  /// inject a VirtualClock so retries sleep zero real time.
+  util::Clock* clock = nullptr;
+};
+
+/// Per-shard outcome, in shard-index order.
+struct ShardOutcome {
+  size_t shard = 0;
+  /// Attempts made (1 = no retries).
+  size_t attempts = 0;
+  /// Final status code; kOk when the shard loaded.
+  util::StatusCode code = util::StatusCode::kOk;
+  /// Final diagnostic for failed shards; empty on success.
+  std::string error;
+};
+
+/// What happened during a sharded load: per-shard outcomes plus totals.
+struct ShardLoadReport {
+  size_t num_shards = 0;
+  size_t num_loaded = 0;
+  size_t num_failed = 0;
+  /// Attempts beyond each shard's first, summed over all shards.
+  size_t total_retries = 0;
+  std::vector<ShardOutcome> outcomes;
+
+  bool degraded() const { return num_failed > 0; }
+  /// Indices of shards that failed to load.
+  std::vector<size_t> LostShards() const;
+  /// One line, e.g. "shard-load: 7/8 shards loaded, retries=3, lost:
+  /// 3:DATA_LOSS".
+  std::string Summary() const;
+};
+
+namespace shard_internal {
+/// Evaluates the shard failpoints for (shard, attempt): `shard.read` on
+/// the first attempt, `shard.retry` on retries. Returns the injected
+/// fault, or OK.
+[[nodiscard]] util::Status InjectShardFault(size_t shard, size_t attempt);
+/// Quorum arithmetic + failure synthesis shared by the LoadShards
+/// template; returns OK when `num_loaded` meets the quorum.
+[[nodiscard]] util::Status CheckQuorum(const ShardLoadReport& report,
+                                       double min_shard_fraction);
+}  // namespace shard_internal
+
+/// Loads `num_shards` shards via `load_shard(shard_index)` on the parallel
+/// pool, retrying each shard per `options.retry`. Returns the successfully
+/// loaded shards in ascending shard-index order (so assembly is
+/// deterministic and independent of scheduling) when the quorum is met,
+/// else the dominant failure Status. `report`, when non-null, receives the
+/// full per-shard picture either way.
+template <typename T>
+[[nodiscard]] util::Result<std::vector<T>> LoadShards(
+    size_t num_shards,
+    const std::function<util::Result<T>(size_t)>& load_shard,
+    const ShardLoadOptions& options, ShardLoadReport* report = nullptr) {
+  if (options.min_shard_fraction < 0.0 || options.min_shard_fraction > 1.0) {
+    return util::InvalidArgumentError(
+        "min_shard_fraction must be in [0, 1], got " +
+        std::to_string(options.min_shard_fraction));
+  }
+  ShardLoadReport local;
+  ShardLoadReport& rep = report != nullptr ? *report : local;
+  rep = ShardLoadReport{};
+  rep.num_shards = num_shards;
+  rep.outcomes.assign(num_shards, ShardOutcome{});
+  std::vector<std::optional<T>> slots(num_shards);
+  if (num_shards > 0) {
+    util::Clock& clock =
+        options.clock != nullptr ? *options.clock : util::RealClock();
+    util::parallel::Options par;
+    par.num_threads = options.num_threads;
+    par.grain = 1;  // shard loads are coarse; steal at shard granularity
+    util::parallel::ParallelFor(
+        num_shards,
+        [&](size_t shard) {
+          size_t attempt_index = 0;
+          size_t attempts = 0;
+          auto one_attempt = [&]() -> util::Result<T> {
+            util::Status injected =
+                shard_internal::InjectShardFault(shard, attempt_index++);
+            if (!injected.ok()) return injected;
+            return load_shard(shard);
+          };
+          auto result = util::RetryCall(options.retry, clock,
+                                        /*stream=*/shard, one_attempt,
+                                        &attempts);
+          ShardOutcome& outcome = rep.outcomes[shard];
+          outcome.shard = shard;
+          outcome.attempts = attempts;
+          if (result.ok()) {
+            slots[shard] = std::move(result).value();
+          } else {
+            outcome.code = result.status().code();
+            outcome.error = result.status().ToString();
+          }
+        },
+        par);
+  }
+  for (const ShardOutcome& outcome : rep.outcomes) {
+    rep.total_retries += outcome.attempts > 0 ? outcome.attempts - 1 : 0;
+    if (outcome.code == util::StatusCode::kOk) {
+      ++rep.num_loaded;
+    } else {
+      ++rep.num_failed;
+    }
+  }
+  AT_RETURN_IF_ERROR(
+      shard_internal::CheckQuorum(rep, options.min_shard_fraction));
+  std::vector<T> loaded;
+  loaded.reserve(rep.num_loaded);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    if (slots[shard].has_value()) loaded.push_back(std::move(*slots[shard]));
+  }
+  return loaded;
+}
+
+/// Loads a corpus from CSV shard files, one shard per path, flattening
+/// every loaded table's columns (in shard-index order) into one corpus.
+/// Each shard read retries per `options.retry`; a corrupt shard
+/// (kDataLoss) fails fast and is skipped when the quorum allows.
+[[nodiscard]] util::Result<Corpus> TryLoadCorpusFromCsvShards(
+    const std::vector<std::string>& paths, const CsvOptions& csv_options,
+    const ShardLoadOptions& options, ShardLoadReport* report = nullptr);
+
+}  // namespace autotest::table
+
+#endif  // AUTOTEST_TABLE_SHARD_LOADER_H_

@@ -26,6 +26,24 @@ std::string KnownFailpointList() {
   return out;
 }
 
+/// Maps a `code=` flavor token to the StatusCode it injects; nullopt for
+/// "default" (restore per-site codes).
+bool ParseCodeFlavor(std::string_view value,
+                     std::optional<StatusCode>* out) {
+  if (value == "io") {
+    *out = StatusCode::kIoError;
+  } else if (value == "exhausted") {
+    *out = StatusCode::kResourceExhausted;
+  } else if (value == "dataloss") {
+    *out = StatusCode::kDataLoss;
+  } else if (value == "default") {
+    *out = std::nullopt;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 FailpointRegistry::FailpointRegistry() {
@@ -72,6 +90,15 @@ Status FailpointRegistry::Configure(std::string_view spec) {
         return InvalidArgumentError("bad failpoint seed '" + value + "'");
       }
       seed_ = s;
+      continue;
+    }
+
+    if (key == "code") {
+      if (!ParseCodeFlavor(value, &code_override_)) {
+        return InvalidArgumentError(
+            "bad failpoint code flavor '" + value +
+            "' (want io, exhausted, dataloss or default)");
+      }
       continue;
     }
 
@@ -141,23 +168,46 @@ void FailpointRegistry::Reset() {
     point = Point{};
   }
   seed_ = 0;
+  code_override_ = std::nullopt;
   any_armed_ = false;
   armed_flag_.store(false, std::memory_order_release);
 }
 
-bool FailpointRegistry::ShouldFail(std::string_view name) {
-  if (!armed_flag_.load(std::memory_order_acquire)) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+std::optional<StatusCode> FailpointRegistry::EvalLocked(
+    std::string_view name, uint64_t key, bool use_counter,
+    StatusCode fallback) {
   auto it = points_.find(name);
-  if (it == points_.end()) return false;
+  if (it == points_.end()) return std::nullopt;
   Point& point = it->second;
   uint64_t k = point.evaluations++;
-  if (!point.armed) return false;
-  // Deterministic per-(seed, name, evaluation-index) decision stream.
-  double roll = HashToUnitDouble(SplitMix64(seed_ ^ Fnv64Seeded(name, k)));
-  if (roll >= point.probability) return false;
+  if (!point.armed) return std::nullopt;
+  // Deterministic decision stream: per-(seed, name, evaluation-index) for
+  // serial sites, per-(seed, name, caller key) for parallel ones.
+  uint64_t stream = use_counter ? k : SplitMix64(key) ^ 0x5bd1e995u;
+  double roll =
+      HashToUnitDouble(SplitMix64(seed_ ^ Fnv64Seeded(name, stream)));
+  if (roll >= point.probability) return std::nullopt;
   ++point.fires;
-  return true;
+  return code_override_.value_or(fallback);
+}
+
+bool FailpointRegistry::ShouldFail(std::string_view name) {
+  // The fallback is irrelevant for the boolean answer.
+  return ShouldFailWithCode(name, StatusCode::kInternal).has_value();
+}
+
+std::optional<StatusCode> FailpointRegistry::ShouldFailWithCode(
+    std::string_view name, StatusCode fallback) {
+  if (!armed_flag_.load(std::memory_order_acquire)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvalLocked(name, 0, /*use_counter=*/true, fallback);
+}
+
+std::optional<StatusCode> FailpointRegistry::ShouldFailKeyed(
+    std::string_view name, uint64_t key, StatusCode fallback) {
+  if (!armed_flag_.load(std::memory_order_acquire)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvalLocked(name, key, /*use_counter=*/false, fallback);
 }
 
 uint64_t FailpointRegistry::evaluations(std::string_view name) const {

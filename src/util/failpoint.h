@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -24,10 +25,20 @@
 // Spec grammar (comma-separated entries):
 //   <name>=on | <name>=off | <name>:p=<prob> | all=on | all:p=<prob>
 //   seed=<uint64>      (decision-stream seed; default 0)
+//   code=io|exhausted|dataloss|default
+//                      (StatusCode flavor every fired site injects;
+//                       "default" restores each site's documented code,
+//                       so specs without code= keep today's behavior.
+//                       io -> kIoError and exhausted -> kResourceExhausted
+//                       are transient and masked by the retry layer;
+//                       dataloss -> kDataLoss is permanent and fails fast)
 //
 // Firing is deterministic: the decision for the k-th evaluation of failpoint
 // `name` is a pure function of (seed, name, k), so a failing soak run is
-// reproducible from its seed alone — no global RNG state involved.
+// reproducible from its seed alone — no global RNG state involved. Sites
+// evaluated from parallel workers (shard loads, trainer eval families) use
+// the keyed variant, whose decision is a pure function of (seed, name,
+// caller-chosen key) so it is independent of scheduling too.
 //
 // Naming scheme: `<component>.<operation>`, lower-case. The canonical list
 // lives in kAllFailpoints below; sites must use these constants so the
@@ -44,6 +55,8 @@ inline constexpr std::string_view kFpRecipeLoad = "recipe.load";
 inline constexpr std::string_view kFpRecipeSave = "recipe.save";
 inline constexpr std::string_view kFpTrainerEval = "trainer.eval";
 inline constexpr std::string_view kFpPredictorColumn = "predictor.column";
+inline constexpr std::string_view kFpShardRead = "shard.read";
+inline constexpr std::string_view kFpShardRetry = "shard.retry";
 
 /// Every failpoint compiled into the binary. Keep in sync with the
 /// constants above; tests/robustness_test.cc walks this list.
@@ -51,6 +64,7 @@ inline constexpr std::string_view kAllFailpoints[] = {
     kFpCsvOpen,    kFpCsvParse,  kFpRulesOpen,
     kFpRulesParse, kFpRulesSave, kFpRecipeLoad,
     kFpRecipeSave, kFpTrainerEval, kFpPredictorColumn,
+    kFpShardRead,  kFpShardRetry,
 };
 
 /// Process-wide registry. Thread-safe; the disarmed fast path is a single
@@ -76,6 +90,20 @@ class FailpointRegistry {
   /// Counts the evaluation (and the fire, if any) either way.
   bool ShouldFail(std::string_view name);
 
+  /// Like ShouldFail, but returns the StatusCode the site should inject:
+  /// the spec's `code=` flavor when set, else `fallback` (the site's
+  /// documented default). nullopt when the failpoint does not fire.
+  std::optional<StatusCode> ShouldFailWithCode(std::string_view name,
+                                               StatusCode fallback);
+
+  /// Scheduling-independent variant for sites evaluated from parallel
+  /// workers: the decision is a pure function of (seed, name, key) instead
+  /// of the evaluation counter, so which shard/family fails is identical
+  /// across thread counts and interleavings. Counters still advance.
+  std::optional<StatusCode> ShouldFailKeyed(std::string_view name,
+                                            uint64_t key,
+                                            StatusCode fallback);
+
   /// Counters, for tests and --failpoints diagnostics.
   uint64_t evaluations(std::string_view name) const;
   uint64_t fires(std::string_view name) const;
@@ -93,16 +121,38 @@ class FailpointRegistry {
     uint64_t fires = 0;
   };
 
+  /// Decision + bookkeeping shared by the counter-keyed and caller-keyed
+  /// evaluation paths. Must be called under mu_.
+  std::optional<StatusCode> EvalLocked(std::string_view name, uint64_t key,
+                                       bool use_counter,
+                                       StatusCode fallback);
+
   mutable std::mutex mu_;
   bool any_armed_ = false;  // mirrors armed_flag_ under mu_
   std::atomic<bool> armed_flag_{false};
   uint64_t seed_ = 0;
+  std::optional<StatusCode> code_override_;  // the `code=` flavor
   std::map<std::string, Point, std::less<>> points_;
 };
 
 /// Injection-site helper: true when `name` should fail now.
 inline bool FailpointFires(std::string_view name) {
   return FailpointRegistry::Global().ShouldFail(name);
+}
+
+/// Injection-site helper surfacing the selected StatusCode: the spec's
+/// `code=` flavor when armed with one, else `fallback`.
+inline std::optional<StatusCode> FailpointFiresCode(std::string_view name,
+                                                    StatusCode fallback) {
+  return FailpointRegistry::Global().ShouldFailWithCode(name, fallback);
+}
+
+/// Keyed injection-site helper for parallel call sites (see
+/// ShouldFailKeyed).
+inline std::optional<StatusCode> FailpointFiresKeyed(std::string_view name,
+                                                     uint64_t key,
+                                                     StatusCode fallback) {
+  return FailpointRegistry::Global().ShouldFailKeyed(name, key, fallback);
 }
 
 /// Canonical error for a fired failpoint, e.g.

@@ -1,0 +1,78 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/hashing.h"
+
+namespace autotest::util {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowMicros() override {
+    // The one real monotonic-clock read; everything deterministic injects
+    // a VirtualClock through the Clock seam instead of reaching here.
+    // at_lint: disable(R2) audited wall-clock read behind the Clock seam
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  }
+  void SleepMicros(int64_t micros) override {
+    if (micros <= 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+Clock& RealClock() {
+  static SteadyClock* clock = new SteadyClock();
+  return *clock;
+}
+
+bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kIoError ||
+         code == StatusCode::kResourceExhausted;
+}
+
+int64_t BackoffMicros(const RetryPolicy& policy, uint64_t stream,
+                      int attempt) {
+  if (attempt < 1) attempt = 1;
+  double base = static_cast<double>(
+      std::max<int64_t>(policy.initial_backoff_micros, 0));
+  for (int k = 1; k < attempt; ++k) {
+    base *= policy.backoff_multiplier;
+    if (policy.max_backoff_micros > 0 &&
+        base > static_cast<double>(policy.max_backoff_micros)) {
+      base = static_cast<double>(policy.max_backoff_micros);
+      break;
+    }
+  }
+  if (policy.max_backoff_micros > 0 &&
+      base > static_cast<double>(policy.max_backoff_micros)) {
+    base = static_cast<double>(policy.max_backoff_micros);
+  }
+  // Deterministic jitter in [1 - f, 1 + f]: a pure function of
+  // (seed, stream, attempt), so schedules are byte-identical across runs.
+  double fraction = std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  if (fraction > 0.0) {
+    uint64_t mix = SplitMix64(SplitMix64(policy.seed ^ stream) +
+                              static_cast<uint64_t>(attempt));
+    double unit = HashToUnitDouble(mix);  // [0, 1)
+    base *= 1.0 + fraction * (2.0 * unit - 1.0);
+  }
+  return static_cast<int64_t>(base);
+}
+
+std::vector<int64_t> BackoffScheduleMicros(const RetryPolicy& policy,
+                                           uint64_t stream) {
+  std::vector<int64_t> schedule;
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    schedule.push_back(BackoffMicros(policy, stream, attempt));
+  }
+  return schedule;
+}
+
+}  // namespace autotest::util

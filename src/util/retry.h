@@ -1,0 +1,156 @@
+#ifndef AUTOTEST_UTIL_RETRY_H_
+#define AUTOTEST_UTIL_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+// Deterministic retry with exponential backoff for transient failures on
+// the load/serve path (DESIGN.md §4e).
+//
+// Retry decisions are keyed on StatusCode: kIoError and kResourceExhausted
+// are transient (the OS or a resource limit failed us — trying again can
+// succeed), everything else is permanent (kDataLoss bytes stay corrupt no
+// matter how often they are re-read) and fails fast on the first attempt.
+//
+// All time flows through an injectable Clock so unit tests run the whole
+// backoff/deadline machinery in virtual time with zero real sleeping, and
+// so the module satisfies at_lint R2 (the single real-clock read lives
+// behind the RealClock() seam with an audited suppression). The jitter is
+// a pure function of (policy.seed, stream, attempt): the same seed always
+// produces a byte-identical backoff schedule.
+
+namespace autotest::util {
+
+/// Time source + sleeper seam. Production code uses RealClock();
+/// tests inject a VirtualClock so retries take zero wall-clock time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic timestamp in microseconds (origin unspecified).
+  virtual int64_t NowMicros() = 0;
+  /// Blocks (or simulates blocking) for `micros` microseconds.
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+/// The process-wide monotonic clock (std::chrono::steady_clock).
+Clock& RealClock();
+
+/// Test clock: NowMicros starts at 0 and advances only via SleepMicros /
+/// Advance. Thread-safe (shard loads sleep from pool workers).
+class VirtualClock final : public Clock {
+ public:
+  int64_t NowMicros() override {
+    return now_micros_.load(std::memory_order_relaxed);
+  }
+  void SleepMicros(int64_t micros) override {
+    if (micros <= 0) return;
+    now_micros_.fetch_add(micros, std::memory_order_relaxed);
+    slept_micros_.fetch_add(micros, std::memory_order_relaxed);
+    sleep_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Moves time forward without counting as a sleep.
+  void Advance(int64_t micros) {
+    now_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  /// Total virtual time spent inside SleepMicros.
+  int64_t slept_micros() const {
+    return slept_micros_.load(std::memory_order_relaxed);
+  }
+  size_t sleep_calls() const {
+    return sleep_calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_micros_{0};
+  std::atomic<int64_t> slept_micros_{0};
+  std::atomic<size_t> sleep_calls_{0};
+};
+
+/// Retry knobs. Deterministic: the k-th backoff for a given (seed, stream)
+/// never changes across runs, threads or machines.
+struct RetryPolicy {
+  /// Total attempts including the first; values < 1 behave as 1.
+  int max_attempts = 4;
+  /// Backoff before the first retry.
+  int64_t initial_backoff_micros = 10'000;  // 10 ms
+  /// Growth factor per retry (clamped at max_backoff_micros).
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 2'000'000;  // 2 s
+  /// Backoff is scaled by a deterministic factor in
+  /// [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.25;
+  /// Overall budget across all attempts and sleeps; 0 = unlimited. When a
+  /// backoff would overrun the deadline the last error is returned
+  /// immediately instead of sleeping past it.
+  int64_t deadline_micros = 0;
+  /// Seed for the jitter stream.
+  uint64_t seed = 0;
+};
+
+/// True for codes worth retrying: kIoError, kResourceExhausted.
+bool IsRetryableCode(StatusCode code);
+
+/// Backoff (jitter applied) slept after attempt number `attempt` (1-based:
+/// attempt 1 is the first failure). Pure function of its arguments.
+int64_t BackoffMicros(const RetryPolicy& policy, uint64_t stream,
+                      int attempt);
+
+/// The full schedule [backoff after attempt 1, ..., after max_attempts-1].
+/// Tests assert byte-identical schedules for equal seeds.
+std::vector<int64_t> BackoffScheduleMicros(const RetryPolicy& policy,
+                                           uint64_t stream);
+
+namespace retry_internal {
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+const Status& StatusOf(const Result<T>& result) {
+  return result.status();
+}
+}  // namespace retry_internal
+
+/// Runs `fn` (returning Status or Result<T>) up to policy.max_attempts
+/// times. Transient errors (IsRetryableCode) back off and retry; permanent
+/// errors and the final attempt's error return immediately with a context
+/// frame recording the attempt count. `stream` decorrelates jitter between
+/// concurrent callers (e.g. the shard index); `attempts_out`, when
+/// non-null, receives the number of attempts actually made.
+template <typename Fn>
+auto RetryCall(const RetryPolicy& policy, Clock& clock, uint64_t stream,
+               Fn&& fn, size_t* attempts_out = nullptr) -> decltype(fn()) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  const int64_t start_micros = clock.NowMicros();
+  int attempt = 0;
+  while (true) {
+    auto result = fn();
+    ++attempt;
+    if (attempts_out != nullptr) *attempts_out = static_cast<size_t>(attempt);
+    if (result.ok()) return result;
+    const Status& status = retry_internal::StatusOf(result);
+    if (!IsRetryableCode(status.code())) return result;  // permanent: no retry
+    if (attempt >= max_attempts) {
+      Status final = status;
+      return std::move(final).WithContext(
+          "retrying (gave up after " + std::to_string(attempt) +
+          " attempts)");
+    }
+    const int64_t backoff = BackoffMicros(policy, stream, attempt);
+    if (policy.deadline_micros > 0 &&
+        clock.NowMicros() - start_micros + backoff > policy.deadline_micros) {
+      Status final = status;
+      return std::move(final).WithContext(
+          "retrying (deadline budget " +
+          std::to_string(policy.deadline_micros) + "us exhausted after " +
+          std::to_string(attempt) + " attempts)");
+    }
+    clock.SleepMicros(backoff);
+  }
+}
+
+}  // namespace autotest::util
+
+#endif  // AUTOTEST_UTIL_RETRY_H_

@@ -24,6 +24,14 @@ std::string_view StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
+std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+    StatusCode code = static_cast<StatusCode>(i);
+    if (StatusCodeName(code) == name) return code;
+  }
+  return std::nullopt;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeName(code_));

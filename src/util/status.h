@@ -42,6 +42,11 @@ enum class StatusCode : int {
 /// Stable upper-case name for diagnostics, e.g. "DATA_LOSS".
 std::string_view StatusCodeName(StatusCode code);
 
+/// Inverse of StatusCodeName: parses a stable upper-case name back to its
+/// code (used by degraded-mode provenance in rule-file recipes). Returns
+/// nullopt for unknown names.
+std::optional<StatusCode> StatusCodeFromName(std::string_view name);
+
 /// A success-or-error value. Default construction and `Status::Ok()` are OK;
 /// error states carry a code, message, and optional context chain. Copyable
 /// and cheap to move; an OK status allocates nothing.

@@ -16,6 +16,7 @@
 #include "stats/statistics.h"
 #include "typedet/eval_functions.h"
 #include "typedet/validators.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace autotest {
@@ -280,6 +281,40 @@ TEST(TrainingDeterminismTest, IdenticalModelAcrossThreadCounts) {
   auto s8 = core::FineSelect(m8, sopt);
   EXPECT_EQ(s1.selected, s8.selected);
   EXPECT_EQ(s1.lp_objective, s8.lp_objective);
+}
+
+TEST(TrainingDeterminismTest, TransientFaultsYieldByteIdenticalModel) {
+  // A run whose injected trainer.eval faults are all transient — every
+  // family recovers within the retry budget — must produce a model
+  // byte-identical to the fault-free run, at any thread count. Retries
+  // are pure re-execution; nothing about them may leak into the output.
+  auto corpus =
+      datagen::GenerateCorpus(datagen::RelationalTablesProfile(150));
+  typedet::EvalFunctionSetOptions eval_opt;
+  eval_opt.embedding_centroids_per_model = 20;
+  auto evals = typedet::EvalFunctionSet::Build(corpus, eval_opt);
+
+  core::TrainOptions topt;
+  topt.synthetic_count = 200;
+  topt.eval_retry_attempts = 8;  // ample budget: p=0.4^8 residual risk
+  core::TrainedModel clean = core::TrainAutoTest(corpus, evals, topt);
+  ASSERT_GT(clean.constraints.size(), 0u);
+  ASSERT_EQ(clean.evals_skipped, 0u);
+
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("trainer.eval:p=0.4,seed=2024").ok());
+  core::TrainedModel faulty = core::TrainAutoTest(corpus, evals, topt);
+  topt.num_threads = 4;
+  core::TrainedModel faulty4 = core::TrainAutoTest(corpus, evals, topt);
+
+  // The faults really fired (p=0.4 over the family fan-out) and every
+  // family recovered inside the budget.
+  EXPECT_GT(reg.fires(util::kFpTrainerEval), 0u);
+  reg.Reset();
+  ASSERT_EQ(faulty.evals_skipped, 0u);
+  ASSERT_EQ(faulty4.evals_skipped, 0u);
+  ExpectSameModel(clean, faulty);
+  ExpectSameModel(clean, faulty4);
 }
 
 }  // namespace

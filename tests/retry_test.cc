@@ -1,0 +1,183 @@
+// util/retry: deterministic backoff schedules, virtual-time deadline
+// enforcement, and retry/fail-fast classification (ISSUE 4, satellite S3).
+//
+// Everything here runs against a VirtualClock: the suite proves the whole
+// backoff/deadline machinery without sleeping a single real microsecond.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace autotest::util {
+namespace {
+
+TEST(RetryPolicyTest, SameSeedGivesByteIdenticalSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.seed = 42;
+  const std::vector<int64_t> a = BackoffScheduleMicros(policy, /*stream=*/7);
+  const std::vector<int64_t> b = BackoffScheduleMicros(policy, /*stream=*/7);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a, b);
+
+  // A different seed (or stream) decorrelates the jitter.
+  policy.seed = 43;
+  EXPECT_NE(BackoffScheduleMicros(policy, 7), a);
+  policy.seed = 42;
+  EXPECT_NE(BackoffScheduleMicros(policy, 8), a);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBand) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_micros = 1000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 1'000'000;
+  policy.jitter_fraction = 0.25;
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    const double nominal = 1000.0 * std::pow(2.0, attempt - 1);
+    const int64_t b = BackoffMicros(policy, /*stream=*/0, attempt);
+    EXPECT_GE(b, static_cast<int64_t>(nominal * 0.75)) << attempt;
+    EXPECT_LE(b, static_cast<int64_t>(nominal * 1.25) + 1) << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsClampedAtMax) {
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.initial_backoff_micros = 1000;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_micros = 50'000;
+  policy.jitter_fraction = 0.0;
+  EXPECT_EQ(BackoffMicros(policy, 0, 10), 50'000);
+}
+
+TEST(RetryPolicyTest, RetryableCodeClassification) {
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kIoError));
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kOk));
+}
+
+TEST(RetryCallTest, TransientErrorsAreRetriedUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  VirtualClock clock;
+  int calls = 0;
+  size_t attempts = 0;
+  Status st = RetryCall(policy, clock, /*stream=*/0,
+                        [&]() -> Status {
+                          if (++calls < 3) return IoError("flaky");
+                          return Status::Ok();
+                        },
+                        &attempts);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3u);
+  EXPECT_EQ(clock.sleep_calls(), 2u);  // two backoffs, both virtual
+}
+
+TEST(RetryCallTest, PermanentErrorsFailFast) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  VirtualClock clock;
+  int calls = 0;
+  Status st = RetryCall(policy, clock, 0, [&]() -> Status {
+    ++calls;
+    return DataLossError("corrupt bytes");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);  // no second attempt for a permanent code
+  EXPECT_EQ(clock.slept_micros(), 0);
+}
+
+TEST(RetryCallTest, GivesUpAfterMaxAttemptsWithContext) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  VirtualClock clock;
+  int calls = 0;
+  Status st = RetryCall(policy, clock, 0, [&]() -> Status {
+    ++calls;
+    return IoError("still down");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(st.context().size(), 1u);
+  EXPECT_NE(st.context()[0].find("gave up after 3 attempts"),
+            std::string::npos);
+  EXPECT_EQ(clock.sleep_calls(), 2u);
+}
+
+TEST(RetryCallTest, DeadlineIsHonoredInVirtualTimeWithZeroRealSleep) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_micros = 10'000;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  policy.deadline_micros = 35'000;  // covers 10ms + 20ms, not +40ms
+  VirtualClock clock;
+  int calls = 0;
+  Status st = RetryCall(policy, clock, 0, [&]() -> Status {
+    ++calls;
+    return IoError("slow disk");
+  });
+  EXPECT_FALSE(st.ok());
+  // Attempt 1 (sleep 10ms), attempt 2 (sleep 20ms), attempt 3 — the next
+  // 40ms backoff would overrun the 35ms budget, so it returns instead.
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(clock.slept_micros(), 30'000);
+  ASSERT_EQ(st.context().size(), 1u);
+  EXPECT_NE(st.context()[0].find("deadline budget"), std::string::npos);
+}
+
+TEST(RetryCallTest, WorksWithResultValues) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  VirtualClock clock;
+  int calls = 0;
+  auto r = RetryCall(policy, clock, 0, [&]() -> Result<std::string> {
+    if (++calls < 2) return ResourceExhaustedError("busy");
+    return std::string("payload");
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "payload");
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryCallTest, MaxAttemptsBelowOneBehavesAsOne) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  VirtualClock clock;
+  int calls = 0;
+  Status st = RetryCall(policy, clock, 0, [&]() -> Status {
+    ++calls;
+    return IoError("down");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(VirtualClockTest, AdvanceMovesTimeWithoutCountingSleeps) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.Advance(500);
+  EXPECT_EQ(clock.NowMicros(), 500);
+  EXPECT_EQ(clock.sleep_calls(), 0u);
+  clock.SleepMicros(250);
+  EXPECT_EQ(clock.NowMicros(), 750);
+  EXPECT_EQ(clock.slept_micros(), 250);
+  EXPECT_EQ(clock.sleep_calls(), 1u);
+}
+
+}  // namespace
+}  // namespace autotest::util

@@ -25,8 +25,10 @@
 #include "core/trainer.h"
 #include "datagen/corpus_gen.h"
 #include "table/csv.h"
+#include "table/shard_loader.h"
 #include "typedet/eval_functions.h"
 #include "util/failpoint.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -56,6 +58,10 @@ class RobustnessTest : public ::testing::Test {
     corpus_ = nullptr;
   }
 
+  // Failpoint state is process-global: scrub it on both sides of every
+  // test so a failing test can't leak armed failpoints (or counter state)
+  // into its neighbors.
+  void SetUp() override { util::FailpointRegistry::Global().Reset(); }
   void TearDown() override { util::FailpointRegistry::Global().Reset(); }
 
   static table::Corpus* corpus_;
@@ -305,6 +311,121 @@ TEST_F(RobustnessTest, RecipeFailpointsAreRegistered) {
   EXPECT_GE(reg.fires(util::kFpRecipeSave), 1u);
 }
 
+TEST_F(RobustnessTest, ShardReadFailpointIsMaskedByRetry) {
+  // shard.read fires on first attempts only; with shard.retry disarmed the
+  // retry layer masks the transient fault and the load still succeeds.
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("shard.read=on").ok());
+  util::VirtualClock clock;
+  table::ShardLoadOptions opt;
+  opt.clock = &clock;
+  opt.retry.max_attempts = 2;
+  std::function<util::Result<int>(size_t)> load =
+      [](size_t shard) -> util::Result<int> {
+    return static_cast<int>(shard);
+  };
+  table::ShardLoadReport report;
+  auto r = table::LoadShards<int>(4, load, opt, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_EQ(report.total_retries, 4u);  // one retry per shard
+  EXPECT_GE(reg.fires(util::kFpShardRead), 4u);
+  EXPECT_GT(clock.slept_micros(), 0);  // backoff happened, in virtual time
+}
+
+TEST_F(RobustnessTest, ShardRetryFailpointExhaustsTheBudget) {
+  // Both shard failpoints armed: every attempt fails, the quorum is
+  // missed, and the failure is a structured status naming each shard.
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("shard.read=on,shard.retry=on").ok());
+  util::VirtualClock clock;
+  table::ShardLoadOptions opt;
+  opt.clock = &clock;
+  opt.retry.max_attempts = 3;
+  std::function<util::Result<int>(size_t)> load =
+      [](size_t) -> util::Result<int> { return 1; };
+  table::ShardLoadReport report;
+  auto r = table::LoadShards<int>(2, load, opt, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("quorum"), std::string::npos);
+  EXPECT_EQ(report.num_failed, 2u);
+  EXPECT_GE(reg.fires(util::kFpShardRead), 2u);
+  EXPECT_GE(reg.fires(util::kFpShardRetry), 4u);  // 2 retries x 2 shards
+  for (const table::ShardOutcome& outcome : report.outcomes) {
+    EXPECT_EQ(outcome.attempts, 3u);
+  }
+}
+
+TEST_F(RobustnessTest, CodeFlavorOverridesTheSiteDefault) {
+  // code=dataloss turns a (default transient) shard fault permanent: the
+  // retry layer must fail fast instead of burning its budget.
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("shard.read=on,code=dataloss").ok());
+  util::VirtualClock clock;
+  table::ShardLoadOptions opt;
+  opt.clock = &clock;
+  opt.retry.max_attempts = 4;
+  std::function<util::Result<int>(size_t)> load =
+      [](size_t) -> util::Result<int> { return 1; };
+  table::ShardLoadReport report;
+  auto r = table::LoadShards<int>(2, load, opt, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  for (const table::ShardOutcome& outcome : report.outcomes) {
+    EXPECT_EQ(outcome.attempts, 1u);  // permanent: no retries
+    EXPECT_EQ(outcome.code, util::StatusCode::kDataLoss);
+  }
+  EXPECT_EQ(clock.slept_micros(), 0);  // fail-fast never sleeps
+
+  // code=default restores each site's documented code (transient again).
+  ASSERT_TRUE(reg.Configure("code=default").ok());
+  auto r2 = table::LoadShards<int>(2, load, opt, &report);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  for (const table::ShardOutcome& outcome : report.outcomes) {
+    EXPECT_GT(outcome.attempts, 1u);  // transient: retry kicked in
+  }
+}
+
+TEST_F(RobustnessTest, CodeFlavorAppliesAtSerialSitesToo) {
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("csv.open=on,code=exhausted").ok());
+  auto r = table::TryReadCsvFile("/nonexistent.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(reg.Configure("code=io").ok());
+  auto r2 = table::TryReadCsvFile("/nonexistent.csv");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), util::StatusCode::kIoError);
+
+  EXPECT_FALSE(reg.Configure("code=bogus").ok());
+}
+
+TEST_F(RobustnessTest, KeyedFailpointDecisionIsSchedulingIndependent) {
+  // The keyed decision is a pure function of (seed, name, key): evaluating
+  // the same keys in any order, any number of times, yields the same
+  // fire/no-fire pattern.
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("shard.read:p=0.5,seed=99").ok());
+  std::vector<bool> first;
+  for (uint64_t key = 0; key < 64; ++key) {
+    first.push_back(util::FailpointFiresKeyed(util::kFpShardRead, key,
+                                              util::StatusCode::kIoError)
+                        .has_value());
+  }
+  for (uint64_t key = 64; key-- > 0;) {  // reverse order
+    EXPECT_EQ(util::FailpointFiresKeyed(util::kFpShardRead, key,
+                                        util::StatusCode::kIoError)
+                  .has_value(),
+              first[key])
+        << "key " << key;
+  }
+  // Both outcomes occur at p=0.5 over 64 keys.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
 TEST_F(RobustnessTest, AllRegisteredFailpointsCoveredByThisSuite) {
   // Meta-check: if a new failpoint is added to kAllFailpoints without a
   // firing test above, this list must be extended.
@@ -312,6 +433,7 @@ TEST_F(RobustnessTest, AllRegisteredFailpointsCoveredByThisSuite) {
       "csv.open",    "csv.parse",  "rules.open",
       "rules.parse", "rules.save", "recipe.load",
       "recipe.save", "trainer.eval", "predictor.column",
+      "shard.read",  "shard.retry",
   };
   ASSERT_EQ(covered.size(), std::size(util::kAllFailpoints));
   for (std::string_view fp : util::kAllFailpoints) {

@@ -1,0 +1,269 @@
+// table/shard_loader + datagen sharded generation: quorum semantics,
+// deterministic assembly, degraded-mode reports, and exact rebuild of a
+// degraded corpus from its lost-shard mask (ISSUE 4 tentpole).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus_gen.h"
+#include "table/shard_loader.h"
+#include "util/failpoint.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace autotest::table {
+namespace {
+
+class ShardLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FailpointRegistry::Global().Reset(); }
+  void TearDown() override { util::FailpointRegistry::Global().Reset(); }
+
+  ShardLoadOptions VirtualOptions() {
+    ShardLoadOptions opt;
+    opt.clock = &clock_;
+    return opt;
+  }
+
+  util::VirtualClock clock_;
+};
+
+TEST_F(ShardLoaderTest, LoadsAllShardsInAscendingOrder) {
+  std::function<util::Result<size_t>(size_t)> load =
+      [](size_t shard) -> util::Result<size_t> { return shard * 10; };
+  ShardLoadReport report;
+  auto r = LoadShards<size_t>(8, load, VirtualOptions(), &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ((*r)[i], i * 10);
+  EXPECT_EQ(report.num_loaded, 8u);
+  EXPECT_EQ(report.num_failed, 0u);
+  EXPECT_EQ(report.total_retries, 0u);
+  EXPECT_FALSE(report.degraded());
+}
+
+TEST_F(ShardLoaderTest, QuorumAllowsPermanentShardLossInOrder) {
+  // Shards 2 and 5 are permanently corrupt; quorum 0.7 of 8 needs 6.
+  std::function<util::Result<size_t>(size_t)> load =
+      [](size_t shard) -> util::Result<size_t> {
+    if (shard == 2 || shard == 5) return util::DataLossError("corrupt");
+    return shard;
+  };
+  ShardLoadOptions opt = VirtualOptions();
+  opt.min_shard_fraction = 0.7;
+  ShardLoadReport report;
+  auto r = LoadShards<size_t>(8, load, opt, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, (std::vector<size_t>{0, 1, 3, 4, 6, 7}));
+  EXPECT_TRUE(report.degraded());
+  EXPECT_EQ(report.LostShards(), (std::vector<size_t>{2, 5}));
+  EXPECT_EQ(report.outcomes[2].code, util::StatusCode::kDataLoss);
+  EXPECT_EQ(report.outcomes[2].attempts, 1u);  // permanent: no retry
+  EXPECT_NE(report.Summary().find("6/8"), std::string::npos);
+  EXPECT_NE(report.Summary().find("2:DATA_LOSS"), std::string::npos);
+}
+
+TEST_F(ShardLoaderTest, QuorumMissedFailsWithDominantPermanentCode) {
+  // One transient and one permanent failure above the loss budget: the
+  // overall status prefers the permanent (actionable) code.
+  std::function<util::Result<size_t>(size_t)> load =
+      [](size_t shard) -> util::Result<size_t> {
+    if (shard == 0) return util::IoError("flaky disk");
+    if (shard == 1) return util::DataLossError("corrupt");
+    return shard;
+  };
+  ShardLoadOptions opt = VirtualOptions();
+  opt.min_shard_fraction = 1.0;
+  opt.retry.max_attempts = 2;
+  ShardLoadReport report;
+  auto r = LoadShards<size_t>(4, load, opt, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("shard quorum missed: 2/4"),
+            std::string::npos);
+  EXPECT_EQ(report.outcomes[0].attempts, 2u);  // transient was retried
+  EXPECT_EQ(report.outcomes[1].attempts, 1u);  // permanent was not
+}
+
+TEST_F(ShardLoaderTest, QuorumRequiresAtLeastOneShard) {
+  std::function<util::Result<size_t>(size_t)> load =
+      [](size_t) -> util::Result<size_t> { return util::IoError("down"); };
+  ShardLoadOptions opt = VirtualOptions();
+  opt.min_shard_fraction = 0.0;  // even "no quorum" needs one shard
+  opt.retry.max_attempts = 1;
+  auto r = LoadShards<size_t>(3, load, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(ShardLoaderTest, InvalidQuorumIsRejected) {
+  std::function<util::Result<size_t>(size_t)> load =
+      [](size_t) -> util::Result<size_t> { return size_t{1}; };
+  ShardLoadOptions opt = VirtualOptions();
+  opt.min_shard_fraction = 1.5;
+  auto r = LoadShards<size_t>(2, load, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardLoaderTest, RetriesSleepOnlyVirtualTime) {
+  std::atomic<int> failures_left{3};
+  std::function<util::Result<size_t>(size_t)> load =
+      [&](size_t shard) -> util::Result<size_t> {
+    if (failures_left.fetch_sub(1) > 0) return util::IoError("transient");
+    return shard;
+  };
+  ShardLoadOptions opt = VirtualOptions();
+  opt.retry.max_attempts = 8;
+  opt.num_threads = 1;  // deterministic failures_left consumption
+  ShardLoadReport report;
+  auto r = LoadShards<size_t>(2, load, opt, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(report.total_retries, 3u);
+  EXPECT_EQ(clock_.sleep_calls(), 3u);
+  EXPECT_GT(clock_.slept_micros(), 0);
+}
+
+TEST_F(ShardLoaderTest, ZeroShardsLoadsNothing) {
+  std::function<util::Result<size_t>(size_t)> load =
+      [](size_t) -> util::Result<size_t> { return size_t{0}; };
+  ShardLoadReport report;
+  auto r = LoadShards<size_t>(0, load, VirtualOptions(), &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(report.num_shards, 0u);
+}
+
+// --- sharded corpus generation ---
+
+TEST_F(ShardLoaderTest, ShardProfileIsIdentityForSingleShard) {
+  datagen::CorpusProfile p = datagen::RelationalTablesProfile(100, 7);
+  datagen::CorpusProfile s = datagen::ShardProfile(p, 0, 1);
+  EXPECT_EQ(s.num_columns, p.num_columns);
+  EXPECT_EQ(s.seed, p.seed);
+  EXPECT_EQ(s.name, p.name);
+}
+
+TEST_F(ShardLoaderTest, ShardProfilesPartitionColumnsWithDistinctSeeds) {
+  datagen::CorpusProfile p = datagen::RelationalTablesProfile(103, 7);
+  size_t total = 0;
+  std::vector<uint64_t> seeds;
+  for (size_t s = 0; s < 4; ++s) {
+    datagen::CorpusProfile sp = datagen::ShardProfile(p, s, 4);
+    total += sp.num_columns;
+    seeds.push_back(sp.seed);
+  }
+  EXPECT_EQ(total, 103u);
+  for (size_t a = 0; a < seeds.size(); ++a) {
+    for (size_t b = a + 1; b < seeds.size(); ++b) {
+      EXPECT_NE(seeds[a], seeds[b]);
+    }
+  }
+}
+
+std::string CorpusFingerprint(const table::Corpus& corpus) {
+  std::string out;
+  for (const Column& c : corpus) {
+    out += c.name;
+    out += '|';
+    for (const std::string& v : c.values) {
+      out += v;
+      out += ';';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST_F(ShardLoaderTest, ShardedGenerationIsDeterministic) {
+  datagen::CorpusProfile p = datagen::TablibProfile(60, 11);
+  auto a = datagen::TryGenerateCorpusSharded(p, 6, VirtualOptions());
+  auto b = datagen::TryGenerateCorpusSharded(p, 6, VirtualOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CorpusFingerprint(*a), CorpusFingerprint(*b));
+  EXPECT_EQ(a->size(), 60u);
+}
+
+TEST_F(ShardLoaderTest, TransientFaultsDoNotChangeTheGeneratedCorpus) {
+  // A run whose shard reads all eventually succeed must produce a corpus
+  // byte-identical to the fault-free run: retries are invisible to output.
+  datagen::CorpusProfile p = datagen::TablibProfile(40, 13);
+  auto clean = datagen::TryGenerateCorpusSharded(p, 4, VirtualOptions());
+  ASSERT_TRUE(clean.ok());
+
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("shard.read=on").ok());  // retry always saves it
+  ShardLoadOptions opt = VirtualOptions();
+  opt.retry.max_attempts = 2;
+  ShardLoadReport report;
+  auto faulty = datagen::TryGenerateCorpusSharded(p, 4, opt, &report);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_EQ(report.total_retries, 4u);
+  EXPECT_EQ(CorpusFingerprint(*clean), CorpusFingerprint(*faulty));
+}
+
+TEST_F(ShardLoaderTest, DegradedRebuildFromMaskMatchesSurvivors) {
+  // Losing shard 2 under quorum must yield exactly the corpus that a
+  // from-scratch rebuild with include_shard={0,1,3} produces — the
+  // property `check` relies on to reconstruct a degraded training corpus.
+  datagen::CorpusProfile p = datagen::TablibProfile(40, 17);
+  ShardLoadOptions opt = VirtualOptions();
+  opt.min_shard_fraction = 0.7;
+
+  // Fail shard 2 permanently via a wrapper (independent of failpoints).
+  std::function<util::Result<table::Corpus>(size_t)> load =
+      [&](size_t shard) -> util::Result<table::Corpus> {
+    if (shard == 2) return util::DataLossError("lost shard");
+    return datagen::GenerateCorpus(datagen::ShardProfile(p, shard, 4));
+  };
+  ShardLoadReport report;
+  auto degraded = LoadShards<table::Corpus>(4, load, opt, &report);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(report.LostShards(), (std::vector<size_t>{2}));
+  table::Corpus flat;
+  for (table::Corpus& c : *degraded) {
+    for (Column& col : c) flat.push_back(std::move(col));
+  }
+
+  auto rebuilt = datagen::TryGenerateCorpusSharded(
+      p, 4, VirtualOptions(), nullptr, /*include_shard=*/{0, 1, 3});
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(CorpusFingerprint(flat), CorpusFingerprint(*rebuilt));
+}
+
+TEST_F(ShardLoaderTest, OutOfRangeMaskIsRejected) {
+  datagen::CorpusProfile p = datagen::TablibProfile(10, 3);
+  auto r = datagen::TryGenerateCorpusSharded(p, 2, VirtualOptions(), nullptr,
+                                             {0, 5});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardLoaderTest, CsvShardLoadingFlattensInOrder) {
+  std::vector<std::string> paths;
+  for (int i = 0; i < 3; ++i) {
+    std::string path =
+        "/tmp/autotest_shard_" + std::to_string(i) + ".csv";
+    std::ofstream out(path);
+    out << "col" << i << "\nv" << i << "\n";
+    paths.push_back(path);
+  }
+  ShardLoadReport report;
+  auto corpus = TryLoadCorpusFromCsvShards(paths, CsvOptions{},
+                                           VirtualOptions(), &report);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  ASSERT_EQ(corpus->size(), 3u);
+  EXPECT_EQ((*corpus)[0].name, "col0");
+  EXPECT_EQ((*corpus)[2].name, "col2");
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace autotest::table

@@ -214,6 +214,57 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
 }
 
+TEST(StatusTest, EveryCodeHasADistinctNameAndRoundTrips) {
+  // Exhaustive over the enum: a new StatusCode without a name (or with a
+  // colliding one) breaks diagnostics and the recipe provenance format.
+  const StatusCode all[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kDataLoss,
+      StatusCode::kIoError,      StatusCode::kResourceExhausted,
+      StatusCode::kFailedPrecondition, StatusCode::kInternal,
+  };
+  std::set<std::string> names;
+  for (StatusCode code : all) {
+    std::string_view name = StatusCodeName(code);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "UNKNOWN") << static_cast<int>(code);
+    names.insert(std::string(name));
+    // Round-trip through the parser used by degraded-mode provenance.
+    auto parsed = StatusCodeFromName(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_FALSE(StatusCodeFromName("NO_SUCH_CODE").has_value());
+  EXPECT_FALSE(StatusCodeFromName("").has_value());
+  EXPECT_FALSE(StatusCodeFromName("io_error").has_value());  // case matters
+}
+
+TEST(StatusTest, DeepContextChainPreservesOrderAndFormatting) {
+  // Depth >= 3: innermost frame first, each rendered on its own
+  // "  while ..." line, in the exact order the frames were attached.
+  Status st = IoError("read failed")
+                  .WithContext("reading shard 3 (attempt 2)")
+                  .WithContext("building training corpus")
+                  .WithContext("training on tablib corpus")
+                  .WithContext("serving train command");
+  ASSERT_EQ(st.context().size(), 4u);
+  EXPECT_EQ(st.context()[0], "reading shard 3 (attempt 2)");
+  EXPECT_EQ(st.context()[1], "building training corpus");
+  EXPECT_EQ(st.context()[2], "training on tablib corpus");
+  EXPECT_EQ(st.context()[3], "serving train command");
+  EXPECT_EQ(st.ToString(),
+            "IO_ERROR: read failed"
+            "\n  while reading shard 3 (attempt 2)"
+            "\n  while building training corpus"
+            "\n  while training on tablib corpus"
+            "\n  while serving train command");
+  // The chain survives copies intact (statuses cross thread boundaries in
+  // shard reports).
+  Status copy = st;
+  EXPECT_EQ(copy.ToString(), st.ToString());
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 42;
   ASSERT_TRUE(r.ok());

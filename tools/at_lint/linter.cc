@@ -336,7 +336,8 @@ void CheckR1(const SourceFile& file, const Suppressions& supp,
 // ---------------------------------------------------------------------------
 
 constexpr std::string_view kR2Scopes[] = {
-    "src/core/", "src/stats/", "src/lp/", "src/util/parallel/"};
+    "src/core/", "src/stats/", "src/lp/", "src/util/parallel/",
+    "src/util/retry", "src/table/shard_loader"};
 
 bool InR2Scope(const std::string& normalized_path) {
   for (std::string_view scope : kR2Scopes) {
@@ -416,7 +417,11 @@ std::vector<FailpointRegistration> ParseRegistry(const SourceFile& file) {
 }
 
 constexpr std::string_view kFailpointCalls[] = {"FailpointFires(",
+                                                "FailpointFiresCode(",
+                                                "FailpointFiresKeyed(",
                                                 "ShouldFail(",
+                                                "ShouldFailWithCode(",
+                                                "ShouldFailKeyed(",
                                                 "InjectedFault("};
 
 void CheckR3(const std::vector<SourceFile>& files,

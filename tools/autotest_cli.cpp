@@ -1,12 +1,21 @@
 // autotest — command-line front end for the Auto-Test library.
 //
 //   autotest train --corpus relational --columns 2000 --out rules.sdc
-//   autotest check data.csv --rules rules.sdc
+//   autotest check data.csv more.csv --rules rules.sdc
 //   autotest check data.csv                       (trains a quick model)
 //   autotest rules rules.sdc
 //
-// Rule files record the training recipe (corpus profile, sizes, seed) in a
-// side header so `check` can rebuild the matching evaluation functions.
+// Rule files record the training recipe (corpus profile, sizes, shard
+// count) in a side header so `check` can rebuild the matching evaluation
+// functions. When training degraded to a shard quorum (lost shards under
+// faults), the recipe also records which shards were lost and why, so
+// `check` rebuilds the exact same degraded corpus instead of silently
+// unresolving every rule.
+//
+// Transient I/O failures (kIoError / kResourceExhausted, including injected
+// chaos faults) are retried with deterministic exponential backoff;
+// permanent failures (kDataLoss / kInvalidArgument) fail fast. See
+// DESIGN.md §4e for the retry & degradation contract.
 //
 // Exit codes (one per failure class, so scripts can branch on the kind of
 // failure rather than scraping stderr):
@@ -25,14 +34,18 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/auto_test.h"
 #include "core/serialization.h"
 #include "datagen/corpus_gen.h"
 #include "table/csv.h"
+#include "table/shard_loader.h"
 #include "util/failpoint.h"
 #include "util/parallel/thread_pool.h"
+#include "util/retry.h"
 #include "util/status.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -75,11 +88,36 @@ int Fail(const Status& status) {
   return ExitCodeFor(status);
 }
 
+// One retry policy for every CLI-level I/O operation (recipe/rules
+// load/save, per-table CSV reads, shard loads). --max-retries N means N
+// retries beyond the first attempt. Backoffs are kept short: the CLI
+// retries in-process faults and local-disk hiccups, not remote services.
+util::RetryPolicy CliRetryPolicy(size_t max_retries) {
+  util::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(max_retries) + 1;
+  policy.initial_backoff_micros = 5'000;  // 5 ms
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 100'000;  // 100 ms
+  return policy;
+}
+
+/// Degraded-mode provenance: which shards were lost at train time and the
+/// final StatusCode each died with. Recorded in the recipe so `check` can
+/// rebuild the exact degraded corpus.
+struct LostShard {
+  size_t shard = 0;
+  StatusCode code = StatusCode::kInternal;
+};
+
 struct Recipe {
   std::string corpus = "relational";
   size_t columns = 2000;
   size_t centroids = 120;
   size_t synthetic = 800;
+  /// Corpus generation shards; 1 = monolithic (and bit-compatible with
+  /// pre-sharding recipe files, which load as shards=1).
+  size_t shards = 8;
+  std::vector<LostShard> lost;  // empty = trained on the full corpus
 };
 
 bool IsKnownCorpus(const std::string& name) {
@@ -105,6 +143,86 @@ std::string RecipePath(const std::string& rules_path) {
     return util::InvalidArgumentError(
         source + ": field 'centroids' must be positive");
   }
+  if (r.shards == 0) {
+    return util::InvalidArgumentError(source +
+                                      ": field 'shards' must be positive");
+  }
+  if (r.lost.size() >= r.shards) {
+    return util::InvalidArgumentError(
+        source + ": degraded provenance loses all " +
+        std::to_string(r.shards) + " shards");
+  }
+  for (const LostShard& l : r.lost) {
+    if (l.shard >= r.shards) {
+      return util::InvalidArgumentError(
+          source + ": degraded shard index " + std::to_string(l.shard) +
+          " out of range (have " + std::to_string(r.shards) + " shards)");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FormatDegradedLine(const Recipe& r) {
+  std::string out = "degraded " + std::to_string(r.lost.size()) + "/" +
+                    std::to_string(r.shards);
+  for (size_t i = 0; i < r.lost.size(); ++i) {
+    out += i == 0 ? " " : ",";
+    out += std::to_string(r.lost[i].shard);
+    out += ":";
+    out += util::StatusCodeName(r.lost[i].code);
+  }
+  return out;
+}
+
+[[nodiscard]] Status ParseDegradedLine(const std::string& line,
+                                       const std::string& source,
+                                       Recipe* r) {
+  auto malformed = [&](const std::string& why) {
+    return util::DataLossError(
+        source + ": degraded provenance line is malformed (" + why +
+        "); want: degraded <lost>/<total> <shard>:<CODE>,...");
+  };
+  std::istringstream in(line);
+  std::string tag, counts, entries;
+  if (!(in >> tag >> counts >> entries) || tag != "degraded") {
+    return malformed("expected 3 fields");
+  }
+  size_t slash = counts.find('/');
+  if (slash == std::string::npos) return malformed("missing '/' in counts");
+  char* endp = nullptr;
+  unsigned long long lost_n =
+      std::strtoull(counts.substr(0, slash).c_str(), &endp, 10);
+  unsigned long long total_n =
+      std::strtoull(counts.substr(slash + 1).c_str(), &endp, 10);
+  if (total_n != r->shards) {
+    return malformed("total " + std::to_string(total_n) +
+                     " does not match shard count " +
+                     std::to_string(r->shards));
+  }
+  for (std::string_view entry : util::Split(entries, ',')) {
+    size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) {
+      return malformed("entry '" + std::string(entry) + "' missing ':'");
+    }
+    LostShard l;
+    std::string idx(entry.substr(0, colon));
+    char* idx_end = nullptr;
+    l.shard = static_cast<size_t>(std::strtoull(idx.c_str(), &idx_end, 10));
+    if (idx_end != idx.c_str() + idx.size()) {
+      return malformed("shard index '" + idx + "' is not a number");
+    }
+    auto code = util::StatusCodeFromName(entry.substr(colon + 1));
+    if (!code.has_value()) {
+      return malformed("unknown status code '" +
+                       std::string(entry.substr(colon + 1)) + "'");
+    }
+    l.code = *code;
+    r->lost.push_back(l);
+  }
+  if (r->lost.size() != lost_n) {
+    return malformed("counted " + std::to_string(r->lost.size()) +
+                     " entries, header says " + std::to_string(lost_n));
+  }
   return Status::Ok();
 }
 
@@ -112,8 +230,9 @@ std::string RecipePath(const std::string& rules_path) {
 // train never leaves a torn recipe next to a valid rules file.
 [[nodiscard]] Status TrySaveRecipe(const Recipe& r,
                                    const std::string& rules_path) {
-  if (util::FailpointFires(util::kFpRecipeSave)) {
-    return util::InjectedFault(StatusCode::kIoError, util::kFpRecipeSave)
+  if (auto injected = util::FailpointFiresCode(util::kFpRecipeSave,
+                                               StatusCode::kIoError)) {
+    return util::InjectedFault(*injected, util::kFpRecipeSave)
         .WithContext("saving recipe for " + rules_path);
   }
   const std::string path = RecipePath(rules_path);
@@ -122,7 +241,8 @@ std::string RecipePath(const std::string& rules_path) {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return util::IoError("cannot open temp file " + tmp);
     out << r.corpus << " " << r.columns << " " << r.centroids << " "
-        << r.synthetic << "\n";
+        << r.synthetic << " " << r.shards << "\n";
+    if (!r.lost.empty()) out << FormatDegradedLine(r) << "\n";
     out.flush();
     if (!out) {
       std::remove(tmp.c_str());
@@ -138,40 +258,79 @@ std::string RecipePath(const std::string& rules_path) {
 
 [[nodiscard]] Result<Recipe> TryLoadRecipe(const std::string& rules_path) {
   const std::string path = RecipePath(rules_path);
-  if (util::FailpointFires(util::kFpRecipeLoad)) {
-    return util::InjectedFault(StatusCode::kIoError, util::kFpRecipeLoad)
+  if (auto injected = util::FailpointFiresCode(util::kFpRecipeLoad,
+                                               StatusCode::kIoError)) {
+    return util::InjectedFault(*injected, util::kFpRecipeLoad)
         .WithContext("loading recipe " + path);
   }
   std::ifstream in(path);
   if (!in) return util::NotFoundError("cannot open recipe " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return util::DataLossError("recipe " + path + " is empty");
+  }
   Recipe r;
-  if (!(in >> r.corpus >> r.columns >> r.centroids >> r.synthetic)) {
-    return util::DataLossError(
-        "recipe " + path +
-        " is malformed (want: <corpus> <columns> <centroids> <synthetic>)");
+  {
+    std::istringstream first(line);
+    if (!(first >> r.corpus >> r.columns >> r.centroids >> r.synthetic)) {
+      return util::DataLossError(
+          "recipe " + path +
+          " is malformed (want: <corpus> <columns> <centroids> <synthetic> "
+          "[shards])");
+    }
+    // The 5th field arrived with sharded generation; recipes written
+    // before it trained on the monolithic (single-shard) corpus.
+    if (!(first >> r.shards)) r.shards = 1;
+  }
+  if (std::getline(in, line) && !line.empty()) {
+    AT_RETURN_IF_ERROR(ParseDegradedLine(line, "recipe " + path, &r));
   }
   AT_RETURN_IF_ERROR(ValidateRecipe(r, "recipe " + path));
   return r;
 }
 
-table::Corpus BuildCorpus(const Recipe& r) {
+datagen::CorpusProfile ProfileFor(const Recipe& r) {
   if (r.corpus == "spreadsheet") {
-    return datagen::GenerateCorpus(
-        datagen::SpreadsheetTablesProfile(r.columns));
+    return datagen::SpreadsheetTablesProfile(r.columns);
   }
   if (r.corpus == "tablib") {
-    return datagen::GenerateCorpus(datagen::TablibProfile(r.columns));
+    return datagen::TablibProfile(r.columns);
   }
-  return datagen::GenerateCorpus(datagen::RelationalTablesProfile(r.columns));
+  return datagen::RelationalTablesProfile(r.columns);
 }
 
-[[nodiscard]] Result<core::AutoTest> TryTrainFromRecipe(const Recipe& r) {
-  std::fprintf(stderr, "training on %s corpus (%zu columns)...\n",
-               r.corpus.c_str(), r.columns);
+/// Builds the training corpus shard-by-shard. When the recipe carries
+/// degraded provenance, only the surviving shards are generated — all of
+/// them required — so the rebuilt corpus is byte-identical to the one the
+/// rules were trained on. Otherwise all shards are generated under
+/// `quorum`, and `report` records any degradation for the caller to stamp.
+[[nodiscard]] Result<table::Corpus> TryBuildCorpus(
+    const Recipe& r, const util::RetryPolicy& retry, double quorum,
+    table::ShardLoadReport* report) {
+  table::ShardLoadOptions options;
+  options.retry = retry;
+  options.min_shard_fraction = quorum;
+  std::vector<size_t> include;
+  if (!r.lost.empty()) {
+    std::vector<bool> is_lost(r.shards, false);
+    for (const LostShard& l : r.lost) is_lost[l.shard] = true;
+    for (size_t s = 0; s < r.shards; ++s) {
+      if (!is_lost[s]) include.push_back(s);
+    }
+    options.min_shard_fraction = 1.0;  // need exactly the survivors
+  }
+  return datagen::TryGenerateCorpusSharded(ProfileFor(r), r.shards, options,
+                                           report, include);
+}
+
+[[nodiscard]] Result<core::AutoTest> TryTrainOnCorpus(const Recipe& r,
+                                                      table::Corpus corpus) {
+  std::fprintf(stderr, "training on %s corpus (%zu columns, %zu shards)...\n",
+               r.corpus.c_str(), corpus.size(), r.shards);
   core::AutoTestConfig config;
   config.eval_options.embedding_centroids_per_model = r.centroids;
   config.train_options.synthetic_count = r.synthetic;
-  core::AutoTest at = core::AutoTest::Train(BuildCorpus(r), config);
+  core::AutoTest at = core::AutoTest::Train(corpus, config);
   size_t skipped = at.model().evals_skipped;
   if (skipped > 0) {
     size_t total = at.evals().size();
@@ -188,6 +347,23 @@ table::Corpus BuildCorpus(const Recipe& r) {
   return at;
 }
 
+/// Corpus build + train, honoring degraded provenance. Prints the shard
+/// report when anything noteworthy (retries or lost shards) happened.
+[[nodiscard]] Result<core::AutoTest> TryTrainFromRecipe(
+    const Recipe& r, const util::RetryPolicy& retry, double quorum = 1.0,
+    table::ShardLoadReport* report_out = nullptr) {
+  table::ShardLoadReport report;
+  auto corpus = TryBuildCorpus(r, retry, quorum, &report);
+  if (report.degraded() || report.total_retries > 0) {
+    std::fprintf(stderr, "%s\n", report.Summary().c_str());
+  }
+  if (report_out != nullptr) *report_out = report;
+  if (!corpus.ok()) {
+    return Status(corpus.status()).WithContext("building training corpus");
+  }
+  return TryTrainOnCorpus(r, std::move(*corpus));
+}
+
 // Exception-free size parse; the CLI must not terminate on `--columns xyz`.
 bool ParseSize(const std::string& s, size_t* out) {
   if (s.empty()) return false;
@@ -198,9 +374,20 @@ bool ParseSize(const std::string& s, size_t* out) {
   return true;
 }
 
+bool ParseFraction(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* endp = nullptr;
+  double v = std::strtod(s.c_str(), &endp);
+  if (endp != s.c_str() + s.size() || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
 int CmdTrain(int argc, char** argv) {
   Recipe recipe;
   std::string out_path = "rules.sdc";
+  size_t max_retries = 3;
+  double quorum = 1.0;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() { return std::string(i + 1 < argc ? argv[++i] : ""); };
@@ -209,8 +396,16 @@ int CmdTrain(int argc, char** argv) {
     else if (a == "--columns") ok = ParseSize(next(), &recipe.columns);
     else if (a == "--centroids") ok = ParseSize(next(), &recipe.centroids);
     else if (a == "--synthetic") ok = ParseSize(next(), &recipe.synthetic);
+    else if (a == "--shards") ok = ParseSize(next(), &recipe.shards);
+    else if (a == "--max-retries") ok = ParseSize(next(), &max_retries);
     else if (a == "--out") out_path = next();
-    else {
+    else if (a == "--shard-quorum") {
+      if (!ParseFraction(next(), &quorum)) {
+        std::fprintf(stderr,
+                     "option --shard-quorum wants a fraction in [0, 1]\n");
+        return kExitUsage;
+      }
+    } else {
       std::fprintf(stderr, "unknown train option %s\n", a.c_str());
       return kExitUsage;
     }
@@ -222,39 +417,120 @@ int CmdTrain(int argc, char** argv) {
   }
   Status valid = ValidateRecipe(recipe, "command line");
   if (!valid.ok()) return Fail(valid);
-  auto at = TryTrainFromRecipe(recipe);
+  const util::RetryPolicy retry = CliRetryPolicy(max_retries);
+
+  table::ShardLoadReport report;
+  auto at = TryTrainFromRecipe(recipe, retry, quorum, &report);
   if (!at.ok()) return Fail(at.status());
+  // Stamp which shards the model was actually trained without, so `check`
+  // rebuilds this exact degraded corpus.
+  for (const table::ShardOutcome& outcome : report.outcomes) {
+    if (outcome.code != StatusCode::kOk) {
+      recipe.lost.push_back(LostShard{outcome.shard, outcome.code});
+    }
+  }
+
   auto sel = at->Select(core::Variant::kFineSelect);
   std::vector<core::Sdc> rules;
   for (size_t i : sel.selected) rules.push_back(at->model().constraints[i]);
-  Status saved = core::TrySaveRulesToFile(rules, out_path);
+  Status saved = util::RetryCall(retry, util::RealClock(), /*stream=*/1001,
+                                 [&] {
+                                   return core::TrySaveRulesToFile(rules,
+                                                                   out_path);
+                                 });
   if (!saved.ok()) return Fail(saved);
-  saved = TrySaveRecipe(recipe, out_path);
+  saved = util::RetryCall(retry, util::RealClock(), /*stream=*/1002,
+                          [&] { return TrySaveRecipe(recipe, out_path); });
   if (!saved.ok()) return Fail(saved);
+  if (!recipe.lost.empty()) {
+    std::fprintf(stderr,
+                 "warning: trained in degraded mode (%zu/%zu shards lost); "
+                 "provenance recorded in %s\n",
+                 recipe.lost.size(), recipe.shards,
+                 RecipePath(out_path).c_str());
+  }
   std::printf("learned %zu constraints, distilled %zu rules -> %s\n",
               at->model().constraints.size(), rules.size(),
               out_path.c_str());
   return kExitOk;
 }
 
-int CmdCheck(int argc, char** argv) {
-  if (argc < 1) {
-    std::fprintf(stderr, "usage: autotest check <file.csv> [--rules f]\n");
-    return kExitUsage;
-  }
-  std::string csv_path = argv[0];
-  std::string rules_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--rules") == 0 && i + 1 < argc) {
-      rules_path = argv[++i];
+// Checks one table against the predictor; returns the per-table status.
+[[nodiscard]] Status CheckOneTable(const std::string& csv_path,
+                                   const core::SdcPredictor& predictor,
+                                   const util::RetryPolicy& retry,
+                                   uint64_t stream, size_t* errors_found) {
+  auto table = util::RetryCall(retry, util::RealClock(), stream, [&] {
+    return table::TryReadCsvFile(csv_path);
+  });
+  if (!table.ok()) return table.status();
+
+  std::printf("checking %s with %zu rules\n", csv_path.c_str(),
+              predictor.num_rules());
+  size_t total = 0;
+  size_t columns_skipped = 0;
+  for (const auto& column : table->columns) {
+    if (table::IsMostlyNumeric(column)) continue;
+    auto detections = predictor.TryPredict(column);
+    if (!detections.ok()) {
+      // Column-level degradation: report, count, move on — one poisoned
+      // column must not take down the whole table.
+      std::fprintf(stderr, "warning: skipping column '%s': %s\n",
+                   column.name.c_str(),
+                   detections.status().ToString().c_str());
+      ++columns_skipped;
+      continue;
+    }
+    for (const auto& d : *detections) {
+      ++total;
+      std::printf("%s:%zu  \"%s\"  conf=%.2f\n    %s\n",
+                  column.name.c_str(), d.row + 2, d.value.c_str(),
+                  d.confidence, d.explanation.c_str());
     }
   }
-  auto table = table::TryReadCsvFile(csv_path);
-  if (!table.ok()) return Fail(table.status());
+  if (columns_skipped > 0) {
+    std::fprintf(stderr, "warning: %zu column(s) skipped under faults\n",
+                 columns_skipped);
+  }
+  std::printf("%s: %zu potential error(s) found\n", csv_path.c_str(), total);
+  *errors_found += total;
+  return Status::Ok();
+}
+
+int CmdCheck(int argc, char** argv) {
+  std::vector<std::string> csv_paths;
+  std::string rules_path;
+  size_t max_retries = 3;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--rules" && i + 1 < argc) {
+      rules_path = argv[++i];
+    } else if (a == "--max-retries" && i + 1 < argc) {
+      if (!ParseSize(argv[++i], &max_retries)) {
+        std::fprintf(stderr,
+                     "option --max-retries wants a non-negative integer\n");
+        return kExitUsage;
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown check option %s\n", a.c_str());
+      return kExitUsage;
+    } else {
+      csv_paths.push_back(a);
+    }
+  }
+  if (csv_paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: autotest check <file.csv> [more.csv...] "
+                 "[--rules f] [--max-retries n]\n");
+    return kExitUsage;
+  }
+  const util::RetryPolicy retry = CliRetryPolicy(max_retries);
 
   Recipe recipe;
   if (!rules_path.empty()) {
-    auto loaded_recipe = TryLoadRecipe(rules_path);
+    auto loaded_recipe =
+        util::RetryCall(retry, util::RealClock(), /*stream=*/1003,
+                        [&] { return TryLoadRecipe(rules_path); });
     if (loaded_recipe.ok()) {
       recipe = *loaded_recipe;
     } else if (loaded_recipe.status().code() != StatusCode::kNotFound) {
@@ -266,14 +542,23 @@ int CmdCheck(int argc, char** argv) {
   } else {
     recipe.columns = 1500;  // quick in-process training
   }
-  auto at = TryTrainFromRecipe(recipe);
+  if (!recipe.lost.empty()) {
+    std::fprintf(stderr,
+                 "note: rules were trained in degraded mode (%zu/%zu shards "
+                 "lost); rebuilding that corpus\n",
+                 recipe.lost.size(), recipe.shards);
+  }
+  auto at = TryTrainFromRecipe(recipe, retry);
   if (!at.ok()) return Fail(at.status());
 
   std::vector<core::Sdc> rules;
   if (!rules_path.empty()) {
     size_t unresolved = 0;
     auto loaded =
-        core::TryLoadRulesFromFile(rules_path, at->evals(), &unresolved);
+        util::RetryCall(retry, util::RealClock(), /*stream=*/1004, [&] {
+          return core::TryLoadRulesFromFile(rules_path, at->evals(),
+                                            &unresolved);
+        });
     if (!loaded.ok()) return Fail(loaded.status());
     if (unresolved > 0) {
       std::fprintf(stderr, "warning: %zu rules reference unknown "
@@ -293,36 +578,30 @@ int CmdCheck(int argc, char** argv) {
                  "predictor\n",
                  predictor.skipped_rules());
   }
-  std::printf("checking %s with %zu rules\n", csv_path.c_str(),
-              predictor.num_rules());
 
-  size_t total = 0;
-  size_t columns_skipped = 0;
-  for (const auto& column : table->columns) {
-    if (table::IsMostlyNumeric(column)) continue;
-    auto detections = predictor.TryPredict(column);
-    if (!detections.ok()) {
-      // Column-level degradation: report, count, move on — one poisoned
-      // column must not take down the whole check.
-      std::fprintf(stderr, "warning: skipping column '%s': %s\n",
-                   column.name.c_str(),
-                   detections.status().ToString().c_str());
-      ++columns_skipped;
-      continue;
-    }
-    for (const auto& d : *detections) {
-      ++total;
-      std::printf("%s:%zu  \"%s\"  conf=%.2f\n    %s\n",
-                  column.name.c_str(), d.row + 2, d.value.c_str(),
-                  d.confidence, d.explanation.c_str());
+  // Per-table isolation: one unreadable table is reported as a structured
+  // entry and the batch moves on, rather than aborting the run. The exit
+  // code reflects the first failure.
+  size_t errors_found = 0;
+  size_t tables_failed = 0;
+  int first_failure_exit = kExitOk;
+  for (size_t t = 0; t < csv_paths.size(); ++t) {
+    Status st = CheckOneTable(csv_paths[t], predictor, retry,
+                              /*stream=*/2000 + t, &errors_found);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: table %s: %s\n", csv_paths[t].c_str(),
+                   st.ToString().c_str());
+      ++tables_failed;
+      if (first_failure_exit == kExitOk) first_failure_exit = ExitCodeFor(st);
     }
   }
-  if (columns_skipped > 0) {
-    std::fprintf(stderr, "warning: %zu column(s) skipped under faults\n",
-                 columns_skipped);
+  if (csv_paths.size() > 1 || tables_failed > 0) {
+    std::printf("checked %zu/%zu table(s), %zu failed, "
+                "%zu potential error(s) found\n",
+                csv_paths.size() - tables_failed, csv_paths.size(),
+                tables_failed, errors_found);
   }
-  std::printf("%zu potential error(s) found\n", total);
-  return kExitOk;
+  return first_failure_exit;
 }
 
 int CmdRules(int argc, char** argv) {
@@ -331,18 +610,22 @@ int CmdRules(int argc, char** argv) {
     return kExitUsage;
   }
   std::string rules_path = argv[0];
+  const util::RetryPolicy retry = CliRetryPolicy(3);
   Recipe recipe;
-  auto loaded_recipe = TryLoadRecipe(rules_path);
+  auto loaded_recipe =
+      util::RetryCall(retry, util::RealClock(), /*stream=*/1003,
+                      [&] { return TryLoadRecipe(rules_path); });
   if (loaded_recipe.ok()) {
     recipe = *loaded_recipe;
   } else if (loaded_recipe.status().code() != StatusCode::kNotFound) {
     return Fail(loaded_recipe.status());
   }
-  auto at = TryTrainFromRecipe(recipe);
+  auto at = TryTrainFromRecipe(recipe, retry);
   if (!at.ok()) return Fail(at.status());
   size_t unresolved = 0;
-  auto rules =
-      core::TryLoadRulesFromFile(rules_path, at->evals(), &unresolved);
+  auto rules = util::RetryCall(retry, util::RealClock(), /*stream=*/1004, [&] {
+    return core::TryLoadRulesFromFile(rules_path, at->evals(), &unresolved);
+  });
   if (!rules.ok()) return Fail(rules.status());
   for (const auto& r : *rules) {
     std::printf("%s\n", r.Describe().c_str());
@@ -377,8 +660,10 @@ int main(int argc, char** argv) {
                  "usage: autotest <train|check|rules> [options] "
                  "[--parallel-stats] [--failpoints spec]\n"
                  "  train --corpus relational|spreadsheet|tablib "
-                 "--columns N --out rules.sdc\n"
-                 "  check file.csv [--rules rules.sdc]\n"
+                 "--columns N --shards N --shard-quorum F "
+                 "--max-retries N --out rules.sdc\n"
+                 "  check file.csv [more.csv...] [--rules rules.sdc] "
+                 "[--max-retries N]\n"
                  "  rules rules.sdc\n");
     return kExitUsage;
   }

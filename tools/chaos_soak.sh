@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Chaos soak for the autotest CLI (DESIGN.md §4e).
+#
+# Drives the tier-1 CLI under injected faults and asserts the retry &
+# degradation contract end to end:
+#
+#   1. transient-only injection (all failpoints, p=0.05, code=io) across
+#      N seeds: every train must complete and produce a rules file
+#      byte-identical to the fault-free baseline — retries are invisible
+#      in output;
+#   2. permanent injection losing a within-quorum subset of shards: train
+#      must succeed degraded and stamp lost-shard provenance into the
+#      recipe, and check must accept the degraded rules;
+#   3. permanent injection above the quorum: train must fail fast with the
+#      structured invalid-input exit code, without burning retries.
+#
+# Usage: chaos_soak.sh <autotest-binary> [seeds]
+#   seeds defaults to $CHAOS_SEEDS or 20.
+#
+# Registered as the `chaos_soak` ctest entry (wall-clock capped there);
+# run_sanitized_tests.sh repeats it under ASan.
+
+set -u
+
+AUTOTEST="${1:?usage: chaos_soak.sh <autotest-binary> [seeds]}"
+SEEDS="${2:-${CHAOS_SEEDS:-20}}"
+
+if [ ! -x "$AUTOTEST" ]; then
+  echo "chaos_soak: $AUTOTEST is not an executable" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/autotest_chaos.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# Small but non-trivial training configuration: sharded, with enough
+# columns that the shard loader, trainer fan-out and serializer all do
+# real work, yet fast enough to soak many seeds inside the ctest cap.
+TRAIN_ARGS=(--columns 100 --centroids 12 --synthetic 60 --shards 6
+            --max-retries 6)
+
+fail() {
+  echo "chaos_soak: FAIL: $*" >&2
+  exit 1
+}
+
+echo "chaos_soak: baseline fault-free train"
+"$AUTOTEST" train "${TRAIN_ARGS[@]}" --out "$WORK/baseline.sdc" \
+    > "$WORK/baseline.out" 2> "$WORK/baseline.err" \
+  || fail "baseline train exited $? ($(cat "$WORK/baseline.err"))"
+[ -s "$WORK/baseline.sdc.recipe" ] || fail "baseline recipe missing"
+grep -q '^degraded' "$WORK/baseline.sdc.recipe" \
+  && fail "baseline recipe claims degradation without faults"
+
+# --- scenario 1: transient faults are retried into invisibility ---------
+
+printf 'city,date\nseattle,6/1/2022\ntokyo,6/2/2022\nparis,junk\n' \
+  > "$WORK/table.csv"
+
+total_retries=0
+for seed in $(seq 1 "$SEEDS"); do
+  spec="all:p=0.05,code=io,seed=$seed"
+  AT_FAILPOINTS="$spec" "$AUTOTEST" train "${TRAIN_ARGS[@]}" \
+      --out "$WORK/s$seed.sdc" \
+      > "$WORK/s$seed.out" 2> "$WORK/s$seed.err" \
+    || fail "seed $seed: train exited $? under $spec ($(cat "$WORK/s$seed.err"))"
+  cmp -s "$WORK/baseline.sdc" "$WORK/s$seed.sdc" \
+    || fail "seed $seed: rules differ from fault-free baseline under $spec"
+  grep -q '^degraded' "$WORK/s$seed.sdc.recipe" \
+    && fail "seed $seed: transient-only faults must not degrade the model"
+  # Count masked retries surfaced by the shard-load report.
+  r="$(sed -n 's/.*retries=\([0-9]*\).*/\1/p' "$WORK/s$seed.err" | head -1)"
+  total_retries=$(( total_retries + ${r:-0} ))
+  AT_FAILPOINTS="$spec" "$AUTOTEST" check "$WORK/table.csv" \
+      --rules "$WORK/s$seed.sdc" --max-retries 6 \
+      > /dev/null 2> "$WORK/c$seed.err" \
+    || fail "seed $seed: check exited $? under $spec ($(cat "$WORK/c$seed.err"))"
+done
+[ "$total_retries" -gt 0 ] \
+  || fail "no shard retries observed across $SEEDS seeds (p=0.05 over 6 shards)"
+echo "chaos_soak: $SEEDS transient seeds ok, $total_retries shard retries masked"
+
+# --- scenario 2: within-quorum permanent loss degrades with provenance --
+
+spec="shard.read:p=0.4,code=dataloss,seed=7"  # loses shards 2,3 of 6
+AT_FAILPOINTS="$spec" "$AUTOTEST" train "${TRAIN_ARGS[@]}" \
+    --shard-quorum 0.5 --out "$WORK/degraded.sdc" \
+    > /dev/null 2> "$WORK/degraded.err" \
+  || fail "degraded train exited $? under $spec ($(cat "$WORK/degraded.err"))"
+grep -q '^degraded 2/6 2:DATA_LOSS,3:DATA_LOSS$' "$WORK/degraded.sdc.recipe" \
+  || fail "degraded provenance missing or wrong: $(cat "$WORK/degraded.sdc.recipe")"
+grep -q 'degraded mode' "$WORK/degraded.err" \
+  || fail "degraded train did not warn about degraded mode"
+"$AUTOTEST" check "$WORK/table.csv" --rules "$WORK/degraded.sdc" \
+    > /dev/null 2> "$WORK/degraded_check.err" \
+  || fail "check of degraded rules exited $?"
+grep -q 'rebuilding that corpus' "$WORK/degraded_check.err" \
+  || fail "check did not rebuild the degraded corpus from provenance"
+echo "chaos_soak: degraded scenario ok (2/6 shards lost, provenance stamped)"
+
+# --- scenario 3: above-quorum permanent loss fails fast -----------------
+
+spec="shard.read=on,code=dataloss"
+AT_FAILPOINTS="$spec" "$AUTOTEST" train "${TRAIN_ARGS[@]}" \
+    --out "$WORK/deadloss.sdc" > /dev/null 2> "$WORK/deadloss.err"
+rc=$?
+[ "$rc" -eq 3 ] \
+  || fail "all-shards-dataloss train exited $rc, want 3 (invalid input)"
+grep -q 'quorum missed' "$WORK/deadloss.err" \
+  || fail "fast-fail error does not name the missed quorum"
+grep -q 'DATA_LOSS' "$WORK/deadloss.err" \
+  || fail "fast-fail error does not carry the permanent code"
+grep -q 'after 1 attempt(s)' "$WORK/deadloss.err" \
+  || fail "permanent faults must not be retried"
+[ -e "$WORK/deadloss.sdc" ] && fail "failed train left a rules file behind"
+echo "chaos_soak: fast-fail scenario ok (DATA_LOSS, no retries)"
+
+echo "chaos_soak: PASS"

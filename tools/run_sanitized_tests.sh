@@ -26,7 +26,12 @@ echo "== building (j$JOBS)"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 
 echo "== tier-1 ctest under ASan"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" -E chaos_soak
+
+echo "== chaos soak under ASan"
+# Serial, after the fast suite: the soak's wall-clock cap assumes it is
+# not competing with parallel test processes for cores.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R chaos_soak
 
 echo "== failpoint soak: AT_FAILPOINTS=$SOAK_SPEC"
 # Drive the CLI end-to-end with every failpoint armed. The contract under
