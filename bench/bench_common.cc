@@ -1,7 +1,11 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+
+#include "util/check.h"
 
 namespace autotest::benchx {
 
@@ -149,6 +153,57 @@ void PrintQualityRow(const std::string& method,
 
 void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+BenchMetrics::BenchMetrics(std::string source)
+    : source_(std::move(source)) {}
+
+void BenchMetrics::Gauge(const std::string& name, double value) {
+  AT_CHECK_MSG(metrics::IsValidMetricName(name), "invalid bench metric name");
+  for (metrics::MetricValue& m : values_) {
+    if (m.name == name) {
+      m.gauge = value;
+      return;
+    }
+  }
+  metrics::MetricValue m;
+  m.name = name;
+  m.kind = metrics::MetricKind::kGauge;
+  m.gauge = value;
+  values_.push_back(std::move(m));
+}
+
+std::string BenchMetrics::ToJson() const {
+  std::vector<metrics::MetricValue> sorted = values_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const metrics::MetricValue& a, const metrics::MetricValue& b) {
+              return a.name < b.name;
+            });
+  return metrics::FormatMetricsJson(sorted, source_);
+}
+
+bool BenchMetrics::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << ToJson();
+  if (!out.flush()) {
+    std::fprintf(stderr, "[bench] cannot write metrics JSON to %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void BenchMetrics::MaybeWriteEnv() const {
+  const char* path = std::getenv("AT_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  if (WriteFile(path)) {
+    std::fprintf(stderr, "[bench] wrote metrics JSON to %s\n", path);
+  }
+}
+
+bool SdcOnly() {
+  const char* env = std::getenv("AT_BENCH_SDC_ONLY");
+  return env != nullptr && env[0] != '\0';
 }
 
 }  // namespace autotest::benchx

@@ -10,6 +10,7 @@
 #include "datagen/bench_gen.h"
 #include "datagen/corpus_gen.h"
 #include "eval/harness.h"
+#include "util/metrics.h"
 
 namespace autotest::benchx {
 
@@ -64,6 +65,39 @@ void PrintQualityRow(const std::string& method,
 
 /// Section header helper.
 void PrintHeader(const std::string& title);
+
+/// Collects bench results as named gauges and emits them in the exact
+/// JSON shape the metrics registry dumps (`autotest.metrics.v1`), so the
+/// bench-regression gate (tools/run_bench_ci.sh) and `--metrics-dump`
+/// consumers share one parser. Names follow the registry contract with a
+/// `bench.` prefix, e.g. `bench.fig12.fine_select_s_per_col`.
+class BenchMetrics {
+ public:
+  explicit BenchMetrics(std::string source);
+
+  /// Records (or overwrites) one result gauge. Invalid names AT_CHECK.
+  void Gauge(const std::string& name, double value);
+
+  /// The autotest.metrics.v1 document, gauges sorted by name.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; false (with a stderr diagnostic) on I/O
+  /// failure.
+  bool WriteFile(const std::string& path) const;
+
+  /// Writes ToJson() to $AT_BENCH_JSON when that variable is set — the
+  /// hook run_bench_ci.sh uses without touching each bench's stdout.
+  void MaybeWriteEnv() const;
+
+ private:
+  std::string source_;
+  std::vector<metrics::MetricValue> values_;
+};
+
+/// True when $AT_BENCH_SDC_ONLY is set non-empty: latency benches then
+/// skip the (slow) baseline roster and time only the SDC variants, which
+/// is what the CI regression gate pins.
+bool SdcOnly();
 
 }  // namespace autotest::benchx
 

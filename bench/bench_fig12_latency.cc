@@ -22,21 +22,39 @@ int main() {
       "coarse-select", &coarse_pred));
   detectors.push_back(std::make_unique<baselines::SdcDetector>(
       "all-constraints", &all_pred));
-  for (auto& d : benchx::BuildBaselines(env)) {
-    detectors.push_back(std::move(d));
+  // AT_BENCH_SDC_ONLY skips the baseline roster: the CI regression gate
+  // pins only the SDC variants and wants the fast path.
+  if (!benchx::SdcOnly()) {
+    for (auto& d : benchx::BuildBaselines(env)) {
+      detectors.push_back(std::move(d));
+    }
   }
 
+  benchx::BenchMetrics bench_metrics("bench_fig12_latency");
   benchx::PrintHeader("Figure 12: average latency per column (seconds)");
+  // In SDC-only (CI) mode the roster is tiny, so take a min-of-5 per
+  // detector: single passes are too noisy for a 25% regression gate.
+  const int reps = benchx::SdcOnly() ? 5 : 1;
   for (const auto& det : detectors) {
     eval::BenchmarkRun run = RunDetector(*det, env.rt, 1);
     double sec = run.seconds_per_column;
+    for (int rep = 1; rep < reps; ++rep) {
+      sec = std::min(sec,
+                     RunDetector(*det, env.rt, 1).seconds_per_column);
+    }
     // The GPT-4 rows in the paper are API-bound (~20 s/column); our LLM-sim
     // computes locally, so report its simulated service latency separately.
     bool is_llm = det->name().rfind("gpt", 0) == 0;
     std::printf("%-24s %12.6f s/col%s\n", det->name().c_str(), sec,
                 is_llm ? "   (+~20 s/col API latency in the paper's setup)"
                        : "");
+    std::string slug = det->name();
+    for (char& c : slug) {
+      if (c == '-' || c == '.') c = '_';
+    }
+    bench_metrics.Gauge("bench.fig12." + slug + "_s_per_col", sec);
   }
+  bench_metrics.MaybeWriteEnv();
   std::printf(
       "\nExpected shape (paper Fig 12): fine-select is interactive and a\n"
       "multiple faster than all-constraints; GPT is orders of magnitude "

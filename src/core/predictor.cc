@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 namespace autotest::core {
 
@@ -31,6 +32,11 @@ SdcPredictor::SdcPredictor(std::vector<Sdc> rules) {
     }
     rules_.push_back(std::move(rule));
   }
+  if (skipped_rules_ > 0) {
+    metrics::Registry::Global()
+        .GetCounter(metrics::kMPredictorRulesSkipped)
+        .Increment(static_cast<uint64_t>(skipped_rules_));
+  }
   std::unordered_map<const typedet::DomainEvalFunction*, size_t> group_of;
   for (size_t r = 0; r < rules_.size(); ++r) {
     auto it = group_of.find(rules_[r].eval);
@@ -45,6 +51,12 @@ SdcPredictor::SdcPredictor(std::vector<Sdc> rules) {
 
 std::vector<CellDetection> SdcPredictor::Predict(
     const table::Column& column) const {
+  static metrics::Counter& columns_checked =
+      metrics::Registry::Global().GetCounter(
+          metrics::kMPredictorColumnsChecked);
+  static metrics::Counter& detections = metrics::Registry::Global()
+      .GetCounter(metrics::kMPredictorDetections);
+  columns_checked.Increment();
   std::vector<CellDetection> out;
   if (column.values.empty()) return out;
   table::DistinctValues distinct = table::Distinct(column);
@@ -108,6 +120,7 @@ std::vector<CellDetection> SdcPredictor::Predict(
     d.explanation = rules_[best_rule[i]].Describe();
     out.push_back(std::move(d));
   }
+  detections.Increment(out.size());
   return out;
 }
 

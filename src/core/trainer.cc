@@ -9,6 +9,7 @@
 #include "stats/statistics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/parallel/thread_pool.h"
 #include "util/retry.h"
 #include "util/rng.h"
@@ -360,6 +361,22 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
           std::max(model.synthetic_conf_all[j], c);
     }
   }
+
+  // Export the per-run totals through the uniform registry; the counters
+  // accumulate across trainings, the phase timers report the latest run.
+  metrics::Registry& reg = metrics::Registry::Global();
+  reg.GetCounter(metrics::kMTrainerEvalsSkipped)
+      .Increment(static_cast<uint64_t>(model.evals_skipped));
+  reg.GetCounter(metrics::kMTrainerCandidatesEnumerated)
+      .Increment(static_cast<uint64_t>(model.candidates_enumerated));
+  reg.GetCounter(metrics::kMTrainerCandidatesPruned)
+      .Increment(static_cast<uint64_t>(model.candidates_pruned));
+  reg.GetCounter(metrics::kMTrainerCandidatesRejected)
+      .Increment(static_cast<uint64_t>(model.candidates_rejected));
+  reg.GetGauge(metrics::kMTrainerCandidateGenSeconds)
+      .Set(model.timings.candidate_gen_seconds);
+  reg.GetGauge(metrics::kMTrainerSyntheticSeconds)
+      .Set(model.timings.synthetic_seconds);
   return model;
 }
 

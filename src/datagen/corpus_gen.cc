@@ -4,6 +4,7 @@
 #include "datagen/error_injector.h"
 #include "datagen/gazetteer.h"
 #include "util/hashing.h"
+#include "util/metrics.h"
 
 namespace autotest::datagen {
 
@@ -77,6 +78,9 @@ table::Corpus GenerateCorpus(const CorpusProfile& profile) {
     }
     corpus.push_back(std::move(col));
   }
+  metrics::Registry::Global()
+      .GetCounter(metrics::kMDatagenColumnsGenerated)
+      .Increment(corpus.size());
   return corpus;
 }
 
@@ -122,6 +126,9 @@ util::Result<table::Corpus> TryGenerateCorpusSharded(
   AT_ASSIGN_OR_RETURN(
       auto loaded, table::LoadShards(shards.size(), load_shard, options,
                                      report));
+  metrics::Registry::Global()
+      .GetCounter(metrics::kMDatagenShardsGenerated)
+      .Increment(loaded.size());
   table::Corpus corpus;
   for (table::Corpus& shard_corpus : loaded) {
     for (table::Column& column : shard_corpus) {

@@ -2,9 +2,38 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+
 namespace autotest::table {
 
 namespace shard_internal {
+
+namespace metrics = ::autotest::metrics;
+
+void RecordShardLoad(const ShardLoadReport& report) {
+  static metrics::Counter& loads =
+      metrics::Registry::Global().GetCounter(metrics::kMShardLoads);
+  static metrics::Counter& loaded =
+      metrics::Registry::Global().GetCounter(metrics::kMShardLoaded);
+  static metrics::Counter& lost =
+      metrics::Registry::Global().GetCounter(metrics::kMShardLost);
+  static metrics::Counter& retries =
+      metrics::Registry::Global().GetCounter(metrics::kMShardRetries);
+  static metrics::Counter& degraded_loads =
+      metrics::Registry::Global().GetCounter(metrics::kMShardDegradedLoads);
+  // Attempts-per-shard distribution; bounds follow the doubling backoff
+  // (1 = clean first read, 16 covers any sane max_attempts).
+  static metrics::Histogram& attempts = metrics::Registry::Global()
+      .GetHistogram(metrics::kMShardAttempts, {1.0, 2.0, 4.0, 8.0, 16.0});
+  loads.Increment();
+  loaded.Increment(report.num_loaded);
+  lost.Increment(report.num_failed);
+  retries.Increment(report.total_retries);
+  if (report.degraded()) degraded_loads.Increment();
+  for (const ShardOutcome& outcome : report.outcomes) {
+    attempts.Observe(static_cast<double>(outcome.attempts));
+  }
+}
 
 util::Status InjectShardFault(size_t shard, size_t attempt) {
   // Key the decision on (shard, attempt) so the fault pattern is a pure

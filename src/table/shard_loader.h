@@ -81,6 +81,10 @@ namespace shard_internal {
 /// template; returns OK when `num_loaded` meets the quorum.
 [[nodiscard]] util::Status CheckQuorum(const ShardLoadReport& report,
                                        double min_shard_fraction);
+/// Folds a finished load's report into the `shard.*` metrics family
+/// (loads, loaded, lost, retries, degraded_loads and the per-shard
+/// attempts histogram).
+void RecordShardLoad(const ShardLoadReport& report);
 }  // namespace shard_internal
 
 /// Loads `num_shards` shards via `load_shard(shard_index)` on the parallel
@@ -145,6 +149,7 @@ template <typename T>
       ++rep.num_failed;
     }
   }
+  shard_internal::RecordShardLoad(rep);
   AT_RETURN_IF_ERROR(
       shard_internal::CheckQuorum(rep, options.min_shard_fraction));
   std::vector<T> loaded;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/hashing.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace autotest::util {
@@ -48,7 +49,15 @@ bool ParseCodeFlavor(std::string_view value,
 
 FailpointRegistry::FailpointRegistry() {
   for (std::string_view fp : kAllFailpoints) {
-    points_.emplace(std::string(fp), Point{});
+    // Per-site counters live in the global metrics registry under the
+    // dynamic family `failpoint.<site>.evals|fires` (DESIGN.md §4f), so
+    // one JSON dump carries them next to every other component.
+    Point point;
+    point.evaluations = &metrics::Registry::Global().GetCounter(
+        "failpoint." + std::string(fp) + ".evals");
+    point.fires = &metrics::Registry::Global().GetCounter(
+        "failpoint." + std::string(fp) + ".fires");
+    points_.emplace(std::string(fp), point);
   }
   if (const char* env = std::getenv("AT_FAILPOINTS")) {
     // Environment arming is best-effort: a bad spec must not turn a
@@ -165,7 +174,10 @@ void FailpointRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [fp, point] : points_) {
     (void)fp;
-    point = Point{};
+    point.armed = false;
+    point.probability = 1.0;
+    point.evaluations->Reset();
+    point.fires->Reset();
   }
   seed_ = 0;
   code_override_ = std::nullopt;
@@ -179,7 +191,10 @@ std::optional<StatusCode> FailpointRegistry::EvalLocked(
   auto it = points_.find(name);
   if (it == points_.end()) return std::nullopt;
   Point& point = it->second;
-  uint64_t k = point.evaluations++;
+  // The pre-increment value is the decision-stream index, exactly as the
+  // plain uint64 counter behaved before the metrics migration.
+  uint64_t k = point.evaluations->value();
+  point.evaluations->Increment();
   if (!point.armed) return std::nullopt;
   // Deterministic decision stream: per-(seed, name, evaluation-index) for
   // serial sites, per-(seed, name, caller key) for parallel ones.
@@ -187,7 +202,7 @@ std::optional<StatusCode> FailpointRegistry::EvalLocked(
   double roll =
       HashToUnitDouble(SplitMix64(seed_ ^ Fnv64Seeded(name, stream)));
   if (roll >= point.probability) return std::nullopt;
-  ++point.fires;
+  point.fires->Increment();
   return code_override_.value_or(fallback);
 }
 
@@ -213,13 +228,13 @@ std::optional<StatusCode> FailpointRegistry::ShouldFailKeyed(
 uint64_t FailpointRegistry::evaluations(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(name);
-  return it == points_.end() ? 0 : it->second.evaluations;
+  return it == points_.end() ? 0 : it->second.evaluations->value();
 }
 
 uint64_t FailpointRegistry::fires(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(name);
-  return it == points_.end() ? 0 : it->second.fires;
+  return it == points_.end() ? 0 : it->second.fires->value();
 }
 
 std::string FailpointRegistry::StatsString() const {
@@ -227,10 +242,11 @@ std::string FailpointRegistry::StatsString() const {
   std::string out = "failpoints:";
   bool any = false;
   for (const auto& [fp, point] : points_) {
-    if (!point.armed && point.fires == 0) continue;
+    if (!point.armed && point.fires->value() == 0) continue;
     any = true;
-    out += " " + fp + " evals=" + std::to_string(point.evaluations) +
-           " fires=" + std::to_string(point.fires);
+    out += " " + fp +
+           " evals=" + std::to_string(point.evaluations->value()) +
+           " fires=" + std::to_string(point.fires->value());
   }
   if (!any) out += " (none armed)";
   return out;

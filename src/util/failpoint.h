@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/metrics.h"
 #include "util/status.h"
 
 // Fault-injection framework for the load/serve path. Code at an injection
@@ -117,8 +118,11 @@ class FailpointRegistry {
   struct Point {
     bool armed = false;
     double probability = 1.0;
-    uint64_t evaluations = 0;
-    uint64_t fires = 0;
+    // Registry-owned counters (`failpoint.<site>.evals|fires`), bound in
+    // the constructor; updated under mu_ so the decision stream still
+    // sees a serialized pre-increment evaluation index.
+    metrics::Counter* evaluations = nullptr;
+    metrics::Counter* fires = nullptr;
   };
 
   /// Decision + bookkeeping shared by the counter-keyed and caller-keyed

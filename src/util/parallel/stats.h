@@ -1,33 +1,36 @@
 #ifndef AUTOTEST_UTIL_PARALLEL_STATS_H_
 #define AUTOTEST_UTIL_PARALLEL_STATS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "util/metrics.h"
+
 namespace autotest::util::parallel {
 
-/// Process-wide counters for the parallel runtime. All counters are
-/// monotonically increasing and updated with relaxed atomics; they are
-/// diagnostics, not synchronization. Benches and the CLI dump them via
-/// FormatStats().
+/// Process-wide counters for the parallel runtime. Since the metrics
+/// migration these are references into metrics::Registry::Global()
+/// (`parallel.*` family), so one JSON dump covers them alongside every
+/// other component; the accessors below are kept as thin shims so no
+/// call site changed. Updates stay relaxed-atomic: diagnostics, not
+/// synchronization.
 struct Stats {
   /// Parallel-region entries, including ones that fell back to serial.
-  std::atomic<uint64_t> invocations{0};
+  metrics::Counter& invocations;
   /// Subset of invocations executed inline on the caller (n too small,
   /// one thread requested, or a nested call inside a running region).
-  std::atomic<uint64_t> serial_invocations{0};
+  metrics::Counter& serial_invocations;
   /// Loop items (indices) executed across all invocations.
-  std::atomic<uint64_t> items{0};
+  metrics::Counter& items;
   /// Chunks executed across all invocations.
-  std::atomic<uint64_t> chunks{0};
+  metrics::Counter& chunks;
   /// Chunks a worker claimed from another worker's range.
-  std::atomic<uint64_t> steals{0};
+  metrics::Counter& steals;
   /// Sum over parallel invocations of participants that actually joined
   /// (submitter included).
-  std::atomic<uint64_t> participants{0};
+  metrics::Counter& participants;
   /// Sum over parallel invocations of participant slots offered.
-  std::atomic<uint64_t> slots_offered{0};
+  metrics::Counter& slots_offered;
 };
 
 /// The global counter block shared by every pool invocation.

@@ -40,33 +40,44 @@ size_t HeuristicGrain(size_t n, size_t participants) {
 }  // namespace
 
 Stats& GlobalStats() {
-  static Stats stats;
+  // The counters live in the global metrics registry; this block of
+  // references is the pool's cached handle so the hot path never takes
+  // the registry lock.
+  static Stats stats{
+      metrics::Registry::Global().GetCounter(metrics::kMParallelInvocations),
+      metrics::Registry::Global().GetCounter(
+          metrics::kMParallelSerialInvocations),
+      metrics::Registry::Global().GetCounter(metrics::kMParallelItems),
+      metrics::Registry::Global().GetCounter(metrics::kMParallelChunks),
+      metrics::Registry::Global().GetCounter(metrics::kMParallelSteals),
+      metrics::Registry::Global().GetCounter(metrics::kMParallelParticipants),
+      metrics::Registry::Global().GetCounter(
+          metrics::kMParallelSlotsOffered)};
   return stats;
 }
 
 StatsSnapshot SnapshotStats() {
   const Stats& s = GlobalStats();
   StatsSnapshot out;
-  out.invocations = s.invocations.load(std::memory_order_relaxed);
-  out.serial_invocations =
-      s.serial_invocations.load(std::memory_order_relaxed);
-  out.items = s.items.load(std::memory_order_relaxed);
-  out.chunks = s.chunks.load(std::memory_order_relaxed);
-  out.steals = s.steals.load(std::memory_order_relaxed);
-  out.participants = s.participants.load(std::memory_order_relaxed);
-  out.slots_offered = s.slots_offered.load(std::memory_order_relaxed);
+  out.invocations = s.invocations.value();
+  out.serial_invocations = s.serial_invocations.value();
+  out.items = s.items.value();
+  out.chunks = s.chunks.value();
+  out.steals = s.steals.value();
+  out.participants = s.participants.value();
+  out.slots_offered = s.slots_offered.value();
   return out;
 }
 
 void ResetStats() {
   Stats& s = GlobalStats();
-  s.invocations.store(0, std::memory_order_relaxed);
-  s.serial_invocations.store(0, std::memory_order_relaxed);
-  s.items.store(0, std::memory_order_relaxed);
-  s.chunks.store(0, std::memory_order_relaxed);
-  s.steals.store(0, std::memory_order_relaxed);
-  s.participants.store(0, std::memory_order_relaxed);
-  s.slots_offered.store(0, std::memory_order_relaxed);
+  s.invocations.Reset();
+  s.serial_invocations.Reset();
+  s.items.Reset();
+  s.chunks.Reset();
+  s.steals.Reset();
+  s.participants.Reset();
+  s.slots_offered.Reset();
 }
 
 std::string FormatStats() {
@@ -152,7 +163,7 @@ void ThreadPool::RunSerial(size_t n, size_t grain, const ChunkFn& body) {
 void ThreadPool::RunChunked(size_t n, size_t grain, size_t num_threads,
                             const ChunkFn& body) {
   Stats& st = GlobalStats();
-  st.invocations.fetch_add(1, std::memory_order_relaxed);
+  st.invocations.Increment();
   if (n == 0) return;
   if (num_threads == 0) num_threads = DefaultThreadCount();
   num_threads = std::min(num_threads, kMaxWorkers + 1);
@@ -161,11 +172,11 @@ void ThreadPool::RunChunked(size_t n, size_t grain, size_t num_threads,
   AT_CHECK_MSG(num_chunks <= UINT32_MAX, "parallel region too large");
   const size_t slots = std::min(num_threads, num_chunks);
 
-  st.items.fetch_add(n, std::memory_order_relaxed);
-  st.chunks.fetch_add(num_chunks, std::memory_order_relaxed);
+  st.items.Increment(n);
+  st.chunks.Increment(num_chunks);
 
   if (tl_in_region || slots <= 1) {
-    st.serial_invocations.fetch_add(1, std::memory_order_relaxed);
+    st.serial_invocations.Increment();
     RunSerial(n, grain, body);
     return;
   }
@@ -211,8 +222,8 @@ void ThreadPool::RunChunked(size_t n, size_t grain, size_t num_threads,
   uint32_t joined =
       std::min<uint32_t>(job.tickets.load(std::memory_order_relaxed),
                          static_cast<uint32_t>(slots));
-  st.participants.fetch_add(joined, std::memory_order_relaxed);
-  st.slots_offered.fetch_add(slots, std::memory_order_relaxed);
+  st.participants.Increment(joined);
+  st.slots_offered.Increment(slots);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -287,8 +298,7 @@ void ThreadPool::WorkOn(JobState& job, size_t slot) {
   }
 
   if (local_steals != 0) {
-    GlobalStats().steals.fetch_add(local_steals,
-                                   std::memory_order_relaxed);
+    GlobalStats().steals.Increment(local_steals);
   }
 }
 

@@ -5,8 +5,28 @@
 #include <thread>
 
 #include "util/hashing.h"
+#include "util/metrics.h"
 
 namespace autotest::util {
+
+namespace retry_internal {
+
+void RecordRetryMetrics(int attempts, bool gave_up) {
+  // Function-local statics cache the registry references; the steady-state
+  // cost per finished RetryCall is three relaxed adds.
+  static metrics::Counter& attempts_counter =
+      metrics::Registry::Global().GetCounter(metrics::kMRetryAttempts);
+  static metrics::Counter& retries_counter =
+      metrics::Registry::Global().GetCounter(metrics::kMRetryRetries);
+  static metrics::Counter& giveups_counter =
+      metrics::Registry::Global().GetCounter(metrics::kMRetryGiveups);
+  if (attempts < 1) attempts = 1;
+  attempts_counter.Increment(static_cast<uint64_t>(attempts));
+  retries_counter.Increment(static_cast<uint64_t>(attempts - 1));
+  if (gave_up) giveups_counter.Increment();
+}
+
+}  // namespace retry_internal
 
 namespace {
 

@@ -111,6 +111,13 @@ template <typename T>
 const Status& StatusOf(const Result<T>& result) {
   return result.status();
 }
+
+/// Folds one finished RetryCall into the `retry.*` metrics family:
+/// attempts made, retries (attempts beyond the first) and whether the
+/// call gave up (exhausted attempts or deadline). Aggregated across all
+/// callers — metric names must be static for the R6 catalogue, so there
+/// is deliberately no per-stream breakdown.
+void RecordRetryMetrics(int attempts, bool gave_up);
 }  // namespace retry_internal
 
 /// Runs `fn` (returning Status or Result<T>) up to policy.max_attempts
@@ -129,10 +136,17 @@ auto RetryCall(const RetryPolicy& policy, Clock& clock, uint64_t stream,
     auto result = fn();
     ++attempt;
     if (attempts_out != nullptr) *attempts_out = static_cast<size_t>(attempt);
-    if (result.ok()) return result;
+    if (result.ok()) {
+      retry_internal::RecordRetryMetrics(attempt, /*gave_up=*/false);
+      return result;
+    }
     const Status& status = retry_internal::StatusOf(result);
-    if (!IsRetryableCode(status.code())) return result;  // permanent: no retry
+    if (!IsRetryableCode(status.code())) {  // permanent: no retry
+      retry_internal::RecordRetryMetrics(attempt, /*gave_up=*/false);
+      return result;
+    }
     if (attempt >= max_attempts) {
+      retry_internal::RecordRetryMetrics(attempt, /*gave_up=*/true);
       Status final = status;
       return std::move(final).WithContext(
           "retrying (gave up after " + std::to_string(attempt) +
@@ -141,6 +155,7 @@ auto RetryCall(const RetryPolicy& policy, Clock& clock, uint64_t stream,
     const int64_t backoff = BackoffMicros(policy, stream, attempt);
     if (policy.deadline_micros > 0 &&
         clock.NowMicros() - start_micros + backoff > policy.deadline_micros) {
+      retry_internal::RecordRetryMetrics(attempt, /*gave_up=*/true);
       Status final = status;
       return std::move(final).WithContext(
           "retrying (deadline budget " +

@@ -1,0 +1,20 @@
+// R6 fixture catalogue: mirrors the real src/util/metrics.h shape. The
+// kAllMetrics marker is what makes at_lint treat this as the catalogue.
+#ifndef FIXTURE_METRICS_H_
+#define FIXTURE_METRICS_H_
+
+#include <string_view>
+
+namespace fixture {
+
+inline constexpr std::string_view kMGoodCount = "fixture.good_count";
+inline constexpr std::string_view kMDeadCount = "fixture.dead_count";
+// Wrapped registration, line 13: absent from the kAllMetrics array below.
+inline constexpr std::string_view kMUnlisted =
+    "fixture.unlisted";
+
+inline constexpr std::string_view kAllMetrics[] = {kMGoodCount, kMDeadCount};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_METRICS_H_

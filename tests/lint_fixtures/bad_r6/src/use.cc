@@ -1,0 +1,18 @@
+// R6 fixture use site: registered metrics used correctly, plus one
+// unregistered metric-shaped literal minted at a registration call.
+#include "metrics.h"
+
+namespace fixture {
+
+struct Registry {
+  int& GetCounter(std::string_view name);
+};
+
+int Use(Registry& reg) {
+  int total = reg.GetCounter(kMGoodCount);
+  total += reg.GetCounter(kMUnlisted);
+  total += reg.GetCounter("fixture.unknown_metric");  // line 14: violation
+  return total;
+}
+
+}  // namespace fixture

@@ -1,4 +1,4 @@
-// Self-test for tools/at_lint: every rule R1-R5 must fire on its
+// Self-test for tools/at_lint: every rule R1-R6 must fire on its
 // violation fixture at exactly the expected location, and the clean
 // fixture (which is packed with near-misses — suppressed R2, consumed
 // Try* results, annotated declarations) must pass.
@@ -142,10 +142,35 @@ TEST(LintTest, R5FiresOnMissingNodiscard) {
   EXPECT_NE(run.lines[1].find("Result<T>"), std::string::npos);
 }
 
+TEST(LintTest, R6FiresOnUnknownMissingAndDeadMetrics) {
+  LintRun run = RunLint(Fixture("bad_r6"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 3u);
+  // Output is sorted by file: metrics.h (dead + unlisted) before use.cc
+  // (unknown literal).
+  ParsedViolation dead = Parse(run.lines[0]);
+  EXPECT_EQ(dead.rule, "R6");
+  EXPECT_TRUE(EndsWith(dead.file, "metrics.h")) << dead.file;
+  EXPECT_EQ(dead.line, 11u);
+  EXPECT_NE(run.lines[0].find("fixture.dead_count"), std::string::npos);
+  EXPECT_NE(run.lines[0].find("dead registration"), std::string::npos);
+  ParsedViolation unlisted = Parse(run.lines[1]);
+  EXPECT_EQ(unlisted.rule, "R6");
+  EXPECT_EQ(unlisted.line, 13u);
+  EXPECT_NE(run.lines[1].find("fixture.unlisted"), std::string::npos);
+  EXPECT_NE(run.lines[1].find("missing from the kAllMetrics"),
+            std::string::npos);
+  ParsedViolation unknown = Parse(run.lines[2]);
+  EXPECT_EQ(unknown.rule, "R6");
+  EXPECT_TRUE(EndsWith(unknown.file, "use.cc")) << unknown.file;
+  EXPECT_EQ(unknown.line, 14u);
+  EXPECT_NE(run.lines[2].find("fixture.unknown_metric"), std::string::npos);
+}
+
 TEST(LintTest, AllFixturesTogetherReportEveryRuleOnce) {
   LintRun run = RunLint(Fixture("bad_r1") + " " + Fixture("bad_r2") + " " +
                         Fixture("bad_r3") + " " + Fixture("bad_r4") + " " +
-                        Fixture("bad_r5"));
+                        Fixture("bad_r5") + " " + Fixture("bad_r6"));
   EXPECT_EQ(run.exit_code, 1);
   std::vector<std::string> rules;
   for (const auto& line : run.lines) rules.push_back(Parse(line).rule);
@@ -154,6 +179,7 @@ TEST(LintTest, AllFixturesTogetherReportEveryRuleOnce) {
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "R3"), 2);
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "R4"), 1);
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "R5"), 2);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R6"), 3);
 }
 
 TEST(LintTest, NoArgumentsIsAUsageError) {
@@ -166,7 +192,7 @@ TEST(LintTest, ListRulesNamesEveryRule) {
   EXPECT_EQ(run.exit_code, 0);
   std::string all;
   for (const auto& line : run.lines) all += line + "\n";
-  for (const char* rule : {"R1", "R2", "R3", "R4", "R5"}) {
+  for (const char* rule : {"R1", "R2", "R3", "R4", "R5", "R6"}) {
     EXPECT_NE(all.find(rule), std::string::npos) << rule;
   }
 }

@@ -336,8 +336,9 @@ void CheckR1(const SourceFile& file, const Suppressions& supp,
 // ---------------------------------------------------------------------------
 
 constexpr std::string_view kR2Scopes[] = {
-    "src/core/", "src/stats/", "src/lp/", "src/util/parallel/",
-    "src/util/retry", "src/table/shard_loader"};
+    "src/core/",       "src/stats/",           "src/lp/",
+    "src/util/parallel/", "src/util/retry",    "src/util/metrics",
+    "src/table/shard_loader"};
 
 bool InR2Scope(const std::string& normalized_path) {
   for (std::string_view scope : kR2Scopes) {
@@ -679,6 +680,173 @@ void CheckR5(const SourceFile& file, const Suppressions& supp,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule R6 — metric names vs. the catalogue in src/util/metrics.h.
+// ---------------------------------------------------------------------------
+
+struct MetricRegistration {
+  std::string const_name;  // e.g. kMParallelSteals
+  std::string name;        // e.g. parallel.steals
+  const SourceFile* file = nullptr;
+  size_t line = 0;
+};
+
+bool IsMetricsRegistryFile(const SourceFile& file) {
+  for (const std::string& line : file.code) {
+    if (line.find("kAllMetrics") != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// `<segment>(.<segment>)+` of [a-z0-9_], each segment starting with a
+/// letter — the metric naming contract. Two or more segments (unlike
+/// failpoints' exactly-two: `failpoint.<site>.evals` has four).
+bool IsMetricShaped(std::string_view s) {
+  size_t segments = 0;
+  size_t start = 0;
+  while (true) {
+    size_t dot = s.find('.', start);
+    std::string_view part = s.substr(
+        start, dot == std::string_view::npos ? s.size() - start : dot - start);
+    if (part.empty() ||
+        !std::islower(static_cast<unsigned char>(part.front()))) {
+      return false;
+    }
+    for (char c : part) {
+      if (!std::islower(static_cast<unsigned char>(c)) &&
+          !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+        return false;
+      }
+    }
+    ++segments;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 2;
+}
+
+/// Parses `... kMFoo = "component.name";` catalogue lines, including the
+/// clang-format-wrapped form where the literal sits alone on the next
+/// line after the `=`.
+std::vector<MetricRegistration> ParseMetricsRegistry(const SourceFile& file) {
+  std::vector<MetricRegistration> regs;
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    size_t pos = 0;
+    while ((pos = line.find("kM", pos)) != std::string::npos &&
+           pos > 0 && IsIdentChar(line[pos - 1])) {
+      pos += 2;
+    }
+    if (pos == std::string::npos) continue;
+    if (line.find('=', pos) == std::string::npos) continue;
+    size_t end = pos;
+    while (end < line.size() && IsIdentChar(line[end])) ++end;
+    // The catalogue style is kM + UpperCamel; skips kMax-style locals.
+    if (end < pos + 3 ||
+        !std::isupper(static_cast<unsigned char>(line[pos + 2]))) {
+      continue;
+    }
+    size_t lit_line = li;
+    if (file.literals[li].size() != 1) {
+      // Wrapped registration: `kMFoo =` / `    "component.name";`.
+      if (!file.literals[li].empty() || li + 1 >= file.code.size() ||
+          file.literals[li + 1].size() != 1) {
+        continue;
+      }
+      lit_line = li + 1;
+    }
+    const std::string& name = file.literals[lit_line][0];
+    if (!IsMetricShaped(name)) continue;
+    regs.push_back({line.substr(pos, end - pos), name, &file, li + 1});
+  }
+  return regs;
+}
+
+constexpr std::string_view kMetricCalls[] = {"GetCounter(", "GetGauge(",
+                                             "GetHistogram("};
+
+void CheckR6(const std::vector<SourceFile>& files,
+             const std::vector<const SourceFile*>& registry_files,
+             const std::vector<Suppressions>& supps,
+             std::vector<Violation>* out) {
+  if (registry_files.empty()) return;  // nothing to check against
+  std::vector<MetricRegistration> regs;
+  for (const SourceFile* reg_file : registry_files) {
+    auto parsed = ParseMetricsRegistry(*reg_file);
+    regs.insert(regs.end(), parsed.begin(), parsed.end());
+  }
+  std::set<std::string> registered;
+  for (const auto& r : regs) registered.insert(r.name);
+
+  // Each catalogue constant must also appear in its file's kAllMetrics
+  // array (definition alone = one mention).
+  for (const auto& r : regs) {
+    size_t mentions = 0;
+    for (const std::string& line : r.file->code) {
+      if (ContainsToken(line, r.const_name)) ++mentions;
+    }
+    if (mentions < 2) {
+      out->push_back({r.file->path, r.line, "R6",
+                      "metric '" + r.name + "' (" + r.const_name +
+                          ") is defined but missing from the kAllMetrics "
+                          "catalogue"});
+    }
+  }
+
+  auto is_registry = [&](const SourceFile& f) {
+    for (const SourceFile* reg_file : registry_files) {
+      if (reg_file == &f) return true;
+    }
+    // The registry's own .cc (serializers, Snapshot walker) is not a use
+    // site either.
+    return Basename(NormalizedPath(f.path)) == "metrics.cc";
+  };
+
+  std::map<std::string, size_t> uses;  // registered name -> use count
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& file = files[fi];
+    if (is_registry(file)) continue;
+    const Suppressions& supp = supps[fi];
+    // Tests and benches mint ad-hoc names (`test.*`, per-bench gauges);
+    // only src/ registrations must come from the static catalogue or a
+    // documented dynamic family.
+    bool in_src =
+        NormalizedPath(file.path).find("src/") != std::string::npos;
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      for (const auto& r : regs) {
+        if (ContainsToken(line, r.const_name)) ++uses[r.name];
+      }
+      bool at_call_site = false;
+      for (std::string_view call : kMetricCalls) {
+        if (line.find(call) != std::string::npos) at_call_site = true;
+      }
+      for (const std::string& lit : file.literals[li]) {
+        if (!IsMetricShaped(lit)) continue;
+        if (registered.count(lit)) {
+          ++uses[lit];
+        } else if (at_call_site && in_src && !supp.Covers(li + 1, "R6")) {
+          out->push_back(
+              {file.path, li + 1, "R6",
+               "metric '" + lit +
+                   "' is not in the kAllMetrics catalogue "
+                   "(src/util/metrics.h); add it there or build the name "
+                   "from a documented dynamic family (DESIGN.md §4f)"});
+        }
+      }
+    }
+  }
+
+  for (const auto& r : regs) {
+    if (uses[r.name] == 0) {
+      out->push_back({r.file->path, r.line, "R6",
+                      "metric '" + r.name + "' (" + r.const_name +
+                          ") is registered but no code site uses it — "
+                          "dead registration"});
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -749,11 +917,16 @@ std::vector<Violation> LintFiles(const std::vector<SourceFile>& files) {
   std::vector<Suppressions> supps;
   supps.reserve(files.size());
   std::vector<const SourceFile*> registry_files;
+  std::vector<const SourceFile*> metric_registry_files;
   for (const SourceFile& file : files) {
     supps.push_back(ParseSuppressions(file));
     if (IsRegistryFile(file) &&
         Basename(NormalizedPath(file.path)) != "failpoint.cc") {
       registry_files.push_back(&file);
+    }
+    if (IsMetricsRegistryFile(file) &&
+        Basename(NormalizedPath(file.path)) != "metrics.cc") {
+      metric_registry_files.push_back(&file);
     }
   }
   for (size_t i = 0; i < files.size(); ++i) {
@@ -763,6 +936,7 @@ std::vector<Violation> LintFiles(const std::vector<SourceFile>& files) {
     CheckR5(files[i], supps[i], &out);
   }
   CheckR3(files, registry_files, supps, &out);
+  CheckR6(files, metric_registry_files, supps, &out);
   std::sort(out.begin(), out.end(),
             [](const Violation& a, const Violation& b) {
               if (a.file != b.file) return a.file < b.file;

@@ -25,6 +25,9 @@
 //       (CSV parsing, rule serialization, recipe loading)
 //   R5  a Status/Result<T>-returning declaration in a header missing
 //       [[nodiscard]]
+//   R6  metric-name literals in src/ unknown to the kAllMetrics catalogue
+//       in src/util/metrics.h — plus catalogue constants missing from the
+//       kAllMetrics array or registered but never used
 //
 // Suppressions (see DESIGN.md §4d for when they are acceptable):
 //   // at_lint: disable(R2) <reason>        this line and the next
@@ -39,7 +42,7 @@ namespace autotest::lint {
 struct Violation {
   std::string file;
   size_t line = 0;       // 1-based
-  std::string rule;      // "R1".."R5"
+  std::string rule;      // "R1".."R6"
   std::string message;
 
   std::string ToString() const;

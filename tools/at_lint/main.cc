@@ -1,6 +1,6 @@
 // at_lint — walks the given roots and reports violations of the project's
-// Status / determinism / failpoint contracts (rules R1-R5, see linter.h
-// and DESIGN.md §4d).
+// Status / determinism / failpoint / metrics contracts (rules R1-R6, see
+// linter.h and DESIGN.md §4d).
 //
 //   at_lint src tools tests          lint the tree (exit 1 on violations)
 //   at_lint --list-rules             print the rule catalogue
@@ -27,6 +27,9 @@ constexpr const char* kRuleCatalogue =
     "R4  AT_CHECK on an untrusted-input path (CSV, rule serialization,\n"
     "    recipe loading) that was migrated to Status\n"
     "R5  Status/Result<T>-returning declaration missing [[nodiscard]]\n"
+    "R6  metric-name literal in src/ absent from the kAllMetrics\n"
+    "    catalogue in src/util/metrics.h, a catalogue constant missing\n"
+    "    from the kAllMetrics array, or a registered metric no code uses\n"
     "\n"
     "Suppress one line:   // at_lint: disable(R2) <reason>\n"
     "Suppress a file:     // at_lint: disable-file(R2) <reason>\n";

@@ -42,6 +42,7 @@
 #include "table/csv.h"
 #include "table/shard_loader.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/parallel/thread_pool.h"
 #include "util/retry.h"
 #include "util/status.h"
@@ -53,6 +54,11 @@ using namespace autotest;
 using util::Result;
 using util::Status;
 using util::StatusCode;
+
+// Human-readable report lines go here. Defaults to stdout; main() moves
+// it to stderr under `--metrics-dump=-` so stdout carries exactly one
+// machine-readable JSON document.
+FILE* g_report = stdout;
 
 constexpr int kExitOk = 0;
 constexpr int kExitInternal = 1;
@@ -318,6 +324,15 @@ datagen::CorpusProfile ProfileFor(const Recipe& r) {
       if (!is_lost[s]) include.push_back(s);
     }
     options.min_shard_fraction = 1.0;  // need exactly the survivors
+    // The masked rebuild never attempts the provenance-lost shards, so
+    // the loader cannot count them; surface the degradation here so a
+    // `--metrics-dump` on a degraded check still reports shard.lost.
+    metrics::Registry::Global()
+        .GetCounter(metrics::kMShardLost)
+        .Increment(r.lost.size());
+    metrics::Registry::Global()
+        .GetCounter(metrics::kMShardDegradedLoads)
+        .Increment();
   }
   return datagen::TryGenerateCorpusSharded(ProfileFor(r), r.shards, options,
                                            report, include);
@@ -449,9 +464,10 @@ int CmdTrain(int argc, char** argv) {
                  recipe.lost.size(), recipe.shards,
                  RecipePath(out_path).c_str());
   }
-  std::printf("learned %zu constraints, distilled %zu rules -> %s\n",
-              at->model().constraints.size(), rules.size(),
-              out_path.c_str());
+  std::fprintf(g_report,
+               "learned %zu constraints, distilled %zu rules -> %s\n",
+               at->model().constraints.size(), rules.size(),
+               out_path.c_str());
   return kExitOk;
 }
 
@@ -465,8 +481,8 @@ int CmdTrain(int argc, char** argv) {
   });
   if (!table.ok()) return table.status();
 
-  std::printf("checking %s with %zu rules\n", csv_path.c_str(),
-              predictor.num_rules());
+  std::fprintf(g_report, "checking %s with %zu rules\n", csv_path.c_str(),
+               predictor.num_rules());
   size_t total = 0;
   size_t columns_skipped = 0;
   for (const auto& column : table->columns) {
@@ -483,16 +499,17 @@ int CmdTrain(int argc, char** argv) {
     }
     for (const auto& d : *detections) {
       ++total;
-      std::printf("%s:%zu  \"%s\"  conf=%.2f\n    %s\n",
-                  column.name.c_str(), d.row + 2, d.value.c_str(),
-                  d.confidence, d.explanation.c_str());
+      std::fprintf(g_report, "%s:%zu  \"%s\"  conf=%.2f\n    %s\n",
+                   column.name.c_str(), d.row + 2, d.value.c_str(),
+                   d.confidence, d.explanation.c_str());
     }
   }
   if (columns_skipped > 0) {
     std::fprintf(stderr, "warning: %zu column(s) skipped under faults\n",
                  columns_skipped);
   }
-  std::printf("%s: %zu potential error(s) found\n", csv_path.c_str(), total);
+  std::fprintf(g_report, "%s: %zu potential error(s) found\n",
+               csv_path.c_str(), total);
   *errors_found += total;
   return Status::Ok();
 }
@@ -596,10 +613,11 @@ int CmdCheck(int argc, char** argv) {
     }
   }
   if (csv_paths.size() > 1 || tables_failed > 0) {
-    std::printf("checked %zu/%zu table(s), %zu failed, "
-                "%zu potential error(s) found\n",
-                csv_paths.size() - tables_failed, csv_paths.size(),
-                tables_failed, errors_found);
+    std::fprintf(g_report,
+                 "checked %zu/%zu table(s), %zu failed, "
+                 "%zu potential error(s) found\n",
+                 csv_paths.size() - tables_failed, csv_paths.size(),
+                 tables_failed, errors_found);
   }
   return first_failure_exit;
 }
@@ -628,9 +646,10 @@ int CmdRules(int argc, char** argv) {
   });
   if (!rules.ok()) return Fail(rules.status());
   for (const auto& r : *rules) {
-    std::printf("%s\n", r.Describe().c_str());
+    std::fprintf(g_report, "%s\n", r.Describe().c_str());
   }
-  std::printf("(%zu rules, %zu unresolved)\n", rules->size(), unresolved);
+  std::fprintf(g_report, "(%zu rules, %zu unresolved)\n", rules->size(),
+               unresolved);
   return kExitOk;
 }
 
@@ -639,6 +658,7 @@ int CmdRules(int argc, char** argv) {
 int main(int argc, char** argv) {
   // Strip the global flags before command dispatch.
   bool parallel_stats = false;
+  std::string metrics_dump;  // "-" = stdout, else a file path
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--parallel-stats") == 0) {
@@ -650,15 +670,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
         return kExitUsage;
       }
+    } else if (std::strncmp(argv[i], "--metrics-dump=", 15) == 0) {
+      metrics_dump = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
+      metrics_dump = argv[++i];
     } else {
       argv[out_argc++] = argv[i];
     }
   }
   argc = out_argc;
+  if (metrics_dump == "-") {
+    // Keep stdout machine-readable: human report lines move to stderr so
+    // `autotest ... --metrics-dump=- | jq` just works.
+    g_report = stderr;
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: autotest <train|check|rules> [options] "
-                 "[--parallel-stats] [--failpoints spec]\n"
+                 "[--parallel-stats] [--failpoints spec] "
+                 "[--metrics-dump <path|->]\n"
                  "  train --corpus relational|spreadsheet|tablib "
                  "--columns N --shards N --shard-quorum F "
                  "--max-retries N --out rules.sdc\n"
@@ -679,6 +709,26 @@ int main(int argc, char** argv) {
   if (parallel_stats) {
     std::fprintf(stderr, "%s\n",
                  autotest::util::parallel::FormatStats().c_str());
+  }
+  if (!metrics_dump.empty()) {
+    // One JSON document per invocation, emitted even when the command
+    // failed: a degraded or failing run is exactly the one whose counters
+    // matter. A dump failure must not mask the command's own exit code,
+    // but a clean run that cannot write its metrics becomes an I/O error.
+    std::string json = autotest::metrics::Registry::Global().FormatJson(
+        "autotest " + cmd);
+    if (metrics_dump == "-") {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    } else {
+      std::ofstream out(metrics_dump,
+                        std::ios::binary | std::ios::trunc);
+      out << json;
+      if (!out.flush()) {
+        std::fprintf(stderr, "error: cannot write metrics dump to %s\n",
+                     metrics_dump.c_str());
+        if (rc == kExitOk) rc = kExitIo;
+      }
+    }
   }
   return rc;
 }
