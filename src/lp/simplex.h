@@ -45,11 +45,21 @@ struct Solution {
   std::vector<double> values;  // size num_vars when kOptimal
 };
 
-/// Solves the LP with a dense two-phase primal simplex supporting variable
-/// upper bounds natively (bound flips), Dantzig pricing with a Bland
-/// fallback for anti-cycling. Exact for the LP sizes Auto-Test produces
-/// after its preprocessing (a few thousand variables/rows).
+/// Solves the LP with the sparse revised simplex (column-major sparse
+/// storage, LU-factorized basis with a product-form eta file and periodic
+/// refactorization, Dantzig pricing over nonzeros with a Bland
+/// anti-cycling fallback, native variable upper bounds). An empty LP
+/// (0 variables, 0 constraints) returns kOptimal with objective 0.
 Solution SolveLp(const LinearProgram& lp);
+
+/// Reference implementation: dense two-phase tableau simplex with the same
+/// contract as SolveLp. Kept compiled so the differential test harness
+/// (tests/lp_differential_test.cc) can prove the sparse solver equivalent,
+/// and as the `SelectionSolver::kDenseTableau` opt-in. Deprecation path:
+/// the dense path stays until two consecutive re-anchors of ROADMAP.md
+/// report no differential divergence, after which it can be folded into
+/// the test tree; it must never grow features the sparse solver lacks.
+Solution SolveLpDense(const LinearProgram& lp);
 
 }  // namespace autotest::lp
 

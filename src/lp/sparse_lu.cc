@@ -1,0 +1,236 @@
+#include "lp/sparse_lu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace autotest::lp {
+
+namespace {
+constexpr uint32_t kNoStep = 0xffffffffu;
+// Threshold (Markowitz-style) pivoting: any row whose magnitude is within
+// this factor of the column maximum is an acceptable pivot; among those
+// the row with the lowest static degree wins, trading a bounded loss of
+// numerical quality for much less fill.
+constexpr double kPivotThreshold = 0.1;
+}  // namespace
+
+bool SparseLu::Factorize(const std::vector<const SparseColumn*>& cols,
+                         double pivot_tol) {
+  m_ = cols.size();
+  // Clear() rather than assign: keeps the per-column capacity across the
+  // frequent refactorizations instead of reallocating 2m vectors each time.
+  l_cols_.resize(m_);
+  u_cols_.resize(m_);
+  for (size_t k = 0; k < m_; ++k) {
+    l_cols_[k].Clear();
+    u_cols_[k].Clear();
+  }
+  u_diag_.assign(m_, 0.0);
+  pivot_row_.assign(m_, kNoStep);
+  row_step_.assign(m_, kNoStep);
+  col_of_step_.assign(m_, 0);
+  work_.assign(m_, 0.0);
+  step_work_.assign(m_, 0.0);
+  visited_.assign(m_, 0);
+  pattern_.clear();
+  stack_.clear();
+
+  // Fill-reducing static ordering: eliminate the sparsest columns first
+  // (singleton slack/unit columns cause zero fill), densest last. A
+  // counting sort keyed on nnz keeps this O(m) per refactorization and is
+  // stable, so the order — and with it the numerics — is deterministic.
+  std::vector<uint32_t>& order = order_;
+  order.resize(m_);
+  {
+    std::vector<uint32_t>& bucket = steps_;  // scratch, repurposed
+    bucket.assign(m_ + 1, 0);
+    for (size_t k = 0; k < m_; ++k) {
+      bucket[std::min(cols[k]->nnz(), m_)]++;
+    }
+    uint32_t base = 0;
+    for (size_t c = 0; c <= m_; ++c) {
+      uint32_t cnt = bucket[c];
+      bucket[c] = base;
+      base += cnt;
+    }
+    for (size_t k = 0; k < m_; ++k) {
+      order[bucket[std::min(cols[k]->nnz(), m_)]++] = static_cast<uint32_t>(k);
+    }
+  }
+
+  // Static row degrees (occurrences across all basis columns): the
+  // tie-break side of the threshold pivot rule below.
+  row_degree_.assign(m_, 0);
+  for (size_t k = 0; k < m_; ++k) {
+    for (uint32_t r : cols[k]->rows) row_degree_[r]++;
+  }
+
+  std::vector<uint32_t>& steps = steps_;  // pivotal steps this column reaches
+  for (size_t k = 0; k < m_; ++k) {
+    const SparseColumn& col = *cols[order[k]];
+    col_of_step_[k] = order[k];
+    // Scatter the column and discover its fill-in pattern by DFS over the
+    // partially built L: a nonzero at a pivotal row triggers that step's
+    // elimination, which fills the rows of its L column.
+    pattern_.clear();
+    stack_.clear();
+    for (size_t t = 0; t < col.nnz(); ++t) {
+      uint32_t r = col.rows[t];
+      AT_CHECK(r < m_);
+      work_[r] += col.vals[t];
+      if (!visited_[r]) {
+        visited_[r] = 1;
+        pattern_.push_back(r);
+        stack_.push_back(r);
+      }
+    }
+    while (!stack_.empty()) {
+      uint32_t r = stack_.back();
+      stack_.pop_back();
+      uint32_t step = row_step_[r];
+      if (step == kNoStep) continue;
+      for (uint32_t r2 : l_cols_[step].rows) {
+        if (!visited_[r2]) {
+          visited_[r2] = 1;
+          pattern_.push_back(r2);
+          stack_.push_back(r2);
+        }
+      }
+    }
+
+    // L's column t only touches rows that become pivotal later than t, so
+    // ascending step order is a valid elimination order for the reach.
+    steps.clear();
+    for (uint32_t r : pattern_) {
+      if (row_step_[r] != kNoStep) steps.push_back(row_step_[r]);
+    }
+    std::sort(steps.begin(), steps.end());
+
+    SparseColumn& ucol = u_cols_[k];
+    for (uint32_t t : steps) {
+      double z = work_[pivot_row_[t]];
+      if (z == 0.0) continue;
+      ucol.Push(t, z);
+      const SparseColumn& lcol = l_cols_[t];
+      for (size_t i = 0; i < lcol.nnz(); ++i) {
+        work_[lcol.rows[i]] -= z * lcol.vals[i];
+      }
+    }
+
+    // Threshold pivoting over the not-yet-pivotal rows of the pattern:
+    // among rows within kPivotThreshold of the column maximum, prefer the
+    // lowest static degree (then the lowest row index, for determinism).
+    double amax = 0.0;
+    for (uint32_t r : pattern_) {
+      if (row_step_[r] != kNoStep) continue;
+      amax = std::max(amax, std::fabs(work_[r]));
+    }
+    uint32_t pivot = kNoStep;
+    uint32_t best_degree = 0xffffffffu;
+    if (amax > pivot_tol) {
+      double accept = amax * kPivotThreshold;
+      for (uint32_t r : pattern_) {
+        if (row_step_[r] != kNoStep) continue;
+        if (std::fabs(work_[r]) < accept) continue;
+        if (pivot == kNoStep || row_degree_[r] < best_degree ||
+            (row_degree_[r] == best_degree && r < pivot)) {
+          pivot = r;
+          best_degree = row_degree_[r];
+        }
+      }
+    }
+    if (pivot == kNoStep) {
+      // Singular (structurally or numerically); reset scratch and bail.
+      for (uint32_t r : pattern_) {
+        work_[r] = 0.0;
+        visited_[r] = 0;
+      }
+      return false;
+    }
+    u_diag_[k] = work_[pivot];
+    pivot_row_[k] = pivot;
+    row_step_[pivot] = static_cast<uint32_t>(k);
+
+    SparseColumn& lcol = l_cols_[k];
+    double inv = 1.0 / u_diag_[k];
+    for (uint32_t r : pattern_) {
+      if (row_step_[r] == kNoStep && work_[r] != 0.0) {
+        lcol.Push(r, work_[r] * inv);
+      }
+      work_[r] = 0.0;
+      visited_[r] = 0;
+    }
+  }
+  factor_nnz_ = m_;  // diagonals
+  for (const auto& c : l_cols_) factor_nnz_ += c.nnz();
+  for (const auto& c : u_cols_) factor_nnz_ += c.nnz();
+  return true;
+}
+
+void SparseLu::SolveForward(const std::vector<double>& b,
+                            std::vector<double>* x) const {
+  AT_CHECK(b.size() == m_ && x != &b);
+  // L z = P b, forward in step order; the row-space residual lives in a
+  // scratch copy of b.
+  std::vector<double>& scratch = work_;
+  scratch.assign(b.begin(), b.end());
+  std::vector<double>& z = step_work_;
+  z.assign(m_, 0.0);
+  for (size_t k = 0; k < m_; ++k) {
+    double zk = scratch[pivot_row_[k]];
+    z[k] = zk;
+    if (zk == 0.0) continue;
+    const SparseColumn& lcol = l_cols_[k];
+    for (size_t i = 0; i < lcol.nnz(); ++i) {
+      scratch[lcol.rows[i]] -= zk * lcol.vals[i];
+    }
+  }
+  // U x = z, backward; in place over z (still in elimination-step space).
+  for (size_t k = m_; k-- > 0;) {
+    double xk = z[k] / u_diag_[k];
+    z[k] = xk;
+    if (xk == 0.0) continue;
+    const SparseColumn& ucol = u_cols_[k];
+    for (size_t i = 0; i < ucol.nnz(); ++i) {
+      z[ucol.rows[i]] -= xk * ucol.vals[i];
+    }
+  }
+  // Undo the fill-reducing column permutation: step k solved for the
+  // variable multiplying original column col_of_step_[k].
+  x->assign(m_, 0.0);
+  for (size_t k = 0; k < m_; ++k) (*x)[col_of_step_[k]] = z[k];
+}
+
+void SparseLu::SolveTranspose(const std::vector<double>& c,
+                              std::vector<double>* y) const {
+  AT_CHECK(c.size() == m_ && y != &c);
+  // Permute the position-space cost into elimination-step space, then
+  // solve U' w = c forward in step order.
+  std::vector<double>& w = work_;
+  w.assign(m_, 0.0);
+  for (size_t k = 0; k < m_; ++k) w[k] = c[col_of_step_[k]];
+  for (size_t k = 0; k < m_; ++k) {
+    const SparseColumn& ucol = u_cols_[k];
+    double s = w[k];
+    for (size_t i = 0; i < ucol.nnz(); ++i) {
+      s -= ucol.vals[i] * w[ucol.rows[i]];
+    }
+    w[k] = s / u_diag_[k];
+  }
+  // L' v = w, backward; v overwrites w. L column k's entries sit at matrix
+  // rows pivotal at steps > k, so the backward sweep sees final values.
+  for (size_t k = m_; k-- > 0;) {
+    const SparseColumn& lcol = l_cols_[k];
+    double s = w[k];
+    for (size_t i = 0; i < lcol.nnz(); ++i) {
+      s -= lcol.vals[i] * w[row_step_[lcol.rows[i]]];
+    }
+    w[k] = s;
+  }
+  y->assign(m_, 0.0);
+  for (size_t k = 0; k < m_; ++k) (*y)[pivot_row_[k]] = w[k];
+}
+
+}  // namespace autotest::lp

@@ -1,0 +1,88 @@
+#ifndef AUTOTEST_LP_SPARSE_LU_H_
+#define AUTOTEST_LP_SPARSE_LU_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace autotest::lp {
+
+/// One sparse column: parallel (row, value) arrays.
+struct SparseColumn {
+  std::vector<uint32_t> rows;
+  std::vector<double> vals;
+
+  void Clear() {
+    rows.clear();
+    vals.clear();
+  }
+  void Push(uint32_t row, double val) {
+    rows.push_back(row);
+    vals.push_back(val);
+  }
+  size_t nnz() const { return rows.size(); }
+};
+
+/// Sparse LU factorization of a square basis matrix B given by columns,
+/// using the Gilbert-Peierls left-looking algorithm: each column is
+/// eliminated with a sparse triangular solve whose nonzero pattern is
+/// discovered by depth-first search over the partially built L, followed
+/// by partial pivoting over the not-yet-pivotal rows.
+///
+/// Columns are processed in position order, so elimination step k
+/// corresponds to basis position k; `pivot_row(k)` is the matrix row
+/// chosen as the k-th pivot. The factorization satisfies (conceptually)
+/// P B = L U with L unit-lower-triangular and U upper-triangular in the
+/// (step, position) ordering.
+class SparseLu {
+ public:
+  /// Factorizes the m x m matrix whose k-th column is `cols[k]`.
+  /// Returns false if the matrix is numerically singular (a pivot below
+  /// `pivot_tol` in absolute value); the factorization is then unusable.
+  bool Factorize(const std::vector<const SparseColumn*>& cols,
+                 double pivot_tol = 1e-11);
+
+  /// Solves B x = b. `b` is a dense row-space vector of size m and is
+  /// left unmodified; `x` is dense in position space (x[k] multiplies
+  /// basis column k). Aliasing x with b is not allowed.
+  void SolveForward(const std::vector<double>& b, std::vector<double>* x) const;
+
+  /// Solves B' y = c. `c` is dense in position space; `y` is dense in
+  /// row space. Aliasing is not allowed.
+  void SolveTranspose(const std::vector<double>& c,
+                      std::vector<double>* y) const;
+
+  size_t dim() const { return m_; }
+  uint32_t pivot_row(size_t k) const { return pivot_row_[k]; }
+  /// Total stored nonzeros in L and U (a growth diagnostic).
+  size_t factor_nnz() const { return factor_nnz_; }
+
+ private:
+  size_t m_ = 0;
+  size_t factor_nnz_ = 0;
+  // L columns: multipliers at non-yet-pivotal matrix rows (unit diagonal
+  // implicit). Row indices are matrix rows; each becomes pivotal at a
+  // later step, recorded in row_step_.
+  std::vector<SparseColumn> l_cols_;
+  // U columns: entries (earlier step t, value) plus the diagonal.
+  std::vector<SparseColumn> u_cols_;
+  std::vector<double> u_diag_;
+  std::vector<uint32_t> pivot_row_;  // step -> matrix row
+  std::vector<uint32_t> row_step_;   // matrix row -> step
+  // Fill-reducing column permutation: elimination step -> basis position.
+  std::vector<uint32_t> col_of_step_;
+  std::vector<uint32_t> row_degree_;
+  // Scratch reused across Factorize and the (logically const) solves.
+  mutable std::vector<double> work_;
+  mutable std::vector<double> step_work_;
+  std::vector<uint32_t> order_;
+  std::vector<uint32_t> steps_;
+  std::vector<uint32_t> stack_;
+  std::vector<uint32_t> stack_pos_;
+  std::vector<uint32_t> pattern_;
+  std::vector<uint8_t> visited_;
+};
+
+}  // namespace autotest::lp
+
+#endif  // AUTOTEST_LP_SPARSE_LU_H_

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "lp/incremental.h"
 #include "lp/simplex.h"
 #include "util/rng.h"
 
@@ -206,6 +207,98 @@ TEST(SimplexTest, LargerRandomFeasibility) {
 TEST(SimplexTest, StatusNames) {
   EXPECT_STREQ(SolveStatusName(SolveStatus::kOptimal), "optimal");
   EXPECT_STREQ(SolveStatusName(SolveStatus::kInfeasible), "infeasible");
+}
+
+TEST(SimplexTest, EmptyLpIsOptimalNotIterationLimit) {
+  // Regression: the Solution struct defaults status to kIterationLimit;
+  // the early-exit for a 0-var/0-constraint program must overwrite it.
+  LinearProgram lp;
+  Solution s = SolveLp(lp);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.objective, 0.0);
+  EXPECT_TRUE(s.values.empty());
+  Solution d = SolveLpDense(lp);
+  EXPECT_EQ(d.status, SolveStatus::kOptimal);
+  EXPECT_EQ(d.objective, 0.0);
+}
+
+TEST(SimplexTest, NoConstraintsBoundedVarsIsOptimal) {
+  // No rows at all: the answer is the bound-respecting greedy assignment.
+  LinearProgram lp;
+  lp.AddVariable(2.0, 1.5);                       // at upper
+  lp.AddVariable(-1.0, 4.0);                      // at lower
+  lp.AddVariable(0.0, LinearProgram::kInfinity);  // free to stay at 0
+  Solution s = SolveLp(lp);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+  EXPECT_NEAR(s.values[0], 1.5, 1e-9);
+  EXPECT_NEAR(s.values[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, DenseSolverStillAvailableAsReference) {
+  // SolveLpDense is the retained tableau implementation; spot-check that
+  // it matches the revised simplex on a small mixed program.
+  LinearProgram lp;
+  size_t x = lp.AddVariable(3.0, LinearProgram::kInfinity);
+  size_t y = lp.AddVariable(2.0, 5.0);
+  Constraint c1;
+  c1.type = ConstraintType::kLessEq;
+  c1.rhs = 10.0;
+  c1.terms = {{x, 1.0}, {y, 2.0}};
+  lp.AddConstraint(std::move(c1));
+  Constraint c2;
+  c2.type = ConstraintType::kGreaterEq;
+  c2.rhs = 1.0;
+  c2.terms = {{x, 1.0}};
+  lp.AddConstraint(std::move(c2));
+  Solution sparse = SolveLp(lp);
+  Solution dense = SolveLpDense(lp);
+  ASSERT_EQ(sparse.status, SolveStatus::kOptimal);
+  ASSERT_EQ(dense.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sparse.objective, dense.objective, 1e-9);
+}
+
+TEST(IncrementalSolverTest, WarmSolveAfterColumnAddition) {
+  // Rows fixed up front; columns stream in. The second Solve must reuse
+  // the optimal basis (warm) and still match a cold solve of the mirror.
+  LinearProgram base;
+  Constraint budget;
+  budget.type = ConstraintType::kLessEq;
+  budget.rhs = 2.0;
+  base.AddConstraint(std::move(budget));
+  IncrementalSolver inc(base);
+  inc.AddVariable(1.0, 1.0, {{0, 1.0}});
+  inc.AddVariable(2.0, 1.0, {{0, 1.0}});
+  const Solution& first = inc.Solve();
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(inc.last_solve_was_warm());
+  EXPECT_NEAR(first.objective, 3.0, 1e-9);
+
+  inc.AddVariable(5.0, 1.0, {{0, 1.0}});  // better column arrives
+  const Solution& second = inc.Solve();
+  ASSERT_EQ(second.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(inc.last_solve_was_warm());
+  EXPECT_NEAR(second.objective, 7.0, 1e-9);
+  Solution cold = SolveLp(inc.program());
+  EXPECT_NEAR(cold.objective, second.objective, 1e-9);
+}
+
+TEST(IncrementalSolverTest, EmptyBaseThenColumns) {
+  // Zero initial columns is the selection layer's startup shape.
+  LinearProgram base;
+  Constraint row;
+  row.type = ConstraintType::kLessEq;
+  row.rhs = 1.0;
+  base.AddConstraint(std::move(row));
+  IncrementalSolver inc(base);
+  const Solution& empty = inc.Solve();
+  EXPECT_EQ(empty.status, SolveStatus::kOptimal);
+  EXPECT_EQ(empty.objective, 0.0);
+  inc.AddVariable(4.0, LinearProgram::kInfinity, {{0, 2.0}});
+  const Solution& s = inc.Solve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  EXPECT_NEAR(s.values[0], 0.5, 1e-9);
 }
 
 }  // namespace
