@@ -51,14 +51,21 @@ SdcPredictor::SdcPredictor(std::vector<Sdc> rules) {
 
 std::vector<CellDetection> SdcPredictor::Predict(
     const table::Column& column) const {
+  return PredictInternal(column, nullptr).detections;
+}
+
+BudgetedPrediction SdcPredictor::PredictInternal(
+    const table::Column& column, const PredictBudget* budget) const {
   static metrics::Counter& columns_checked =
       metrics::Registry::Global().GetCounter(
           metrics::kMPredictorColumnsChecked);
   static metrics::Counter& detections = metrics::Registry::Global()
       .GetCounter(metrics::kMPredictorDetections);
   columns_checked.Increment();
-  std::vector<CellDetection> out;
-  if (column.values.empty()) return out;
+  BudgetedPrediction result;
+  result.groups_total = groups_.size();
+  std::vector<CellDetection>& out = result.detections;
+  if (column.values.empty()) return result;
   table::DistinctValues distinct = table::Distinct(column);
 
   // Best detection per distinct value index.
@@ -67,6 +74,14 @@ std::vector<CellDetection> SdcPredictor::Predict(
   std::vector<bool> flagged(distinct.values.size(), false);
 
   for (const Group& group : groups_) {
+    // The deadline gate: one rule group (one evaluation function over all
+    // distinct values) is the unit of work a budget can cut between.
+    if (budget != nullptr && budget->clock != nullptr &&
+        budget->clock->NowMicros() >= budget->deadline_micros) {
+      result.expired = true;
+      break;
+    }
+    ++result.groups_evaluated;
     // One distance computation per distinct value per evaluation function.
     std::vector<double> dist(distinct.values.size());
     for (size_t i = 0; i < distinct.values.size(); ++i) {
@@ -121,7 +136,7 @@ std::vector<CellDetection> SdcPredictor::Predict(
     out.push_back(std::move(d));
   }
   detections.Increment(out.size());
-  return out;
+  return result;
 }
 
 util::Result<std::vector<CellDetection>> SdcPredictor::TryPredict(
@@ -132,6 +147,16 @@ util::Result<std::vector<CellDetection>> SdcPredictor::TryPredict(
         .WithContext("predicting column '" + column.name + "'");
   }
   return Predict(column);
+}
+
+util::Result<BudgetedPrediction> SdcPredictor::TryPredict(
+    const table::Column& column, const PredictBudget& budget) const {
+  if (auto injected = util::FailpointFiresCode(
+          util::kFpPredictorColumn, util::StatusCode::kResourceExhausted)) {
+    return util::InjectedFault(*injected, util::kFpPredictorColumn)
+        .WithContext("predicting column '" + column.name + "'");
+  }
+  return PredictInternal(column, &budget);
 }
 
 }  // namespace autotest::core

@@ -6,6 +6,7 @@
 
 #include "core/sdc.h"
 #include "table/column.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace autotest::core {
@@ -21,6 +22,26 @@ struct CellDetection {
   size_t rule_index = 0;
   /// Human-readable explanation, e.g. the rule's Table-1-style rendering.
   std::string explanation;
+};
+
+/// Time budget for a deadline-aware prediction (the serving tier's
+/// per-request deadline, DESIGN.md §4h). The deadline is an absolute
+/// reading of `clock` (so queue time can count against it); a null clock
+/// means "no deadline".
+struct PredictBudget {
+  util::Clock* clock = nullptr;
+  int64_t deadline_micros = 0;
+};
+
+/// Outcome of a budgeted prediction. Expiry is a *partial result*, not an
+/// error: detections found before the deadline are returned with
+/// `expired` set, and the group counts record how much of the rule set
+/// was actually consulted (degraded-provenance reporting).
+struct BudgetedPrediction {
+  std::vector<CellDetection> detections;
+  bool expired = false;
+  size_t groups_evaluated = 0;
+  size_t groups_total = 0;
 };
 
 /// Online prediction (paper Figure 5, right side; Appendix B.2).
@@ -51,6 +72,14 @@ class SdcPredictor {
   [[nodiscard]] util::Result<std::vector<CellDetection>> TryPredict(
       const table::Column& column) const;
 
+  /// Deadline-aware variant for the serving tier: the budget is checked
+  /// before each rule group (the natural phase boundary — one group = one
+  /// evaluation function over all distinct values), so expiry yields the
+  /// detections found so far instead of stalling. Fails only under
+  /// injected faults, exactly like TryPredict above.
+  [[nodiscard]] util::Result<BudgetedPrediction> TryPredict(
+      const table::Column& column, const PredictBudget& budget) const;
+
   size_t num_rules() const { return rules_.size(); }
   /// Rules rejected at construction (unresolved or invalid).
   size_t skipped_rules() const { return skipped_rules_; }
@@ -61,6 +90,11 @@ class SdcPredictor {
     const typedet::DomainEvalFunction* eval;
     std::vector<size_t> rule_ids;
   };
+
+  /// Shared implementation: evaluates rule groups until done or (when
+  /// `budget` is non-null) the deadline passes.
+  BudgetedPrediction PredictInternal(const table::Column& column,
+                                     const PredictBudget* budget) const;
 
   std::vector<Sdc> rules_;
   std::vector<Group> groups_;

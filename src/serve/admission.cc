@@ -1,0 +1,56 @@
+#include "serve/admission.h"
+
+namespace autotest::serve {
+
+bool AdmissionQueue::TryPush(AdmittedJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || jobs_.size() >= depth_) return false;
+    jobs_.push(job);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<AdmittedJob> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !jobs_.empty() || shutdown_; });
+  if (jobs_.empty()) return std::nullopt;
+  AdmittedJob job = jobs_.front();
+  jobs_.pop();
+  return job;
+}
+
+void AdmissionQueue::CloseAdmissions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+}
+
+std::vector<AdmittedJob> AdmissionQueue::DrainRemaining() {
+  std::vector<AdmittedJob> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    while (!jobs_.empty()) {
+      out.push_back(jobs_.front());
+      jobs_.pop();
+    }
+  }
+  return out;
+}
+
+void AdmissionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+}  // namespace autotest::serve

@@ -1,0 +1,65 @@
+#ifndef AUTOTEST_SERVE_ADMISSION_H_
+#define AUTOTEST_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+// Bounded admission queue between the acceptor and the worker pool
+// (DESIGN.md §4h). Admission control is the whole point: TryPush never
+// blocks and never grows past `depth` — when the queue is full the caller
+// sheds the request with a structured RESOURCE_EXHAUSTED response instead
+// of queueing unboundedly. Pop blocks workers until a job arrives or the
+// queue is closed and empty.
+
+namespace autotest::serve {
+
+/// One admitted connection, waiting for a worker.
+struct AdmittedJob {
+  int fd = -1;
+  /// Clock reading at admission; the request's deadline anchors here so
+  /// queue time counts against the budget.
+  int64_t admitted_micros = 0;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t depth) : depth_(depth) {}
+
+  /// Admits `job` unless the queue is at depth or admissions are closed.
+  /// Returns false without blocking in either case — the caller sheds.
+  bool TryPush(AdmittedJob job);
+
+  /// Blocks until a job is available or the queue is closed and drained;
+  /// nullopt means "no more work ever" (worker exits).
+  std::optional<AdmittedJob> Pop();
+
+  /// Stops admissions (TryPush starts failing) but lets queued jobs be
+  /// popped — the graceful half of drain.
+  void CloseAdmissions();
+
+  /// Removes and returns every still-queued job (drain deadline passed;
+  /// the caller sheds them). Also closes admissions.
+  std::vector<AdmittedJob> DrainRemaining();
+
+  /// Wakes all Pop waiters permanently; combined with CloseAdmissions,
+  /// workers exit once the queue is empty.
+  void Shutdown();
+
+  size_t size() const;
+
+ private:
+  const size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<AdmittedJob> jobs_;
+  bool closed_ = false;    // no new admissions
+  bool shutdown_ = false;  // Pop returns nullopt once empty
+};
+
+}  // namespace autotest::serve
+
+#endif  // AUTOTEST_SERVE_ADMISSION_H_

@@ -1,0 +1,236 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "serve/wire.h"
+#include "util/failpoint.h"
+#include "util/metrics.h"
+
+namespace autotest::serve {
+
+namespace {
+
+using util::Status;
+using util::StatusCode;
+
+// The acceptor wakes at least this often to notice RequestStop().
+constexpr int kAcceptPollMillis = 50;
+
+}  // namespace
+
+Server::Server(SnapshotStore* snapshots, ServeOptions options)
+    : snapshots_(snapshots),
+      options_(std::move(options)),
+      queue_(options_.queue_depth) {}
+
+Server::~Server() {
+  if (started_ && !stopped_) (void)StopAndDrain();
+}
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::IoError(std::string("socket() failed (") +
+                         std::strerror(errno) + ")");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status st = util::IoError("cannot bind 127.0.0.1:" +
+                              std::to_string(options_.port) + " (" +
+                              std::strerror(errno) + ")");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  // Backlog beyond queue_depth so shed connections still get their
+  // structured response instead of a kernel-level RST.
+  if (::listen(listen_fd_,
+               static_cast<int>(options_.queue_depth +
+                                options_.max_inflight + 64)) != 0) {
+    Status st = util::IoError(std::string("listen() failed (") +
+                              std::strerror(errno) + ")");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  const size_t workers = options_.max_inflight < 1 ? 1
+                                                   : options_.max_inflight;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void Server::AcceptLoop() {
+  static metrics::Counter& connections =
+      metrics::Registry::Global().GetCounter(metrics::kMServeConnections);
+  static metrics::Counter& accept_errors =
+      metrics::Registry::Global().GetCounter(metrics::kMServeAcceptErrors);
+  static metrics::Counter& requests_shed =
+      metrics::Registry::Global().GetCounter(metrics::kMServeRequestsShed);
+
+  util::Clock& clock = EffectiveClock(options_);
+  while (!stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, kAcceptPollMillis);
+    if (stop_requested()) break;
+    if (pr <= 0) continue;  // timeout or EINTR: re-check stop flag
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (auto injected = util::FailpointFiresCode(util::kFpServeAccept,
+                                                 StatusCode::kIoError)) {
+      // An injected accept fault drops the connection but must never
+      // take the acceptor down (the soak asserts the daemon survives).
+      accept_errors.Increment();
+      if (fd >= 0) ::close(fd);
+      continue;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      accept_errors.Increment();
+      continue;
+    }
+    connections.Increment();
+    AdmittedJob job;
+    job.fd = fd;
+    job.admitted_micros = clock.NowMicros();
+    if (queue_.TryPush(job)) {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      ++pending_;
+      continue;
+    }
+    // Saturated: every worker busy and the queue at depth. Shedding is
+    // the acceptor's job so the answer is immediate and deterministic.
+    requests_shed.Increment();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Status st = TryWriteFrame(
+        fd, SerializeResponse(ShedResponse("shed")));
+    if (!st.ok()) {
+      // Peer vanished before reading its shed notice; nothing to do.
+    }
+    ::close(fd);
+  }
+}
+
+void Server::WorkerLoop() {
+  while (auto job = queue_.Pop()) {
+    HandleConnection(*job);
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      --pending_;
+      ++completed_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void Server::HandleConnection(const AdmittedJob& job) {
+  static metrics::Counter& read_errors =
+      metrics::Registry::Global().GetCounter(metrics::kMServeReadErrors);
+
+  if (options_.phase_hook) options_.phase_hook("read");
+  auto payload = [&]() -> util::Result<std::string> {
+    if (auto injected = util::FailpointFiresCode(util::kFpServeRead,
+                                                 StatusCode::kIoError)) {
+      return util::InjectedFault(*injected, util::kFpServeRead)
+          .WithContext("reading request frame");
+    }
+    return TryReadFrame(job.fd, options_.max_frame_bytes);
+  }();
+
+  Response response;
+  if (!payload.ok()) {
+    read_errors.Increment();
+    response = ErrorResponse(payload.status());
+  } else {
+    response = HandlePayload(*payload, *snapshots_, options_,
+                             job.admitted_micros);
+  }
+  Status st = TryWriteFrame(job.fd, SerializeResponse(response));
+  if (!st.ok()) {
+    // The client hung up before its response; the request itself was
+    // already counted by HandlePayload.
+  }
+  ::close(job.fd);
+}
+
+DrainReport Server::StopAndDrain() {
+  static metrics::Counter& drain_shed_counter =
+      metrics::Registry::Global().GetCounter(metrics::kMServeDrainShed);
+
+  DrainReport report;
+  if (!started_ || stopped_) return report;
+  stopped_ = true;
+
+  RequestStop();
+  acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  queue_.CloseAdmissions();
+
+  // Wait (in real time, measured on the injectable clock) for admitted
+  // work to finish. drain_timeout 0 sheds the queue immediately.
+  util::Clock& clock = EffectiveClock(options_);
+  const int64_t deadline =
+      clock.NowMicros() + options_.drain_timeout_micros;
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    while (pending_ > 0 && clock.NowMicros() < deadline) {
+      drain_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+
+  // Whatever is still queued missed the drain budget: shed it with a
+  // structured "draining" response. In-flight requests (already popped)
+  // are always awaited — they are deadline-bounded by construction.
+  std::vector<AdmittedJob> leftovers = queue_.DrainRemaining();
+  for (const AdmittedJob& job : leftovers) {
+    drain_shed_counter.Increment();
+    ++report.drain_shed;
+    Status st = TryWriteFrame(
+        job.fd, SerializeResponse(ShedResponse("draining")));
+    if (!st.ok()) {
+      // Peer gone; the shed is still counted.
+    }
+    ::close(job.fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    pending_ -= leftovers.size();
+  }
+
+  queue_.Shutdown();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    report.completed = completed_;
+  }
+  report.shed = shed_.load(std::memory_order_relaxed);
+  report.drained_clean = report.drain_shed == 0;
+  return report;
+}
+
+}  // namespace autotest::serve

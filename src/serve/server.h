@@ -1,0 +1,99 @@
+#ifndef AUTOTEST_SERVE_SERVER_H_
+#define AUTOTEST_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/session.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+// The TCP serving tier (DESIGN.md §4h): one acceptor thread feeding a
+// bounded AdmissionQueue, `max_inflight` worker threads draining it, one
+// length-prefixed request/response frame per connection.
+//
+// Overload behavior is deterministic by construction: with every worker
+// busy and the queue at depth, the acceptor itself writes the structured
+// RESOURCE_EXHAUSTED shed response and closes — a saturated server answers
+// "no" immediately instead of timing out slowly.
+//
+// Shutdown (SIGTERM -> RequestStop -> StopAndDrain): admissions stop,
+// queued and in-flight requests get `drain_timeout` to finish, whatever is
+// still queued after that is shed with reason=draining, workers join.
+
+namespace autotest::serve {
+
+/// What StopAndDrain observed, for the final log line and tests.
+struct DrainReport {
+  /// Requests fully handled over the server's lifetime.
+  uint64_t completed = 0;
+  /// Admission-time sheds over the server's lifetime.
+  uint64_t shed = 0;
+  /// Still-queued requests shed at the drain deadline.
+  uint64_t drain_shed = 0;
+  /// True when everything admitted was served within the drain budget.
+  bool drained_clean = false;
+};
+
+class Server {
+ public:
+  /// `snapshots` must outlive the server and hold a loaded snapshot
+  /// before Start().
+  Server(SnapshotStore* snapshots, ServeOptions options);
+  ~Server();
+
+  /// Binds 127.0.0.1:<port>, spawns the acceptor and workers. kIoError
+  /// when the port cannot be bound.
+  [[nodiscard]] util::Status Start();
+
+  /// The bound port (resolves port 0 to the ephemeral choice).
+  uint16_t port() const { return port_; }
+
+  /// Async trigger for StopAndDrain: stops admissions at the next
+  /// acceptor poll tick. Safe to call from a signal handler (one relaxed
+  /// atomic store, no locks).
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Graceful drain; idempotent. Returns lifetime counts.
+  DrainReport StopAndDrain();
+
+  /// Currently queued (admitted, not yet picked up) requests.
+  size_t queue_size() const { return queue_.size(); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(const AdmittedJob& job);
+
+  SnapshotStore* snapshots_;
+  ServeOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  AdmissionQueue queue_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Admitted-but-unfinished requests; drain waits for this to hit zero.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  uint64_t pending_ = 0;    // guarded by drain_mu_
+  uint64_t completed_ = 0;  // guarded by drain_mu_
+  std::atomic<uint64_t> shed_{0};
+};
+
+}  // namespace autotest::serve
+
+#endif  // AUTOTEST_SERVE_SERVER_H_

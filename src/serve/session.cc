@@ -1,0 +1,245 @@
+#include "serve/session.h"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "table/csv.h"
+#include "table/table.h"
+#include "util/metrics.h"
+#include "util/parallel/thread_pool.h"
+
+namespace autotest::serve {
+
+namespace {
+
+using util::Status;
+using util::StatusCode;
+
+metrics::Histogram& RequestSeconds() {
+  static metrics::Histogram& h = metrics::Registry::Global().GetHistogram(
+      metrics::kMServeRequestSeconds,
+      {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+       5.0, 10.0});
+  return h;
+}
+
+void Hook(const ServeOptions& options, std::string_view phase) {
+  if (options.phase_hook) options.phase_hook(phase);
+}
+
+std::string FormatConfidence(double conf) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", conf);
+  return buf;
+}
+
+/// The `check` verb: CSV parse -> per-column prediction on the parallel
+/// pool -> report, each boundary gated on the deadline.
+Response HandleCheck(const Request& request,
+                     const RuleSetSnapshot& snapshot,
+                     const ServeOptions& options, util::Clock& clock,
+                     int64_t deadline_micros) {
+  static metrics::Counter& deadline_expirations =
+      metrics::Registry::Global().GetCounter(
+          metrics::kMServeDeadlineExpirations);
+
+  auto expired = [&] { return clock.NowMicros() >= deadline_micros; };
+
+  Response response;
+  response.AddField("version", std::to_string(snapshot.version()));
+  response.AddField("rules",
+                    std::to_string(snapshot.predictor().num_rules()));
+
+  table::CsvOptions csv_options;
+  csv_options.max_row_bytes = options.max_frame_bytes;
+  auto table = table::TryParseCsv(request.body, csv_options);
+  if (!table.ok()) {
+    return ErrorResponse(Status(table.status())
+                             .WithContext("parsing request table" +
+                                          (request.table.empty()
+                                               ? std::string()
+                                               : " '" + request.table +
+                                                     "'")));
+  }
+
+  // Columns the predictor actually sees: mostly-numeric ones are skipped
+  // up front (same policy as `autotest check`).
+  std::vector<const table::Column*> kept;
+  for (const auto& column : table->columns) {
+    if (!table::IsMostlyNumeric(column)) kept.push_back(&column);
+  }
+
+  Hook(options, "predict");
+  std::string provenance = "full";
+  size_t columns_checked = 0;
+  size_t columns_skipped = 0;
+  size_t detections_total = 0;
+  std::string body;
+  if (expired()) {
+    // Parse consumed the whole budget: report what we know (nothing was
+    // predicted) instead of stalling the pool on a table we cannot
+    // finish.
+    deadline_expirations.Increment();
+    provenance = "partial:parse";
+  } else {
+    core::PredictBudget budget;
+    budget.clock = &clock;
+    budget.deadline_micros = deadline_micros;
+    struct Slot {
+      std::optional<core::BudgetedPrediction> prediction;
+      Status error;  // set when TryPredict failed (injected faults)
+    };
+    std::vector<Slot> slots(kept.size());
+    util::parallel::ParallelFor(kept.size(), [&](size_t i) {
+      auto result = snapshot.predictor().TryPredict(*kept[i], budget);
+      if (result.ok()) {
+        slots[i].prediction = std::move(*result);
+      } else {
+        slots[i].error = result.status();
+      }
+    });
+    bool any_expired = false;
+    for (size_t i = 0; i < kept.size(); ++i) {
+      const Slot& slot = slots[i];
+      if (!slot.prediction.has_value()) {
+        // Column-level degradation (injected per-column faults): skip and
+        // count, exactly like the batch CLI.
+        ++columns_skipped;
+        continue;
+      }
+      if (slot.prediction->expired) {
+        any_expired = true;
+        if (slot.prediction->groups_evaluated == 0) {
+          ++columns_skipped;
+          continue;
+        }
+      }
+      ++columns_checked;
+      for (const auto& d : slot.prediction->detections) {
+        ++detections_total;
+        body += kept[i]->name + "\t" + std::to_string(d.row) + "\t" +
+                d.value + "\t" + FormatConfidence(d.confidence) + "\t" +
+                d.explanation + "\n";
+      }
+    }
+    if (any_expired) {
+      deadline_expirations.Increment();
+      provenance = "partial:predict";
+    }
+  }
+
+  Hook(options, "report");
+  response.AddField("provenance", provenance);
+  response.AddField("columns_checked", std::to_string(columns_checked));
+  response.AddField("columns_skipped", std::to_string(columns_skipped));
+  response.AddField("detections", std::to_string(detections_total));
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+util::Clock& EffectiveClock(const ServeOptions& options) {
+  return options.clock != nullptr ? *options.clock : util::RealClock();
+}
+
+Response ErrorResponse(const Status& status) {
+  Response response;
+  response.code = status.ok() ? StatusCode::kInternal : status.code();
+  response.body = status.ToString() + "\n";
+  return response;
+}
+
+Response ShedResponse(std::string_view reason) {
+  Response response;
+  response.code = StatusCode::kResourceExhausted;
+  response.AddField("reason", std::string(reason));
+  response.body = "server is saturated; retry with backoff\n";
+  return response;
+}
+
+Response HandlePayload(std::string_view payload, SnapshotStore& snapshots,
+                       const ServeOptions& options,
+                       int64_t admitted_micros) {
+  static metrics::Counter& requests =
+      metrics::Registry::Global().GetCounter(metrics::kMServeRequests);
+  static metrics::Counter& requests_ok =
+      metrics::Registry::Global().GetCounter(metrics::kMServeRequestsOk);
+  static metrics::Counter& requests_error =
+      metrics::Registry::Global().GetCounter(metrics::kMServeRequestsError);
+  static metrics::Counter& deadline_expirations =
+      metrics::Registry::Global().GetCounter(
+          metrics::kMServeDeadlineExpirations);
+
+  util::Clock& clock = EffectiveClock(options);
+  const int64_t anchor =
+      admitted_micros >= 0 ? admitted_micros : clock.NowMicros();
+  requests.Increment();
+
+  auto finish = [&](Response response) {
+    if (response.code == StatusCode::kOk) {
+      requests_ok.Increment();
+    } else {
+      requests_error.Increment();
+    }
+    RequestSeconds().Observe(
+        static_cast<double>(clock.NowMicros() - anchor) / 1e6);
+    return response;
+  };
+
+  Hook(options, "parse");
+  auto request = TryParseRequest(payload);
+  if (!request.ok()) return finish(ErrorResponse(request.status()));
+
+  const int64_t budget_micros = request->deadline_ms > 0
+                                    ? request->deadline_ms * 1000
+                                    : options.default_deadline_micros;
+  const int64_t deadline_micros = anchor + budget_micros;
+  if (clock.NowMicros() >= deadline_micros) {
+    // The budget died in the queue: nothing was parsed, so there is no
+    // partial result to report — fail structurally and let the client
+    // retry with a bigger budget or less load.
+    deadline_expirations.Increment();
+    return finish(ErrorResponse(util::DeadlineExceededError(
+        "deadline of " + std::to_string(budget_micros) +
+        "us expired before parse")));
+  }
+
+  std::shared_ptr<const RuleSetSnapshot> snapshot = snapshots.Get();
+  if (snapshot == nullptr) {
+    return finish(ErrorResponse(
+        util::FailedPreconditionError("no rule set loaded yet")));
+  }
+
+  if (request->verb == "ping") {
+    Response response;
+    response.AddField("version", std::to_string(snapshot->version()));
+    response.body = "pong\n";
+    return finish(response);
+  }
+  if (request->verb == "metrics") {
+    Response response;
+    response.AddField("version", std::to_string(snapshot->version()));
+    response.body =
+        metrics::Registry::Global().FormatJson("autotest serve");
+    return finish(response);
+  }
+  if (request->verb == "reload") {
+    Status st = snapshots.TryReload();
+    if (!st.ok()) {
+      Response response = ErrorResponse(st);
+      response.AddField("version", std::to_string(snapshots.version()));
+      return finish(response);
+    }
+    Response response;
+    response.AddField("version", std::to_string(snapshots.version()));
+    response.body = "reloaded\n";
+    return finish(response);
+  }
+  return finish(HandleCheck(*request, *snapshot, options, clock,
+                            deadline_micros));
+}
+
+}  // namespace autotest::serve

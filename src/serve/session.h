@@ -1,0 +1,68 @@
+#ifndef AUTOTEST_SERVE_SESSION_H_
+#define AUTOTEST_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+#include "util/retry.h"
+
+// One request's lifecycle (DESIGN.md §4h): payload -> parse -> predict ->
+// report, with the per-request deadline checked at every phase boundary.
+// The handler is transport-agnostic — the TCP workers and the CLI's
+// `--once` stdin/stdout mode call the same HandlePayload — and every
+// outcome is a structured Response, never an exception or a crash.
+
+namespace autotest::serve {
+
+/// Knobs for the serving tier. One struct feeds both the Server (port,
+/// admission limits, drain budget) and the per-request session (deadline,
+/// frame cap, clock).
+struct ServeOptions {
+  /// TCP port to bind on 127.0.0.1; 0 = ephemeral (Server::port() tells).
+  uint16_t port = 0;
+  /// Worker threads == the concurrency limit. Admitted requests beyond
+  /// this wait in the queue.
+  size_t max_inflight = 4;
+  /// Bounded queue depth between acceptor and workers; a full queue sheds.
+  size_t queue_depth = 16;
+  /// Budget for requests that do not carry their own deadline_ms.
+  int64_t default_deadline_micros = 10'000'000;  // 10 s
+  /// How long SIGTERM waits for queued + in-flight requests to finish
+  /// before shedding the still-queued remainder.
+  int64_t drain_timeout_micros = 5'000'000;  // 5 s
+  /// Reject request frames larger than this before allocating.
+  size_t max_frame_bytes = size_t{16} << 20;  // 16 MiB
+  /// Time source for deadlines and latency; nullptr = util::RealClock().
+  /// Tests inject a VirtualClock so expiry is deterministic.
+  util::Clock* clock = nullptr;
+  /// Test seam: invoked at phase boundaries ("read", "parse", "predict",
+  /// "report") from worker threads. Production leaves it empty.
+  std::function<void(std::string_view)> phase_hook;
+};
+
+/// The options' clock, defaulting to the process-wide real clock.
+util::Clock& EffectiveClock(const ServeOptions& options);
+
+/// Handles one request payload end to end: counts serve.requests and
+/// ok/error outcomes, observes serve.request_seconds, enforces the
+/// deadline at phase boundaries (expiry after parse degrades to a
+/// partial, provenance-stamped report; expiry before parse is a
+/// structured DEADLINE_EXCEEDED). `admitted_micros` anchors the budget
+/// (queue time counts); pass a negative value to anchor at "now".
+Response HandlePayload(std::string_view payload, SnapshotStore& snapshots,
+                       const ServeOptions& options, int64_t admitted_micros);
+
+/// A structured error response carrying `status`'s code and rendering.
+Response ErrorResponse(const util::Status& status);
+
+/// The load-shedding response: RESOURCE_EXHAUSTED with a `reason` field
+/// ("shed" at admission, "draining" at shutdown).
+Response ShedResponse(std::string_view reason);
+
+}  // namespace autotest::serve
+
+#endif  // AUTOTEST_SERVE_SESSION_H_

@@ -1,0 +1,87 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "core/serialization.h"
+#include "util/failpoint.h"
+#include "util/metrics.h"
+
+namespace autotest::serve {
+
+namespace {
+
+using util::Status;
+using util::StatusCode;
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(const typedet::EvalFunctionSet* evals,
+                             std::string rules_path)
+    : evals_(evals), rules_path_(std::move(rules_path)) {}
+
+Status SnapshotStore::TryReload() {
+  static metrics::Counter& reloads =
+      metrics::Registry::Global().GetCounter(metrics::kMServeReloads);
+  static metrics::Counter& reload_failures =
+      metrics::Registry::Global().GetCounter(metrics::kMServeReloadFailures);
+
+  // Reloads serialize with each other (version numbers stay monotonic);
+  // build-and-validate happens entirely outside mu_, so readers only
+  // contend on the final pointer swap.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version = next_version_;
+  }
+
+  auto attempt = [&]() -> util::Result<std::shared_ptr<RuleSetSnapshot>> {
+    if (auto injected = util::FailpointFiresCode(util::kFpServeReload,
+                                                 StatusCode::kIoError)) {
+      return util::InjectedFault(*injected, util::kFpServeReload)
+          .WithContext("reloading rules from " + rules_path_);
+    }
+    size_t unresolved = 0;
+    auto rules = core::TryLoadRulesFromFile(rules_path_, *evals_,
+                                            &unresolved);
+    if (!rules.ok()) {
+      return Status(rules.status())
+          .WithContext("reloading rules from " + rules_path_);
+    }
+    auto snapshot = std::make_shared<RuleSetSnapshot>(
+        version, rules_path_, std::move(*rules), unresolved);
+    if (snapshot->predictor().num_rules() == 0) {
+      return util::FailedPreconditionError(
+                 "rule file has no servable rules (" +
+                 std::to_string(snapshot->predictor().skipped_rules()) +
+                 " invalid, " + std::to_string(unresolved) + " unresolved)")
+          .WithContext("reloading rules from " + rules_path_);
+    }
+    return snapshot;
+  };
+
+  auto candidate = attempt();
+  if (!candidate.ok()) {
+    reload_failures.Increment();
+    return candidate.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(*candidate);
+    next_version_ = version + 1;
+  }
+  reloads.Increment();
+  return Status::Ok();
+}
+
+std::shared_ptr<const RuleSetSnapshot> SnapshotStore::Get() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ ? current_->version() : 0;
+}
+
+}  // namespace autotest::serve

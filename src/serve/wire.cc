@@ -1,0 +1,242 @@
+#include "serve/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace autotest::serve {
+
+namespace {
+
+using util::Result;
+using util::Status;
+using util::StatusCode;
+
+// Splits the first line off `rest`, consuming the newline. Returns false
+// when no newline remains.
+bool NextLine(std::string_view* rest, std::string_view* line) {
+  size_t nl = rest->find('\n');
+  if (nl == std::string_view::npos) return false;
+  *line = rest->substr(0, nl);
+  rest->remove_prefix(nl + 1);
+  return true;
+}
+
+std::string ErrnoDetail() {
+  return std::string(" (") + std::strerror(errno) + ")";
+}
+
+// Full-buffer read/write loops; sockets may return short counts.
+[[nodiscard]] Status ReadExact(int fd, char* buf, size_t n,
+                               std::string_view what) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::read(fd, buf + done, n - done);
+    if (r == 0) {
+      return util::DataLossError("connection closed mid-" +
+                                 std::string(what) + " (" +
+                                 std::to_string(done) + "/" +
+                                 std::to_string(n) + " bytes)");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return util::IoError("read failed mid-" + std::string(what) +
+                           ErrnoDetail());
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+[[nodiscard]] Status WriteExact(int fd, const char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, buf + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return util::IoError("write failed" + ErrnoDetail());
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view Response::Field(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::string out(kWireMagic);
+  out += ' ';
+  out += request.verb;
+  out += '\n';
+  if (request.deadline_ms > 0) {
+    out += "deadline_ms=" + std::to_string(request.deadline_ms) + "\n";
+  }
+  if (!request.table.empty()) out += "table=" + request.table + "\n";
+  out += '\n';
+  out += request.body;
+  return out;
+}
+
+std::string SerializeResponse(const Response& response) {
+  std::string out(kWireMagic);
+  out += ' ';
+  out += util::StatusCodeName(response.code);
+  out += '\n';
+  for (const auto& [k, v] : response.fields) {
+    out += k + "=" + v + "\n";
+  }
+  out += '\n';
+  out += response.body;
+  return out;
+}
+
+Result<Request> TryParseRequest(std::string_view payload) {
+  std::string_view rest = payload;
+  std::string_view line;
+  if (!NextLine(&rest, &line)) {
+    return util::InvalidArgumentError("request has no header line");
+  }
+  size_t space = line.find(' ');
+  if (space == std::string_view::npos ||
+      line.substr(0, space) != kWireMagic) {
+    return util::InvalidArgumentError(
+        "request magic is not '" + std::string(kWireMagic) + "'");
+  }
+  Request request;
+  request.verb = std::string(line.substr(space + 1));
+  if (request.verb != "check" && request.verb != "ping" &&
+      request.verb != "metrics" && request.verb != "reload") {
+    return util::InvalidArgumentError("unknown verb '" + request.verb +
+                                      "' (want check|ping|metrics|reload)");
+  }
+  while (NextLine(&rest, &line)) {
+    if (line.empty()) break;  // blank separator: the rest is the body
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return util::InvalidArgumentError("request field line '" +
+                                        std::string(line) + "' has no '='");
+    }
+    std::string_view key = line.substr(0, eq);
+    std::string value(line.substr(eq + 1));
+    if (key == "deadline_ms") {
+      char* endp = nullptr;
+      long long v = std::strtoll(value.c_str(), &endp, 10);
+      if (value.empty() || endp != value.c_str() + value.size() || v < 0) {
+        return util::InvalidArgumentError(
+            "field 'deadline_ms' wants a non-negative integer, got '" +
+            value + "'");
+      }
+      request.deadline_ms = v;
+    } else if (key == "table") {
+      request.table = std::move(value);
+    } else {
+      return util::InvalidArgumentError("unknown request field '" +
+                                        std::string(key) + "'");
+    }
+  }
+  request.body = std::string(rest);
+  return request;
+}
+
+Result<Response> TryParseResponse(std::string_view payload) {
+  std::string_view rest = payload;
+  std::string_view line;
+  if (!NextLine(&rest, &line)) {
+    return util::InvalidArgumentError("response has no header line");
+  }
+  size_t space = line.find(' ');
+  if (space == std::string_view::npos ||
+      line.substr(0, space) != kWireMagic) {
+    return util::InvalidArgumentError(
+        "response magic is not '" + std::string(kWireMagic) + "'");
+  }
+  auto code = util::StatusCodeFromName(line.substr(space + 1));
+  if (!code.has_value()) {
+    return util::InvalidArgumentError(
+        "unknown response status '" + std::string(line.substr(space + 1)) +
+        "'");
+  }
+  Response response;
+  response.code = *code;
+  while (NextLine(&rest, &line)) {
+    if (line.empty()) break;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return util::InvalidArgumentError("response field line '" +
+                                        std::string(line) + "' has no '='");
+    }
+    response.AddField(std::string(line.substr(0, eq)),
+                      std::string(line.substr(eq + 1)));
+  }
+  response.body = std::string(rest);
+  return response;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out.append(payload);
+  return out;
+}
+
+Result<std::string> TryReadFrame(int fd, size_t max_bytes) {
+  unsigned char hdr[4];
+  AT_RETURN_IF_ERROR(
+      ReadExact(fd, reinterpret_cast<char*>(hdr), 4, "frame header"));
+  uint32_t n = (static_cast<uint32_t>(hdr[0]) << 24) |
+               (static_cast<uint32_t>(hdr[1]) << 16) |
+               (static_cast<uint32_t>(hdr[2]) << 8) |
+               static_cast<uint32_t>(hdr[3]);
+  if (n > max_bytes) {
+    return util::ResourceExhaustedError(
+        "frame of " + std::to_string(n) + " bytes exceeds the " +
+        std::to_string(max_bytes) + "-byte cap");
+  }
+  std::string payload(n, '\0');
+  AT_RETURN_IF_ERROR(ReadExact(fd, payload.data(), n, "frame payload"));
+  return payload;
+}
+
+Status TryWriteFrame(int fd, std::string_view payload) {
+  std::string frame = EncodeFrame(payload);
+  return WriteExact(fd, frame.data(), frame.size());
+}
+
+Result<int> TryConnect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    return util::InvalidArgumentError("cannot parse host '" + host +
+                                      "' as an IPv4 address");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::IoError("socket() failed" + ErrnoDetail());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = util::IoError("cannot connect to " + host + ":" +
+                              std::to_string(port) + ErrnoDetail());
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+}  // namespace autotest::serve

@@ -1,0 +1,91 @@
+#ifndef AUTOTEST_SERVE_WIRE_H_
+#define AUTOTEST_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+// Wire format for the serving tier (DESIGN.md §4h).
+//
+// Transport: one length-prefixed frame per direction per connection. A
+// frame is a 4-byte big-endian payload length followed by that many bytes;
+// frames larger than the server's --max-frame-bytes cap are rejected with
+// kResourceExhausted before any allocation proportional to the claimed
+// length. The `--once` CLI mode exchanges the same payloads unframed over
+// stdin/stdout so tests can drive the handler without sockets.
+//
+// Payloads are line-oriented text (same spirit as the rules/recipe files):
+//
+//   request  = "autotest.serve.v1 <verb>\n" { key "=" value "\n" } "\n" body
+//   response = "autotest.serve.v1 <CODE>\n" { key "=" value "\n" } "\n" body
+//
+// Verbs: check (body = CSV table), ping, metrics (body of the response is
+// the §4f registry JSON), reload. <CODE> is the stable StatusCodeName of
+// the outcome, so a shed response reads `autotest.serve.v1
+// RESOURCE_EXHAUSTED` and scripts can branch without parsing prose.
+// Unknown keys are kInvalidArgument — a typoed deadline must not silently
+// serve with the default.
+
+namespace autotest::serve {
+
+inline constexpr std::string_view kWireMagic = "autotest.serve.v1";
+
+/// One parsed request frame.
+struct Request {
+  std::string verb;       // check | ping | metrics | reload
+  int64_t deadline_ms = 0;  // 0 = server default
+  std::string table;      // optional display name for the report
+  std::string body;       // CSV payload for `check`
+};
+
+/// One response frame. `fields` preserve insertion order so serialized
+/// responses are byte-stable.
+struct Response {
+  util::StatusCode code = util::StatusCode::kOk;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string body;
+
+  void AddField(std::string key, std::string value) {
+    fields.emplace_back(std::move(key), std::move(value));
+  }
+  /// First value for `key`; empty string if absent.
+  std::string_view Field(std::string_view key) const;
+};
+
+std::string SerializeRequest(const Request& request);
+std::string SerializeResponse(const Response& response);
+
+/// Parses a request payload. kInvalidArgument for a bad magic/verb line,
+/// unknown keys or a non-numeric/negative deadline.
+[[nodiscard]] util::Result<Request> TryParseRequest(std::string_view payload);
+
+/// Parses a response payload (client side). kInvalidArgument for a bad
+/// magic line or an unknown status-code name.
+[[nodiscard]] util::Result<Response> TryParseResponse(
+    std::string_view payload);
+
+/// Frames `payload` with its 4-byte big-endian length.
+std::string EncodeFrame(std::string_view payload);
+
+/// Reads exactly one frame from `fd`. kResourceExhausted when the claimed
+/// length exceeds `max_bytes`; kDataLoss on a truncated frame (peer closed
+/// mid-payload); kIoError on read failures.
+[[nodiscard]] util::Result<std::string> TryReadFrame(int fd,
+                                                     size_t max_bytes);
+
+/// Writes one frame to `fd`; kIoError on short writes or socket errors.
+[[nodiscard]] util::Status TryWriteFrame(int fd, std::string_view payload);
+
+/// Connects to host:port (IPv4 dotted or "localhost"); returns the
+/// connected socket fd. kIoError with errno detail when the connection is
+/// refused or times out.
+[[nodiscard]] util::Result<int> TryConnect(const std::string& host,
+                                           uint16_t port);
+
+}  // namespace autotest::serve
+
+#endif  // AUTOTEST_SERVE_WIRE_H_

@@ -58,6 +58,9 @@ inline constexpr std::string_view kFpTrainerEval = "trainer.eval";
 inline constexpr std::string_view kFpPredictorColumn = "predictor.column";
 inline constexpr std::string_view kFpShardRead = "shard.read";
 inline constexpr std::string_view kFpShardRetry = "shard.retry";
+inline constexpr std::string_view kFpServeAccept = "serve.accept";
+inline constexpr std::string_view kFpServeRead = "serve.read";
+inline constexpr std::string_view kFpServeReload = "serve.reload";
 
 /// Every failpoint compiled into the binary. Keep in sync with the
 /// constants above; tests/robustness_test.cc walks this list.
@@ -65,7 +68,8 @@ inline constexpr std::string_view kAllFailpoints[] = {
     kFpCsvOpen,    kFpCsvParse,  kFpRulesOpen,
     kFpRulesParse, kFpRulesSave, kFpRecipeLoad,
     kFpRecipeSave, kFpTrainerEval, kFpPredictorColumn,
-    kFpShardRead,  kFpShardRetry,
+    kFpShardRead,  kFpShardRetry, kFpServeAccept,
+    kFpServeRead,  kFpServeReload,
 };
 
 /// Process-wide registry. Thread-safe; the disarmed fast path is a single

@@ -100,6 +100,24 @@ inline constexpr std::string_view kMDatagenShardsGenerated =
     "datagen.shards_generated";
 inline constexpr std::string_view kMDatagenColumnsGenerated =
     "datagen.columns_generated";
+inline constexpr std::string_view kMServeConnections = "serve.connections";
+inline constexpr std::string_view kMServeRequests = "serve.requests";
+inline constexpr std::string_view kMServeRequestsOk = "serve.requests_ok";
+inline constexpr std::string_view kMServeRequestsError =
+    "serve.requests_error";
+inline constexpr std::string_view kMServeRequestsShed =
+    "serve.requests_shed";
+inline constexpr std::string_view kMServeDrainShed = "serve.drain_shed";
+inline constexpr std::string_view kMServeDeadlineExpirations =
+    "serve.deadline_expirations";
+inline constexpr std::string_view kMServeAcceptErrors =
+    "serve.accept_errors";
+inline constexpr std::string_view kMServeReadErrors = "serve.read_errors";
+inline constexpr std::string_view kMServeReloads = "serve.reloads";
+inline constexpr std::string_view kMServeReloadFailures =
+    "serve.reload_failures";
+inline constexpr std::string_view kMServeRequestSeconds =
+    "serve.request_seconds";
 
 /// Every statically named metric compiled into the binary. The per-site
 /// failpoint family (`failpoint.<site>.evals` / `.fires`) is derived from
@@ -132,6 +150,18 @@ inline constexpr std::string_view kAllMetrics[] = {
     kMTrainerSyntheticSeconds,
     kMDatagenShardsGenerated,
     kMDatagenColumnsGenerated,
+    kMServeConnections,
+    kMServeRequests,
+    kMServeRequestsOk,
+    kMServeRequestsError,
+    kMServeRequestsShed,
+    kMServeDrainShed,
+    kMServeDeadlineExpirations,
+    kMServeAcceptErrors,
+    kMServeReadErrors,
+    kMServeReloads,
+    kMServeReloadFailures,
+    kMServeRequestSeconds,
 };
 
 // ---------------------------------------------------------------------------

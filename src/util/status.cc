@@ -20,12 +20,14 @@ std::string_view StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
 
 std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
-  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kDeadlineExceeded); ++i) {
     StatusCode code = static_cast<StatusCode>(i);
     if (StatusCodeName(code) == name) return code;
   }
@@ -64,6 +66,9 @@ Status FailedPreconditionError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace autotest::util

@@ -37,6 +37,10 @@ enum class StatusCode : int {
   kFailedPrecondition = 6,
   /// A bug on our side surfaced as a recoverable error.
   kInternal = 7,
+  /// A per-request time budget expired before the work finished. Not
+  /// retryable (re-running the same work under the same budget expires
+  /// again); the serving tier degrades to a partial report instead.
+  kDeadlineExceeded = 8,
 };
 
 /// Stable upper-case name for diagnostics, e.g. "DATA_LOSS".
@@ -98,6 +102,7 @@ class [[nodiscard]] Status {
 [[nodiscard]] Status ResourceExhaustedError(std::string message);
 [[nodiscard]] Status FailedPreconditionError(std::string message);
 [[nodiscard]] Status InternalError(std::string message);
+[[nodiscard]] Status DeadlineExceededError(std::string message);
 
 /// A value-or-error. Implicitly constructible from either a `T` or a
 /// non-OK `Status`, so functions can `return value;` and

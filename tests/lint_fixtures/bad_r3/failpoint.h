@@ -9,8 +9,12 @@ namespace fixture {
 
 inline constexpr std::string_view kFpGood = "good.point";
 inline constexpr std::string_view kFpDead = "dead.point";  // line 11: dead
+// Dotted serving-tier-shaped name: registered and used, so R3 must treat
+// it as clean (regression guard for serve.* failpoints).
+inline constexpr std::string_view kFpServeRead = "serve.read";
 
-inline constexpr std::string_view kAllFailpoints[] = {kFpGood, kFpDead};
+inline constexpr std::string_view kAllFailpoints[] = {kFpGood, kFpDead,
+                                                      kFpServeRead};
 
 }  // namespace fixture
 

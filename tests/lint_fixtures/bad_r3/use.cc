@@ -12,4 +12,8 @@ bool Bad() {
   return FailpointFires("fixture.unknown");  // line 12: the violation
 }
 
+// A registered serve.*-style literal at a call site is clean: R3 resolves
+// dotted names against kAllFailpoints, it does not pattern-match prefixes.
+bool ServeRead() { return FailpointFires("serve.read"); }
+
 }  // namespace fixture

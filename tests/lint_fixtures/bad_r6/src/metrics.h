@@ -12,8 +12,12 @@ inline constexpr std::string_view kMDeadCount = "fixture.dead_count";
 // Wrapped registration, line 13: absent from the kAllMetrics array below.
 inline constexpr std::string_view kMUnlisted =
     "fixture.unlisted";
+// Serving-tier-shaped name: registered and used, so R6 must treat it as
+// clean (regression guard for the serve.* metric family).
+inline constexpr std::string_view kMServeShed = "serve.requests_shed";
 
-inline constexpr std::string_view kAllMetrics[] = {kMGoodCount, kMDeadCount};
+inline constexpr std::string_view kAllMetrics[] = {kMGoodCount, kMDeadCount,
+                                                   kMServeShed};
 
 }  // namespace fixture
 

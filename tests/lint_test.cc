@@ -116,6 +116,11 @@ TEST(LintTest, R3FiresOnUnknownNameAndDeadRegistration) {
   EXPECT_TRUE(EndsWith(unknown.file, "use.cc")) << unknown.file;
   EXPECT_EQ(unknown.line, 12u);
   EXPECT_NE(run.lines[1].find("fixture.unknown"), std::string::npos);
+  // The registered-and-used serve.read entry in the fixture must not
+  // appear: dotted serving-tier names resolve like any other failpoint.
+  for (const std::string& line : run.lines) {
+    EXPECT_EQ(line.find("serve.read"), std::string::npos) << line;
+  }
 }
 
 TEST(LintTest, R4FiresOnAtCheckInUntrustedInputFile) {
@@ -165,6 +170,11 @@ TEST(LintTest, R6FiresOnUnknownMissingAndDeadMetrics) {
   EXPECT_TRUE(EndsWith(unknown.file, "use.cc")) << unknown.file;
   EXPECT_EQ(unknown.line, 14u);
   EXPECT_NE(run.lines[2].find("fixture.unknown_metric"), std::string::npos);
+  // The registered-and-used serve.requests_shed entry must not appear:
+  // serve.* metric names resolve against kAllMetrics like any other.
+  for (const std::string& line : run.lines) {
+    EXPECT_EQ(line.find("serve.requests_shed"), std::string::npos) << line;
+  }
 }
 
 TEST(LintTest, AllFixturesTogetherReportEveryRuleOnce) {

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/retry.h"
@@ -165,6 +166,41 @@ TEST(RetryCallTest, MaxAttemptsBelowOneBehavesAsOne) {
   });
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(calls, 1);
+}
+
+TEST(VirtualClockTest, ConcurrentAdvanceSleepAndReadStayCoherent) {
+  // The serving tier reads one shared clock from the acceptor, every
+  // worker and the drain path at once; this test (run under TSan in CI)
+  // proves VirtualClock is safe to share that way. Each thread alternates
+  // Advance(3) and SleepMicros(2) and checks its reads never go
+  // backwards; the totals must account for every call exactly.
+  VirtualClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock] {
+      int64_t last = 0;
+      for (int i = 0; i < kIters; ++i) {
+        if (i % 2 == 0) {
+          clock.Advance(3);
+        } else {
+          clock.SleepMicros(2);
+        }
+        const int64_t now = clock.NowMicros();
+        EXPECT_GE(now, last);
+        last = now;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  constexpr int64_t kPerThread = (kIters / 2) * (3 + 2);
+  EXPECT_EQ(clock.NowMicros(), kThreads * kPerThread);
+  EXPECT_EQ(clock.sleep_calls(),
+            static_cast<size_t>(kThreads) * (kIters / 2));
+  EXPECT_EQ(clock.slept_micros(),
+            static_cast<int64_t>(kThreads) * (kIters / 2) * 2);
 }
 
 TEST(VirtualClockTest, AdvanceMovesTimeWithoutCountingSleeps) {

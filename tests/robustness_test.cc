@@ -11,10 +11,15 @@
 // trainer), never a crash.
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -311,6 +316,22 @@ TEST_F(RobustnessTest, RecipeFailpointsAreRegistered) {
   EXPECT_GE(reg.fires(util::kFpRecipeSave), 1u);
 }
 
+TEST_F(RobustnessTest, ServeFailpointsAreRegistered) {
+  // serve.accept / serve.read / serve.reload sit in the serving tier
+  // (src/serve, exercised end to end by serve_test and the serve soak);
+  // here we verify they are armable and deterministic so those harnesses
+  // can rely on them.
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(
+      reg.Configure("serve.accept=on,serve.read=on,serve.reload=on").ok());
+  EXPECT_TRUE(util::FailpointFires(util::kFpServeAccept));
+  EXPECT_TRUE(util::FailpointFires(util::kFpServeRead));
+  EXPECT_TRUE(util::FailpointFires(util::kFpServeReload));
+  EXPECT_GE(reg.fires(util::kFpServeAccept), 1u);
+  EXPECT_GE(reg.fires(util::kFpServeRead), 1u);
+  EXPECT_GE(reg.fires(util::kFpServeReload), 1u);
+}
+
 TEST_F(RobustnessTest, ShardReadFailpointIsMaskedByRetry) {
   // shard.read fires on first attempts only; with shard.retry disarmed the
   // retry layer masks the transient fault and the load still succeeds.
@@ -433,7 +454,8 @@ TEST_F(RobustnessTest, AllRegisteredFailpointsCoveredByThisSuite) {
       "csv.open",    "csv.parse",  "rules.open",
       "rules.parse", "rules.save", "recipe.load",
       "recipe.save", "trainer.eval", "predictor.column",
-      "shard.read",  "shard.retry",
+      "shard.read",  "shard.retry", "serve.accept",
+      "serve.read",  "serve.reload",
   };
   ASSERT_EQ(covered.size(), std::size(util::kAllFailpoints));
   for (std::string_view fp : util::kAllFailpoints) {
@@ -463,6 +485,35 @@ TEST_F(RobustnessTest, FailpointSoakSurvivesRandomFaults) {
   }
   reg.Disarm();
   EXPECT_GT(injected, 0u);  // p=0.05 over 400 draws: fires w.p. ~1
+}
+
+// Exit-code contract for the serving client (DESIGN.md §4h, README exit
+// codes): a query that the server refuses — or cannot even reach — exits
+// 7, a class scripts can distinguish from bad input (2) and transient I/O
+// (4) when deciding whether to retry with backoff.
+TEST_F(RobustnessTest, QueryAgainstUnreachableServerExitsWithShedCode) {
+  // Find a port that is currently free by binding an ephemeral one and
+  // releasing it; the query then races nothing (no daemon is started).
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  const std::string cmd = std::string(AT_AUTOTEST_CLI) +
+                          " query --ping --port " + std::to_string(port) +
+                          " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 7);
 }
 
 // Death tests documenting the AT_CHECKs that remain programmer-error

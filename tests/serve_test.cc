@@ -1,0 +1,753 @@
+// The serving tier (ISSUE 7, DESIGN.md §4h): wire framing, bounded
+// admission, per-request deadlines, versioned hot-reload and graceful
+// drain.
+//
+// The headline properties proven here:
+//   * overload is deterministic — with every worker parked and the queue
+//     at depth, each extra connection receives a structured
+//     RESOURCE_EXHAUSTED shed and serve.requests_shed counts exactly them;
+//   * a deadline that expires mid-request degrades to a partial,
+//     provenance-stamped report instead of an error or a stall;
+//   * hot-reload never mixes rule-set versions inside one response, even
+//     with reloads racing a multi-threaded request hammer (the TSan CI
+//     shard runs this suite for exactly that reason);
+//   * drain sheds still-queued requests with reason=draining and always
+//     answers every admitted connection.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialization.h"
+#include "core/trainer.h"
+#include "datagen/corpus_gen.h"
+#include "serve/admission.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+#include "typedet/eval_functions.h"
+#include "util/failpoint.h"
+#include "util/metrics.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace autotest::serve {
+namespace {
+
+using util::StatusCode;
+
+uint64_t CounterValue(std::string_view name) {
+  return metrics::Registry::Global().GetCounter(name).value();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+// A clock whose reading advances by a fixed step on every NowMicros call:
+// virtual time that passes *because work happens*, which lets a test
+// expire a deadline inside the predict loop deterministically.
+class StepClock final : public util::Clock {
+ public:
+  explicit StepClock(int64_t step) : step_(step) {}
+  int64_t NowMicros() override {
+    return now_.fetch_add(step_, std::memory_order_relaxed) + step_;
+  }
+  void SleepMicros(int64_t micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  const int64_t step_;
+  std::atomic<int64_t> now_{0};
+};
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new table::Corpus(
+        datagen::GenerateCorpus(datagen::TablibProfile(400, 5)));
+    typedet::EvalFunctionSetOptions opt;
+    opt.embedding_centroids_per_model = 30;
+    evals_ = new typedet::EvalFunctionSet(
+        typedet::EvalFunctionSet::Build(*corpus_, opt));
+    core::TrainOptions topt;
+    topt.synthetic_count = 200;
+    model_ = new core::TrainedModel(
+        core::TrainAutoTest(*corpus_, *evals_, topt));
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete evals_;
+    evals_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  void SetUp() override {
+    ASSERT_GE(model_->constraints.size(), 1u)
+        << "fixture model trained no constraints";
+  }
+
+  void TearDown() override { util::FailpointRegistry::Global().Reset(); }
+
+  // A CSV with one textual column (the predictor's input) and one numeric
+  // column (skipped up front, same policy as `autotest check`).
+  static std::string SampleCsv() {
+    return "city,amount\nBeijing,1\nParis,2\nTokyo,3\nOsaka,4\n";
+  }
+
+  static std::string CheckPayload() {
+    Request request;
+    request.verb = "check";
+    request.table = "sample";
+    request.body = SampleCsv();
+    return SerializeRequest(request);
+  }
+
+  static std::string PingPayload() {
+    Request request;
+    request.verb = "ping";
+    return SerializeRequest(request);
+  }
+
+  // A store serving this test's own rules file (distinct paths so suites
+  // running in parallel never collide).
+  std::unique_ptr<SnapshotStore> MakeLoadedStore(const std::string& path) {
+    WriteFile(path, core::SerializeRules(model_->constraints));
+    auto store = std::make_unique<SnapshotStore>(evals_, path);
+    EXPECT_TRUE(store->TryReload().ok());
+    return store;
+  }
+
+  static table::Corpus* corpus_;
+  static typedet::EvalFunctionSet* evals_;
+  static core::TrainedModel* model_;
+};
+
+table::Corpus* ServeTest::corpus_ = nullptr;
+typedet::EvalFunctionSet* ServeTest::evals_ = nullptr;
+core::TrainedModel* ServeTest::model_ = nullptr;
+
+// ---------------------------------------------------------------- wire --
+
+TEST_F(ServeTest, WireRequestRoundTripsAndRejectsGarbage) {
+  Request request;
+  request.verb = "check";
+  request.deadline_ms = 250;
+  request.table = "orders";
+  request.body = SampleCsv();
+  auto parsed = TryParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, "check");
+  EXPECT_EQ(parsed->deadline_ms, 250);
+  EXPECT_EQ(parsed->table, "orders");
+  EXPECT_EQ(parsed->body, SampleCsv());
+
+  // Strictness: bad magic, unknown verb, unknown key and a malformed
+  // deadline are each kInvalidArgument — a typoed knob must not silently
+  // serve with defaults.
+  for (std::string_view bad :
+       {"not.the.magic ping\n\n", "autotest.serve.v1 destroy\n\n",
+        "autotest.serve.v1 ping\ndead_line_ms=5\n\n",
+        "autotest.serve.v1 check\ndeadline_ms=soon\n\n",
+        "autotest.serve.v1 check\ndeadline_ms=-4\n\n"}) {
+    auto r = TryParseRequest(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST_F(ServeTest, WireResponseRoundTripsCodeFieldsAndBody) {
+  Response response;
+  response.code = StatusCode::kResourceExhausted;
+  response.AddField("reason", "shed");
+  response.AddField("version", "3");
+  response.body = "server is saturated; retry with backoff\n";
+  const std::string payload = SerializeResponse(response);
+  // The status line is grep-able by scripts: stable code name, no prose.
+  EXPECT_EQ(payload.rfind("autotest.serve.v1 RESOURCE_EXHAUSTED\n", 0), 0u);
+  auto parsed = TryParseResponse(payload);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(parsed->Field("reason"), "shed");
+  EXPECT_EQ(parsed->Field("version"), "3");
+  EXPECT_EQ(parsed->body, response.body);
+  EXPECT_EQ(parsed->Field("absent"), "");
+
+  auto bad = TryParseResponse("autotest.serve.v1 NOT_A_CODE\n\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, FramingEnforcesCapAndDetectsTruncation) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload = "hello frames";
+  util::Status write_st = TryWriteFrame(fds[1], payload);
+  ASSERT_TRUE(write_st.ok()) << write_st.ToString();
+  auto read_back = TryReadFrame(fds[0], 1 << 20);
+  ASSERT_TRUE(read_back.ok()) << read_back.status().ToString();
+  EXPECT_EQ(*read_back, payload);
+
+  // Over-cap frames are rejected from the 4-byte header alone, before any
+  // allocation proportional to the claimed length.
+  write_st = TryWriteFrame(fds[1], payload);
+  ASSERT_TRUE(write_st.ok());
+  auto capped = TryReadFrame(fds[0], payload.size() - 1);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // A peer that vanishes mid-payload is kDataLoss, not a hang.
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string frame = EncodeFrame("truncated payload");
+  const std::string half = frame.substr(0, frame.size() / 2);
+  ASSERT_EQ(::write(fds[1], half.data(), half.size()),
+            static_cast<ssize_t>(half.size()));
+  ::close(fds[1]);
+  auto truncated = TryReadFrame(fds[0], 1 << 20);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+  ::close(fds[0]);
+}
+
+// ----------------------------------------------------------- admission --
+
+TEST_F(ServeTest, AdmissionQueueNeverBlocksAndNeverExceedsDepth) {
+  AdmissionQueue queue(2);
+  EXPECT_TRUE(queue.TryPush({10, 0}));
+  EXPECT_TRUE(queue.TryPush({11, 0}));
+  EXPECT_FALSE(queue.TryPush({12, 0}));  // at depth: shed, don't block
+  EXPECT_EQ(queue.size(), 2u);
+
+  auto job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->fd, 10);
+  EXPECT_TRUE(queue.TryPush({13, 0}));  // slot freed
+
+  queue.CloseAdmissions();
+  EXPECT_FALSE(queue.TryPush({14, 0}));
+  // Queued jobs drain in order after admissions close.
+  EXPECT_EQ(queue.Pop()->fd, 11);
+  EXPECT_EQ(queue.Pop()->fd, 13);
+  queue.Shutdown();
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST_F(ServeTest, AdmissionDrainRemainingReturnsQueuedJobs) {
+  AdmissionQueue queue(4);
+  EXPECT_TRUE(queue.TryPush({20, 0}));
+  EXPECT_TRUE(queue.TryPush({21, 0}));
+  std::vector<AdmittedJob> left = queue.DrainRemaining();
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0].fd, 20);
+  EXPECT_EQ(left[1].fd, 21);
+  EXPECT_FALSE(queue.TryPush({22, 0}));  // DrainRemaining closed admissions
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+// ------------------------------------------------------------ snapshot --
+
+TEST_F(ServeTest, ReloadVersionsAdvanceAndFailuresKeepOldSnapshot) {
+  const std::string path = "/tmp/autotest_serve_snapshot.sdc";
+  auto store = MakeLoadedStore(path);
+  EXPECT_EQ(store->version(), 1u);
+  auto v1 = store->Get();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version(), 1u);
+  EXPECT_GT(v1->predictor().num_rules(), 0u);
+
+  // Corrupt bytes: the load-validate-then-swap contract means the old
+  // snapshot keeps serving, bit for bit, and the failure is counted.
+  const uint64_t failures_before = CounterValue(metrics::kMServeReloadFailures);
+  WriteFile(path, "sdc.rules.v? mangled beyond recognition\n");
+  util::Status corrupt = store->TryReload();
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(store->version(), 1u);
+  EXPECT_EQ(store->Get().get(), v1.get());
+
+  // A parseable file with zero servable rules is also a validation
+  // failure: swapping it in would turn the daemon into a silent no-op.
+  WriteFile(path, core::SerializeRules({}));
+  util::Status empty = store->TryReload();
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store->version(), 1u);
+
+  // Injected faults on the reload path itself and inside the loader.
+  auto& reg = util::FailpointRegistry::Global();
+  WriteFile(path, core::SerializeRules(model_->constraints));
+  ASSERT_TRUE(reg.Configure("serve.reload=on").ok());
+  EXPECT_FALSE(store->TryReload().ok());
+  reg.Disarm();
+  ASSERT_TRUE(reg.Configure("rules.parse=on").ok());
+  EXPECT_FALSE(store->TryReload().ok());
+  reg.Disarm();
+  EXPECT_EQ(store->version(), 1u);
+  EXPECT_EQ(store->Get().get(), v1.get());
+  EXPECT_GE(CounterValue(metrics::kMServeReloadFailures),
+            failures_before + 4);
+
+  // With the good file back, the next reload swaps and bumps the version.
+  const uint64_t reloads_before = CounterValue(metrics::kMServeReloads);
+  ASSERT_TRUE(store->TryReload().ok());
+  EXPECT_EQ(store->version(), 2u);
+  EXPECT_NE(store->Get().get(), v1.get());
+  EXPECT_EQ(CounterValue(metrics::kMServeReloads), reloads_before + 1);
+}
+
+// ------------------------------------------------------------- session --
+
+TEST_F(ServeTest, HandlePayloadServesPingMetricsReloadAndCheck) {
+  const std::string path = "/tmp/autotest_serve_session.sdc";
+  auto store = MakeLoadedStore(path);
+  ServeOptions options;
+
+  Response ping = HandlePayload(PingPayload(), *store, options, -1);
+  EXPECT_EQ(ping.code, StatusCode::kOk);
+  EXPECT_EQ(ping.Field("version"), "1");
+  EXPECT_EQ(ping.body, "pong\n");
+
+  Request metrics_request;
+  metrics_request.verb = "metrics";
+  Response metrics_response = HandlePayload(
+      SerializeRequest(metrics_request), *store, options, -1);
+  EXPECT_EQ(metrics_response.code, StatusCode::kOk);
+  EXPECT_NE(metrics_response.body.find("autotest.metrics.v1"),
+            std::string::npos);
+  EXPECT_NE(metrics_response.body.find("serve.requests"),
+            std::string::npos);
+
+  Request reload_request;
+  reload_request.verb = "reload";
+  Response reloaded = HandlePayload(SerializeRequest(reload_request),
+                                    *store, options, -1);
+  EXPECT_EQ(reloaded.code, StatusCode::kOk);
+  EXPECT_EQ(reloaded.Field("version"), "2");
+
+  const uint64_t ok_before = CounterValue(metrics::kMServeRequestsOk);
+  Response check = HandlePayload(CheckPayload(), *store, options, -1);
+  EXPECT_EQ(check.code, StatusCode::kOk);
+  EXPECT_EQ(check.Field("provenance"), "full");
+  EXPECT_EQ(check.Field("version"), "2");
+  EXPECT_EQ(check.Field("columns_checked"), "1");  // `amount` is numeric
+  EXPECT_EQ(check.Field("columns_skipped"), "0");
+  EXPECT_EQ(CounterValue(metrics::kMServeRequestsOk), ok_before + 1);
+
+  // A malformed payload is a structured INVALID_ARGUMENT response (and an
+  // error-counted request), never a dropped connection.
+  const uint64_t err_before = CounterValue(metrics::kMServeRequestsError);
+  Response bad = HandlePayload("autotest.serve.v1 explode\n\n", *store,
+                               options, -1);
+  EXPECT_EQ(bad.code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(CounterValue(metrics::kMServeRequestsError), err_before + 1);
+}
+
+TEST_F(ServeTest, RequestsBeforeFirstLoadFailStructurally) {
+  SnapshotStore store(evals_, "/tmp/autotest_serve_never_loaded.sdc");
+  ServeOptions options;
+  Response response = HandlePayload(PingPayload(), store, options, -1);
+  EXPECT_EQ(response.code, StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------------ deadline --
+
+TEST_F(ServeTest, BudgetSpentInQueueFailsBeforeParse) {
+  const std::string path = "/tmp/autotest_serve_dl_queue.sdc";
+  auto store = MakeLoadedStore(path);
+  util::VirtualClock clock;
+  ServeOptions options;
+  options.clock = &clock;
+
+  Request request;
+  request.verb = "check";
+  request.deadline_ms = 5;
+  request.body = SampleCsv();
+  // Admitted at t=0, popped by a worker at t=10ms: the 5ms budget died in
+  // the queue, so the outcome is a structured DEADLINE_EXCEEDED (there is
+  // no partial result to report yet).
+  clock.Advance(10'000);
+  const uint64_t expired_before =
+      CounterValue(metrics::kMServeDeadlineExpirations);
+  Response response = HandlePayload(SerializeRequest(request), *store,
+                                    options, /*admitted_micros=*/0);
+  EXPECT_EQ(response.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CounterValue(metrics::kMServeDeadlineExpirations),
+            expired_before + 1);
+}
+
+TEST_F(ServeTest, ParseConsumingTheBudgetDegradesToPartialParse) {
+  const std::string path = "/tmp/autotest_serve_dl_parse.sdc";
+  auto store = MakeLoadedStore(path);
+  util::VirtualClock clock;
+  ServeOptions options;
+  options.clock = &clock;
+  // The phase hook plays a slow CSV parse: by the predict boundary the
+  // whole 50ms budget is gone.
+  options.phase_hook = [&clock](std::string_view phase) {
+    if (phase == "predict") clock.Advance(50'000);
+  };
+
+  Request request;
+  request.verb = "check";
+  request.deadline_ms = 50;
+  request.table = "slow";
+  request.body = SampleCsv();
+  Response response = HandlePayload(SerializeRequest(request), *store,
+                                    options, /*admitted_micros=*/0);
+  // Degraded, not failed: the response is OK with provenance stamped so
+  // the client knows nothing was predicted.
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_EQ(response.Field("provenance"), "partial:parse");
+  EXPECT_EQ(response.Field("columns_checked"), "0");
+  EXPECT_EQ(response.Field("detections"), "0");
+}
+
+TEST_F(ServeTest, ExpiryInsideThePredictLoopDegradesToPartialPredict) {
+  const std::string path = "/tmp/autotest_serve_dl_predict.sdc";
+  auto store = MakeLoadedStore(path);
+  // Every clock reading costs 400 virtual µs; a 1ms budget survives the
+  // parse-boundary checks but expires at a rule-group gate inside
+  // PredictInternal — exactly the mid-predict expiry path.
+  StepClock clock(400);
+  ServeOptions options;
+  options.clock = &clock;
+
+  Request request;
+  request.verb = "check";
+  request.deadline_ms = 1;
+  request.body = SampleCsv();
+  const uint64_t expired_before =
+      CounterValue(metrics::kMServeDeadlineExpirations);
+  Response response = HandlePayload(SerializeRequest(request), *store,
+                                    options, /*admitted_micros=*/0);
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_EQ(response.Field("provenance"), "partial:predict");
+  EXPECT_GE(CounterValue(metrics::kMServeDeadlineExpirations),
+            expired_before + 1);
+}
+
+// ------------------------------------------------------------ overload --
+
+// A latch the phase hook parks worker threads on, so tests can hold the
+// server in a known saturated state.
+struct WorkerLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t parked = 0;
+  bool released = false;
+
+  void ParkOn(std::string_view phase, std::string_view at) {
+    if (phase != at) return;
+    std::unique_lock<std::mutex> lock(mu);
+    ++parked;
+    cv.notify_all();
+    cv.wait(lock, [this] { return released; });
+  }
+  void WaitParked(size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return parked >= n; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+int MustConnect(uint16_t port) {
+  auto fd = TryConnect("127.0.0.1", port);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  return fd.ok() ? *fd : -1;
+}
+
+void SendPayload(int fd, const std::string& payload) {
+  util::Status st = TryWriteFrame(fd, payload);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+Response MustReadResponse(int fd) {
+  auto frame = TryReadFrame(fd, 1 << 20);
+  EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+  if (!frame.ok()) return Response{};
+  auto response = TryParseResponse(*frame);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return response.ok() ? *response : Response{};
+}
+
+void WaitForQueueSize(const Server& server, size_t n) {
+  for (int i = 0; i < 5000 && server.queue_size() != n; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.queue_size(), n);
+}
+
+TEST_F(ServeTest, OverloadShedsDeterministicallyAndCountsEveryShed) {
+  const std::string path = "/tmp/autotest_serve_overload.sdc";
+  auto store = MakeLoadedStore(path);
+
+  WorkerLatch latch;
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.queue_depth = 2;
+  options.phase_hook = [&latch](std::string_view phase) {
+    latch.ParkOn(phase, "read");
+  };
+
+  Server server(store.get(), options);
+  util::Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  // Saturate: one request parks the only worker, two more fill the queue.
+  const int inflight = MustConnect(server.port());
+  SendPayload(inflight, PingPayload());
+  latch.WaitParked(1);
+  std::vector<int> queued;
+  for (int i = 0; i < 2; ++i) {
+    int fd = MustConnect(server.port());
+    SendPayload(fd, PingPayload());
+    queued.push_back(fd);
+  }
+  WaitForQueueSize(server, 2);
+
+  // Every further connection is shed by the acceptor itself, so the count
+  // is exact, not a race: 4 connections, 4 structured sheds.
+  const uint64_t shed_before = CounterValue(metrics::kMServeRequestsShed);
+  constexpr int kShedRequests = 4;
+  for (int i = 0; i < kShedRequests; ++i) {
+    int fd = MustConnect(server.port());
+    Response shed = MustReadResponse(fd);
+    EXPECT_EQ(shed.code, StatusCode::kResourceExhausted);
+    EXPECT_EQ(shed.Field("reason"), "shed");
+    ::close(fd);
+  }
+  EXPECT_EQ(CounterValue(metrics::kMServeRequestsShed),
+            shed_before + kShedRequests);
+
+  // Release the latch: every admitted request completes normally.
+  latch.Release();
+  EXPECT_EQ(MustReadResponse(inflight).code, StatusCode::kOk);
+  ::close(inflight);
+  for (int fd : queued) {
+    EXPECT_EQ(MustReadResponse(fd).code, StatusCode::kOk);
+    ::close(fd);
+  }
+
+  DrainReport report = server.StopAndDrain();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.shed, static_cast<uint64_t>(kShedRequests));
+  EXPECT_EQ(report.drain_shed, 0u);
+  EXPECT_TRUE(report.drained_clean);
+}
+
+// --------------------------------------------------------------- drain --
+
+TEST_F(ServeTest, DrainShedsQueuedRequestsWithDrainingReason) {
+  const std::string path = "/tmp/autotest_serve_drain.sdc";
+  auto store = MakeLoadedStore(path);
+
+  WorkerLatch latch;
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.queue_depth = 4;
+  options.drain_timeout_micros = 0;  // shed the queue immediately
+  options.phase_hook = [&latch](std::string_view phase) {
+    latch.ParkOn(phase, "read");
+  };
+
+  Server server(store.get(), options);
+  util::Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  const int inflight = MustConnect(server.port());
+  SendPayload(inflight, PingPayload());
+  latch.WaitParked(1);
+  std::vector<int> queued;
+  for (int i = 0; i < 2; ++i) {
+    int fd = MustConnect(server.port());
+    SendPayload(fd, PingPayload());
+    queued.push_back(fd);
+  }
+  WaitForQueueSize(server, 2);
+
+  const uint64_t drain_shed_before = CounterValue(metrics::kMServeDrainShed);
+  server.RequestStop();
+  DrainReport report;
+  std::thread drainer([&] { report = server.StopAndDrain(); });
+
+  // The queued-but-never-started requests get their structured "draining"
+  // shed while the in-flight one is still being served.
+  for (int fd : queued) {
+    Response shed = MustReadResponse(fd);
+    EXPECT_EQ(shed.code, StatusCode::kResourceExhausted);
+    EXPECT_EQ(shed.Field("reason"), "draining");
+    ::close(fd);
+  }
+
+  latch.Release();
+  EXPECT_EQ(MustReadResponse(inflight).code, StatusCode::kOk);
+  ::close(inflight);
+  drainer.join();
+
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.drain_shed, 2u);
+  EXPECT_FALSE(report.drained_clean);
+  EXPECT_EQ(CounterValue(metrics::kMServeDrainShed), drain_shed_before + 2);
+}
+
+// ---------------------------------------------------------- hot-reload --
+
+TEST_F(ServeTest, ReloadUnderLoadNeverMixesVersionsInOneResponse) {
+  const std::string path = "/tmp/autotest_serve_reload_race.sdc";
+  // Two rule files with provably different servable-rule counts: every
+  // response's (version, rules) pair must match exactly one of them.
+  const std::string one_rule =
+      core::SerializeRules({model_->constraints[0]});
+  const std::string two_rules = core::SerializeRules(
+      {model_->constraints[0], model_->constraints[0]});
+  WriteFile(path, one_rule);
+  SnapshotStore store(evals_, path);
+  ASSERT_TRUE(store.TryReload().ok());
+  ASSERT_EQ(store.Get()->predictor().num_rules(), 1u);
+
+  ServeOptions options;
+  const std::string payload = CheckPayload();
+
+  std::atomic<bool> done{false};
+  std::thread reloader([&] {
+    for (int i = 0; i < 30; ++i) {
+      WriteFile(path, i % 2 == 0 ? two_rules : one_rule);
+      EXPECT_TRUE(store.TryReload().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    done.store(true, std::memory_order_relaxed);
+  });
+
+  constexpr size_t kClients = 4;
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> observed(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      while (!done.load(std::memory_order_relaxed)) {
+        Response response = HandlePayload(payload, store, options, -1);
+        ASSERT_EQ(response.code, StatusCode::kOk);
+        observed[c].emplace_back(
+            std::stoull(std::string(response.Field("version"))),
+            std::stoull(std::string(response.Field("rules"))));
+      }
+    });
+  }
+  reloader.join();
+  for (auto& t : clients) t.join();
+
+  // Invariant: one version, one rule count — a response stamped with
+  // version v but serving the other file's rules would show up here as a
+  // second count for v.
+  std::map<uint64_t, std::set<uint64_t>> counts_by_version;
+  size_t total = 0;
+  for (const auto& per_client : observed) {
+    total += per_client.size();
+    for (const auto& [version, rules] : per_client) {
+      counts_by_version[version].insert(rules);
+    }
+  }
+  EXPECT_GT(total, 0u);
+  for (const auto& [version, counts] : counts_by_version) {
+    EXPECT_EQ(counts.size(), 1u)
+        << "version " << version << " served mixed rule counts";
+    EXPECT_TRUE(*counts.begin() == 1u || *counts.begin() == 2u)
+        << "version " << version << " served " << *counts.begin()
+        << " rules";
+  }
+}
+
+// ---------------------------------------------------------- failpoints --
+
+TEST_F(ServeTest, InjectedReadFaultYieldsStructuredErrorNotACrash) {
+  const std::string path = "/tmp/autotest_serve_fp_read.sdc";
+  auto store = MakeLoadedStore(path);
+  ServeOptions options;
+  options.max_inflight = 1;
+  Server server(store.get(), options);
+  util::Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("serve.read=on").ok());
+  const uint64_t read_errors_before =
+      CounterValue(metrics::kMServeReadErrors);
+  int fd = MustConnect(server.port());
+  SendPayload(fd, PingPayload());
+  Response response = MustReadResponse(fd);
+  EXPECT_EQ(response.code, StatusCode::kIoError);
+  EXPECT_NE(response.body.find("serve.read"), std::string::npos);
+  ::close(fd);
+  EXPECT_GE(CounterValue(metrics::kMServeReadErrors),
+            read_errors_before + 1);
+  reg.Disarm();
+
+  // Disarmed, the same exchange succeeds: the fault was injected, not
+  // structural.
+  fd = MustConnect(server.port());
+  SendPayload(fd, PingPayload());
+  EXPECT_EQ(MustReadResponse(fd).code, StatusCode::kOk);
+  ::close(fd);
+  (void)server.StopAndDrain();
+}
+
+TEST_F(ServeTest, InjectedAcceptFaultDropsConnectionButServerSurvives) {
+  const std::string path = "/tmp/autotest_serve_fp_accept.sdc";
+  auto store = MakeLoadedStore(path);
+  ServeOptions options;
+  options.max_inflight = 1;
+  Server server(store.get(), options);
+  util::Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("serve.accept=on").ok());
+  const uint64_t accept_errors_before =
+      CounterValue(metrics::kMServeAcceptErrors);
+  int fd = MustConnect(server.port());
+  SendPayload(fd, PingPayload());
+  // The injected accept fault closes the connection without a response;
+  // the client sees clean data loss, not a stuck read.
+  auto frame = TryReadFrame(fd, 1 << 20);
+  EXPECT_FALSE(frame.ok());
+  ::close(fd);
+  for (int i = 0; i < 5000 && CounterValue(metrics::kMServeAcceptErrors) ==
+                                  accept_errors_before;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(CounterValue(metrics::kMServeAcceptErrors),
+            accept_errors_before + 1);
+  reg.Disarm();
+
+  fd = MustConnect(server.port());
+  SendPayload(fd, PingPayload());
+  EXPECT_EQ(MustReadResponse(fd).code, StatusCode::kOk);
+  ::close(fd);
+  (void)server.StopAndDrain();
+}
+
+}  // namespace
+}  // namespace autotest::serve

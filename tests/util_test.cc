@@ -222,6 +222,7 @@ TEST(StatusTest, EveryCodeHasADistinctNameAndRoundTrips) {
       StatusCode::kNotFound,     StatusCode::kDataLoss,
       StatusCode::kIoError,      StatusCode::kResourceExhausted,
       StatusCode::kFailedPrecondition, StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded,
   };
   std::set<std::string> names;
   for (StatusCode code : all) {

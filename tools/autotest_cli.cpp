@@ -4,6 +4,8 @@
 //   autotest check data.csv more.csv --rules rules.sdc
 //   autotest check data.csv                       (trains a quick model)
 //   autotest rules rules.sdc
+//   autotest serve --rules rules.sdc --port N     (long-lived daemon)
+//   autotest query data.csv --port N              (client for serve)
 //
 // Rule files record the training recipe (corpus profile, sizes, shard
 // count) in a side header so `check` can rebuild the matching evaluation
@@ -25,12 +27,20 @@
 //   3  invalid input (malformed/invalid CSV, rule file or recipe)
 //   4  missing file (CSV, rules or recipe not found)
 //   5  I/O failure (read/write/rename failed, injected I/O faults)
-//   6  resource exhausted (input over limits, injected allocation faults)
+//   6  resource exhausted (input over limits, injected allocation faults,
+//      expired request deadlines)
+//   7  server refused / shed (client-mode RESOURCE_EXHAUSTED: the serving
+//      tier shed the request under load, or the server is unreachable)
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -39,6 +49,10 @@
 #include "core/auto_test.h"
 #include "core/serialization.h"
 #include "datagen/corpus_gen.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
 #include "table/csv.h"
 #include "table/shard_loader.h"
 #include "util/failpoint.h"
@@ -67,6 +81,7 @@ constexpr int kExitInvalidInput = 3;
 constexpr int kExitNotFound = 4;
 constexpr int kExitIo = 5;
 constexpr int kExitResource = 6;
+constexpr int kExitShed = 7;
 
 int ExitCodeFor(const Status& status) {
   switch (status.code()) {
@@ -80,6 +95,7 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kIoError:
       return kExitIo;
     case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
       return kExitResource;
     case StatusCode::kFailedPrecondition:
     case StatusCode::kInternal:
@@ -622,6 +638,286 @@ int CmdCheck(int argc, char** argv) {
   return first_failure_exit;
 }
 
+// ---------------------------------------------------------------------------
+// The serving tier: `autotest serve` (daemon / --once) and `autotest
+// query` (client). See DESIGN.md §4h for the wire and robustness
+// contract.
+// ---------------------------------------------------------------------------
+
+// SIGTERM/SIGINT request a graceful drain; SIGHUP requests a rule reload.
+// Handlers only touch lock-free flags.
+volatile std::sig_atomic_t g_serve_stop = 0;
+volatile std::sig_atomic_t g_serve_reload = 0;
+
+void HandleStopSignal(int) { g_serve_stop = 1; }
+void HandleReloadSignal(int) { g_serve_reload = 1; }
+
+// mtime of `path`, or -1 when unreadable (for --reload-watch polling).
+int64_t FileMtime(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_mtime);
+}
+
+/// Trains the serving-side evaluation functions from the rules file's
+/// recipe (mirroring `check`: a missing recipe falls back to the default,
+/// a corrupt one is a hard error).
+[[nodiscard]] Result<core::AutoTest> TryBuildServingModel(
+    const std::string& rules_path, const util::RetryPolicy& retry) {
+  Recipe recipe;
+  auto loaded_recipe =
+      util::RetryCall(retry, util::RealClock(), /*stream=*/1003,
+                      [&] { return TryLoadRecipe(rules_path); });
+  if (loaded_recipe.ok()) {
+    recipe = *loaded_recipe;
+  } else if (loaded_recipe.status().code() != StatusCode::kNotFound) {
+    return loaded_recipe.status();
+  }
+  if (!recipe.lost.empty()) {
+    std::fprintf(stderr,
+                 "note: rules were trained in degraded mode (%zu/%zu shards "
+                 "lost); rebuilding that corpus\n",
+                 recipe.lost.size(), recipe.shards);
+  }
+  return TryTrainFromRecipe(recipe, retry);
+}
+
+int CmdServe(int argc, char** argv) {
+  std::string rules_path;
+  serve::ServeOptions options;
+  size_t max_retries = 3;
+  size_t port = 0;
+  size_t max_inflight = 4;
+  size_t queue_depth = 16;
+  size_t default_deadline_ms = 10'000;
+  size_t drain_timeout_ms = 5'000;
+  bool reload_watch = false;
+  bool once = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() { return std::string(i + 1 < argc ? argv[++i] : ""); };
+    bool ok = true;
+    if (a == "--rules") rules_path = next();
+    else if (a == "--port") ok = ParseSize(next(), &port);
+    else if (a == "--max-inflight") ok = ParseSize(next(), &max_inflight);
+    else if (a == "--queue-depth") ok = ParseSize(next(), &queue_depth);
+    else if (a == "--default-deadline-ms")
+      ok = ParseSize(next(), &default_deadline_ms);
+    else if (a == "--drain-timeout-ms")
+      ok = ParseSize(next(), &drain_timeout_ms);
+    else if (a == "--max-retries") ok = ParseSize(next(), &max_retries);
+    else if (a == "--reload-watch") reload_watch = true;
+    else if (a == "--once") once = true;
+    else {
+      std::fprintf(stderr, "unknown serve option %s\n", a.c_str());
+      return kExitUsage;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "option %s wants a non-negative integer\n",
+                   a.c_str());
+      return kExitUsage;
+    }
+  }
+  if (rules_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: autotest serve --rules rules.sdc [--port N] "
+                 "[--max-inflight K] [--queue-depth Q] "
+                 "[--default-deadline-ms D] [--drain-timeout-ms T] "
+                 "[--reload-watch] [--once]\n");
+    return kExitUsage;
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "option --port wants a value in [0, 65535]\n");
+    return kExitUsage;
+  }
+  if (max_inflight == 0 || queue_depth == 0) {
+    std::fprintf(stderr,
+                 "options --max-inflight and --queue-depth must be "
+                 "positive\n");
+    return kExitUsage;
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.max_inflight = max_inflight;
+  options.queue_depth = queue_depth;
+  options.default_deadline_micros =
+      static_cast<int64_t>(default_deadline_ms) * 1000;
+  options.drain_timeout_micros =
+      static_cast<int64_t>(drain_timeout_ms) * 1000;
+
+  const util::RetryPolicy retry = CliRetryPolicy(max_retries);
+  auto at = TryBuildServingModel(rules_path, retry);
+  if (!at.ok()) return Fail(at.status());
+
+  serve::SnapshotStore store(&at->evals(), rules_path);
+  Status loaded = util::RetryCall(retry, util::RealClock(), /*stream=*/1005,
+                                  [&] { return store.TryReload(); });
+  if (!loaded.ok()) {
+    return Fail(Status(loaded).WithContext("loading the initial rule set"));
+  }
+  std::fprintf(stderr, "serve: rule set v%llu loaded from %s (%zu rules)\n",
+               static_cast<unsigned long long>(store.version()),
+               rules_path.c_str(), store.Get()->predictor().num_rules());
+
+  if (once) {
+    // Test mode: one unframed request payload on stdin, one response
+    // payload on stdout, no sockets, no threads.
+    std::ostringstream in;
+    in << std::cin.rdbuf();
+    serve::Response response = serve::HandlePayload(
+        in.str(), store, options, /*admitted_micros=*/-1);
+    std::string payload = serve::SerializeResponse(response);
+    std::fwrite(payload.data(), 1, payload.size(), stdout);
+    if (response.code == StatusCode::kOk) return kExitOk;
+    return ExitCodeFor(Status(response.code, "request failed"));
+  }
+
+  serve::Server server(&store, options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::fprintf(stderr,
+               "serve: listening on 127.0.0.1:%u (max-inflight=%zu "
+               "queue-depth=%zu)\n",
+               server.port(), max_inflight, queue_depth);
+  std::fflush(stderr);
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGHUP, HandleReloadSignal);
+
+  int64_t last_mtime = FileMtime(rules_path);
+  int64_t watch_countdown_micros = 0;
+  while (g_serve_stop == 0 && !server.stop_requested()) {
+    util::RealClock().SleepMicros(50'000);
+    if (g_serve_reload != 0) {
+      g_serve_reload = 0;
+      Status st = store.TryReload();
+      if (st.ok()) {
+        std::fprintf(stderr, "serve: reloaded rule set -> v%llu\n",
+                     static_cast<unsigned long long>(store.version()));
+      } else {
+        std::fprintf(stderr, "serve: reload failed, keeping v%llu: %s\n",
+                     static_cast<unsigned long long>(store.version()),
+                     st.ToString().c_str());
+      }
+    }
+    if (reload_watch) {
+      watch_countdown_micros -= 50'000;
+      if (watch_countdown_micros <= 0) {
+        watch_countdown_micros = 500'000;  // poll mtime twice a second
+        int64_t mtime = FileMtime(rules_path);
+        if (mtime != -1 && mtime != last_mtime) {
+          last_mtime = mtime;
+          g_serve_reload = 1;  // picked up on the next tick
+        }
+      }
+    }
+  }
+
+  std::fprintf(stderr, "serve: draining...\n");
+  serve::DrainReport report = server.StopAndDrain();
+  std::fprintf(stderr,
+               "serve: drained %s(completed=%llu shed=%llu "
+               "drain-shed=%llu)\n",
+               report.drained_clean ? "clean " : "",
+               static_cast<unsigned long long>(report.completed),
+               static_cast<unsigned long long>(report.shed),
+               static_cast<unsigned long long>(report.drain_shed));
+  return kExitOk;
+}
+
+int CmdQuery(int argc, char** argv) {
+  std::string csv_path;
+  std::string host = "127.0.0.1";
+  std::string table_name;
+  std::string verb = "check";
+  size_t port = 0;
+  size_t deadline_ms = 0;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() { return std::string(i + 1 < argc ? argv[++i] : ""); };
+    bool ok = true;
+    if (a == "--host") host = next();
+    else if (a == "--port") ok = ParseSize(next(), &port);
+    else if (a == "--deadline-ms") ok = ParseSize(next(), &deadline_ms);
+    else if (a == "--table") table_name = next();
+    else if (a == "--ping") verb = "ping";
+    else if (a == "--metrics") verb = "metrics";
+    else if (a == "--reload") verb = "reload";
+    else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown query option %s\n", a.c_str());
+      return kExitUsage;
+    } else {
+      csv_path = a;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "option %s wants a non-negative integer\n",
+                   a.c_str());
+      return kExitUsage;
+    }
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "usage: autotest query [file.csv] --port N [--host H] "
+                 "[--deadline-ms D] [--table name] "
+                 "[--ping|--metrics|--reload]\n");
+    return kExitUsage;
+  }
+  serve::Request request;
+  request.verb = verb;
+  request.deadline_ms = static_cast<int64_t>(deadline_ms);
+  request.table = table_name;
+  if (verb == "check") {
+    if (csv_path.empty()) {
+      std::fprintf(stderr, "query: a csv file is required for check\n");
+      return kExitUsage;
+    }
+    std::ifstream in(csv_path, std::ios::binary);
+    if (!in) {
+      return Fail(util::NotFoundError("cannot open " + csv_path));
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    request.body = body.str();
+    if (request.table.empty()) request.table = csv_path;
+  }
+
+  auto fd = serve::TryConnect(host, static_cast<uint16_t>(port));
+  if (!fd.ok()) {
+    // "Server refused" is its own exit class: the caller's backoff loop
+    // must distinguish an absent/saturated server from a broken request.
+    std::fprintf(stderr, "error: %s\n", fd.status().ToString().c_str());
+    return kExitShed;
+  }
+  Status sent = serve::TryWriteFrame(*fd, serve::SerializeRequest(request));
+  if (!sent.ok()) {
+    ::close(*fd);
+    std::fprintf(stderr, "error: %s\n", sent.ToString().c_str());
+    return kExitShed;
+  }
+  auto payload = serve::TryReadFrame(*fd, size_t{64} << 20);
+  ::close(*fd);
+  if (!payload.ok()) {
+    std::fprintf(stderr, "error: %s\n", payload.status().ToString().c_str());
+    return kExitShed;
+  }
+  auto response = serve::TryParseResponse(*payload);
+  if (!response.ok()) return Fail(response.status());
+
+  std::fprintf(stderr, "query: status=%s",
+               std::string(util::StatusCodeName(response->code)).c_str());
+  for (const auto& [k, v] : response->fields) {
+    std::fprintf(stderr, " %s=%s", k.c_str(), v.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fwrite(response->body.data(), 1, response->body.size(), g_report);
+  if (response->code == StatusCode::kOk) return kExitOk;
+  if (response->code == StatusCode::kResourceExhausted) {
+    std::fprintf(stderr, "query: request shed by the server\n");
+    return kExitShed;
+  }
+  return ExitCodeFor(Status(response->code, "request failed"));
+}
+
 int CmdRules(int argc, char** argv) {
   if (argc < 1) {
     std::fprintf(stderr, "usage: autotest rules <rules.sdc>\n");
@@ -686,15 +982,20 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: autotest <train|check|rules> [options] "
-                 "[--parallel-stats] [--failpoints spec] "
+                 "usage: autotest <train|check|rules|serve|query> "
+                 "[options] [--parallel-stats] [--failpoints spec] "
                  "[--metrics-dump <path|->]\n"
                  "  train --corpus relational|spreadsheet|tablib "
                  "--columns N --shards N --shard-quorum F "
                  "--max-retries N --out rules.sdc\n"
                  "  check file.csv [more.csv...] [--rules rules.sdc] "
                  "[--max-retries N]\n"
-                 "  rules rules.sdc\n");
+                 "  rules rules.sdc\n"
+                 "  serve --rules rules.sdc [--port N] [--max-inflight K] "
+                 "[--queue-depth Q] [--default-deadline-ms D] "
+                 "[--drain-timeout-ms T] [--reload-watch] [--once]\n"
+                 "  query file.csv --port N [--host H] [--deadline-ms D] "
+                 "[--ping|--metrics|--reload]\n");
     return kExitUsage;
   }
   std::string cmd = argv[1];
@@ -702,6 +1003,8 @@ int main(int argc, char** argv) {
   if (cmd == "train") rc = CmdTrain(argc - 2, argv + 2);
   else if (cmd == "check") rc = CmdCheck(argc - 2, argv + 2);
   else if (cmd == "rules") rc = CmdRules(argc - 2, argv + 2);
+  else if (cmd == "serve") rc = CmdServe(argc - 2, argv + 2);
+  else if (cmd == "query") rc = CmdQuery(argc - 2, argv + 2);
   else {
     std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
     rc = kExitUsage;

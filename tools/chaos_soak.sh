@@ -14,16 +14,35 @@
 #   3. permanent injection above the quorum: train must fail fast with the
 #      structured invalid-input exit code, without burning retries.
 #
-# Usage: chaos_soak.sh <autotest-binary> [seeds]
-#   seeds defaults to $CHAOS_SEEDS or 20.
+# A second mode soaks the serving tier (DESIGN.md §4h): a long-lived
+# `autotest serve` daemon under injected accept/read/parse faults takes
+# seeded client traffic; every outcome must be a documented exit class
+# (never a crash), overload must produce structured sheds whose count
+# matches the server's serve.requests_shed counter exactly, and the final
+# --metrics-dump must parse as an autotest.metrics.v1 document.
 #
-# Registered as the `chaos_soak` ctest entry (wall-clock capped there);
-# run_sanitized_tests.sh repeats it under ASan.
+# Usage: chaos_soak.sh <autotest-binary> [mode] [seeds]
+#   mode is batch | serve | all (default all).
+#   seeds defaults to $CHAOS_SEEDS or 20 (batch); serve request volume
+#   comes from $SERVE_SOAK_REQUESTS (default 40).
+#
+# Registered as the `chaos_soak` (batch) and `serve_soak` (serve) ctest
+# entries (wall-clock capped there); run_sanitized_tests.sh repeats them
+# under ASan.
 
 set -u
 
-AUTOTEST="${1:?usage: chaos_soak.sh <autotest-binary> [seeds]}"
-SEEDS="${2:-${CHAOS_SEEDS:-20}}"
+AUTOTEST="${1:?usage: chaos_soak.sh <autotest-binary> [mode] [seeds]}"
+MODE="${2:-all}"
+SEEDS="${3:-${CHAOS_SEEDS:-20}}"
+
+case "$MODE" in
+  batch|serve|all) ;;
+  *)
+    echo "chaos_soak: unknown mode '$MODE' (want batch, serve or all)" >&2
+    exit 1
+    ;;
+esac
 
 if [ ! -x "$AUTOTEST" ]; then
   echo "chaos_soak: $AUTOTEST is not an executable" >&2
@@ -31,7 +50,12 @@ if [ ! -x "$AUTOTEST" ]; then
 fi
 
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/autotest_chaos.XXXXXX")"
-trap 'rm -rf "$WORK"' EXIT
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
 
 # Small but non-trivial training configuration: sharded, with enough
 # columns that the shard loader, trainer fan-out and serializer all do
@@ -43,6 +67,8 @@ fail() {
   echo "chaos_soak: FAIL: $*" >&2
   exit 1
 }
+
+run_batch() {
 
 echo "chaos_soak: baseline fault-free train"
 "$AUTOTEST" train "${TRAIN_ARGS[@]}" --out "$WORK/baseline.sdc" \
@@ -115,4 +141,149 @@ grep -q 'after 1 attempt(s)' "$WORK/deadloss.err" \
 [ -e "$WORK/deadloss.sdc" ] && fail "failed train left a rules file behind"
 echo "chaos_soak: fast-fail scenario ok (DATA_LOSS, no retries)"
 
-echo "chaos_soak: PASS"
+}
+
+# --- serve soak (DESIGN.md §4h) -----------------------------------------
+#
+# One daemon, three phases: (1) seeded mixed traffic under injected
+# serve.read / rules.parse faults — every query must exit in a documented
+# class and the daemon must stay up; (2) an overload burst against a
+# deliberately tiny admission budget — sheds must be structured exit-7s;
+# (3) SIGTERM — the daemon must drain, exit 0 and leave a parseable
+# metrics dump whose serve.requests_shed equals the sheds we observed.
+
+run_serve() {
+
+REQUESTS="${SERVE_SOAK_REQUESTS:-40}"
+
+# The serving model needs at least one servable rule (the daemon refuses
+# an empty rule set), so this trains on the richer tablib profile rather
+# than the minimal batch-soak configuration.
+echo "chaos_soak: serve: training the serving model"
+"$AUTOTEST" train --corpus tablib --columns 200 --centroids 30 \
+    --synthetic 200 --shards 4 --max-retries 6 --out "$WORK/serve.sdc" \
+    > /dev/null 2> "$WORK/serve_train.err" \
+  || fail "serve: train exited $? ($(cat "$WORK/serve_train.err"))"
+
+printf 'city,date\nseattle,6/1/2022\ntokyo,6/2/2022\nparis,junk\n' \
+  > "$WORK/serve_table.csv"
+
+# Tiny admission budget so the burst phase can saturate it; injected read
+# and parse faults at low probability so the seeded phase exercises the
+# structured-error paths without drowning in them.
+"$AUTOTEST" serve --rules "$WORK/serve.sdc" --port 0 \
+    --max-inflight 1 --queue-depth 1 --max-retries 6 \
+    --failpoints "serve.read:p=0.02,rules.parse:p=0.01,seed=99" \
+    --metrics-dump "$WORK/serve_metrics.json" \
+    2> "$WORK/serve.err" &
+SERVE_PID=$!
+
+# Readiness: the daemon prints its bound port once listening.
+PORT=""
+for _ in $(seq 1 300); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$WORK/serve.err" | head -1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null \
+    || fail "serve: daemon died before listening ($(cat "$WORK/serve.err"))"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "serve: daemon never reported a port"
+echo "chaos_soak: serve: daemon up on port $PORT (pid $SERVE_PID)"
+
+# Phase 1: seeded mixed traffic. Documented exit classes only:
+#   0 ok, 3 invalid-input (injected parse faults surfaced structurally),
+#   5 io (injected serve.read faults answered as IO_ERROR), 6 resource/
+#   deadline, 7 shed. Anything else — in particular a crash of the client
+#   or daemon — fails the soak.
+ok_count=0; fault_count=0; shed_count=0
+for i in $(seq 1 "$REQUESTS"); do
+  case $(( i % 10 )) in
+    0) "$AUTOTEST" query --reload --port "$PORT" \
+         > /dev/null 2>> "$WORK/serve_clients.err" ;;
+    1|4|7) "$AUTOTEST" query --ping --port "$PORT" \
+         > /dev/null 2>> "$WORK/serve_clients.err" ;;
+    *) "$AUTOTEST" query "$WORK/serve_table.csv" --port "$PORT" \
+         --deadline-ms 2000 > /dev/null 2>> "$WORK/serve_clients.err" ;;
+  esac
+  rc=$?
+  case "$rc" in
+    0) ok_count=$(( ok_count + 1 )) ;;
+    3|5|6) fault_count=$(( fault_count + 1 )) ;;
+    7) shed_count=$(( shed_count + 1 )) ;;
+    *) fail "serve: request $i exited $rc (not a documented class)" ;;
+  esac
+  kill -0 "$SERVE_PID" 2>/dev/null \
+    || fail "serve: daemon died during seeded traffic (request $i)"
+done
+[ "$ok_count" -gt 0 ] \
+  || fail "serve: no request succeeded across $REQUESTS seeded requests"
+echo "chaos_soak: serve: $REQUESTS seeded requests ok" \
+     "(ok=$ok_count faults=$fault_count shed=$shed_count)"
+
+# Phase 2: overload bursts. 16 concurrent checks against a one-deep
+# queue and one worker must produce structured sheds; retry a few rounds
+# so a fast-draining scheduler cannot flake the assertion.
+burst_shed=0
+for round in $(seq 1 5); do
+  rcfile_prefix="$WORK/burst_${round}_"
+  burst_pids=""
+  for j in $(seq 1 16); do
+    { "$AUTOTEST" query "$WORK/serve_table.csv" --port "$PORT" \
+        > /dev/null 2>> "$WORK/serve_clients.err"
+      echo $? > "${rcfile_prefix}${j}.rc"
+    } &
+    burst_pids="$burst_pids $!"
+  done
+  for p in $burst_pids; do
+    wait "$p" || true
+  done
+  for j in $(seq 1 16); do
+    rc="$(cat "${rcfile_prefix}${j}.rc")"
+    case "$rc" in
+      0) ;;
+      3|5|6) ;;
+      7) burst_shed=$(( burst_shed + 1 )) ;;
+      *) fail "serve: burst query exited $rc (not a documented class)" ;;
+    esac
+  done
+  [ "$burst_shed" -gt 0 ] && break
+done
+[ "$burst_shed" -gt 0 ] \
+  || fail "serve: no structured sheds across 5 overload bursts"
+kill -0 "$SERVE_PID" 2>/dev/null || fail "serve: daemon died under overload"
+echo "chaos_soak: serve: overload ok ($burst_shed structured sheds)"
+
+# Phase 3: graceful drain + metrics contract.
+total_shed=$(( shed_count + burst_shed ))
+kill -TERM "$SERVE_PID"
+serve_rc=0
+wait "$SERVE_PID" || serve_rc=$?
+SERVE_PID=""
+[ "$serve_rc" -eq 0 ] || fail "serve: daemon exited $serve_rc after SIGTERM"
+grep -q 'serve: drained' "$WORK/serve.err" \
+  || fail "serve: no drain summary in daemon stderr"
+[ -s "$WORK/serve_metrics.json" ] || fail "serve: metrics dump missing"
+grep -q '"schema":"autotest.metrics.v1"' "$WORK/serve_metrics.json" \
+  || fail "serve: metrics dump is not an autotest.metrics.v1 document"
+grep -q '"name":"serve.requests"' "$WORK/serve_metrics.json" \
+  || fail "serve: metrics dump lacks serve.requests"
+dumped_shed="$(sed -n \
+  's/.*"name":"serve\.requests_shed","kind":"counter","value":\([0-9]*\).*/\1/p' \
+  "$WORK/serve_metrics.json" | head -1)"
+[ -n "$dumped_shed" ] \
+  || fail "serve: metrics dump lacks a serve.requests_shed counter"
+[ "$dumped_shed" -eq "$total_shed" ] \
+  || fail "serve: serve.requests_shed=$dumped_shed but clients observed $total_shed sheds"
+echo "chaos_soak: serve: drained clean, metrics dump consistent" \
+     "(serve.requests_shed=$dumped_shed)"
+
+}
+
+case "$MODE" in
+  batch) run_batch ;;
+  serve) run_serve ;;
+  all) run_batch; run_serve ;;
+esac
+
+echo "chaos_soak: PASS ($MODE)"

@@ -26,17 +26,18 @@ echo "== building (j$JOBS)"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 
 echo "== tier-1 ctest under ASan"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" -E chaos_soak
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
+  -E "chaos_soak|serve_soak"
 
-echo "== chaos soak under ASan"
-# Serial, after the fast suite: the soak's wall-clock cap assumes it is
+echo "== chaos soaks under ASan (batch + serve)"
+# Serial, after the fast suite: the soaks' wall-clock caps assume they are
 # not competing with parallel test processes for cores.
-ctest --test-dir "$BUILD_DIR" --output-on-failure -R chaos_soak
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "chaos_soak|serve_soak"
 
 echo "== failpoint soak: AT_FAILPOINTS=$SOAK_SPEC"
 # Drive the CLI end-to-end with every failpoint armed. The contract under
 # injected faults is "structured failure, never a crash": any documented
-# exit code (0-6) is acceptable, a signal death (rc >= 128), sanitizer
+# exit code (0-7) is acceptable, a signal death (rc >= 128), sanitizer
 # report or hang is not.
 SOAK_DIR="$(mktemp -d)"
 trap 'rm -rf "$SOAK_DIR"' EXIT
@@ -50,7 +51,7 @@ EOF
 soak_run() {
   local rc=0
   AT_FAILPOINTS="$1" timeout 600 "${@:2}" > /dev/null 2>&1 || rc=$?
-  if (( rc > 6 )); then
+  if (( rc > 7 )); then
     echo "FAIL: '${*:2}' under AT_FAILPOINTS=$1 exited $rc" >&2
     exit 1
   fi
