@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -115,10 +116,17 @@ void Server::AcceptLoop() {
     AdmittedJob job;
     job.fd = fd;
     job.admitted_micros = clock.NowMicros();
-    if (queue_.TryPush(job)) {
+    // Count the job before publishing it: a fast worker may finish (and
+    // decrement) the instant TryPush returns, so incrementing afterwards
+    // would transiently wrap pending_ below zero.
+    {
       std::lock_guard<std::mutex> lock(drain_mu_);
       ++pending_;
-      continue;
+    }
+    if (queue_.TryPush(job)) continue;
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      --pending_;
     }
     // Saturated: every worker busy and the queue at depth. Shedding is
     // the acceptor's job so the answer is immediate and deterministic.
@@ -150,14 +158,34 @@ void Server::HandleConnection(const AdmittedJob& job) {
       metrics::Registry::Global().GetCounter(metrics::kMServeReadErrors);
 
   if (options_.phase_hook) options_.phase_hook("read");
+  // The frame read is capped at the request's remaining default budget
+  // (its own deadline_ms is inside the frame being read, so the default
+  // is the only budget known yet): a client that connects and sends
+  // nothing gets a structured DEADLINE_EXCEEDED and frees this worker
+  // instead of pinning it forever.
+  util::Clock& clock = EffectiveClock(options_);
+  int64_t read_budget_micros = job.admitted_micros +
+                               options_.default_deadline_micros -
+                               clock.NowMicros();
+  if (read_budget_micros < 0) read_budget_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    reading_fds_.push_back(job.fd);
+  }
   auto payload = [&]() -> util::Result<std::string> {
     if (auto injected = util::FailpointFiresCode(util::kFpServeRead,
                                                  StatusCode::kIoError)) {
       return util::InjectedFault(*injected, util::kFpServeRead)
           .WithContext("reading request frame");
     }
-    return TryReadFrame(job.fd, options_.max_frame_bytes);
+    return TryReadFrame(job.fd, options_.max_frame_bytes,
+                        read_budget_micros / 1000);
   }();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    reading_fds_.erase(
+        std::find(reading_fds_.begin(), reading_fds_.end(), job.fd));
+  }
 
   Response response;
   if (!payload.ok()) {
@@ -199,6 +227,12 @@ DrainReport Server::StopAndDrain() {
     while (pending_ > 0 && clock.NowMicros() < deadline) {
       drain_cv_.wait_for(lock, std::chrono::milliseconds(10));
     }
+    // Past the drain budget: a worker still parked in a frame read is
+    // waiting on a request that never arrived, so there is no response
+    // worth waiting for — shut its socket down and the read fails now
+    // instead of at the read timeout. Requests past their read (already
+    // computing a response) are still awaited by the joins below.
+    for (int fd : reading_fds_) ::shutdown(fd, SHUT_RDWR);
   }
 
   // Whatever is still queued missed the drain budget: shed it with a

@@ -25,6 +25,12 @@
 // Shutdown (SIGTERM -> RequestStop -> StopAndDrain): admissions stop,
 // queued and in-flight requests get `drain_timeout` to finish, whatever is
 // still queued after that is shed with reason=draining, workers join.
+//
+// Worker reads are bounded: the frame read is capped at the request's
+// remaining default budget (its own deadline_ms is inside the frame being
+// read), and at the drain deadline any socket still parked in a read is
+// shut down — a client that connects and sends nothing can neither pin a
+// worker nor stall StopAndDrain.
 
 namespace autotest::serve {
 
@@ -91,6 +97,9 @@ class Server {
   std::condition_variable drain_cv_;
   uint64_t pending_ = 0;    // guarded by drain_mu_
   uint64_t completed_ = 0;  // guarded by drain_mu_
+  // Sockets currently blocked in a worker's frame read; StopAndDrain
+  // shuts these down at the drain deadline to unblock the workers.
+  std::vector<int> reading_fds_;  // guarded by drain_mu_
   std::atomic<uint64_t> shed_{0};
 };
 

@@ -2,10 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -32,10 +35,37 @@ std::string ErrnoDetail() {
 }
 
 // Full-buffer read/write loops; sockets may return short counts.
+// A non-null `deadline` bounds every blocking stretch with poll():
+// kDeadlineExceeded once it passes, so a silent peer frees the caller.
+using ReadDeadline = std::chrono::steady_clock::time_point;
+
 [[nodiscard]] Status ReadExact(int fd, char* buf, size_t n,
-                               std::string_view what) {
+                               std::string_view what,
+                               const ReadDeadline* deadline) {
   size_t done = 0;
   while (done < n) {
+    if (deadline != nullptr) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      *deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left < 0) left = 0;
+      pollfd pfd{fd, POLLIN, 0};
+      int pr = ::poll(&pfd, 1,
+                      static_cast<int>(std::min<long long>(left, 60'000)));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return util::IoError("poll failed mid-" + std::string(what) +
+                             ErrnoDetail());
+      }
+      if (pr == 0) {
+        if (std::chrono::steady_clock::now() >= *deadline) {
+          return util::DeadlineExceededError(
+              "read timed out mid-" + std::string(what) + " (" +
+              std::to_string(done) + "/" + std::to_string(n) + " bytes)");
+        }
+        continue;
+      }
+    }
     ssize_t r = ::read(fd, buf + done, n - done);
     if (r == 0) {
       return util::DataLossError("connection closed mid-" +
@@ -56,7 +86,11 @@ std::string ErrnoDetail() {
 [[nodiscard]] Status WriteExact(int fd, const char* buf, size_t n) {
   size_t done = 0;
   while (done < n) {
-    ssize_t w = ::write(fd, buf + done, n - done);
+    // MSG_NOSIGNAL: a peer that closed before reading its response must
+    // surface as EPIPE, not a process-killing SIGPIPE. Non-socket fds
+    // (tests frame through pipes) fall back to plain write().
+    ssize_t w = ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, buf + done, n - done);
     if (w < 0) {
       if (errno == EINTR) continue;
       return util::IoError("write failed" + ErrnoDetail());
@@ -131,12 +165,15 @@ Result<Request> TryParseRequest(std::string_view payload) {
     std::string_view key = line.substr(0, eq);
     std::string value(line.substr(eq + 1));
     if (key == "deadline_ms") {
+      // `v` is untrusted; strtoll saturates at LLONG_MIN/MAX on overflow,
+      // both of which the range check rejects before any µs arithmetic.
       char* endp = nullptr;
       long long v = std::strtoll(value.c_str(), &endp, 10);
-      if (value.empty() || endp != value.c_str() + value.size() || v < 0) {
+      if (value.empty() || endp != value.c_str() + value.size() || v < 0 ||
+          v > kMaxDeadlineMs) {
         return util::InvalidArgumentError(
-            "field 'deadline_ms' wants a non-negative integer, got '" +
-            value + "'");
+            "field 'deadline_ms' wants an integer in [0, " +
+            std::to_string(kMaxDeadlineMs) + "], got '" + value + "'");
       }
       request.deadline_ms = v;
     } else if (key == "table") {
@@ -196,10 +233,18 @@ std::string EncodeFrame(std::string_view payload) {
   return out;
 }
 
-Result<std::string> TryReadFrame(int fd, size_t max_bytes) {
+Result<std::string> TryReadFrame(int fd, size_t max_bytes,
+                                 int64_t timeout_millis) {
+  ReadDeadline deadline;
+  const ReadDeadline* deadline_ptr = nullptr;
+  if (timeout_millis >= 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(timeout_millis);
+    deadline_ptr = &deadline;
+  }
   unsigned char hdr[4];
-  AT_RETURN_IF_ERROR(
-      ReadExact(fd, reinterpret_cast<char*>(hdr), 4, "frame header"));
+  AT_RETURN_IF_ERROR(ReadExact(fd, reinterpret_cast<char*>(hdr), 4,
+                               "frame header", deadline_ptr));
   uint32_t n = (static_cast<uint32_t>(hdr[0]) << 24) |
                (static_cast<uint32_t>(hdr[1]) << 16) |
                (static_cast<uint32_t>(hdr[2]) << 8) |
@@ -210,7 +255,8 @@ Result<std::string> TryReadFrame(int fd, size_t max_bytes) {
         std::to_string(max_bytes) + "-byte cap");
   }
   std::string payload(n, '\0');
-  AT_RETURN_IF_ERROR(ReadExact(fd, payload.data(), n, "frame payload"));
+  AT_RETURN_IF_ERROR(
+      ReadExact(fd, payload.data(), n, "frame payload", deadline_ptr));
   return payload;
 }
 

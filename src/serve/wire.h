@@ -34,6 +34,11 @@ namespace autotest::serve {
 
 inline constexpr std::string_view kWireMagic = "autotest.serve.v1";
 
+/// Upper bound on a request's `deadline_ms` (24 h). The value is
+/// client-controlled, so parse rejects anything above this before the
+/// µs conversion can overflow the int64 deadline arithmetic.
+inline constexpr int64_t kMaxDeadlineMs = 86'400'000;
+
 /// One parsed request frame.
 struct Request {
   std::string verb;       // check | ping | metrics | reload
@@ -60,7 +65,8 @@ std::string SerializeRequest(const Request& request);
 std::string SerializeResponse(const Response& response);
 
 /// Parses a request payload. kInvalidArgument for a bad magic/verb line,
-/// unknown keys or a non-numeric/negative deadline.
+/// unknown keys, or a deadline that is non-numeric, negative, or above
+/// kMaxDeadlineMs.
 [[nodiscard]] util::Result<Request> TryParseRequest(std::string_view payload);
 
 /// Parses a response payload (client side). kInvalidArgument for a bad
@@ -73,11 +79,16 @@ std::string EncodeFrame(std::string_view payload);
 
 /// Reads exactly one frame from `fd`. kResourceExhausted when the claimed
 /// length exceeds `max_bytes`; kDataLoss on a truncated frame (peer closed
-/// mid-payload); kIoError on read failures.
-[[nodiscard]] util::Result<std::string> TryReadFrame(int fd,
-                                                     size_t max_bytes);
+/// mid-payload); kIoError on read failures. A non-negative
+/// `timeout_millis` bounds the whole frame read (header + payload) via
+/// poll() — kDeadlineExceeded once it lapses — so a silent peer cannot
+/// pin the calling thread; -1 blocks indefinitely (client side).
+[[nodiscard]] util::Result<std::string> TryReadFrame(
+    int fd, size_t max_bytes, int64_t timeout_millis = -1);
 
 /// Writes one frame to `fd`; kIoError on short writes or socket errors.
+/// Socket writes use MSG_NOSIGNAL: a peer that closed before reading its
+/// response surfaces as EPIPE, never a process-killing SIGPIPE.
 [[nodiscard]] util::Status TryWriteFrame(int fd, std::string_view payload);
 
 /// Connects to host:port (IPv4 dotted or "localhost"); returns the

@@ -15,6 +15,7 @@
 //     answers every admitted connection.
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -162,16 +163,25 @@ TEST_F(ServeTest, WireRequestRoundTripsAndRejectsGarbage) {
 
   // Strictness: bad magic, unknown verb, unknown key and a malformed
   // deadline are each kInvalidArgument — a typoed knob must not silently
-  // serve with defaults.
+  // serve with defaults. deadline_ms is client-controlled, so values
+  // over the 24h cap (including ones that overflow strtoll) are rejected
+  // before any µs arithmetic can overflow.
   for (std::string_view bad :
        {"not.the.magic ping\n\n", "autotest.serve.v1 destroy\n\n",
         "autotest.serve.v1 ping\ndead_line_ms=5\n\n",
         "autotest.serve.v1 check\ndeadline_ms=soon\n\n",
-        "autotest.serve.v1 check\ndeadline_ms=-4\n\n"}) {
+        "autotest.serve.v1 check\ndeadline_ms=-4\n\n",
+        "autotest.serve.v1 check\ndeadline_ms=86400001\n\n",
+        "autotest.serve.v1 check\ndeadline_ms=9223372036854775807\n\n",
+        "autotest.serve.v1 check\ndeadline_ms=99999999999999999999999\n\n"}) {
     auto r = TryParseRequest(bad);
     ASSERT_FALSE(r.ok()) << bad;
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
   }
+  auto at_cap = TryParseRequest("autotest.serve.v1 ping\ndeadline_ms=" +
+                                std::to_string(kMaxDeadlineMs) + "\n\n");
+  ASSERT_TRUE(at_cap.ok()) << at_cap.status().ToString();
+  EXPECT_EQ(at_cap->deadline_ms, kMaxDeadlineMs);
 }
 
 TEST_F(ServeTest, WireResponseRoundTripsCodeFieldsAndBody) {
@@ -542,6 +552,21 @@ TEST_F(ServeTest, OverloadShedsDeterministicallyAndCountsEveryShed) {
   EXPECT_EQ(CounterValue(metrics::kMServeRequestsShed),
             shed_before + kShedRequests);
 
+  // A peer that vanishes before reading its shed notice (RST via
+  // SO_LINGER=0) costs the acceptor one failed write, not the process a
+  // SIGPIPE: the sheds below still complete on the same acceptor thread.
+  int rude = MustConnect(server.port());
+  struct linger lg {1, 0};
+  ::setsockopt(rude, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(rude);
+  for (int i = 0; i < 2; ++i) {
+    int fd = MustConnect(server.port());
+    Response shed = MustReadResponse(fd);
+    EXPECT_EQ(shed.code, StatusCode::kResourceExhausted);
+    ::close(fd);
+  }
+  constexpr int kTotalSheds = kShedRequests + 3;  // + rude + 2 after it
+
   // Release the latch: every admitted request completes normally.
   latch.Release();
   EXPECT_EQ(MustReadResponse(inflight).code, StatusCode::kOk);
@@ -553,8 +578,39 @@ TEST_F(ServeTest, OverloadShedsDeterministicallyAndCountsEveryShed) {
 
   DrainReport report = server.StopAndDrain();
   EXPECT_EQ(report.completed, 3u);
-  EXPECT_EQ(report.shed, static_cast<uint64_t>(kShedRequests));
+  EXPECT_EQ(report.shed, static_cast<uint64_t>(kTotalSheds));
   EXPECT_EQ(report.drain_shed, 0u);
+  EXPECT_TRUE(report.drained_clean);
+}
+
+// A client that connects and never sends a frame must not pin a worker:
+// the read is bounded by the default budget, answers a structured
+// DEADLINE_EXCEEDED, and the worker serves the next request normally.
+TEST_F(ServeTest, SilentClientTimesOutStructurallyAndFreesTheWorker) {
+  const std::string path = "/tmp/autotest_serve_silent.sdc";
+  auto store = MakeLoadedStore(path);
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.default_deadline_micros = 200'000;  // 200ms read budget
+  Server server(store.get(), options);
+  util::Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  const uint64_t read_errors_before =
+      CounterValue(metrics::kMServeReadErrors);
+  int silent = MustConnect(server.port());
+  Response timed_out = MustReadResponse(silent);
+  EXPECT_EQ(timed_out.code, StatusCode::kDeadlineExceeded);
+  ::close(silent);
+  EXPECT_GE(CounterValue(metrics::kMServeReadErrors),
+            read_errors_before + 1);
+
+  // The only worker is free again; a well-behaved request succeeds.
+  int fd = MustConnect(server.port());
+  SendPayload(fd, PingPayload());
+  EXPECT_EQ(MustReadResponse(fd).code, StatusCode::kOk);
+  ::close(fd);
+  DrainReport report = server.StopAndDrain();
   EXPECT_TRUE(report.drained_clean);
 }
 
@@ -611,6 +667,50 @@ TEST_F(ServeTest, DrainShedsQueuedRequestsWithDrainingReason) {
   EXPECT_EQ(report.drain_shed, 2u);
   EXPECT_FALSE(report.drained_clean);
   EXPECT_EQ(CounterValue(metrics::kMServeDrainShed), drain_shed_before + 2);
+}
+
+// StopAndDrain must terminate even while a worker sits in a frame read
+// whose budget is far longer than the drain timeout: the drain sweep
+// shuts the parked socket down, the read fails immediately, and join
+// returns — SIGTERM always terminates the daemon.
+TEST_F(ServeTest, DrainShutsDownSocketsParkedInRead) {
+  const std::string path = "/tmp/autotest_serve_drain_read.sdc";
+  auto store = MakeLoadedStore(path);
+  std::atomic<int> read_phases{0};
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.drain_timeout_micros = 0;
+  // A read budget drain must not have to wait out.
+  options.default_deadline_micros = 30'000'000;
+  options.phase_hook = [&read_phases](std::string_view phase) {
+    if (phase == "read") read_phases.fetch_add(1);
+  };
+  Server server(store.get(), options);
+  util::Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  int silent = MustConnect(server.port());
+  for (int i = 0; i < 5000 && read_phases.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(read_phases.load(), 1);
+  // A beat for the worker to move from the phase hook into the poll().
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto drain_started = std::chrono::steady_clock::now();
+  server.RequestStop();
+  DrainReport report = server.StopAndDrain();
+  const auto drain_seconds =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - drain_started)
+          .count();
+  EXPECT_LT(drain_seconds, 10) << "drain waited out the 30s read budget";
+  EXPECT_EQ(report.drain_shed, 0u);
+
+  // The silent client sees its connection die, not a response.
+  auto frame = TryReadFrame(silent, 1 << 20);
+  EXPECT_FALSE(frame.ok());
+  ::close(silent);
 }
 
 // ---------------------------------------------------------- hot-reload --

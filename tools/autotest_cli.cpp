@@ -736,6 +736,12 @@ int CmdServe(int argc, char** argv) {
                  "positive\n");
     return kExitUsage;
   }
+  if (default_deadline_ms > static_cast<size_t>(serve::kMaxDeadlineMs)) {
+    std::fprintf(stderr,
+                 "option --default-deadline-ms wants a value in [0, %lld]\n",
+                 static_cast<long long>(serve::kMaxDeadlineMs));
+    return kExitUsage;
+  }
   options.port = static_cast<uint16_t>(port);
   options.max_inflight = max_inflight;
   options.queue_depth = queue_depth;
@@ -743,6 +749,11 @@ int CmdServe(int argc, char** argv) {
       static_cast<int64_t>(default_deadline_ms) * 1000;
   options.drain_timeout_micros =
       static_cast<int64_t>(drain_timeout_ms) * 1000;
+
+  // An impatient client that closes its socket before reading its
+  // response must be an EPIPE on that one write, never a process-killing
+  // SIGPIPE (belt to WriteExact's MSG_NOSIGNAL braces).
+  std::signal(SIGPIPE, SIG_IGN);
 
   const util::RetryPolicy retry = CliRetryPolicy(max_retries);
   auto at = TryBuildServingModel(rules_path, retry);
@@ -862,6 +873,12 @@ int CmdQuery(int argc, char** argv) {
                  "[--ping|--metrics|--reload]\n");
     return kExitUsage;
   }
+  if (deadline_ms > static_cast<size_t>(serve::kMaxDeadlineMs)) {
+    std::fprintf(stderr, "option --deadline-ms wants a value in [0, %lld]\n",
+                 static_cast<long long>(serve::kMaxDeadlineMs));
+    return kExitUsage;
+  }
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished server is an error, not a kill
   serve::Request request;
   request.verb = verb;
   request.deadline_ms = static_cast<int64_t>(deadline_ms);
