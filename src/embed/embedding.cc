@@ -114,7 +114,7 @@ class SbertSim : public EmbeddingModel {
 bool EmbeddingModel::EmbedCached(const std::string& value,
                                  Vector* out) const {
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(&cache_mu_);
     auto it = cache_.find(value);
     if (it != cache_.end()) {
       *out = it->second.second;
@@ -124,7 +124,7 @@ bool EmbeddingModel::EmbedCached(const std::string& value,
   Vector v;
   bool ok = Embed(value, &v);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(&cache_mu_);
     if (cache_.size() >= kMaxCacheEntries) cache_.clear();
     cache_.emplace(value, std::make_pair(ok, v));
   }

@@ -2,12 +2,13 @@
 #define AUTOTEST_EMBED_EMBEDDING_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "embed/vector_math.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace autotest::embed {
 
@@ -45,8 +46,9 @@ class EmbeddingModel {
 
  private:
   static constexpr size_t kMaxCacheEntries = 2'000'000;
-  mutable std::mutex cache_mu_;
-  mutable std::unordered_map<std::string, std::pair<bool, Vector>> cache_;
+  mutable util::Mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::pair<bool, Vector>> cache_
+      AT_GUARDED_BY(cache_mu_);
 };
 
 /// GloVe-like embedding: closed vocabulary consisting of the *head* values

@@ -2,19 +2,21 @@
 
 namespace autotest::serve {
 
+using util::MutexLock;
+
 bool AdmissionQueue::TryPush(AdmittedJob job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_ || jobs_.size() >= depth_) return false;
     jobs_.push(job);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 std::optional<AdmittedJob> AdmissionQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !jobs_.empty() || shutdown_; });
+  MutexLock lock(&mu_);
+  while (jobs_.empty() && !shutdown_) cv_.Wait(mu_);
   if (jobs_.empty()) return std::nullopt;
   AdmittedJob job = jobs_.front();
   jobs_.pop();
@@ -22,14 +24,14 @@ std::optional<AdmittedJob> AdmissionQueue::Pop() {
 }
 
 void AdmissionQueue::CloseAdmissions() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   closed_ = true;
 }
 
 std::vector<AdmittedJob> AdmissionQueue::DrainRemaining() {
   std::vector<AdmittedJob> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
     while (!jobs_.empty()) {
       out.push_back(jobs_.front());
@@ -41,15 +43,15 @@ std::vector<AdmittedJob> AdmissionQueue::DrainRemaining() {
 
 void AdmissionQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t AdmissionQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return jobs_.size();
 }
 

@@ -1,12 +1,13 @@
 #ifndef AUTOTEST_SERVE_ADMISSION_H_
 #define AUTOTEST_SERVE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 // Bounded admission queue between the acceptor and the worker pool
 // (DESIGN.md §4h). Admission control is the whole point: TryPush never
@@ -31,33 +32,33 @@ class AdmissionQueue {
 
   /// Admits `job` unless the queue is at depth or admissions are closed.
   /// Returns false without blocking in either case — the caller sheds.
-  bool TryPush(AdmittedJob job);
+  bool TryPush(AdmittedJob job) AT_EXCLUDES(mu_);
 
   /// Blocks until a job is available or the queue is closed and drained;
   /// nullopt means "no more work ever" (worker exits).
-  std::optional<AdmittedJob> Pop();
+  std::optional<AdmittedJob> Pop() AT_EXCLUDES(mu_);
 
   /// Stops admissions (TryPush starts failing) but lets queued jobs be
   /// popped — the graceful half of drain.
-  void CloseAdmissions();
+  void CloseAdmissions() AT_EXCLUDES(mu_);
 
   /// Removes and returns every still-queued job (drain deadline passed;
   /// the caller sheds them). Also closes admissions.
-  std::vector<AdmittedJob> DrainRemaining();
+  std::vector<AdmittedJob> DrainRemaining() AT_EXCLUDES(mu_);
 
   /// Wakes all Pop waiters permanently; combined with CloseAdmissions,
   /// workers exit once the queue is empty.
-  void Shutdown();
+  void Shutdown() AT_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const AT_EXCLUDES(mu_);
 
  private:
   const size_t depth_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<AdmittedJob> jobs_;
-  bool closed_ = false;    // no new admissions
-  bool shutdown_ = false;  // Pop returns nullopt once empty
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::queue<AdmittedJob> jobs_ AT_GUARDED_BY(mu_);
+  bool closed_ AT_GUARDED_BY(mu_) = false;    // no new admissions
+  bool shutdown_ AT_GUARDED_BY(mu_) = false;  // Pop nullopt once empty
 };
 
 }  // namespace autotest::serve

@@ -7,7 +7,6 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 
 #include "serve/wire.h"
@@ -120,12 +119,12 @@ void Server::AcceptLoop() {
     // decrement) the instant TryPush returns, so incrementing afterwards
     // would transiently wrap pending_ below zero.
     {
-      std::lock_guard<std::mutex> lock(drain_mu_);
+      util::MutexLock lock(&drain_mu_);
       ++pending_;
     }
     if (queue_.TryPush(job)) continue;
     {
-      std::lock_guard<std::mutex> lock(drain_mu_);
+      util::MutexLock lock(&drain_mu_);
       --pending_;
     }
     // Saturated: every worker busy and the queue at depth. Shedding is
@@ -145,11 +144,11 @@ void Server::WorkerLoop() {
   while (auto job = queue_.Pop()) {
     HandleConnection(*job);
     {
-      std::lock_guard<std::mutex> lock(drain_mu_);
+      util::MutexLock lock(&drain_mu_);
       --pending_;
       ++completed_;
     }
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   }
 }
 
@@ -169,7 +168,7 @@ void Server::HandleConnection(const AdmittedJob& job) {
                                clock.NowMicros();
   if (read_budget_micros < 0) read_budget_micros = 0;
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(&drain_mu_);
     reading_fds_.push_back(job.fd);
   }
   auto payload = [&]() -> util::Result<std::string> {
@@ -182,7 +181,7 @@ void Server::HandleConnection(const AdmittedJob& job) {
                         read_budget_micros / 1000);
   }();
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(&drain_mu_);
     reading_fds_.erase(
         std::find(reading_fds_.begin(), reading_fds_.end(), job.fd));
   }
@@ -223,9 +222,9 @@ DrainReport Server::StopAndDrain() {
   const int64_t deadline =
       clock.NowMicros() + options_.drain_timeout_micros;
   {
-    std::unique_lock<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(&drain_mu_);
     while (pending_ > 0 && clock.NowMicros() < deadline) {
-      drain_cv_.wait_for(lock, std::chrono::milliseconds(10));
+      drain_cv_.WaitForMicros(drain_mu_, 10'000);
     }
     // Past the drain budget: a worker still parked in a frame read is
     // waiting on a request that never arrived, so there is no response
@@ -250,7 +249,7 @@ DrainReport Server::StopAndDrain() {
     ::close(job.fd);
   }
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(&drain_mu_);
     pending_ -= leftovers.size();
   }
 
@@ -259,7 +258,7 @@ DrainReport Server::StopAndDrain() {
   workers_.clear();
 
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(&drain_mu_);
     report.completed = completed_;
   }
   report.shed = shed_.load(std::memory_order_relaxed);

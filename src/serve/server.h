@@ -2,16 +2,16 @@
 #define AUTOTEST_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/admission.h"
 #include "serve/session.h"
 #include "serve/snapshot.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 // The TCP serving tier (DESIGN.md §4h): one acceptor thread feeding a
 // bounded AdmissionQueue, `max_inflight` worker threads draining it, one
@@ -93,13 +93,16 @@ class Server {
   std::vector<std::thread> workers_;
 
   // Admitted-but-unfinished requests; drain waits for this to hit zero.
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
-  uint64_t pending_ = 0;    // guarded by drain_mu_
-  uint64_t completed_ = 0;  // guarded by drain_mu_
+  // Contract (§4h, compile-checked under AT_THREAD_SAFETY): no blocking
+  // write ever happens under drain_mu_ — shed responses and frame I/O
+  // all run outside its scopes (at_lint rule R8 cross-checks).
+  util::Mutex drain_mu_;
+  util::CondVar drain_cv_;
+  uint64_t pending_ AT_GUARDED_BY(drain_mu_) = 0;
+  uint64_t completed_ AT_GUARDED_BY(drain_mu_) = 0;
   // Sockets currently blocked in a worker's frame read; StopAndDrain
   // shuts these down at the drain deadline to unblock the workers.
-  std::vector<int> reading_fds_;  // guarded by drain_mu_
+  std::vector<int> reading_fds_ AT_GUARDED_BY(drain_mu_);
   std::atomic<uint64_t> shed_{0};
 };
 

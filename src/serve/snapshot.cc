@@ -27,11 +27,14 @@ Status SnapshotStore::TryReload() {
 
   // Reloads serialize with each other (version numbers stay monotonic);
   // build-and-validate happens entirely outside mu_, so readers only
-  // contend on the final pointer swap.
-  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  // contend on the final pointer swap. The rule-file read below is
+  // blocking I/O under reload_mu_ by design: reload_mu_ exists to
+  // serialize reloads, is never taken on the request path, and readers
+  // (Get) only ever touch mu_.
+  util::MutexLock reload_lock(&reload_mu_);
   uint64_t version;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     version = next_version_;
   }
 
@@ -42,6 +45,10 @@ Status SnapshotStore::TryReload() {
           .WithContext("reloading rules from " + rules_path_);
     }
     size_t unresolved = 0;
+    // reload_mu_ serializes reloads only; it is never taken on the
+    // request-serving path, so blocking file I/O under it cannot stall a
+    // worker (Get() only touches mu_).
+    // at_lint: disable(R8) reload-only lock, never on the request path
     auto rules = core::TryLoadRulesFromFile(rules_path_, *evals_,
                                             &unresolved);
     if (!rules.ok()) {
@@ -66,7 +73,7 @@ Status SnapshotStore::TryReload() {
     return candidate.status();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     current_ = std::move(*candidate);
     next_version_ = version + 1;
   }
@@ -75,12 +82,12 @@ Status SnapshotStore::TryReload() {
 }
 
 std::shared_ptr<const RuleSetSnapshot> SnapshotStore::Get() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return current_;
 }
 
 uint64_t SnapshotStore::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return current_ ? current_->version() : 0;
 }
 

@@ -3,14 +3,15 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/predictor.h"
 #include "core/sdc.h"
 #include "typedet/eval_functions.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 // Versioned, immutable rule-set snapshots with load-validate-then-swap
 // hot-reload (DESIGN.md §4h).
@@ -64,13 +65,13 @@ class SnapshotStore {
   /// in. On any failure the previous snapshot keeps serving. The
   /// `serve.reload` failpoint fires at entry; `rules.open`/`rules.parse`
   /// fire inside the loader. Increments serve.reloads / reload_failures.
-  [[nodiscard]] util::Status TryReload();
+  [[nodiscard]] util::Status TryReload() AT_EXCLUDES(reload_mu_, mu_);
 
   /// The current snapshot; nullptr until the first successful TryReload.
-  std::shared_ptr<const RuleSetSnapshot> Get() const;
+  std::shared_ptr<const RuleSetSnapshot> Get() const AT_EXCLUDES(mu_);
 
   /// Version of the current snapshot (0 = none loaded yet).
-  uint64_t version() const;
+  uint64_t version() const AT_EXCLUDES(mu_);
 
   const std::string& rules_path() const { return rules_path_; }
 
@@ -78,10 +79,11 @@ class SnapshotStore {
   const typedet::EvalFunctionSet* evals_;
   std::string rules_path_;
 
-  std::mutex reload_mu_;  // serializes TryReload calls
-  mutable std::mutex mu_;
-  std::shared_ptr<const RuleSetSnapshot> current_;  // guarded by mu_
-  uint64_t next_version_ = 1;                       // guarded by mu_
+  /// Serializes TryReload calls; always taken before mu_ (R9 edge).
+  util::Mutex reload_mu_ AT_ACQUIRED_BEFORE(mu_);
+  mutable util::Mutex mu_;
+  std::shared_ptr<const RuleSetSnapshot> current_ AT_GUARDED_BY(mu_);
+  uint64_t next_version_ AT_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace autotest::serve

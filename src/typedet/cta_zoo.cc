@@ -113,7 +113,7 @@ std::unique_ptr<CtaModelZoo> CtaModelZoo::Train(const CtaZooConfig& config) {
 double CtaModelZoo::Score(size_t type_index, const std::string& value) const {
   AT_CHECK(type_index < models_.size());
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(&cache_mu_);
     auto it = score_cache_.find(value);
     if (it != score_cache_.end()) {
       return static_cast<double>(it->second[type_index]);
@@ -125,7 +125,7 @@ double CtaModelZoo::Score(size_t type_index, const std::string& value) const {
     scores[t] = static_cast<float>(models_[t].Predict(features));
   }
   double out = static_cast<double>(scores[type_index]);
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(&cache_mu_);
   if (score_cache_.size() >= kMaxCacheEntries) score_cache_.clear();
   score_cache_.emplace(value, std::move(scores));
   return out;

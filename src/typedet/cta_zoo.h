@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ml/features.h"
 #include "ml/logistic_regression.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace autotest::typedet {
 
@@ -58,8 +59,9 @@ class CtaModelZoo {
   // Per-value score cache (all types at once), bounded to keep memory flat
   // across long benchmark sweeps.
   static constexpr size_t kMaxCacheEntries = 2'000'000;
-  mutable std::mutex cache_mu_;
-  mutable std::unordered_map<std::string, std::vector<float>> score_cache_;
+  mutable util::Mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::vector<float>> score_cache_
+      AT_GUARDED_BY(cache_mu_);
 };
 
 /// The two built-in zoos. Sherlock-sim covers a subset of NL domains

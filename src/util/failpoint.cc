@@ -77,7 +77,7 @@ FailpointRegistry& FailpointRegistry::Global() {
 }
 
 Status FailpointRegistry::Configure(std::string_view spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const std::string& raw : Split(spec, ',')) {
     std::string_view entry = Trim(raw);
     if (entry.empty()) continue;
@@ -161,7 +161,7 @@ Status FailpointRegistry::Configure(std::string_view spec) {
 }
 
 void FailpointRegistry::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [fp, point] : points_) {
     (void)fp;
     point.armed = false;
@@ -171,7 +171,7 @@ void FailpointRegistry::Disarm() {
 }
 
 void FailpointRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [fp, point] : points_) {
     (void)fp;
     point.armed = false;
@@ -214,31 +214,31 @@ bool FailpointRegistry::ShouldFail(std::string_view name) {
 std::optional<StatusCode> FailpointRegistry::ShouldFailWithCode(
     std::string_view name, StatusCode fallback) {
   if (!armed_flag_.load(std::memory_order_acquire)) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return EvalLocked(name, 0, /*use_counter=*/true, fallback);
 }
 
 std::optional<StatusCode> FailpointRegistry::ShouldFailKeyed(
     std::string_view name, uint64_t key, StatusCode fallback) {
   if (!armed_flag_.load(std::memory_order_acquire)) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return EvalLocked(name, key, /*use_counter=*/false, fallback);
 }
 
 uint64_t FailpointRegistry::evaluations(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.evaluations->value();
 }
 
 uint64_t FailpointRegistry::fires(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.fires->value();
 }
 
 std::string FailpointRegistry::StatsString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "failpoints:";
   bool any = false;
   for (const auto& [fp, point] : points_) {

@@ -4,13 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 // Fault-injection framework for the load/serve path. Code at an injection
 // site asks `FailpointFires("rules.parse")`; when the failpoint is armed the
@@ -83,23 +84,24 @@ class FailpointRegistry {
   /// Parses and applies a spec (see grammar above). Entries apply in
   /// order; later entries override earlier ones. Unknown failpoint names
   /// and malformed probabilities are kInvalidArgument.
-  [[nodiscard]] Status Configure(std::string_view spec);
+  [[nodiscard]] Status Configure(std::string_view spec) AT_EXCLUDES(mu_);
 
   /// Disarms every failpoint; evaluation/fire counters are preserved.
-  void Disarm();
+  void Disarm() AT_EXCLUDES(mu_);
 
   /// Disarms and zeroes all counters (fresh-process state).
-  void Reset();
+  void Reset() AT_EXCLUDES(mu_);
 
   /// True if the named failpoint should inject a fault at this evaluation.
   /// Counts the evaluation (and the fire, if any) either way.
-  bool ShouldFail(std::string_view name);
+  bool ShouldFail(std::string_view name) AT_EXCLUDES(mu_);
 
   /// Like ShouldFail, but returns the StatusCode the site should inject:
   /// the spec's `code=` flavor when set, else `fallback` (the site's
   /// documented default). nullopt when the failpoint does not fire.
   std::optional<StatusCode> ShouldFailWithCode(std::string_view name,
-                                               StatusCode fallback);
+                                               StatusCode fallback)
+      AT_EXCLUDES(mu_);
 
   /// Scheduling-independent variant for sites evaluated from parallel
   /// workers: the decision is a pure function of (seed, name, key) instead
@@ -107,14 +109,15 @@ class FailpointRegistry {
   /// across thread counts and interleavings. Counters still advance.
   std::optional<StatusCode> ShouldFailKeyed(std::string_view name,
                                             uint64_t key,
-                                            StatusCode fallback);
+                                            StatusCode fallback)
+      AT_EXCLUDES(mu_);
 
   /// Counters, for tests and --failpoints diagnostics.
-  uint64_t evaluations(std::string_view name) const;
-  uint64_t fires(std::string_view name) const;
+  uint64_t evaluations(std::string_view name) const AT_EXCLUDES(mu_);
+  uint64_t fires(std::string_view name) const AT_EXCLUDES(mu_);
 
   /// "failpoints: csv.open evals=12 fires=1, ..." (armed or fired only).
-  std::string StatsString() const;
+  std::string StatsString() const AT_EXCLUDES(mu_);
 
  private:
   FailpointRegistry();
@@ -130,17 +133,19 @@ class FailpointRegistry {
   };
 
   /// Decision + bookkeeping shared by the counter-keyed and caller-keyed
-  /// evaluation paths. Must be called under mu_.
+  /// evaluation paths. Must be called under mu_ (compile-checked).
   std::optional<StatusCode> EvalLocked(std::string_view name, uint64_t key,
                                        bool use_counter,
-                                       StatusCode fallback);
+                                       StatusCode fallback)
+      AT_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  bool any_armed_ = false;  // mirrors armed_flag_ under mu_
+  mutable Mutex mu_;
+  bool any_armed_ AT_GUARDED_BY(mu_) = false;  // mirrors armed_flag_
   std::atomic<bool> armed_flag_{false};
-  uint64_t seed_ = 0;
-  std::optional<StatusCode> code_override_;  // the `code=` flavor
-  std::map<std::string, Point, std::less<>> points_;
+  uint64_t seed_ AT_GUARDED_BY(mu_) = 0;
+  // The `code=` flavor.
+  std::optional<StatusCode> code_override_ AT_GUARDED_BY(mu_);
+  std::map<std::string, Point, std::less<>> points_ AT_GUARDED_BY(mu_);
 };
 
 /// Injection-site helper: true when `name` should fail now.

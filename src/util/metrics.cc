@@ -229,7 +229,7 @@ Registry& Registry::Global() {
 
 Counter& Registry::GetCounter(std::string_view name) {
   AT_CHECK_MSG(IsValidMetricName(name), "invalid metric name");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -244,7 +244,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 
 Gauge& Registry::GetGauge(std::string_view name) {
   AT_CHECK_MSG(IsValidMetricName(name), "invalid metric name");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -260,7 +260,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 Histogram& Registry::GetHistogram(std::string_view name,
                                   const std::vector<double>& bounds) {
   AT_CHECK_MSG(IsValidMetricName(name), "invalid metric name");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -276,12 +276,12 @@ Histogram& Registry::GetHistogram(std::string_view name,
 }
 
 bool Registry::IsRegistered(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return entries_.find(name) != entries_.end();
 }
 
 std::vector<MetricValue> Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<MetricValue> out;
   out.reserve(entries_.size());
   // std::map iteration is already lexicographic by name.
@@ -315,7 +315,7 @@ std::string Registry::FormatJson(std::string_view source) const {
 }
 
 void Registry::ResetValuesForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {
       case MetricKind::kCounter:

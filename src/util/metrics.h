@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 // Uniform metrics registry (DESIGN.md §4f).
 //
@@ -271,24 +273,25 @@ class Registry {
 
   /// Idempotent lookup-or-create. AT_CHECK-fails on an invalid name or a
   /// kind mismatch with an earlier registration.
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
+  Counter& GetCounter(std::string_view name) AT_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name) AT_EXCLUDES(mu_);
   /// `bounds` must be non-empty and strictly ascending; a re-registration
   /// must pass identical bounds.
   Histogram& GetHistogram(std::string_view name,
-                          const std::vector<double>& bounds);
+                          const std::vector<double>& bounds)
+      AT_EXCLUDES(mu_);
 
-  bool IsRegistered(std::string_view name) const;
+  bool IsRegistered(std::string_view name) const AT_EXCLUDES(mu_);
 
   /// Relaxed-load copies of every metric, ordered by name.
-  std::vector<MetricValue> Snapshot() const;
+  std::vector<MetricValue> Snapshot() const AT_EXCLUDES(mu_);
 
   std::string FormatText() const;
   std::string FormatJson(std::string_view source) const;
 
   /// Zeroes every value but keeps all registrations (tests and the
   /// parallel::ResetStats() shim; production never resets).
-  void ResetValuesForTest();
+  void ResetValuesForTest() AT_EXCLUDES(mu_);
 
  private:
   Registry() = default;
@@ -300,8 +303,8 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_ AT_GUARDED_BY(mu_);
 };
 
 }  // namespace autotest::metrics

@@ -133,22 +133,24 @@ ThreadPool& ThreadPool::Global() {
 }
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
-  wake_cv_.notify_all();
-  for (auto& t : workers_) t.join();
+  wake_cv_.NotifyAll();
+  for (auto& t : workers) t.join();
 }
 
 size_t ThreadPool::num_workers() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return workers_.size();
 }
 
 void ThreadPool::EnsureWorkers(size_t want) {
   want = std::min(want, kMaxWorkers);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   while (workers_.size() < want) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -198,24 +200,24 @@ void ThreadPool::RunChunked(size_t n, size_t grain, size_t num_threads,
   job.remaining.store(num_chunks, std::memory_order_relaxed);
 
   // One region at a time: concurrent external submitters queue here.
-  std::lock_guard<std::mutex> run_lk(run_mu_);
+  MutexLock run_lk(&run_mu_);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     job_ = &job;
     ++epoch_;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
 
   tl_in_region = true;
   WorkOn(job, 0);
   tl_in_region = false;
 
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] {
-      return job.remaining.load(std::memory_order_acquire) == 0 &&
-             job.active.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lk(&mu_);
+    while (job.remaining.load(std::memory_order_acquire) != 0 ||
+           job.active.load(std::memory_order_acquire) != 0) {
+      done_cv_.Wait(mu_);
+    }
     job_ = nullptr;
   }
 
@@ -228,26 +230,29 @@ void ThreadPool::RunChunked(size_t n, size_t grain, size_t num_threads,
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.Lock();
   for (;;) {
-    wake_cv_.wait(lk, [&] {
-      return stop_ || (epoch_ != seen_epoch && job_ != nullptr);
-    });
-    if (stop_) return;
+    while (!stop_ && (epoch_ == seen_epoch || job_ == nullptr)) {
+      wake_cv_.Wait(mu_);
+    }
+    if (stop_) {
+      mu_.Unlock();
+      return;
+    }
     seen_epoch = epoch_;
     JobState* job = job_;
     uint32_t ticket = job->tickets.fetch_add(1, std::memory_order_relaxed);
     if (ticket >= job->slots) continue;  // region already fully staffed
     job->active.fetch_add(1, std::memory_order_relaxed);
-    lk.unlock();
+    mu_.Unlock();
 
     tl_in_region = true;
     WorkOn(*job, ticket);
     tl_in_region = false;
 
-    lk.lock();
+    mu_.Lock();
     job->active.fetch_sub(1, std::memory_order_release);
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 

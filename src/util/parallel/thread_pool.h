@@ -2,16 +2,16 @@
 #define AUTOTEST_UTIL_PARALLEL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/parallel/stats.h"
+#include "util/thread_annotations.h"
 
 namespace autotest::util::parallel {
 
@@ -70,14 +70,16 @@ class ThreadPool {
   static void WorkOn(JobState& job, size_t slot);
   static void RunSerial(size_t n, size_t grain, const ChunkFn& body);
 
-  std::mutex run_mu_;  // serializes regions from distinct external threads
-  mutable std::mutex mu_;  // guards job_/epoch_/stop_/workers_
-  std::condition_variable wake_cv_;  // workers: a new region was posted
-  std::condition_variable done_cv_;  // submitter: region fully drained
-  JobState* job_ = nullptr;
-  uint64_t epoch_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  /// Serializes regions from distinct external threads; always taken
+  /// before mu_ (R9 edge).
+  util::Mutex run_mu_ AT_ACQUIRED_BEFORE(mu_);
+  mutable util::Mutex mu_;
+  util::CondVar wake_cv_;  // workers: a new region was posted
+  util::CondVar done_cv_;  // submitter: region fully drained
+  JobState* job_ AT_GUARDED_BY(mu_) = nullptr;
+  uint64_t epoch_ AT_GUARDED_BY(mu_) = 0;
+  bool stop_ AT_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ AT_GUARDED_BY(mu_);
 };
 
 /// Default participant count: hardware_concurrency, at least 1.

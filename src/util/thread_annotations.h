@@ -1,0 +1,89 @@
+#ifndef AUTOTEST_UTIL_THREAD_ANNOTATIONS_H_
+#define AUTOTEST_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes behind portable AT_* macros
+// (DESIGN.md §4i). Annotating which mutex guards which member — and which
+// functions require, acquire or release which locks — turns the serving
+// tier's locking discipline into a compile-time contract: building with
+// `cmake -DAT_THREAD_SAFETY=ON` (Clang only) adds `-Wthread-safety
+// -Werror`, so writing a guarded member without its lock, or returning
+// while still holding one, is a build break instead of a TSan lottery.
+//
+// On compilers without the attribute (GCC) every macro expands to nothing;
+// the annotations are pure documentation there, and at_lint rules R7-R9
+// (tools/at_lint) still enforce the coverage and ordering contracts that
+// do not need a compiler.
+//
+// The vocabulary mirrors Clang's documented attribute set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed AT_
+// like every other project macro:
+//
+//   AT_GUARDED_BY(mu)      data member readable/writable only with mu held
+//   AT_PT_GUARDED_BY(mu)   pointer member whose *pointee* mu guards
+//   AT_REQUIRES(...)       function must be called with the lock(s) held
+//   AT_ACQUIRE(...)        function acquires the lock(s), caller must not hold
+//   AT_RELEASE(...)        function releases the lock(s)
+//   AT_TRY_ACQUIRE(b, mu)  acquires mu iff the function returns b
+//   AT_EXCLUDES(...)       caller must NOT hold the lock(s) (deadlock guard)
+//   AT_ACQUIRED_BEFORE/AFTER(...)  global lock-order edges (R9 reads these)
+//   AT_CAPABILITY(x)       class is a lockable capability (util::Mutex)
+//   AT_SCOPED_CAPABILITY   RAII class that acquires in ctor / releases in dtor
+//   AT_RETURN_CAPABILITY(x)  accessor returning a reference to capability x
+//   AT_ASSERT_CAPABILITY(x)  function asserts (not acquires) that x is held
+//   AT_NO_THREAD_SAFETY_ANALYSIS  escape hatch; every use needs a
+//                          justification comment (lint-audited, see §4i)
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define AT_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#define AT_CAPABILITY(x) AT_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define AT_SCOPED_CAPABILITY AT_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define AT_GUARDED_BY(x) AT_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define AT_PT_GUARDED_BY(x) AT_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define AT_ACQUIRED_BEFORE(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define AT_ACQUIRED_AFTER(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define AT_REQUIRES(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define AT_REQUIRES_SHARED(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define AT_ACQUIRE(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define AT_ACQUIRE_SHARED(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define AT_RELEASE(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define AT_RELEASE_SHARED(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define AT_TRY_ACQUIRE(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define AT_EXCLUDES(...) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define AT_ASSERT_CAPABILITY(x) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define AT_RETURN_CAPABILITY(x) \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define AT_NO_THREAD_SAFETY_ANALYSIS \
+  AT_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // AUTOTEST_UTIL_THREAD_ANNOTATIONS_H_

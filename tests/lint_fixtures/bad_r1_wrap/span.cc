@@ -1,0 +1,18 @@
+// R1 line-reporting fixture: the wrapped discard below must be reported
+// at its first physical line (the line naming the call), and the ternary
+// whose continuation line ends in a Try* call must not fire at all — the
+// value is consumed by the assignment.
+namespace fixture {
+
+struct Obj {
+  int TryConfigure(int level);
+};
+
+void Use(Obj& obj, int* out, bool c) {
+  *out = c ? 1 :
+         obj.TryConfigure(2);
+  obj.TryConfigure(
+      3);
+}
+
+}  // namespace fixture

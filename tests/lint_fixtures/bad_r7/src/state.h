@@ -1,0 +1,20 @@
+// R7 fixture: a raw std::mutex member (R7a — the tree uses util::Mutex so
+// Clang thread-safety analysis sees the capability) and a member written
+// under a lock scope without AT_GUARDED_BY (R7b).
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += 1;
+  }
+
+ private:
+  std::mutex mu_;
+  long total_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// R8 fixture: blocking file I/O inside a lock scope. The annotated
+// member write is fine (near-miss for R7b); the fopen under the lock is
+// the violation.
+namespace fixture {
+
+class Logger {
+ public:
+  void Append(const char* path);
+
+ private:
+  Mutex mu_;
+  int lines_ AT_GUARDED_BY(mu_) = 0;
+};
+
+void Logger::Append(const char* path) {
+  MutexLock lock(&mu_);
+  void* f = fopen(path, "a");
+  (void)f;
+  lines_ += 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// R9 fixture, file 1 of 2: the annotation says a_ is acquired before b_.
+// pair_use.cc nests the scopes in the opposite order, closing the cycle
+// a_ -> b_ -> a_ across the two files.
+namespace fixture {
+
+class Pair {
+ public:
+  void Reversed();
+
+ private:
+  Mutex a_ AT_ACQUIRED_BEFORE(b_);
+  Mutex b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// R9 fixture, file 2 of 2: acquires b_ with a_ nested inside — the
+// reverse of pair.h's AT_ACQUIRED_BEFORE(b_) on a_.
+namespace fixture {
+
+void Pair::Reversed() {
+  MutexLock outer(&b_);
+  MutexLock inner(&a_);
+  (void)inner;
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Clean fixture: concurrency near-misses for R7-R9 that must NOT fire.
+namespace fixture {
+
+class Worker {
+ public:
+  void Update();
+  void Flush(const char* path);
+
+ private:
+  // R7a near-miss: the util wrapper types, not raw std:: primitives.
+  Mutex mu_;
+  CondVar cv_;
+  // R9 near-miss: an acyclic diamond a_ -> {b_, c_} -> d_.
+  Mutex a_ AT_ACQUIRED_BEFORE(b_, c_);
+  Mutex b_ AT_ACQUIRED_BEFORE(d_);
+  Mutex c_ AT_ACQUIRED_BEFORE(d_);
+  Mutex d_;
+  // R7b near-misses: annotated member, and a self-synchronizing atomic.
+  int generation_ AT_GUARDED_BY(mu_) = 0;
+  std::atomic<int> hits_{0};
+};
+
+void Worker::Update() {
+  MutexLock lock(&mu_);
+  generation_ += 1;
+  hits_ += 1;
+}
+
+// R8 near-miss on the AT_REQUIRES path: lock held, nothing blocks.
+void Worker::RepaintLocked() AT_REQUIRES(mu_) {
+  generation_ += 1;
+}
+
+void Worker::Flush(const char* path) {
+  {
+    MutexLock lock(&mu_);
+    generation_ += 1;
+  }
+  // R8 near-miss: the blocking call sits after the scope closed.
+  void* f = fopen(path, "a");
+  (void)f;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Suppression-audit fixture: the first tag excuses a real R2 hit and is
+// used; the second excuses nothing and must be reported as stale.
+namespace fixture {
+
+struct Clock {
+  static int now();
+};
+
+int UsedTag() {
+  return Clock::now();  // at_lint: disable(R2) wall-clock telemetry
+}
+
+int StaleTag() {
+  return 42;  // at_lint: disable(R2) nothing nondeterministic here
+}
+
+}  // namespace fixture

@@ -1,7 +1,9 @@
-// Self-test for tools/at_lint: every rule R1-R6 must fire on its
+// Self-test for tools/at_lint: every rule R1-R9 must fire on its
 // violation fixture at exactly the expected location, and the clean
 // fixture (which is packed with near-misses — suppressed R2, consumed
-// Try* results, annotated declarations) must pass.
+// Try* results, annotated declarations, guarded members, post-scope
+// I/O, an acyclic lock diamond) must pass. The --audit-suppressions
+// pass must flag exactly the disable tags that cover nothing.
 //
 // The binary path and fixture directory come in via compile definitions
 // (see tests/CMakeLists.txt); the test shells out to the real binary so
@@ -177,19 +179,99 @@ TEST(LintTest, R6FiresOnUnknownMissingAndDeadMetrics) {
   }
 }
 
+TEST(LintTest, R1ReportsWrappedStatementAtItsFirstLine) {
+  // Regression: a Try* call whose argument list wraps onto the next line
+  // must be reported at the line naming the call, and a ternary whose
+  // continuation line ends in a Try* call must not fire at all (the
+  // continuation used to be re-detected as a fresh statement start).
+  LintRun run = RunLint(Fixture("bad_r1_wrap"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 1u);
+  ParsedViolation v = Parse(run.lines[0]);
+  EXPECT_EQ(v.rule, "R1");
+  EXPECT_TRUE(EndsWith(v.file, "span.cc")) << v.file;
+  EXPECT_EQ(v.line, 14u);
+}
+
+TEST(LintTest, R7FiresOnRawMutexAndUnguardedWrite) {
+  LintRun run = RunLint(Fixture("bad_r7"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 2u);
+  ParsedViolation unguarded = Parse(run.lines[0]);
+  EXPECT_EQ(unguarded.rule, "R7");
+  EXPECT_TRUE(EndsWith(unguarded.file, "state.h")) << unguarded.file;
+  EXPECT_EQ(unguarded.line, 12u);
+  EXPECT_NE(run.lines[0].find("Counter::total_"), std::string::npos);
+  EXPECT_NE(run.lines[0].find("AT_GUARDED_BY"), std::string::npos);
+  ParsedViolation raw = Parse(run.lines[1]);
+  EXPECT_EQ(raw.rule, "R7");
+  EXPECT_EQ(raw.line, 16u);
+  EXPECT_NE(run.lines[1].find("Counter::mu_"), std::string::npos);
+  EXPECT_NE(run.lines[1].find("util::Mutex"), std::string::npos);
+}
+
+TEST(LintTest, R8FiresOnBlockingCallUnderLock) {
+  LintRun run = RunLint(Fixture("bad_r8"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 1u);
+  ParsedViolation v = Parse(run.lines[0]);
+  EXPECT_EQ(v.rule, "R8");
+  EXPECT_TRUE(EndsWith(v.file, "io.cc")) << v.file;
+  EXPECT_EQ(v.line, 17u);
+  EXPECT_NE(run.lines[0].find("fopen()"), std::string::npos);
+  EXPECT_NE(run.lines[0].find("Logger::mu_"), std::string::npos);
+}
+
+TEST(LintTest, R9FiresOnCrossFileLockOrderCycle) {
+  LintRun run = RunLint(Fixture("bad_r9"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.lines.size(), 1u);
+  ParsedViolation v = Parse(run.lines[0]);
+  EXPECT_EQ(v.rule, "R9");
+  EXPECT_TRUE(EndsWith(v.file, "pair.h")) << v.file;
+  EXPECT_EQ(v.line, 11u);
+  // The message names the full chain with per-edge provenance from both
+  // files: the annotation edge and the reversed nesting edge.
+  EXPECT_NE(run.lines[0].find("Pair::a_ -> Pair::b_"), std::string::npos);
+  EXPECT_NE(run.lines[0].find("Pair::b_ -> Pair::a_"), std::string::npos);
+  EXPECT_NE(run.lines[0].find("pair_use.cc:7"), std::string::npos);
+}
+
+TEST(LintTest, AuditReportsOnlyTheStaleSuppression) {
+  LintRun run =
+      RunLint("--audit-suppressions " + Fixture("stale_supp"));
+  // Stale tags are warnings: exit code stays 0.
+  EXPECT_EQ(run.exit_code, 0);
+  ASSERT_EQ(run.lines.size(), 1u);
+  EXPECT_NE(run.lines[0].find("stale suppression"), std::string::npos);
+  EXPECT_NE(run.lines[0].find("stale.cc:14"), std::string::npos);
+  EXPECT_NE(run.lines[0].find("disable(R2)"), std::string::npos);
+}
+
+TEST(LintTest, WithoutAuditFlagStaleTagsAreSilent) {
+  LintRun run = RunLint(Fixture("stale_supp"));
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(run.lines.empty()) << run.lines.front();
+}
+
 TEST(LintTest, AllFixturesTogetherReportEveryRuleOnce) {
   LintRun run = RunLint(Fixture("bad_r1") + " " + Fixture("bad_r2") + " " +
                         Fixture("bad_r3") + " " + Fixture("bad_r4") + " " +
-                        Fixture("bad_r5") + " " + Fixture("bad_r6"));
+                        Fixture("bad_r5") + " " + Fixture("bad_r6") + " " +
+                        Fixture("bad_r7") + " " + Fixture("bad_r8") + " " +
+                        Fixture("bad_r9") + " " + Fixture("bad_r1_wrap"));
   EXPECT_EQ(run.exit_code, 1);
   std::vector<std::string> rules;
   for (const auto& line : run.lines) rules.push_back(Parse(line).rule);
-  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R1"), 1);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R1"), 2);
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "R2"), 1);
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "R3"), 2);
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "R4"), 1);
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "R5"), 2);
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "R6"), 3);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R7"), 2);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R8"), 1);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "R9"), 1);
 }
 
 TEST(LintTest, NoArgumentsIsAUsageError) {
@@ -202,7 +284,8 @@ TEST(LintTest, ListRulesNamesEveryRule) {
   EXPECT_EQ(run.exit_code, 0);
   std::string all;
   for (const auto& line : run.lines) all += line + "\n";
-  for (const char* rule : {"R1", "R2", "R3", "R4", "R5", "R6"}) {
+  for (const char* rule :
+       {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"}) {
     EXPECT_NE(all.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,36 @@
+// Compile-time proof that the thread-safety annotations are live: with
+// AT_TS_COMPILE_FAIL defined, this TU writes an AT_GUARDED_BY member
+// without holding its mutex, and the Clang -Werror=thread-safety build
+// must refuse to compile it (registered as a WILL_FAIL ctest entry when
+// AT_THREAD_SAFETY=ON). Without the define the TU is well-formed — the
+// twin `thread_safety_compile_fail_control` entry proves the harness
+// itself compiles.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace autotest {
+
+class Guarded {
+ public:
+  void Correct() {
+    util::MutexLock lock(&mu_);
+    value_ += 1;
+  }
+#ifdef AT_TS_COMPILE_FAIL
+  void Unlocked() {
+    value_ += 1;  // write without mu_: -Wthread-safety rejects this
+  }
+#endif
+
+ private:
+  util::Mutex mu_;
+  int value_ AT_GUARDED_BY(mu_) = 0;
+};
+
+// Instantiate so the class is not discarded as unused.
+void TouchGuarded() {
+  Guarded g;
+  g.Correct();
+}
+
+}  // namespace autotest

@@ -1,0 +1,449 @@
+#include "at_lint/decl_model.h"
+
+#include <cctype>
+#include <optional>
+#include <string_view>
+
+namespace autotest::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ContainsToken(std::string_view line, std::string_view token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t after = pos + token.size();
+    bool right_ok = after >= line.size() || !IsIdentChar(line[after]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// The identifier ending at `end` (exclusive); empty when none.
+std::string_view IdentEndingAt(std::string_view s, size_t end) {
+  size_t start = end;
+  while (start > 0 && IsIdentChar(s[start - 1])) --start;
+  return s.substr(start, end - start);
+}
+
+/// Collects the comma-separated arguments of every `macro(...)` call on
+/// the line, trimmed, into *out.
+void CollectMacroArgs(std::string_view line, std::string_view macro,
+                      std::vector<std::string>* out) {
+  size_t pos = 0;
+  std::string call = std::string(macro) + "(";
+  while ((pos = line.find(call, pos)) != std::string_view::npos) {
+    if (pos > 0 && IsIdentChar(line[pos - 1])) {
+      pos += 1;
+      continue;
+    }
+    size_t open = pos + call.size() - 1;
+    int depth = 0;
+    size_t close = open;
+    while (close < line.size()) {
+      if (line[close] == '(') ++depth;
+      if (line[close] == ')' && --depth == 0) break;
+      ++close;
+    }
+    if (close >= line.size()) return;  // args wrap to the next line — bail
+    std::string_view inside = line.substr(open + 1, close - open - 1);
+    size_t start = 0;
+    while (start <= inside.size()) {
+      size_t comma = inside.find(',', start);
+      size_t end = comma == std::string_view::npos ? inside.size() : comma;
+      std::string arg(TrimView(inside.substr(start, end - start)));
+      if (!arg.empty()) out->push_back(arg);
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+    pos = close + 1;
+  }
+}
+
+/// Strips `&`, `this->` and surrounding space from a lock-acquisition
+/// expression: `&this->mu_` -> `mu_`.
+std::string NormalizeLockExpr(std::string_view expr) {
+  expr = TrimView(expr);
+  while (!expr.empty() && (expr.front() == '&' || expr.front() == '*')) {
+    expr.remove_prefix(1);
+    expr = TrimView(expr);
+  }
+  constexpr std::string_view kThis = "this->";
+  if (expr.substr(0, kThis.size()) == kThis) {
+    expr.remove_prefix(kThis.size());
+  }
+  return std::string(TrimView(expr));
+}
+
+constexpr std::string_view kControlKeywords[] = {
+    "if", "for", "while", "switch", "return", "case", "do",
+    "else", "catch", "sizeof", "new", "delete", "throw", "co_return"};
+
+bool IsControlKeyword(std::string_view word) {
+  for (std::string_view k : kControlKeywords) {
+    if (word == k) return true;
+  }
+  return false;
+}
+
+/// Parses a `class X {` / `struct X {` opener. The name is the last
+/// identifier before the '{' or the base-clause ':' — that skips
+/// attribute macros (`class AT_SCOPED_CAPABILITY MutexLock {`) and
+/// alignas. Returns nullopt for forward declarations, enum class, and
+/// anything without a same-region '{'.
+std::optional<std::string> ParseClassOpener(std::string_view line) {
+  for (std::string_view kw : {std::string_view("class"),
+                              std::string_view("struct")}) {
+    size_t pos = 0;
+    while ((pos = line.find(kw, pos)) != std::string_view::npos) {
+      bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+      size_t after = pos + kw.size();
+      bool right_ok = after < line.size() && !IsIdentChar(line[after]);
+      if (!left_ok || !right_ok) {
+        pos += 1;
+        continue;
+      }
+      // `enum class` is not a capability-bearing type.
+      std::string_view before = IdentEndingAt(
+          line, line.substr(0, pos).find_last_not_of(' ') + 1);
+      if (before == "enum") return std::nullopt;
+      size_t brace = line.find('{', after);
+      if (brace == std::string_view::npos) return std::nullopt;
+      size_t stop = brace;
+      size_t base = line.find(':', after);
+      // A lone ':' (not '::') before the brace starts the base clause.
+      while (base != std::string_view::npos && base + 1 < line.size() &&
+             line[base + 1] == ':') {
+        base = line.find(':', base + 2);
+      }
+      if (base != std::string_view::npos && base < stop) stop = base;
+      // Last identifier before the stop that is not a macro-call name
+      // (i.e. not directly followed by '(').
+      std::string name;
+      size_t i = after;
+      while (i < stop) {
+        if (IsIdentChar(line[i])) {
+          size_t s = i;
+          while (i < stop && IsIdentChar(line[i])) ++i;
+          if (i < line.size() && line[i] == '(') {
+            // attribute macro / alignas: skip its argument list
+            int depth = 0;
+            while (i < stop) {
+              if (line[i] == '(') ++depth;
+              if (line[i] == ')' && --depth == 0) {
+                ++i;
+                break;
+              }
+              ++i;
+            }
+            continue;
+          }
+          name = std::string(line.substr(s, i - s));
+          continue;
+        }
+        ++i;
+      }
+      if (name.empty() || name == "final") return std::nullopt;
+      return name;
+    }
+  }
+  return std::nullopt;
+}
+
+constexpr std::string_view kRawMutexTokens[] = {
+    "std::mutex", "std::timed_mutex", "std::recursive_mutex",
+    "std::recursive_timed_mutex", "std::shared_mutex",
+    "std::shared_timed_mutex", "std::condition_variable",
+    "std::condition_variable_any"};
+
+}  // namespace
+
+FileModel BuildFileModel(const SourceFile& file) {
+  FileModel model;
+  model.file = &file;
+
+  // Context tracking. Depth counts every '{'; classes and functions
+  // remember the depth *inside* their body so members/scopes can be
+  // attributed precisely.
+  struct ClassCtx {
+    size_t index;     // into model.classes
+    int body_depth;   // depth inside the class body
+  };
+  struct FuncCtx {
+    size_t index;     // into model.functions
+    int body_depth;
+  };
+  struct OpenScope {
+    size_t index;     // into model.scopes
+    int decl_depth;   // depth at the acquisition statement
+  };
+  int depth = 0;
+  std::vector<ClassCtx> class_stack;
+  std::vector<FuncCtx> func_stack;
+  std::vector<OpenScope> open_scopes;
+
+  // A detected-but-not-yet-opened definition: the signature line(s) seen,
+  // waiting for its body '{' (or cancelled by ';' — a mere declaration).
+  struct Pending {
+    enum Kind { kClass, kFunction } kind;
+    std::string name;
+    std::string class_name;
+    size_t line;
+    std::vector<std::string> requires_locks;
+  };
+  std::optional<Pending> pending;
+
+  // Wrapped member declarations accumulate here until their ';'.
+  std::string member_accum;
+  size_t member_accum_line = 0;
+
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    std::string_view trimmed = TrimView(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const bool in_function = !func_stack.empty();
+    const bool at_class_body =
+        !class_stack.empty() && !in_function &&
+        depth == class_stack.back().body_depth;
+
+    // --- accumulate AT_REQUIRES on a pending (wrapped) signature ---
+    if (pending && pending->kind == Pending::kFunction) {
+      CollectMacroArgs(line, "AT_REQUIRES", &pending->requires_locks);
+    }
+
+    // --- class / struct opener ---
+    if (!pending && !in_function) {
+      if (auto name = ParseClassOpener(trimmed)) {
+        pending = Pending{Pending::kClass, *name, "", li + 1, {}};
+      }
+    }
+
+    // --- member declarations (direct class-body depth only) ---
+    // Statements are joined across wrapped lines (`... score_cache_` /
+    // `    AT_GUARDED_BY(cache_mu_);`) and parsed at their ';'. Anything
+    // with a '(' in the pre-annotation head (method declarations,
+    // deleted operators) is rejected.
+    if (at_class_body && !pending) {
+      // Access-specifier labels end in ':' not ';' — without this reset
+      // they would glue onto the next member and shift its line number.
+      if (trimmed == "public:" || trimmed == "private:" ||
+          trimmed == "protected:") {
+        member_accum.clear();
+        continue;
+      }
+      if (member_accum.empty()) {
+        member_accum_line = li + 1;
+      } else {
+        member_accum += ' ';
+      }
+      member_accum += trimmed;
+      size_t semi = member_accum.find(';');
+      if (semi != std::string::npos) {
+        std::string_view stmt =
+            TrimView(std::string_view(member_accum).substr(0, semi));
+        size_t stop = stmt.size();
+        for (std::string_view cut : {std::string_view("AT_GUARDED_BY"),
+                                     std::string_view("AT_PT_GUARDED_BY"),
+                                     std::string_view("AT_ACQUIRED_BEFORE"),
+                                     std::string_view("AT_ACQUIRED_AFTER"),
+                                     std::string_view("="),
+                                     std::string_view("{")}) {
+          size_t p = stmt.find(cut);
+          if (p != std::string_view::npos && p < stop) stop = p;
+        }
+        std::string_view head = TrimView(stmt.substr(0, stop));
+        if (!head.empty() && IsIdentChar(head.back()) &&
+            head.find('(') == std::string_view::npos) {
+          std::string_view name = IdentEndingAt(head, head.size());
+          if (!name.empty() &&
+              !std::isdigit(static_cast<unsigned char>(name.front()))) {
+            MemberDecl m;
+            m.name = std::string(name);
+            m.line = member_accum_line;
+            for (std::string_view tok : kRawMutexTokens) {
+              if (stmt.find(tok) != std::string_view::npos) {
+                m.is_raw_mutex = true;
+              }
+            }
+            bool wrapper_mutex = ContainsToken(stmt, "Mutex") &&
+                                 !ContainsToken(stmt, "MutexLock");
+            m.is_mutex = m.is_raw_mutex || wrapper_mutex;
+            m.is_condvar =
+                ContainsToken(stmt, "CondVar") ||
+                stmt.find("condition_variable") != std::string_view::npos;
+            m.is_atomic = stmt.find("atomic<") != std::string_view::npos;
+            std::vector<std::string> guarded;
+            CollectMacroArgs(stmt, "AT_GUARDED_BY", &guarded);
+            CollectMacroArgs(stmt, "AT_PT_GUARDED_BY", &guarded);
+            if (!guarded.empty()) m.guarded_by = guarded.front();
+            CollectMacroArgs(stmt, "AT_ACQUIRED_BEFORE",
+                             &m.acquired_before);
+            CollectMacroArgs(stmt, "AT_ACQUIRED_AFTER",
+                             &m.acquired_after);
+            model.classes[class_stack.back().index].members.push_back(
+                std::move(m));
+          }
+        }
+        member_accum.clear();
+      }
+    } else {
+      member_accum.clear();
+    }
+
+    // --- function / method signature (outside any function body) ---
+    if (!pending && !in_function) {
+      size_t paren = trimmed.find('(');
+      if (paren != std::string_view::npos && paren > 0) {
+        std::string_view name = IdentEndingAt(trimmed, paren);
+        if (!name.empty() && !IsControlKeyword(name) &&
+            !std::isdigit(static_cast<unsigned char>(name.front()))) {
+          size_t before = paren - name.size();
+          // Destructors: `~ClassName(`.
+          size_t qual_end = before;
+          if (qual_end > 0 && trimmed[qual_end - 1] == '~') --qual_end;
+          std::string class_name;
+          if (qual_end >= 2 && trimmed[qual_end - 1] == ':' &&
+              trimmed[qual_end - 2] == ':') {
+            class_name =
+                std::string(IdentEndingAt(trimmed, qual_end - 2));
+          } else if (!class_stack.empty()) {
+            class_name = model.classes[class_stack.back().index].name;
+          }
+          // `Type name(` at class scope with a preceding type token, or a
+          // bare macro call — both look like signatures. Accepting them is
+          // harmless: a ';' cancels, a '{' opens a (mislabeled) block that
+          // still nests correctly.
+          Pending p{Pending::kFunction, std::string(name),
+                    std::move(class_name), li + 1, {}};
+          CollectMacroArgs(trimmed, "AT_REQUIRES", &p.requires_locks);
+          pending = std::move(p);
+        }
+      }
+    }
+
+    // --- lock-scope acquisitions (inside a function body) ---
+    if (in_function || at_class_body) {
+      std::string mutex_expr;
+      size_t lock_pos;
+      if ((lock_pos = line.find("MutexLock ")) != std::string::npos &&
+          (lock_pos == 0 || !IsIdentChar(line[lock_pos - 1]))) {
+        // `util::MutexLock <var>(&<mu>);`
+        size_t open = line.find('(', lock_pos);
+        size_t close =
+            open == std::string::npos ? std::string::npos
+                                      : line.find(')', open);
+        if (open != std::string::npos && close != std::string::npos) {
+          mutex_expr =
+              NormalizeLockExpr(line.substr(open + 1, close - open - 1));
+        }
+      } else {
+        for (std::string_view guard :
+             {std::string_view("lock_guard"),
+              std::string_view("unique_lock"),
+              std::string_view("scoped_lock")}) {
+          size_t g = line.find(guard);
+          if (g == std::string::npos ||
+              (g > 0 && IsIdentChar(line[g - 1]))) {
+            continue;
+          }
+          size_t open = line.find('(', g);
+          if (open == std::string::npos) continue;
+          size_t close = line.find(')', open);
+          if (close == std::string::npos) continue;
+          std::string_view args = std::string_view(line).substr(
+              open + 1, close - open - 1);
+          size_t comma = args.find(',');
+          if (comma != std::string_view::npos) args = args.substr(0, comma);
+          mutex_expr = NormalizeLockExpr(args);
+          break;
+        }
+      }
+      if (!mutex_expr.empty()) {
+        LockScope scope;
+        scope.mutex = std::move(mutex_expr);
+        scope.line = li + 1;
+        scope.end_line = li + 1;  // extended as the block closes
+        if (!func_stack.empty()) {
+          scope.class_name =
+              model.functions[func_stack.back().index].class_name;
+        } else if (!class_stack.empty()) {
+          scope.class_name = model.classes[class_stack.back().index].name;
+        }
+        open_scopes.push_back({model.scopes.size(), depth});
+        model.scopes.push_back(std::move(scope));
+      }
+    }
+
+    // --- brace / terminator scan ---
+    for (char c : line) {
+      if (c == '{') {
+        ++depth;
+        if (pending) {
+          if (pending->kind == Pending::kClass) {
+            ClassDecl cls;
+            cls.name = pending->name;
+            cls.line = pending->line;
+            model.classes.push_back(std::move(cls));
+            class_stack.push_back({model.classes.size() - 1, depth});
+          } else {
+            FunctionDef fn;
+            fn.class_name = pending->class_name;
+            fn.name = pending->name;
+            fn.line = pending->line;
+            fn.end_line = pending->line;
+            fn.requires_locks = pending->requires_locks;
+            model.functions.push_back(std::move(fn));
+            func_stack.push_back({model.functions.size() - 1, depth});
+          }
+          pending.reset();
+        }
+      } else if (c == '}') {
+        --depth;
+        while (!open_scopes.empty() &&
+               depth < open_scopes.back().decl_depth) {
+          model.scopes[open_scopes.back().index].end_line = li + 1;
+          open_scopes.pop_back();
+        }
+        if (!func_stack.empty() && depth < func_stack.back().body_depth) {
+          model.functions[func_stack.back().index].end_line = li + 1;
+          func_stack.pop_back();
+        }
+        if (!class_stack.empty() && depth < class_stack.back().body_depth) {
+          class_stack.pop_back();
+        }
+      } else if (c == ';' && pending) {
+        // A ';' before the body brace: the pending signature was only a
+        // declaration (or a deleted/defaulted definition) — drop it.
+        pending.reset();
+      }
+    }
+  }
+
+  // Close anything still open at EOF.
+  while (!open_scopes.empty()) {
+    model.scopes[open_scopes.back().index].end_line = file.code.size();
+    open_scopes.pop_back();
+  }
+  while (!func_stack.empty()) {
+    model.functions[func_stack.back().index].end_line = file.code.size();
+    func_stack.pop_back();
+  }
+  return model;
+}
+
+}  // namespace autotest::lint

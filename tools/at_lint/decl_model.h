@@ -1,0 +1,92 @@
+#ifndef AUTOTEST_TOOLS_AT_LINT_DECL_MODEL_H_
+#define AUTOTEST_TOOLS_AT_LINT_DECL_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "at_lint/linter.h"
+
+// A lightweight declaration model over the comment-stripped code view —
+// the shared substrate of the concurrency rules R7-R9 (DESIGN.md §4i).
+//
+// This is not a C++ parser. It tracks exactly four things with a brace
+// counter and a handful of token patterns:
+//
+//   - class/struct declarations and their data members, including the
+//     AT_GUARDED_BY / AT_ACQUIRED_BEFORE / AT_ACQUIRED_AFTER annotations
+//     (src/util/thread_annotations.h) and whether a member is a mutex;
+//   - function/method definitions, resolved to their class via either the
+//     `Ret Class::Method(...)` qualifier or the enclosing class body, plus
+//     any AT_REQUIRES(...) capabilities on the signature;
+//   - lexical lock scopes: `util::MutexLock l(&mu_);` and the std::
+//     lock_guard / unique_lock / scoped_lock spellings, extending from the
+//     acquisition line to the end of the enclosing block;
+//   - which function/class each lock scope sits in, so a member mutex
+//     `mu_` can be qualified program-wide as `Class::mu_`.
+//
+// The model deliberately errs toward under-reporting (a construct it
+// cannot parse contributes nothing) because R7-R9 gate CI: a false
+// negative is a missed diagnostic, a false positive is a broken build.
+
+namespace autotest::lint {
+
+struct MemberDecl {
+  std::string name;
+  size_t line = 0;  // 1-based declaration line
+  /// A std::mutex / std::condition_variable flavor (R7a rejects these in
+  /// src/ outside the util::Mutex wrapper itself).
+  bool is_raw_mutex = false;
+  /// Any mutex flavor, wrapper included (never needs AT_GUARDED_BY).
+  bool is_mutex = false;
+  /// util::CondVar / std::condition_variable (also exempt from R7b).
+  bool is_condvar = false;
+  /// std::atomic<...> members synchronize themselves; R7b skips them.
+  bool is_atomic = false;
+  /// AT_GUARDED_BY argument; empty when the member is unannotated.
+  std::string guarded_by;
+  std::vector<std::string> acquired_before;  // AT_ACQUIRED_BEFORE args
+  std::vector<std::string> acquired_after;   // AT_ACQUIRED_AFTER args
+};
+
+struct ClassDecl {
+  std::string name;
+  size_t line = 0;
+  std::vector<MemberDecl> members;
+};
+
+/// One lexical lock acquisition: a MutexLock / lock_guard / unique_lock /
+/// scoped_lock declaration and the block it covers.
+struct LockScope {
+  /// The acquired expression with `&` / `this->` stripped: `mu_`.
+  std::string mutex;
+  /// Enclosing class ("" for free functions), from the method qualifier
+  /// or the class body the scope sits in.
+  std::string class_name;
+  size_t line = 0;      // acquisition line, 1-based
+  size_t end_line = 0;  // last line of the enclosing block, inclusive
+};
+
+struct FunctionDef {
+  std::string class_name;  // "" for free functions
+  std::string name;
+  size_t line = 0;      // signature line, 1-based
+  size_t end_line = 0;  // closing brace line, inclusive
+  /// AT_REQUIRES arguments on the signature: the function runs with these
+  /// capabilities held, so its body is a lock-holding path for R8/R9.
+  std::vector<std::string> requires_locks;
+};
+
+struct FileModel {
+  const SourceFile* file = nullptr;
+  std::vector<ClassDecl> classes;
+  std::vector<LockScope> scopes;
+  std::vector<FunctionDef> functions;
+};
+
+/// Builds the declaration model for one preprocessed source file.
+FileModel BuildFileModel(const SourceFile& file);
+
+}  // namespace autotest::lint
+
+#endif  // AUTOTEST_TOOLS_AT_LINT_DECL_MODEL_H_

@@ -1,12 +1,15 @@
 #include "at_lint/linter.h"
 
 #include <algorithm>
+#include <deque>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
+
+#include "at_lint/decl_model.h"
 
 namespace autotest::lint {
 
@@ -164,19 +167,45 @@ void StripAndCollect(const std::vector<std::string>& raw,
   }
 }
 
-/// Per-file suppression state parsed from `at_lint:` comments.
+/// Per-file suppression state parsed from `at_lint:` comments. Each tag
+/// remembers whether it ever covered a would-be violation, so the
+/// --audit-suppressions pass can report the stale ones.
 struct Suppressions {
-  /// Rules disabled for the whole file.
-  std::set<std::string> file_rules;
-  /// (line, rule) pairs; a line-level disable covers its own line and the
-  /// one after it, so the comment can sit above the offending statement.
-  std::set<std::pair<size_t, std::string>> line_rules;
+  struct Tag {
+    size_t line = 0;        // 1-based line of the tag comment
+    std::string rule;
+    bool whole_file = false;
+    /// Set by Covers when the tag excuses a would-be violation. Mutable
+    /// because coverage is observed through the const rule interface.
+    mutable bool used = false;
+  };
+  std::vector<Tag> tags;
 
+  /// True when a tag suppresses the given (line, rule); a line-level tag
+  /// covers its own line and the one after it, so the comment can sit
+  /// above the offending statement. Marks every covering tag as used.
   bool Covers(size_t line, const std::string& rule) const {
-    return file_rules.count(rule) > 0 ||
-           line_rules.count({line, rule}) > 0;
+    bool hit = false;
+    for (const Tag& t : tags) {
+      if (t.rule != rule) continue;
+      if (t.whole_file || t.line == line || t.line + 1 == line) {
+        t.used = true;
+        hit = true;
+      }
+    }
+    return hit;
   }
 };
+
+/// `R` + digits — rejects the `disable(...)` placeholder spelling that
+/// prose documentation uses.
+bool IsRuleName(std::string_view rule) {
+  if (rule.size() < 2 || rule[0] != 'R') return false;
+  for (char c : rule.substr(1)) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
 
 void ParseRuleList(std::string_view text, size_t line, bool whole_file,
                    Suppressions* out) {
@@ -188,14 +217,7 @@ void ParseRuleList(std::string_view text, size_t line, bool whole_file,
     size_t comma = inside.find(',', start);
     size_t end = comma == std::string_view::npos ? inside.size() : comma;
     std::string rule(TrimView(inside.substr(start, end - start)));
-    if (!rule.empty()) {
-      if (whole_file) {
-        out->file_rules.insert(rule);
-      } else {
-        out->line_rules.insert({line, rule});
-        out->line_rules.insert({line + 1, rule});
-      }
-    }
+    if (IsRuleName(rule)) out->tags.push_back({line, rule, whole_file});
     if (comma == std::string_view::npos) break;
     start = comma + 1;
   }
@@ -205,16 +227,38 @@ Suppressions ParseSuppressions(const SourceFile& file) {
   constexpr std::string_view kLineTag = "at_lint: disable(";
   constexpr std::string_view kFileTag = "at_lint: disable-file(";
   Suppressions out;
+  // A real suppression directly follows its `//` comment opener. That
+  // anchors out the documentation spellings: tag text inside string
+  // literals (the linter's own constants, usage text in main.cc) and
+  // `//   // at_lint: ...` example lines in header comments. The comment
+  // opener's column is exactly the stripped code view's length — the
+  // stripper drops a line comment from that point on.
+  auto at_comment_start = [](const std::string& raw_line,
+                             const std::string& code_line, size_t pos) {
+    size_t c = code_line.size();
+    if (pos < c + 2 || raw_line.compare(c, 2, "//") != 0) return false;
+    for (size_t i = c + 2; i < pos; ++i) {
+      if (raw_line[i] != ' ' && raw_line[i] != '\t') return false;
+    }
+    return true;
+  };
   for (size_t li = 0; li < file.raw.size(); ++li) {
     const std::string& line = file.raw[li];
+    bool in_literal = false;
+    for (const std::string& lit : file.literals[li]) {
+      if (lit.find("at_lint:") != std::string::npos) in_literal = true;
+    }
+    if (in_literal) continue;
     size_t pos = line.find(kFileTag);
-    if (pos != std::string::npos) {
+    if (pos != std::string::npos &&
+        at_comment_start(line, file.code[li], pos)) {
       ParseRuleList(std::string_view(line).substr(pos + kFileTag.size()),
                     li + 1, /*whole_file=*/true, &out);
       continue;
     }
     pos = line.find(kLineTag);
-    if (pos != std::string::npos) {
+    if (pos != std::string::npos &&
+        at_comment_start(line, file.code[li], pos)) {
       ParseRuleList(std::string_view(line).substr(pos + kLineTag.size()),
                     li + 1, /*whole_file=*/false, &out);
     }
@@ -310,10 +354,14 @@ void CheckR1(const SourceFile& file, const Suppressions& supp,
         statement_opener != '}' && statement_opener != ':') {
       continue;  // mid-statement continuation line
     }
-    // Join the statement across lines, up to the ';' that ends it.
+    // Join the statement across lines, up to the ';' that ends it. A '{'
+    // ends the join too: the "statement" was really a control-flow or
+    // definition header, and the lines after its brace are fresh
+    // statements of the new block, not continuations.
     std::string stmt(trimmed);
     size_t lj = li;
     while (stmt.find(';') == std::string::npos &&
+           stmt.find('{') == std::string::npos &&
            lj + 1 < file.code.size() && lj - li < 40) {
       ++lj;
       stmt += ' ';
@@ -322,11 +370,29 @@ void CheckR1(const SourceFile& file, const Suppressions& supp,
     std::string call = DiscardedCallName(stmt);
     if (!call.empty() && IsStatusReturningName(call) &&
         !supp.Covers(li + 1, "R1")) {
+      // Reported at the statement's first physical line, not wherever the
+      // call token landed after wrapping.
       out->push_back({file.path, li + 1, "R1",
                       "result of '" + call +
                           "(...)' is discarded; Status/Result<T> carry "
                           "the diagnostic — consume it or cast to (void) "
                           "with a reason"});
+    }
+    if (lj != li) {
+      // The joined lines belong to this statement: skip them so a
+      // continuation line can never be re-detected as a fresh statement
+      // start (a `:` or `;` inside the statement — ternary splits,
+      // for-loop headers — used to re-trigger detection mid-statement
+      // and report at the continuation line instead of the first
+      // physical line).
+      for (size_t lk = lj + 1; lk-- > li;) {
+        std::string_view t = TrimView(file.code[lk]);
+        if (!t.empty() && t[0] != '#') {
+          prev_meaningful = t.back();
+          break;
+        }
+      }
+      li = lj;
     }
   }
 }
@@ -847,6 +913,388 @@ void CheckR6(const std::vector<SourceFile>& files,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rules R7-R9 — concurrency contracts over the declaration model
+// (decl_model.h, DESIGN.md §4i). Scoped to src/ paths; the util::Mutex
+// wrapper and the annotation macro header are the mechanism and exempt.
+// ---------------------------------------------------------------------------
+
+bool InConcurrencyScope(const std::string& normalized_path) {
+  if (normalized_path.find("src/") == std::string::npos) return false;
+  std::string base = Basename(normalized_path);
+  return base != "mutex.h" && base != "thread_annotations.h";
+}
+
+/// `Class::member` (or the bare expression for classless scopes) — the
+/// program-wide node name used by the lock-order graph and in messages.
+std::string QualifiedLockName(const std::string& class_name,
+                              const std::string& mutex) {
+  return class_name.empty() ? mutex : class_name + "::" + mutex;
+}
+
+/// Merged member view across every file: a class's members are declared
+/// in its header while the lock scopes that write them live in the .cc.
+struct MemberInfo {
+  bool is_mutex = false;
+  bool is_condvar = false;
+  bool is_atomic = false;
+  bool guarded = false;
+};
+using MemberMap = std::map<std::string, MemberInfo>;  // "Class::member"
+
+MemberMap BuildMemberMap(const std::vector<FileModel>& models) {
+  MemberMap out;
+  for (const FileModel& model : models) {
+    for (const ClassDecl& cls : model.classes) {
+      for (const MemberDecl& m : cls.members) {
+        MemberInfo& info = out[cls.name + "::" + m.name];
+        info.is_mutex |= m.is_mutex;
+        info.is_condvar |= m.is_condvar;
+        info.is_atomic |= m.is_atomic;
+        info.guarded |= !m.guarded_by.empty();
+      }
+    }
+  }
+  return out;
+}
+
+/// Container mutators for the R7 write heuristic: `member_.push_back(x)`
+/// mutates the member even though no assignment operator appears.
+constexpr std::string_view kMutatorCalls[] = {
+    "push",    "push_back", "pop",    "pop_back", "emplace",
+    "emplace_back", "insert", "erase", "clear",   "swap",
+    "resize",  "assign",    "reset"};
+
+/// If the statement starting at `trimmed` writes an identifier (assign,
+/// compound-assign, increment/decrement, or a mutating container call),
+/// returns that identifier; empty otherwise.
+std::string_view WrittenIdent(std::string_view trimmed) {
+  // ++x_ / --x_
+  if (trimmed.size() > 2 &&
+      (trimmed.substr(0, 2) == "++" || trimmed.substr(0, 2) == "--")) {
+    std::string_view rest = trimmed.substr(2);
+    size_t end = 0;
+    while (end < rest.size() && IsIdentChar(rest[end])) ++end;
+    return rest.substr(0, end);
+  }
+  size_t end = 0;
+  while (end < trimmed.size() && IsIdentChar(trimmed[end])) ++end;
+  if (end == 0) return {};
+  std::string_view ident = trimmed.substr(0, end);
+  std::string_view rest = trimmed.substr(end);
+  while (!rest.empty() &&
+         std::isspace(static_cast<unsigned char>(rest.front()))) {
+    rest.remove_prefix(1);
+  }
+  if (rest.empty()) return {};
+  // x_ = v; and the compound assignments (but not == / <= / >= / !=).
+  if (rest[0] == '=' && (rest.size() < 2 || rest[1] != '=')) return ident;
+  if (rest.size() >= 2 && rest[1] == '=' &&
+      std::string_view("+-*/%&|^").find(rest[0]) !=
+          std::string_view::npos) {
+    return ident;
+  }
+  if (rest.size() >= 3 && (rest.substr(0, 3) == "<<=" ||
+                           rest.substr(0, 3) == ">>=")) {
+    return ident;
+  }
+  if (rest.substr(0, 2) == "++" || rest.substr(0, 2) == "--") return ident;
+  // x_.push_back(v); — a mutating member-function call.
+  if (rest[0] == '.') {
+    rest.remove_prefix(1);
+    size_t call_end = 0;
+    while (call_end < rest.size() && IsIdentChar(rest[call_end])) {
+      ++call_end;
+    }
+    if (call_end < rest.size() && rest[call_end] == '(') {
+      std::string_view callee = rest.substr(0, call_end);
+      for (std::string_view mut : kMutatorCalls) {
+        if (callee == mut) return ident;
+      }
+    }
+  }
+  return {};
+}
+
+/// R7a: raw std:: synchronization members in src/ — the tree-wide
+/// annotation policy requires the util::Mutex / util::CondVar wrappers so
+/// Clang thread-safety analysis sees a capability.
+/// R7b: a data member written inside a lock scope must carry
+/// AT_GUARDED_BY (mutexes, condvars and atomics are self-synchronizing
+/// and exempt).
+void CheckR7(const SourceFile& file, const FileModel& model,
+             const MemberMap& members, const Suppressions& supp,
+             std::vector<Violation>* out) {
+  for (const ClassDecl& cls : model.classes) {
+    for (const MemberDecl& m : cls.members) {
+      if (!m.is_raw_mutex || supp.Covers(m.line, "R7")) continue;
+      out->push_back(
+          {file.path, m.line, "R7",
+           "raw std:: synchronization member '" + cls.name + "::" + m.name +
+               "'; use util::Mutex / util::CondVar (src/util/mutex.h) so "
+               "the capability is visible to Clang thread-safety analysis "
+               "(DESIGN.md §4i)"});
+    }
+  }
+  // One report per (line, member) even when scopes overlap.
+  std::set<std::pair<size_t, std::string>> reported;
+  for (const LockScope& scope : model.scopes) {
+    if (scope.class_name.empty()) continue;  // no member context
+    for (size_t line = scope.line + 1; line <= scope.end_line &&
+                                       line <= file.code.size();
+         ++line) {
+      std::string_view trimmed = TrimView(file.code[line - 1]);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      std::string_view ident = WrittenIdent(trimmed);
+      if (ident.empty() || ident.back() != '_') continue;
+      std::string key = scope.class_name + "::" + std::string(ident);
+      auto it = members.find(key);
+      if (it == members.end()) continue;  // a local, or unknown class
+      const MemberInfo& info = it->second;
+      if (info.is_mutex || info.is_condvar || info.is_atomic ||
+          info.guarded) {
+        continue;
+      }
+      if (!reported.insert({line, key}).second) continue;
+      if (supp.Covers(line, "R7")) continue;
+      out->push_back(
+          {file.path, line, "R7",
+           "member '" + key + "' is written under the lock scope at line " +
+               std::to_string(scope.line) + " (holds '" +
+               QualifiedLockName(scope.class_name, scope.mutex) +
+               "') but carries no AT_GUARDED_BY annotation"});
+    }
+  }
+}
+
+/// Calls that can block the calling thread: syscall-level socket I/O,
+/// file streams and stdio, sleeps, and the project's own Try* I/O entry
+/// points. Deliberately absent: CondVar waits (waiting under the lock is
+/// the point) and shutdown() (non-blocking by contract, used to kick
+/// peers during drain).
+struct BlockingPattern {
+  std::string_view token;
+  bool ident_boundary;  // require a non-identifier char before the match
+  std::string_view what;
+};
+constexpr BlockingPattern kBlockingPatterns[] = {
+    {"::poll(", false, "poll()"},
+    {"::accept(", false, "accept()"},
+    {"::recv(", false, "recv()"},
+    {"::send(", false, "send()"},
+    {"::connect(", false, "connect()"},
+    {"::read(", false, "read()"},
+    {"::write(", false, "write()"},
+    {"getline(", true, "getline()"},
+    {"fread(", true, "fread()"},
+    {"fwrite(", true, "fwrite()"},
+    {"fopen(", true, "fopen()"},
+    {"system(", true, "system()"},
+    {"SleepMicros(", true, "SleepMicros()"},
+    {"sleep_for(", true, "sleep_for()"},
+    {"TryReadFrame(", true, "TryReadFrame() [socket I/O]"},
+    {"TryWriteFrame(", true, "TryWriteFrame() [socket I/O]"},
+    {"TryReadCsvFile(", true, "TryReadCsvFile() [file I/O]"},
+    {"TryLoadRulesFromFile(", true, "TryLoadRulesFromFile() [file I/O]"},
+    {"ifstream", true, "std::ifstream [file I/O]"},
+    {"ofstream", true, "std::ofstream [file I/O]"},
+};
+
+void ReportR8InRange(const SourceFile& file, size_t first_line,
+                     size_t last_line, const std::string& held,
+                     const std::string& why, const Suppressions& supp,
+                     std::set<size_t>* reported_lines,
+                     std::vector<Violation>* out) {
+  for (size_t line = first_line;
+       line <= last_line && line <= file.code.size(); ++line) {
+    const std::string& code = file.code[line - 1];
+    for (const BlockingPattern& p : kBlockingPatterns) {
+      bool hit = p.ident_boundary
+                     ? ContainsToken(code, p.token)
+                     : code.find(p.token) != std::string::npos;
+      if (!hit) continue;
+      if (!reported_lines->insert(line).second) break;
+      if (supp.Covers(line, "R8")) break;
+      out->push_back(
+          {file.path, line, "R8",
+           "blocking call " + std::string(p.what) + " while holding '" +
+               held + "' (" + why +
+               "); move the I/O outside the critical section "
+               "(DESIGN.md §4i)"});
+      break;  // one report per line
+    }
+  }
+}
+
+/// R8: no blocking call on a lock-holding path — inside a lexical lock
+/// scope, or anywhere in the body of a function that declares
+/// AT_REQUIRES (its callers hold the lock for it).
+void CheckR8(const SourceFile& file, const FileModel& model,
+             const Suppressions& supp, std::vector<Violation>* out) {
+  std::set<size_t> reported_lines;
+  for (const LockScope& scope : model.scopes) {
+    ReportR8InRange(file, scope.line, scope.end_line,
+                    QualifiedLockName(scope.class_name, scope.mutex),
+                    "lock scope at line " + std::to_string(scope.line),
+                    supp, &reported_lines, out);
+  }
+  for (const FunctionDef& fn : model.functions) {
+    if (fn.requires_locks.empty()) continue;
+    std::string held;
+    for (const std::string& lock : fn.requires_locks) {
+      if (!held.empty()) held += ", ";
+      held += QualifiedLockName(fn.class_name, lock);
+    }
+    ReportR8InRange(file, fn.line, fn.end_line, held,
+                    "AT_REQUIRES on '" + fn.name + "'", supp,
+                    &reported_lines, out);
+  }
+}
+
+/// One directed lock-order edge: `from` is acquired before `to`.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;   // provenance for the report
+  size_t line = 0;
+};
+
+/// R9: the program-wide lock acquisition order must be a DAG. Edges come
+/// from lexically nested lock scopes, AT_ACQUIRED_BEFORE / AFTER member
+/// annotations, and scopes inside AT_REQUIRES functions (the required
+/// lock is already held when the scope's lock is taken).
+void CheckR9(const std::vector<const SourceFile*>& files,
+             const std::vector<FileModel>& models,
+             const std::vector<const Suppressions*>& supps,
+             std::vector<Violation>* out) {
+  std::vector<LockEdge> edges;
+  std::map<std::string, const Suppressions*> supp_by_file;
+  for (size_t i = 0; i < models.size(); ++i) {
+    const FileModel& model = models[i];
+    const std::string& path = files[i]->path;
+    supp_by_file[path] = supps[i];
+    for (const ClassDecl& cls : model.classes) {
+      for (const MemberDecl& m : cls.members) {
+        for (const std::string& later : m.acquired_before) {
+          edges.push_back({QualifiedLockName(cls.name, m.name),
+                           QualifiedLockName(cls.name, later), path,
+                           m.line});
+        }
+        for (const std::string& earlier : m.acquired_after) {
+          edges.push_back({QualifiedLockName(cls.name, earlier),
+                           QualifiedLockName(cls.name, m.name), path,
+                           m.line});
+        }
+      }
+    }
+    // Lexically nested scopes: outer acquired before inner.
+    for (const LockScope& outer : model.scopes) {
+      for (const LockScope& inner : model.scopes) {
+        if (&outer == &inner) continue;
+        if (inner.line <= outer.line || inner.line > outer.end_line) {
+          continue;
+        }
+        edges.push_back(
+            {QualifiedLockName(outer.class_name, outer.mutex),
+             QualifiedLockName(inner.class_name, inner.mutex), path,
+             inner.line});
+      }
+    }
+    // Scopes inside an AT_REQUIRES body: the required lock is held on
+    // entry, so it precedes every lock the body takes.
+    for (const FunctionDef& fn : model.functions) {
+      if (fn.requires_locks.empty()) continue;
+      for (const LockScope& scope : model.scopes) {
+        if (scope.line < fn.line || scope.line > fn.end_line) continue;
+        for (const std::string& lock : fn.requires_locks) {
+          edges.push_back(
+              {QualifiedLockName(fn.class_name, lock),
+               QualifiedLockName(scope.class_name, scope.mutex), path,
+               scope.line});
+        }
+      }
+    }
+  }
+  // Self-edges (a scope "nested" in another scope on the same mutex —
+  // re-acquisition is a bug, but it is Clang TSA's bug to report, and the
+  // common lexical cause is two sibling scopes the line-range heuristic
+  // cannot tell apart) carry no ordering information.
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const LockEdge& e) {
+                               return e.from == e.to;
+                             }),
+              edges.end());
+  // Deterministic order; first occurrence of each (from, to) wins.
+  std::sort(edges.begin(), edges.end(),
+            [](const LockEdge& a, const LockEdge& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  std::map<std::pair<std::string, std::string>, const LockEdge*> unique;
+  for (const LockEdge& e : edges) {
+    unique.emplace(std::make_pair(e.from, e.to), &e);
+  }
+  std::map<std::string, std::vector<const LockEdge*>> adj;
+  for (const auto& [key, edge] : unique) adj[key.first].push_back(edge);
+
+  // For every edge u->v, a v..u path means the graph has a cycle through
+  // that edge. BFS gives the shortest back-path; reporting at the edge
+  // keeps file:line provenance. Dedup by the cycle's node set.
+  std::set<std::set<std::string>> seen_cycles;
+  for (const auto& [key, edge] : unique) {
+    const std::string& u = key.first;
+    const std::string& v = key.second;
+    std::map<std::string, const LockEdge*> via;  // node -> edge used
+    std::deque<std::string> queue{v};
+    std::set<std::string> visited{v};
+    bool found = false;
+    while (!queue.empty() && !found) {
+      std::string node = queue.front();
+      queue.pop_front();
+      auto it = adj.find(node);
+      if (it == adj.end()) continue;
+      for (const LockEdge* next : it->second) {
+        if (!visited.insert(next->to).second) continue;
+        via[next->to] = next;
+        if (next->to == u) {
+          found = true;
+          break;
+        }
+        queue.push_back(next->to);
+      }
+    }
+    if (!found) continue;
+    // Reconstruct u -> ... -> v -> u as edge + back-path.
+    std::vector<const LockEdge*> chain{edge};
+    std::string node = u;
+    std::vector<const LockEdge*> back;
+    while (node != v) {
+      const LockEdge* step = via[node];
+      back.push_back(step);
+      node = step->from;
+    }
+    chain.insert(chain.end(), back.rbegin(), back.rend());
+    std::set<std::string> cycle_nodes;
+    for (const LockEdge* e : chain) cycle_nodes.insert(e->from);
+    if (!seen_cycles.insert(cycle_nodes).second) continue;
+    std::string msg = "lock-order cycle: ";
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (i > 0) msg += ", ";
+      msg += chain[i]->from + " -> " + chain[i]->to + " (" +
+             chain[i]->file + ":" + std::to_string(chain[i]->line) + ")";
+    }
+    msg += "; a consistent acquisition order is required (DESIGN.md §4i)";
+    auto supp_it = supp_by_file.find(edge->file);
+    if (supp_it != supp_by_file.end() &&
+        supp_it->second->Covers(edge->line, "R9")) {
+      continue;
+    }
+    out->push_back({edge->file, edge->line, "R9", msg});
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -855,6 +1303,12 @@ void CheckR6(const std::vector<SourceFile>& files,
 
 std::string Violation::ToString() const {
   return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::string StaleSuppression::ToString() const {
+  return file + ":" + std::to_string(line) + ": stale suppression: " +
+         std::string(whole_file ? "disable-file(" : "disable(") + rule +
+         ") no longer covers any violation — remove the tag";
 }
 
 bool LoadSourceFile(const std::string& path, SourceFile* out) {
@@ -912,7 +1366,8 @@ std::vector<std::string> CollectSources(
   return out;
 }
 
-std::vector<Violation> LintFiles(const std::vector<SourceFile>& files) {
+std::vector<Violation> LintFiles(const std::vector<SourceFile>& files,
+                                 std::vector<StaleSuppression>* stale) {
   std::vector<Violation> out;
   std::vector<Suppressions> supps;
   supps.reserve(files.size());
@@ -929,14 +1384,46 @@ std::vector<Violation> LintFiles(const std::vector<SourceFile>& files) {
       metric_registry_files.push_back(&file);
     }
   }
+  // Declaration models for the concurrency rules, src/ scope only.
+  std::vector<const SourceFile*> conc_files;
+  std::vector<const Suppressions*> conc_supps;
+  std::vector<FileModel> models;
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (!InConcurrencyScope(NormalizedPath(files[i].path))) continue;
+    conc_files.push_back(&files[i]);
+    conc_supps.push_back(&supps[i]);
+    models.push_back(BuildFileModel(files[i]));
+  }
+  const MemberMap members = BuildMemberMap(models);
   for (size_t i = 0; i < files.size(); ++i) {
     CheckR1(files[i], supps[i], &out);
     CheckR2(files[i], supps[i], &out);
     CheckR4(files[i], supps[i], &out);
     CheckR5(files[i], supps[i], &out);
   }
+  for (size_t i = 0; i < models.size(); ++i) {
+    CheckR7(*conc_files[i], models[i], members, *conc_supps[i], &out);
+    CheckR8(*conc_files[i], models[i], *conc_supps[i], &out);
+  }
   CheckR3(files, registry_files, supps, &out);
   CheckR6(files, metric_registry_files, supps, &out);
+  CheckR9(conc_files, models, conc_supps, &out);
+  if (stale != nullptr) {
+    stale->clear();
+    for (size_t i = 0; i < files.size(); ++i) {
+      for (const Suppressions::Tag& tag : supps[i].tags) {
+        if (tag.used) continue;
+        stale->push_back(
+            {files[i].path, tag.line, tag.rule, tag.whole_file});
+      }
+    }
+    std::sort(stale->begin(), stale->end(),
+              [](const StaleSuppression& a, const StaleSuppression& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+  }
   std::sort(out.begin(), out.end(),
             [](const Violation& a, const Violation& b) {
               if (a.file != b.file) return a.file < b.file;
@@ -946,13 +1433,14 @@ std::vector<Violation> LintFiles(const std::vector<SourceFile>& files) {
   return out;
 }
 
-std::vector<Violation> LintTree(const std::vector<std::string>& roots) {
+std::vector<Violation> LintTree(const std::vector<std::string>& roots,
+                                std::vector<StaleSuppression>* stale) {
   std::vector<SourceFile> files;
   for (const std::string& path : CollectSources(roots)) {
     SourceFile file;
     if (LoadSourceFile(path, &file)) files.push_back(std::move(file));
   }
-  return LintFiles(files);
+  return LintFiles(files, stale);
 }
 
 }  // namespace autotest::lint

@@ -28,10 +28,26 @@
 //   R6  metric-name literals in src/ unknown to the kAllMetrics catalogue
 //       in src/util/metrics.h — plus catalogue constants missing from the
 //       kAllMetrics array or registered but never used
+//   R7  concurrency annotations in src/: raw std::mutex /
+//       std::condition_variable members (use util::Mutex / util::CondVar),
+//       and members written under a lock scope without AT_GUARDED_BY
+//   R8  blocking calls (socket/file I/O, sleeps, Try* I/O entry points)
+//       on a lock-holding path — a MutexLock scope or the body of an
+//       AT_REQUIRES function
+//   R9  program-wide lock acquisition graph from nested lock scopes and
+//       AT_ACQUIRED_BEFORE/AFTER annotations must be acyclic; a cycle is
+//       reported with the full offending chain
+//
+// R7-R9 run on the declaration model in decl_model.h (DESIGN.md §4i) and
+// are scoped to src/ paths; the util::Mutex wrapper itself is exempt.
 //
 // Suppressions (see DESIGN.md §4d for when they are acceptable):
 //   // at_lint: disable(R2) <reason>        this line and the next
 //   // at_lint: disable-file(R2) <reason>   the whole file
+//
+// A suppression that no longer suppresses anything is reported by the
+// stale-suppression audit (`at_lint --audit-suppressions`) so tags do not
+// outlive the violation they were written for.
 //
 // Matching is line-oriented over a comment-stripped, string-blanked view
 // of each file, so tokens inside comments or literals never fire a rule
@@ -42,8 +58,20 @@ namespace autotest::lint {
 struct Violation {
   std::string file;
   size_t line = 0;       // 1-based
-  std::string rule;      // "R1".."R6"
+  std::string rule;      // "R1".."R9"
   std::string message;
+
+  std::string ToString() const;
+};
+
+/// A `at_lint: disable(...)` tag that covered no would-be violation in
+/// this run: the code it excused has been fixed or moved, and the tag is
+/// now suppressing nothing (or worse, a future regression).
+struct StaleSuppression {
+  std::string file;
+  size_t line = 0;       // 1-based line of the tag comment
+  std::string rule;      // the rule named by the tag
+  bool whole_file = false;
 
   std::string ToString() const;
 };
@@ -73,11 +101,14 @@ bool LoadSourceFile(const std::string& path, SourceFile* out);
 std::vector<std::string> CollectSources(const std::vector<std::string>& roots);
 
 /// Runs every rule over the given files and returns the violations
-/// sorted by (file, line, rule).
-std::vector<Violation> LintFiles(const std::vector<SourceFile>& files);
+/// sorted by (file, line, rule). When `stale` is non-null it receives the
+/// suppression tags that covered nothing, sorted by (file, line, rule).
+std::vector<Violation> LintFiles(const std::vector<SourceFile>& files,
+                                 std::vector<StaleSuppression>* stale = nullptr);
 
 /// Convenience: CollectSources + LoadSourceFile + LintFiles.
-std::vector<Violation> LintTree(const std::vector<std::string>& roots);
+std::vector<Violation> LintTree(const std::vector<std::string>& roots,
+                                std::vector<StaleSuppression>* stale = nullptr);
 
 }  // namespace autotest::lint
 

@@ -5,6 +5,14 @@
 #
 #   tools/run_sanitized_tests.sh [build-dir]      (default: build-asan)
 #
+# With --thread-safety, instead builds the whole tree under Clang's
+# -Werror=thread-safety (AT_THREAD_SAFETY=ON, requires clang++ on PATH)
+# and runs the compile-fail proof pair — the local twin of the CI
+# thread-safety job:
+#
+#   tools/run_sanitized_tests.sh --thread-safety [build-dir]
+#                                                 (default: build-tsa)
+#
 # Environment:
 #   JOBS            parallel build/test jobs (default 2)
 #   SOAK_SPEC       failpoint spec for the soak (default all:p=0.01,seed=1)
@@ -13,8 +21,23 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
 JOBS="${JOBS:-2}"
+
+if [[ "${1:-}" == "--thread-safety" ]]; then
+  BUILD_DIR="${2:-build-tsa}"
+  echo "== configuring $BUILD_DIR with clang++ and AT_THREAD_SAFETY=ON"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DAT_THREAD_SAFETY=ON > /dev/null
+  echo "== building under -Werror=thread-safety (j$JOBS)"
+  cmake --build "$BUILD_DIR" -j"$JOBS"
+  echo "== compile-fail proof (unlocked guarded write must not compile)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R "thread_safety_compile_fail"
+  echo "== OK: tree is thread-safety clean and the analysis is live"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-asan}"
 SOAK_SPEC="${SOAK_SPEC:-all:p=0.01,seed=1}"
 
 if [[ "${SKIP_ASAN:-0}" != "1" || ! -d "$BUILD_DIR" ]]; then
