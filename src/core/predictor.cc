@@ -51,11 +51,12 @@ SdcPredictor::SdcPredictor(std::vector<Sdc> rules) {
 
 std::vector<CellDetection> SdcPredictor::Predict(
     const table::Column& column) const {
-  return PredictInternal(column, nullptr).detections;
+  return PredictInternal(column, nullptr, nullptr).detections;
 }
 
 BudgetedPrediction SdcPredictor::PredictInternal(
-    const table::Column& column, const PredictBudget* budget) const {
+    const table::Column& column, const PredictBudget* budget,
+    util::Status* resource_error) const {
   static metrics::Counter& columns_checked =
       metrics::Registry::Global().GetCounter(
           metrics::kMPredictorColumnsChecked);
@@ -80,6 +81,18 @@ BudgetedPrediction SdcPredictor::PredictInternal(
         budget->clock->NowMicros() >= budget->deadline_micros) {
       result.expired = true;
       break;
+    }
+    // The resource gate: candidate evaluation costs one cell-work unit
+    // per distinct value per group, charged before the distances are
+    // computed so an over-budget column stops here, not after the work.
+    if (budget != nullptr && budget->resources != nullptr) {
+      util::Status charged = budget->resources->TryCharge(
+          util::ResourceKind::kCells, distinct.values.size(),
+          "rule-group evaluation for column '" + column.name + "'");
+      if (!charged.ok()) {
+        if (resource_error != nullptr) *resource_error = std::move(charged);
+        break;
+      }
     }
     ++result.groups_evaluated;
     // One distance computation per distinct value per evaluation function.
@@ -156,7 +169,14 @@ util::Result<BudgetedPrediction> SdcPredictor::TryPredict(
     return util::InjectedFault(*injected, util::kFpPredictorColumn)
         .WithContext("predicting column '" + column.name + "'");
   }
-  return PredictInternal(column, &budget);
+  util::Status resource_error;
+  BudgetedPrediction prediction =
+      PredictInternal(column, &budget, &resource_error);
+  if (!resource_error.ok()) {
+    return std::move(resource_error)
+        .WithContext("predicting column '" + column.name + "'");
+  }
+  return prediction;
 }
 
 }  // namespace autotest::core

@@ -6,6 +6,7 @@
 
 #include "core/sdc.h"
 #include "table/column.h"
+#include "util/budget.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -31,6 +32,14 @@ struct CellDetection {
 struct PredictBudget {
   util::Clock* clock = nullptr;
   int64_t deadline_micros = 0;
+  /// Optional request-wide resource budget (DESIGN.md §4j). When set,
+  /// each rule group charges its candidate evaluations (one cell-work
+  /// unit per distinct value) before computing distances, so a column
+  /// that would explode evaluation work fails with the budget's
+  /// structured kResourceExhausted instead of burning the pool. Shared
+  /// across the request's parallel column workers (charges are atomic).
+  /// Not owned.
+  util::ResourceBudget* resources = nullptr;
 };
 
 /// Outcome of a budgeted prediction. Expiry is a *partial result*, not an
@@ -75,8 +84,10 @@ class SdcPredictor {
   /// Deadline-aware variant for the serving tier: the budget is checked
   /// before each rule group (the natural phase boundary — one group = one
   /// evaluation function over all distinct values), so expiry yields the
-  /// detections found so far instead of stalling. Fails only under
-  /// injected faults, exactly like TryPredict above.
+  /// detections found so far instead of stalling. Fails under injected
+  /// faults, exactly like TryPredict above, and with the resource
+  /// budget's structured kResourceExhausted when a rule group's
+  /// candidate-evaluation charge is rejected (budget.resources set).
   [[nodiscard]] util::Result<BudgetedPrediction> TryPredict(
       const table::Column& column, const PredictBudget& budget) const;
 
@@ -92,9 +103,12 @@ class SdcPredictor {
   };
 
   /// Shared implementation: evaluates rule groups until done or (when
-  /// `budget` is non-null) the deadline passes.
+  /// `budget` is non-null) the deadline passes. A rejected resource
+  /// charge stops evaluation and lands in `resource_error` (when
+  /// non-null); the caller turns it into a request-level error.
   BudgetedPrediction PredictInternal(const table::Column& column,
-                                     const PredictBudget* budget) const;
+                                     const PredictBudget* budget,
+                                     util::Status* resource_error) const;
 
   std::vector<Sdc> rules_;
   std::vector<Group> groups_;

@@ -1,12 +1,16 @@
 #include "serve/session.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "table/csv.h"
 #include "table/table.h"
+#include "util/budget.h"
+#include "util/circuit_breaker.h"
 #include "util/metrics.h"
 #include "util/parallel/thread_pool.h"
 
@@ -36,7 +40,10 @@ std::string FormatConfidence(double conf) {
 }
 
 /// The `check` verb: CSV parse -> per-column prediction on the parallel
-/// pool -> report, each boundary gated on the deadline.
+/// pool -> report, each boundary gated on the deadline and charged
+/// against the per-request ResourceBudget (DESIGN.md §4j) so an
+/// over-budget request fails fast with a structured RESOURCE_EXHAUSTED
+/// (`reason=budget`) instead of OOM-ing the daemon.
 Response HandleCheck(const Request& request,
                      const RuleSetSnapshot& snapshot,
                      const ServeOptions& options, util::Clock& clock,
@@ -44,24 +51,78 @@ Response HandleCheck(const Request& request,
   static metrics::Counter& deadline_expirations =
       metrics::Registry::Global().GetCounter(
           metrics::kMServeDeadlineExpirations);
+  static metrics::Counter& budget_charges =
+      metrics::Registry::Global().GetCounter(
+          metrics::kMServeBudgetCharges);
+  static metrics::Counter& budget_rejections =
+      metrics::Registry::Global().GetCounter(
+          metrics::kMServeBudgetRejections);
 
   auto expired = [&] { return clock.NowMicros() >= deadline_micros; };
+
+  util::ResourceLimits limits;
+  limits.max_bytes = options.max_request_bytes;
+  limits.max_rows = options.max_request_rows;
+  limits.max_cells = options.max_request_cells;
+  util::ResourceBudget rbudget(limits);
+  // The scope releases everything it charged when the request finishes
+  // (any return path), so the budget's usage reads zero afterwards — the
+  // invariant behind "a rejected request leaves no memory behind".
+  util::BudgetScope scope(&rbudget);
+
+  // Every exit folds the request's charge accounting into the serve
+  // metrics: total charges, plus one rejection per request that went
+  // over budget.
+  auto stamped = [&](Response r) {
+    budget_charges.Increment(rbudget.charges());
+    if (rbudget.exhausted()) budget_rejections.Increment();
+    return r;
+  };
+  auto budget_error = [&](Status status) {
+    Response r = ErrorResponse(std::move(status));
+    r.AddField("reason", "budget");
+    return stamped(std::move(r));
+  };
 
   Response response;
   response.AddField("version", std::to_string(snapshot.version()));
   response.AddField("rules",
                     std::to_string(snapshot.predictor().num_rules()));
 
+  // The raw payload is the first resident copy the request pins.
+  if (Status charged = scope.TryCharge(util::ResourceKind::kBytes,
+                                       request.body.size(), "request body");
+      !charged.ok()) {
+    return budget_error(std::move(charged));
+  }
+
+  // Untrusted payloads always parse under explicit caps derived from the
+  // request budget — never the parser's defaults alone.
   table::CsvOptions csv_options;
   csv_options.max_row_bytes = options.max_frame_bytes;
+  if (options.max_request_bytes != 0) {
+    csv_options.max_row_bytes =
+        std::min<size_t>(csv_options.max_row_bytes,
+                         static_cast<size_t>(options.max_request_bytes));
+  }
+  if (options.max_request_cells != 0) {
+    // A single row cannot hold more fields than the whole-request cell
+    // allowance, so the cell ceiling bounds max_columns too.
+    csv_options.max_columns =
+        std::min<size_t>(csv_options.max_columns,
+                         static_cast<size_t>(options.max_request_cells));
+  }
+  csv_options.budget = &rbudget;
   auto table = table::TryParseCsv(request.body, csv_options);
   if (!table.ok()) {
-    return ErrorResponse(Status(table.status())
-                             .WithContext("parsing request table" +
-                                          (request.table.empty()
-                                               ? std::string()
-                                               : " '" + request.table +
-                                                     "'")));
+    Response r = ErrorResponse(Status(table.status())
+                                   .WithContext("parsing request table" +
+                                                (request.table.empty()
+                                                     ? std::string()
+                                                     : " '" + request.table +
+                                                           "'")));
+    if (rbudget.exhausted()) r.AddField("reason", "budget");
+    return stamped(std::move(r));
   }
 
   // Columns the predictor actually sees: mostly-numeric ones are skipped
@@ -87,6 +148,7 @@ Response HandleCheck(const Request& request,
     core::PredictBudget budget;
     budget.clock = &clock;
     budget.deadline_micros = deadline_micros;
+    budget.resources = &rbudget;
     struct Slot {
       std::optional<core::BudgetedPrediction> prediction;
       Status error;  // set when TryPredict failed (injected faults)
@@ -100,6 +162,19 @@ Response HandleCheck(const Request& request,
         slots[i].error = result.status();
       }
     });
+    if (rbudget.exhausted()) {
+      // The shared request budget ran out mid-predict: unlike a
+      // per-column injected fault, this is a request-level failure, so
+      // surface the first budget-rejected column's structured error.
+      for (const Slot& slot : slots) {
+        if (!slot.error.ok() &&
+            slot.error.code() == StatusCode::kResourceExhausted) {
+          return budget_error(Status(slot.error)
+                                  .WithContext("request over resource "
+                                               "budget during predict"));
+        }
+      }
+    }
     bool any_expired = false;
     for (size_t i = 0; i < kept.size(); ++i) {
       const Slot& slot = slots[i];
@@ -118,10 +193,19 @@ Response HandleCheck(const Request& request,
       }
       ++columns_checked;
       for (const auto& d : slot.prediction->detections) {
+        std::string line = kept[i]->name + "\t" + std::to_string(d.row) +
+                           "\t" + d.value + "\t" +
+                           FormatConfidence(d.confidence) + "\t" +
+                           d.explanation + "\n";
+        // Report generation charges too: a detection-dense table must
+        // not build an unbounded response body.
+        if (Status charged = scope.TryCharge(util::ResourceKind::kBytes,
+                                             line.size(), "report line");
+            !charged.ok()) {
+          return budget_error(std::move(charged));
+        }
         ++detections_total;
-        body += kept[i]->name + "\t" + std::to_string(d.row) + "\t" +
-                d.value + "\t" + FormatConfidence(d.confidence) + "\t" +
-                d.explanation + "\n";
+        body += line;
       }
     }
     if (any_expired) {
@@ -136,7 +220,7 @@ Response HandleCheck(const Request& request,
   response.AddField("columns_skipped", std::to_string(columns_skipped));
   response.AddField("detections", std::to_string(detections_total));
   response.body = std::move(body);
-  return response;
+  return stamped(std::move(response));
 }
 
 }  // namespace
@@ -193,6 +277,14 @@ Response HandlePayload(std::string_view payload, SnapshotStore& snapshots,
   auto request = TryParseRequest(payload);
   if (!request.ok()) return finish(ErrorResponse(request.status()));
 
+  // The per-tenant token bucket gates every verb before any further work
+  // is scheduled: one tenant hammering the daemon drains its own bucket
+  // and nobody else's.
+  if (options.governor != nullptr &&
+      !options.governor->TryAdmit(request->tenant)) {
+    return finish(ShedResponse("quota"));
+  }
+
   const int64_t budget_micros = request->deadline_ms > 0
                                     ? request->deadline_ms * 1000
                                     : options.default_deadline_micros;
@@ -228,6 +320,11 @@ Response HandlePayload(std::string_view payload, SnapshotStore& snapshots,
   }
   if (request->verb == "reload") {
     Status st = snapshots.TryReload();
+    if (st.ok() && options.governor != nullptr) {
+      // Tenant quotas hot-reload alongside the rule-set snapshot, so one
+      // `reload` (verb, SIGHUP or --reload-watch) refreshes both.
+      st = options.governor->TryReloadQuotas();
+    }
     if (!st.ok()) {
       Response response = ErrorResponse(st);
       response.AddField("version", std::to_string(snapshots.version()));
@@ -238,8 +335,29 @@ Response HandlePayload(std::string_view payload, SnapshotStore& snapshots,
     response.body = "reloaded\n";
     return finish(response);
   }
-  return finish(HandleCheck(*request, *snapshot, options, clock,
-                            deadline_micros));
+
+  // The `check` verb runs under the tenant's circuit breaker, keyed per
+  // rule-set version: N consecutive failures quarantine that tenant (on
+  // that rule set) behind `reason=circuit_open` sheds until the cooldown
+  // admits a half-open probe.
+  util::CircuitBreaker* breaker = nullptr;
+  if (options.governor != nullptr) {
+    breaker =
+        &options.governor->BreakerFor(request->tenant, snapshot->version());
+    if (!breaker->TryAcquire()) {
+      return finish(ShedResponse("circuit_open"));
+    }
+  }
+  Response response = HandleCheck(*request, *snapshot, options, clock,
+                                  deadline_micros);
+  if (breaker != nullptr) {
+    if (response.code == StatusCode::kOk) {
+      breaker->RecordSuccess();
+    } else {
+      breaker->RecordFailure();
+    }
+  }
+  return finish(std::move(response));
 }
 
 }  // namespace autotest::serve

@@ -6,8 +6,10 @@
 #include <string>
 #include <string_view>
 
+#include "serve/admission.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
+#include "util/budget.h"
 #include "util/retry.h"
 
 // One request's lifecycle (DESIGN.md §4h): payload -> parse -> predict ->
@@ -36,6 +38,18 @@ struct ServeOptions {
   int64_t drain_timeout_micros = 5'000'000;  // 5 s
   /// Reject request frames larger than this before allocating.
   size_t max_frame_bytes = size_t{16} << 20;  // 16 MiB
+  /// Per-request resource ceilings (DESIGN.md §4j): bytes resident, rows
+  /// parsed, cell-work units (one per parsed cell, one per distinct
+  /// value × rule group evaluated). 0 disables a dimension. Every
+  /// `check` request runs under a ResourceBudget built from these; the
+  /// CsvOptions limits handed to the parser are derived from the same
+  /// ceilings, so untrusted payloads always parse under explicit caps.
+  uint64_t max_request_bytes = uint64_t{64} << 20;  // 64 MiB
+  uint64_t max_request_rows = 1'000'000;
+  uint64_t max_request_cells = 8'000'000;
+  /// Per-tenant governance (token-bucket quotas + circuit breakers);
+  /// nullptr disables both gates. Not owned; must outlive the server.
+  TenantGovernor* governor = nullptr;
   /// Time source for deadlines and latency; nullptr = util::RealClock().
   /// Tests inject a VirtualClock so expiry is deterministic.
   util::Clock* clock = nullptr;
@@ -60,7 +74,12 @@ Response HandlePayload(std::string_view payload, SnapshotStore& snapshots,
 Response ErrorResponse(const util::Status& status);
 
 /// The load-shedding response: RESOURCE_EXHAUSTED with a `reason` field
-/// ("shed" at admission, "draining" at shutdown).
+/// ("shed" at admission, "draining" at shutdown, "quota" when the
+/// tenant's token bucket is empty, "circuit_open" while the tenant's
+/// breaker is open). Requests rejected by their own resource budget
+/// carry `reason=budget` on an ErrorResponse instead — that class is the
+/// request's fault, not server load, and clients must not blind-retry
+/// it.
 Response ShedResponse(std::string_view reason);
 
 }  // namespace autotest::serve

@@ -102,6 +102,17 @@ using ReadDeadline = std::chrono::steady_clock::time_point;
 
 }  // namespace
 
+bool IsValidTenant(std::string_view tenant) {
+  if (tenant.empty() || tenant.size() > kMaxTenantBytes) return false;
+  for (char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 std::string_view Response::Field(std::string_view key) const {
   for (const auto& [k, v] : fields) {
     if (k == key) return v;
@@ -118,6 +129,7 @@ std::string SerializeRequest(const Request& request) {
     out += "deadline_ms=" + std::to_string(request.deadline_ms) + "\n";
   }
   if (!request.table.empty()) out += "table=" + request.table + "\n";
+  if (!request.tenant.empty()) out += "tenant=" + request.tenant + "\n";
   out += '\n';
   out += request.body;
   return out;
@@ -178,6 +190,15 @@ Result<Request> TryParseRequest(std::string_view payload) {
       request.deadline_ms = v;
     } else if (key == "table") {
       request.table = std::move(value);
+    } else if (key == "tenant") {
+      // The tenant keys server-side quota buckets and breakers, so it is
+      // validated here, before it can become map key material.
+      if (!IsValidTenant(value)) {
+        return util::InvalidArgumentError(
+            "field 'tenant' wants 1.." + std::to_string(kMaxTenantBytes) +
+            " chars of [A-Za-z0-9_.-], got '" + value + "'");
+      }
+      request.tenant = std::move(value);
     } else {
       return util::InvalidArgumentError("unknown request field '" +
                                         std::string(key) + "'");

@@ -39,11 +39,22 @@ inline constexpr std::string_view kWireMagic = "autotest.serve.v1";
 /// µs conversion can overflow the int64 deadline arithmetic.
 inline constexpr int64_t kMaxDeadlineMs = 86'400'000;
 
+/// Upper bound on the `tenant` field's length; the value keys per-tenant
+/// quota buckets and circuit breakers, so it is validated (length and
+/// charset) before it can become server-side map key material.
+inline constexpr size_t kMaxTenantBytes = 64;
+
+/// True for a well-formed tenant id: 1..kMaxTenantBytes chars drawn from
+/// [A-Za-z0-9_.-]. The empty string is the anonymous default tenant and
+/// is valid only by omission (no `tenant=` line at all).
+bool IsValidTenant(std::string_view tenant);
+
 /// One parsed request frame.
 struct Request {
   std::string verb;       // check | ping | metrics | reload
   int64_t deadline_ms = 0;  // 0 = server default
   std::string table;      // optional display name for the report
+  std::string tenant;     // optional tenant id; empty = anonymous
   std::string body;       // CSV payload for `check`
 };
 

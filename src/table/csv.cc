@@ -71,6 +71,19 @@ Status ParseCells(std::string_view text, const CsvOptions& opt,
   };
   auto end_row = [&](size_t at_byte) -> Status {
     AT_RETURN_IF_ERROR(end_field(at_byte));
+    if (opt.budget != nullptr) {
+      // One batched charge per row (row + cells + payload bytes) keeps
+      // the budget's atomics off the per-character path while still
+      // failing mid-parse, before the next row is materialized.
+      const std::string what =
+          "csv row at " + At(pos.line, pos.field, at_byte);
+      AT_RETURN_IF_ERROR(
+          opt.budget->TryCharge(util::ResourceKind::kRows, 1, what));
+      AT_RETURN_IF_ERROR(opt.budget->TryCharge(util::ResourceKind::kCells,
+                                               row.size(), what));
+      AT_RETURN_IF_ERROR(opt.budget->TryCharge(util::ResourceKind::kBytes,
+                                               pos.row_bytes, what));
+    }
     rows->push_back(std::move(row));
     row.clear();
     pos.field = 1;

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "table/table.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace autotest::table {
@@ -25,6 +26,12 @@ struct CsvOptions {
   size_t max_row_bytes = size_t{16} << 20;  // 16 MiB
   /// Maximum number of columns (fields in the widest row).
   size_t max_columns = size_t{1} << 16;
+  /// Optional per-request budget (DESIGN.md §4j). When set, the parser
+  /// charges each completed row (1 row, its cell count, its payload
+  /// bytes) before materializing it, so a request-wide ceiling fails the
+  /// parse fast with the budget's structured kResourceExhausted — in
+  /// addition to the per-row/per-field limits above. Not owned.
+  util::ResourceBudget* budget = nullptr;
 };
 
 /// Parses CSV text into a Table. Handles quoted fields with embedded

@@ -1,0 +1,104 @@
+#include "util/budget.h"
+
+#include <string>
+
+#include "util/failpoint.h"
+
+namespace autotest::util {
+
+std::string_view ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kBytes:
+      return "bytes";
+    case ResourceKind::kRows:
+      return "rows";
+    case ResourceKind::kCells:
+      return "cells";
+  }
+  return "unknown";
+}
+
+uint64_t ResourceBudget::limit(ResourceKind kind) const {
+  switch (kind) {
+    case ResourceKind::kBytes:
+      return limits_.max_bytes;
+    case ResourceKind::kRows:
+      return limits_.max_rows;
+    case ResourceKind::kCells:
+      return limits_.max_cells;
+  }
+  return 0;
+}
+
+Status ResourceBudget::TryCharge(ResourceKind kind, uint64_t amount,
+                                 std::string_view what) {
+  charges_.fetch_add(1, std::memory_order_relaxed);
+  if (auto injected = FailpointFiresCode(
+          kFpBudgetCharge, StatusCode::kResourceExhausted)) {
+    exhausted_.store(true, std::memory_order_relaxed);
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return InjectedFault(*injected, kFpBudgetCharge)
+        .WithContext("charging " + std::to_string(amount) + " " +
+                     std::string(ResourceKindName(kind)) + " for " +
+                     std::string(what));
+  }
+  const uint64_t cap = limit(kind);
+  std::atomic<uint64_t>& used = used_[Index(kind)];
+  const uint64_t before = used.fetch_add(amount, std::memory_order_relaxed);
+  if (cap != 0 && before + amount > cap) {
+    // Roll the failed charge back so `used()` stays exact: concurrent
+    // in-budget charges observe at most a transient overshoot, never a
+    // permanently inflated total.
+    used.fetch_sub(amount, std::memory_order_relaxed);
+    exhausted_.store(true, std::memory_order_relaxed);
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return ResourceExhaustedError(
+        "request budget exceeded: " + std::string(what) + " needs " +
+        std::to_string(amount) + " more " +
+        std::string(ResourceKindName(kind)) + " (used " +
+        std::to_string(before) + " of " + std::to_string(cap) + ")");
+  }
+  return Status::Ok();
+}
+
+void ResourceBudget::Release(ResourceKind kind, uint64_t amount) {
+  std::atomic<uint64_t>& used = used_[Index(kind)];
+  uint64_t cur = used.load(std::memory_order_relaxed);
+  while (true) {
+    const uint64_t next = cur >= amount ? cur - amount : 0;
+    if (used.compare_exchange_weak(cur, next, std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+Status ResourceBudget::CheckDeadline(std::string_view phase) const {
+  if (limits_.clock == nullptr || limits_.deadline_micros == 0) {
+    return Status::Ok();
+  }
+  if (limits_.clock->NowMicros() < limits_.deadline_micros) {
+    return Status::Ok();
+  }
+  return DeadlineExceededError("request deadline expired at " +
+                               std::string(phase));
+}
+
+Status BudgetScope::TryCharge(ResourceKind kind, uint64_t amount,
+                              std::string_view what) {
+  if (budget_ == nullptr) return Status::Ok();
+  AT_RETURN_IF_ERROR(budget_->TryCharge(kind, amount, what));
+  held_[static_cast<size_t>(kind)] += amount;
+  return Status::Ok();
+}
+
+void BudgetScope::ReleaseAll() {
+  if (budget_ == nullptr) return;
+  for (size_t i = 0; i < 3; ++i) {
+    if (held_[i] == 0) continue;
+    budget_->Release(static_cast<ResourceKind>(i), held_[i]);
+    held_[i] = 0;
+  }
+}
+
+}  // namespace autotest::util

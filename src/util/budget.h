@@ -1,0 +1,148 @@
+#ifndef AUTOTEST_UTIL_BUDGET_H_
+#define AUTOTEST_UTIL_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "util/retry.h"
+#include "util/status.h"
+
+// Per-request resource budgets (DESIGN.md §4j).
+//
+// A ResourceBudget bounds one request in three countable dimensions —
+// bytes resident, rows parsed, cell-work units — plus an absolute
+// deadline on an injectable Clock. Charging is the contract: every layer
+// that allocates or computes proportionally to untrusted input charges
+// the budget *before* doing the work (TryParseCsv per row, the
+// predictor per rule-group evaluation, the serve session per report
+// line), so a hostile request fails fast with a structured
+// kResourceExhausted status instead of OOM-ing the daemon.
+//
+// Charges are single relaxed atomic RMWs, so parallel predict workers
+// charge one shared budget without locks. An over-limit charge is rolled
+// back before returning, which keeps the accounting exact under
+// concurrency: `used()` never includes a rejected charge.
+//
+// BudgetScope is the RAII tracking-charge API for budgets that outlive
+// one consumer (e.g. a shared daemon-wide ceiling): it remembers what it
+// charged and releases every held unit on destruction, so a finished
+// request returns its allowance no matter which early-return path it
+// took.
+//
+// Failpoint `budget.charge` injects a rejection at any charge site
+// (default flavor kResourceExhausted), letting soak runs prove every
+// charging layer propagates the structured error.
+
+namespace autotest::util {
+
+enum class ResourceKind { kBytes = 0, kRows = 1, kCells = 2 };
+
+/// Stable lower-case name for diagnostics ("bytes", "rows", "cells").
+std::string_view ResourceKindName(ResourceKind kind);
+
+/// Ceilings for one budget. A zero limit disables that dimension; a null
+/// clock (or zero deadline) disables the deadline.
+struct ResourceLimits {
+  uint64_t max_bytes = 0;
+  uint64_t max_rows = 0;
+  uint64_t max_cells = 0;
+  /// Absolute reading of `clock` (so queue time can count against it).
+  int64_t deadline_micros = 0;
+  Clock* clock = nullptr;
+};
+
+/// Thread-safe tracking budget. Copying is deliberately disabled: a
+/// budget is an identity (one request's allowance), not a value.
+class ResourceBudget {
+ public:
+  /// An unlimited budget; every charge succeeds.
+  ResourceBudget() = default;
+  explicit ResourceBudget(const ResourceLimits& limits) : limits_(limits) {}
+
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  /// Charges `amount` units of `kind`. kResourceExhausted (with the
+  /// dimension, usage and `what` in the message) when the cumulative
+  /// total would exceed the limit; the failed charge is rolled back, so
+  /// usage stays exact. Evaluates failpoint `budget.charge`.
+  [[nodiscard]] Status TryCharge(ResourceKind kind, uint64_t amount,
+                                 std::string_view what);
+
+  /// Returns previously charged units (BudgetScope's destructor; a
+  /// caller releasing more than it charged is a programmer error and
+  /// saturates at zero).
+  void Release(ResourceKind kind, uint64_t amount);
+
+  /// kDeadlineExceeded once the limits' deadline has passed on its
+  /// clock; Ok when no deadline is configured. `phase` names the
+  /// boundary for the diagnostic.
+  [[nodiscard]] Status CheckDeadline(std::string_view phase) const;
+
+  uint64_t used(ResourceKind kind) const {
+    return used_[Index(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t limit(ResourceKind kind) const;
+
+  /// True once any charge has been rejected (over-limit or injected).
+  bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  /// Total TryCharge calls / rejected TryCharge calls.
+  uint64_t charges() const {
+    return charges_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t Index(ResourceKind kind) {
+    return static_cast<size_t>(kind);
+  }
+
+  ResourceLimits limits_;
+  std::atomic<uint64_t> used_[3] = {{0}, {0}, {0}};
+  std::atomic<uint64_t> charges_{0};
+  std::atomic<uint64_t> rejections_{0};
+  std::atomic<bool> exhausted_{false};
+};
+
+/// RAII charge tracker over a ResourceBudget. Forwards charges to the
+/// budget, remembers what it successfully charged, and releases every
+/// held unit on destruction — the pattern for budgets shared wider than
+/// one request. A default-constructed (or null-budget) scope accepts
+/// every charge and holds nothing. Not thread-safe: one scope belongs
+/// to one consumer (the shared budget underneath does the
+/// synchronization).
+class BudgetScope {
+ public:
+  BudgetScope() = default;
+  explicit BudgetScope(ResourceBudget* budget) : budget_(budget) {}
+  ~BudgetScope() { ReleaseAll(); }
+
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+  /// Charges the underlying budget; on success the units are held by
+  /// this scope until ReleaseAll()/destruction.
+  [[nodiscard]] Status TryCharge(ResourceKind kind, uint64_t amount,
+                                 std::string_view what);
+
+  /// Returns every held unit to the budget now (idempotent).
+  void ReleaseAll();
+
+  /// Units this scope currently holds.
+  uint64_t held(ResourceKind kind) const {
+    return held_[static_cast<size_t>(kind)];
+  }
+
+ private:
+  ResourceBudget* budget_ = nullptr;
+  uint64_t held_[3] = {0, 0, 0};
+};
+
+}  // namespace autotest::util
+
+#endif  // AUTOTEST_UTIL_BUDGET_H_

@@ -1,0 +1,165 @@
+#include "util/circuit_breaker.h"
+
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/metrics.h"
+
+namespace autotest::util {
+
+namespace {
+
+struct BreakerCounters {
+  metrics::Counter& open_total;
+  metrics::Counter& half_open_total;
+  metrics::Counter& closed_total;
+  metrics::Counter& rejections;
+};
+
+BreakerCounters& Counters() {
+  static BreakerCounters counters{
+      metrics::Registry::Global().GetCounter(
+          metrics::kMServeBreakerOpenTotal),
+      metrics::Registry::Global().GetCounter(
+          metrics::kMServeBreakerHalfOpenTotal),
+      metrics::Registry::Global().GetCounter(
+          metrics::kMServeBreakerClosedTotal),
+      metrics::Registry::Global().GetCounter(
+          metrics::kMServeBreakerRejections),
+  };
+  return counters;
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options,
+                               Clock* clock)
+    : options_(options), clock_(clock) {
+  AT_CHECK_MSG(clock_ != nullptr, "CircuitBreaker needs a clock");
+}
+
+void CircuitBreaker::Stamp(const Transition& t) {
+  BreakerCounters& counters = Counters();
+  if (t.opened) counters.open_total.Increment();
+  if (t.half_opened) counters.half_open_total.Increment();
+  if (t.closed) counters.closed_total.Increment();
+  if (t.rejected) counters.rejections.Increment();
+}
+
+bool CircuitBreaker::TryAcquire() {
+  Transition t;
+  bool admitted = false;
+  {
+    MutexLock lock(&mu_);
+    switch (state_) {
+      case State::kClosed:
+        admitted = true;
+        break;
+      case State::kOpen:
+        if (clock_->NowMicros() < open_until_micros_) {
+          t.rejected = true;
+          break;
+        }
+        // Cooldown lapsed: this caller becomes the half-open probe —
+        // unless the failpoint denies it, which re-arms the cooldown so
+        // soak runs can pin a breaker open. The registry's lock is a
+        // leaf (its counters are pre-bound), so evaluating it under mu_
+        // cannot invert any lock order.
+        if (FailpointFires(kFpBreakerProbe)) {
+          open_until_micros_ =
+              clock_->NowMicros() + options_.cooldown_micros;
+          t.rejected = true;
+          break;
+        }
+        state_ = State::kHalfOpen;
+        probe_outstanding_ = true;
+        t.half_opened = true;
+        admitted = true;
+        break;
+      case State::kHalfOpen:
+        // One probe at a time; everyone else keeps shedding until the
+        // probe's outcome is recorded.
+        t.rejected = true;
+        break;
+    }
+  }
+  Stamp(t);
+  return admitted;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  Transition t;
+  {
+    MutexLock lock(&mu_);
+    consecutive_failures_ = 0;
+    if (state_ == State::kHalfOpen) {
+      state_ = State::kClosed;
+      probe_outstanding_ = false;
+      t.closed = true;
+    }
+  }
+  Stamp(t);
+}
+
+void CircuitBreaker::RecordFailure() {
+  const int threshold =
+      options_.failure_threshold < 1 ? 1 : options_.failure_threshold;
+  Transition t;
+  {
+    MutexLock lock(&mu_);
+    ++consecutive_failures_;
+    if (state_ == State::kHalfOpen) {
+      // The probe failed: straight back to open, cooldown re-armed.
+      state_ = State::kOpen;
+      probe_outstanding_ = false;
+      open_until_micros_ = clock_->NowMicros() + options_.cooldown_micros;
+      t.opened = true;
+    } else if (state_ == State::kClosed &&
+               consecutive_failures_ >= threshold) {
+      state_ = State::kOpen;
+      open_until_micros_ = clock_->NowMicros() + options_.cooldown_micros;
+      t.opened = true;
+    }
+  }
+  Stamp(t);
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  MutexLock lock(&mu_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  MutexLock lock(&mu_);
+  return consecutive_failures_;
+}
+
+CircuitBreakerMap::CircuitBreakerMap(const CircuitBreakerOptions& options,
+                                     Clock* clock, size_t max_tracked)
+    : options_(options), clock_(clock), max_tracked_(max_tracked) {
+  AT_CHECK_MSG(clock_ != nullptr, "CircuitBreakerMap needs a clock");
+}
+
+CircuitBreaker& CircuitBreakerMap::For(std::string_view key) {
+  MutexLock lock(&mu_);
+  auto it = breakers_.find(key);
+  if (it != breakers_.end()) return *it->second;
+  if (breakers_.size() >= max_tracked_) {
+    // Cap reached: a client inventing key material shares one overflow
+    // breaker instead of growing the map without bound.
+    if (overflow_ == nullptr) {
+      overflow_ = std::make_unique<CircuitBreaker>(options_, clock_);
+    }
+    return *overflow_;
+  }
+  auto [inserted, _] = breakers_.emplace(
+      std::string(key),
+      std::make_unique<CircuitBreaker>(options_, clock_));
+  return *inserted->second;
+}
+
+size_t CircuitBreakerMap::size() const {
+  MutexLock lock(&mu_);
+  return breakers_.size();
+}
+
+}  // namespace autotest::util

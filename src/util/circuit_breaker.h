@@ -1,0 +1,121 @@
+#ifndef AUTOTEST_UTIL_CIRCUIT_BREAKER_H_
+#define AUTOTEST_UTIL_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/mutex.h"
+#include "util/retry.h"
+#include "util/thread_annotations.h"
+
+// Deterministic circuit breaker (DESIGN.md §4j). Quarantines a repeat
+// offender — the serve tier keys one breaker per (tenant, rule-set
+// version) — so a client that keeps sending failing requests stops
+// consuming worker time until a cooldown lapses.
+//
+// State machine (all transitions are a pure function of the recorded
+// outcomes and the injectable Clock, so tests drive it over a
+// VirtualClock with exact expectations):
+//
+//   closed ──(N consecutive failures)──> open
+//   open   ──(cooldown lapses; next TryAcquire admits ONE probe)──> half-open
+//   half-open ──(probe succeeds)──> closed
+//   half-open ──(probe fails)────> open (cooldown re-arms)
+//
+// While open (or while a half-open probe is outstanding) TryAcquire
+// returns false and the caller sheds with `reason=circuit_open`.
+// Failpoint `breaker.probe` denies the half-open probe admission and
+// re-arms the cooldown, so soak runs can pin a breaker open.
+//
+// Metrics (serve.breaker_*): open/half-open/close transition counts and
+// the number of denied acquisitions, stamped outside the state lock.
+
+namespace autotest::util {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip closed -> open. Values < 1 act as 1.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before admitting a probe.
+  int64_t cooldown_micros = 5'000'000;  // 5 s
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// `clock` must be non-null and outlive the breaker.
+  CircuitBreaker(const CircuitBreakerOptions& options, Clock* clock);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True when the caller may proceed. Open: false until the cooldown
+  /// lapses, then exactly one caller is admitted as the half-open probe
+  /// (unless failpoint `breaker.probe` fires, which denies the probe and
+  /// re-arms the cooldown). Half-open with the probe outstanding: false.
+  [[nodiscard]] bool TryAcquire() AT_EXCLUDES(mu_);
+
+  /// Outcome of an acquired request. Success closes a half-open breaker
+  /// and clears the failure streak; failure re-opens a half-open breaker
+  /// immediately and trips a closed one at the threshold.
+  void RecordSuccess() AT_EXCLUDES(mu_);
+  void RecordFailure() AT_EXCLUDES(mu_);
+
+  State state() const AT_EXCLUDES(mu_);
+  int consecutive_failures() const AT_EXCLUDES(mu_);
+
+ private:
+  /// What a state change must stamp into metrics; collected under mu_,
+  /// applied after it is released.
+  struct Transition {
+    bool opened = false;
+    bool half_opened = false;
+    bool closed = false;
+    bool rejected = false;
+  };
+  void Stamp(const Transition& t);
+
+  const CircuitBreakerOptions options_;
+  Clock* const clock_;
+  mutable Mutex mu_;
+  State state_ AT_GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ AT_GUARDED_BY(mu_) = 0;
+  int64_t open_until_micros_ AT_GUARDED_BY(mu_) = 0;
+  bool probe_outstanding_ AT_GUARDED_BY(mu_) = false;
+};
+
+/// Keyed breaker registry (the serve tier keys by tenant + rule-set
+/// version). Breakers are created on first use and live for the
+/// registry's lifetime, so returned references stay valid. The map is
+/// capped: past `max_tracked` distinct keys every further key shares one
+/// overflow breaker, so a client inventing tenants cannot grow the map
+/// unboundedly.
+class CircuitBreakerMap {
+ public:
+  CircuitBreakerMap(const CircuitBreakerOptions& options, Clock* clock,
+                    size_t max_tracked = 1024);
+
+  CircuitBreakerMap(const CircuitBreakerMap&) = delete;
+  CircuitBreakerMap& operator=(const CircuitBreakerMap&) = delete;
+
+  /// The breaker for `key` (created closed on first use).
+  CircuitBreaker& For(std::string_view key) AT_EXCLUDES(mu_);
+
+  size_t size() const AT_EXCLUDES(mu_);
+
+ private:
+  const CircuitBreakerOptions options_;
+  Clock* const clock_;
+  const size_t max_tracked_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>, std::less<>>
+      breakers_ AT_GUARDED_BY(mu_);
+  std::unique_ptr<CircuitBreaker> overflow_ AT_GUARDED_BY(mu_);
+};
+
+}  // namespace autotest::util
+
+#endif  // AUTOTEST_UTIL_CIRCUIT_BREAKER_H_

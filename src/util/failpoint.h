@@ -62,6 +62,8 @@ inline constexpr std::string_view kFpShardRetry = "shard.retry";
 inline constexpr std::string_view kFpServeAccept = "serve.accept";
 inline constexpr std::string_view kFpServeRead = "serve.read";
 inline constexpr std::string_view kFpServeReload = "serve.reload";
+inline constexpr std::string_view kFpBudgetCharge = "budget.charge";
+inline constexpr std::string_view kFpBreakerProbe = "breaker.probe";
 
 /// Every failpoint compiled into the binary. Keep in sync with the
 /// constants above; tests/robustness_test.cc walks this list.
@@ -70,7 +72,8 @@ inline constexpr std::string_view kAllFailpoints[] = {
     kFpRulesParse, kFpRulesSave, kFpRecipeLoad,
     kFpRecipeSave, kFpTrainerEval, kFpPredictorColumn,
     kFpShardRead,  kFpShardRetry, kFpServeAccept,
-    kFpServeRead,  kFpServeReload,
+    kFpServeRead,  kFpServeReload, kFpBudgetCharge,
+    kFpBreakerProbe,
 };
 
 /// Process-wide registry. Thread-safe; the disarmed fast path is a single

@@ -120,6 +120,22 @@ inline constexpr std::string_view kMServeReloadFailures =
     "serve.reload_failures";
 inline constexpr std::string_view kMServeRequestSeconds =
     "serve.request_seconds";
+inline constexpr std::string_view kMServeBudgetCharges =
+    "serve.budget_charges";
+inline constexpr std::string_view kMServeBudgetRejections =
+    "serve.budget_rejections";
+inline constexpr std::string_view kMServeBreakerOpenTotal =
+    "serve.breaker_open_total";
+inline constexpr std::string_view kMServeBreakerHalfOpenTotal =
+    "serve.breaker_half_open_total";
+inline constexpr std::string_view kMServeBreakerClosedTotal =
+    "serve.breaker_closed_total";
+inline constexpr std::string_view kMServeBreakerRejections =
+    "serve.breaker_rejections";
+inline constexpr std::string_view kMServeTenantRejections =
+    "serve.tenant_rejections";
+inline constexpr std::string_view kMServeTenantQuotaReloads =
+    "serve.tenant_quota_reloads";
 
 /// Every statically named metric compiled into the binary. The per-site
 /// failpoint family (`failpoint.<site>.evals` / `.fires`) is derived from
@@ -164,6 +180,14 @@ inline constexpr std::string_view kAllMetrics[] = {
     kMServeReloads,
     kMServeReloadFailures,
     kMServeRequestSeconds,
+    kMServeBudgetCharges,
+    kMServeBudgetRejections,
+    kMServeBreakerOpenTotal,
+    kMServeBreakerHalfOpenTotal,
+    kMServeBreakerClosedTotal,
+    kMServeBreakerRejections,
+    kMServeTenantRejections,
+    kMServeTenantQuotaReloads,
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,322 @@
+// util/budget + util/circuit_breaker: per-request resource budgets and
+// the deterministic tenant circuit breaker (DESIGN.md §4j).
+//
+// Everything runs over a VirtualClock — breaker cooldowns and budget
+// deadlines are exercised with exact expectations and zero real sleeping.
+// Metric assertions are delta-based (value snapshots before/after) so the
+// suite stays order-independent.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/budget.h"
+#include "util/circuit_breaker.h"
+#include "util/failpoint.h"
+#include "util/metrics.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace autotest::util {
+namespace {
+
+uint64_t CounterValue(std::string_view name) {
+  return metrics::Registry::Global().GetCounter(name).value();
+}
+
+// ---------------------------------------------------------------------------
+// ResourceBudget
+// ---------------------------------------------------------------------------
+
+TEST(ResourceBudgetTest, UnlimitedBudgetAcceptsEverything) {
+  ResourceBudget budget;  // all limits zero = disabled
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kBytes, ~uint64_t{0} / 2,
+                               "huge")
+                  .ok());
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kRows, 1'000'000, "rows").ok());
+  EXPECT_TRUE(budget.CheckDeadline("any").ok());
+  EXPECT_FALSE(budget.exhausted());
+}
+
+TEST(ResourceBudgetTest, OverLimitChargeIsRejectedAndRolledBack) {
+  ResourceLimits limits;
+  limits.max_bytes = 100;
+  ResourceBudget budget(limits);
+
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kBytes, 60, "first").ok());
+  EXPECT_EQ(budget.used(ResourceKind::kBytes), 60u);
+
+  Status over = budget.TryCharge(ResourceKind::kBytes, 41, "second");
+  ASSERT_EQ(over.code(), StatusCode::kResourceExhausted);
+  // The rejected charge must not linger in the accounting.
+  EXPECT_EQ(budget.used(ResourceKind::kBytes), 60u);
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.rejections(), 1u);
+  EXPECT_EQ(budget.charges(), 2u);
+  // The diagnostic names the dimension, the culprit and the usage.
+  EXPECT_NE(over.ToString().find("bytes"), std::string::npos)
+      << over.ToString();
+  EXPECT_NE(over.ToString().find("second"), std::string::npos)
+      << over.ToString();
+
+  // Exactly at the cap is still in budget.
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kBytes, 40, "third").ok());
+  EXPECT_EQ(budget.used(ResourceKind::kBytes), 100u);
+}
+
+TEST(ResourceBudgetTest, DimensionsAreIndependent) {
+  ResourceLimits limits;
+  limits.max_rows = 2;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kRows, 2, "rows").ok());
+  EXPECT_EQ(budget.TryCharge(ResourceKind::kRows, 1, "rows").code(),
+            StatusCode::kResourceExhausted);
+  // Bytes and cells are unlimited in this budget.
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kBytes, 1 << 20, "bytes").ok());
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kCells, 1 << 20, "cells").ok());
+}
+
+TEST(ResourceBudgetTest, ReleaseReturnsUnitsAndSaturatesAtZero) {
+  ResourceLimits limits;
+  limits.max_cells = 10;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kCells, 10, "fill").ok());
+  EXPECT_EQ(budget.TryCharge(ResourceKind::kCells, 1, "over").code(),
+            StatusCode::kResourceExhausted);
+  budget.Release(ResourceKind::kCells, 4);
+  EXPECT_EQ(budget.used(ResourceKind::kCells), 6u);
+  EXPECT_TRUE(budget.TryCharge(ResourceKind::kCells, 4, "refill").ok());
+  // Releasing more than was charged is a bug but must not wrap.
+  budget.Release(ResourceKind::kCells, 1'000'000);
+  EXPECT_EQ(budget.used(ResourceKind::kCells), 0u);
+}
+
+TEST(ResourceBudgetTest, DeadlineChecksAgainstInjectedClock) {
+  VirtualClock clock;
+  ResourceLimits limits;
+  limits.clock = &clock;
+  limits.deadline_micros = 1'000;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.CheckDeadline("parse").ok());
+  clock.Advance(999);
+  EXPECT_TRUE(budget.CheckDeadline("parse").ok());
+  clock.Advance(2);
+  Status late = budget.CheckDeadline("predict");
+  ASSERT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(late.ToString().find("predict"), std::string::npos)
+      << late.ToString();
+}
+
+TEST(ResourceBudgetTest, ConcurrentChargesNeverOvershootTheCap) {
+  ResourceLimits limits;
+  limits.max_cells = 1000;
+  ResourceBudget budget(limits);
+  constexpr int kThreads = 4;
+  constexpr int kChargesPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        (void)budget.TryCharge(ResourceKind::kCells, 1, "worker");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Rollback keeps the accounting exact under contention: used() is the
+  // cap, never above, and accepted + rejected == attempted.
+  EXPECT_EQ(budget.used(ResourceKind::kCells), 1000u);
+  EXPECT_EQ(budget.charges(), uint64_t{kThreads} * kChargesPerThread);
+  EXPECT_EQ(budget.rejections(),
+            uint64_t{kThreads} * kChargesPerThread - 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// BudgetScope
+// ---------------------------------------------------------------------------
+
+TEST(BudgetScopeTest, ReleasesEverythingOnDestruction) {
+  ResourceLimits limits;
+  limits.max_bytes = 100;
+  ResourceBudget shared(limits);
+  {
+    BudgetScope scope(&shared);
+    EXPECT_TRUE(scope.TryCharge(ResourceKind::kBytes, 80, "req A").ok());
+    EXPECT_EQ(scope.held(ResourceKind::kBytes), 80u);
+    // A second consumer cannot fit while the first holds its allowance.
+    EXPECT_EQ(shared.TryCharge(ResourceKind::kBytes, 30, "req B").code(),
+              StatusCode::kResourceExhausted);
+  }
+  // Scope death returned the allowance; the next request fits again.
+  EXPECT_EQ(shared.used(ResourceKind::kBytes), 0u);
+  EXPECT_TRUE(shared.TryCharge(ResourceKind::kBytes, 30, "req B").ok());
+}
+
+TEST(BudgetScopeTest, FailedChargeHoldsNothing) {
+  ResourceLimits limits;
+  limits.max_rows = 5;
+  ResourceBudget budget(limits);
+  BudgetScope scope(&budget);
+  EXPECT_TRUE(scope.TryCharge(ResourceKind::kRows, 5, "fits").ok());
+  EXPECT_EQ(scope.TryCharge(ResourceKind::kRows, 1, "over").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(scope.held(ResourceKind::kRows), 5u);
+  scope.ReleaseAll();
+  EXPECT_EQ(budget.used(ResourceKind::kRows), 0u);
+  scope.ReleaseAll();  // idempotent
+  EXPECT_EQ(budget.used(ResourceKind::kRows), 0u);
+}
+
+TEST(BudgetScopeTest, NullBudgetScopeIsANoOp) {
+  BudgetScope scope;
+  EXPECT_TRUE(scope.TryCharge(ResourceKind::kBytes, 1 << 30, "any").ok());
+  EXPECT_EQ(scope.held(ResourceKind::kBytes), 0u);
+}
+
+TEST(BudgetScopeTest, ChargeFailpointInjectsRejection) {
+  FailpointRegistry::Global().Reset();
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Configure("budget.charge=on").ok());
+  ResourceBudget unlimited;
+  Status injected =
+      unlimited.TryCharge(ResourceKind::kBytes, 1, "tiny charge");
+  EXPECT_EQ(injected.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(unlimited.exhausted());
+  FailpointRegistry::Global().Reset();
+  EXPECT_TRUE(
+      unlimited.TryCharge(ResourceKind::kBytes, 1, "tiny charge").ok());
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+struct BreakerMetricsSnapshot {
+  uint64_t opened = CounterValue(metrics::kMServeBreakerOpenTotal);
+  uint64_t half_opened = CounterValue(metrics::kMServeBreakerHalfOpenTotal);
+  uint64_t closed = CounterValue(metrics::kMServeBreakerClosedTotal);
+  uint64_t rejected = CounterValue(metrics::kMServeBreakerRejections);
+};
+
+TEST(CircuitBreakerTest, FullLifecycleIsDeterministic) {
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_micros = 1'000'000;
+  CircuitBreaker breaker(options, &clock);
+  const BreakerMetricsSnapshot before;
+
+  // Closed: failures below the threshold keep admitting.
+  EXPECT_TRUE(breaker.TryAcquire());
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.TryAcquire());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+
+  // A success clears the streak — it takes N *consecutive* failures.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+
+  // Exactly N consecutive failures trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.TryAcquire());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(CounterValue(metrics::kMServeBreakerOpenTotal),
+            before.opened + 1);
+
+  // Open: everything is rejected until the cooldown lapses.
+  EXPECT_FALSE(breaker.TryAcquire());
+  clock.Advance(999'999);
+  EXPECT_FALSE(breaker.TryAcquire());
+  EXPECT_EQ(CounterValue(metrics::kMServeBreakerRejections),
+            before.rejected + 2);
+
+  // Cooldown done: exactly one probe is admitted, the next caller is not.
+  clock.Advance(2);
+  EXPECT_TRUE(breaker.TryAcquire());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(CounterValue(metrics::kMServeBreakerHalfOpenTotal),
+            before.half_opened + 1);
+  EXPECT_FALSE(breaker.TryAcquire());
+
+  // The probe failing re-opens and re-arms the full cooldown.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(CounterValue(metrics::kMServeBreakerOpenTotal),
+            before.opened + 2);
+  EXPECT_FALSE(breaker.TryAcquire());
+  clock.Advance(1'000'001);
+  EXPECT_TRUE(breaker.TryAcquire());  // second probe
+
+  // The probe succeeding closes the breaker for good.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(CounterValue(metrics::kMServeBreakerClosedTotal),
+            before.closed + 1);
+  EXPECT_TRUE(breaker.TryAcquire());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, ProbeFailpointPinsTheBreakerOpen) {
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_micros = 1'000;
+  CircuitBreaker breaker(options, &clock);
+  EXPECT_TRUE(breaker.TryAcquire());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  FailpointRegistry::Global().Reset();
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Configure("breaker.probe=on").ok());
+  // Every would-be probe is denied and the cooldown re-arms, so the
+  // breaker never leaves open while the failpoint is armed.
+  for (int i = 0; i < 3; ++i) {
+    clock.Advance(1'001);
+    EXPECT_FALSE(breaker.TryAcquire());
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  }
+  FailpointRegistry::Global().Reset();
+  clock.Advance(1'001);
+  EXPECT_TRUE(breaker.TryAcquire());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerMapTest, KeysAreIsolatedAndOverflowShares) {
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_micros = 1'000'000;
+  CircuitBreakerMap map(options, &clock, /*max_tracked=*/2);
+
+  CircuitBreaker& a = map.For("tenant-a\x1f" "1");
+  CircuitBreaker& b = map.For("tenant-b\x1f" "1");
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &map.For("tenant-a\x1f" "1"));  // stable reference
+
+  EXPECT_TRUE(a.TryAcquire());
+  a.RecordFailure();
+  EXPECT_FALSE(a.TryAcquire());
+  // Tripping tenant-a leaves tenant-b untouched.
+  EXPECT_TRUE(b.TryAcquire());
+  b.RecordSuccess();
+
+  // Past the cap, distinct keys collapse onto one overflow breaker so a
+  // key-inventing client cannot grow the map unboundedly.
+  EXPECT_EQ(map.size(), 2u);
+  CircuitBreaker& c = map.For("tenant-c\x1f" "1");
+  CircuitBreaker& d = map.For("tenant-d\x1f" "1");
+  EXPECT_EQ(&c, &d);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+}  // namespace
+}  // namespace autotest::util

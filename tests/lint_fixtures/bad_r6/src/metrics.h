@@ -15,9 +15,16 @@ inline constexpr std::string_view kMUnlisted =
 // Serving-tier-shaped name: registered and used, so R6 must treat it as
 // clean (regression guard for the serve.* metric family).
 inline constexpr std::string_view kMServeShed = "serve.requests_shed";
+// Governance-tier names (DESIGN.md §4j): registered and used, so R6 must
+// treat them as clean too.
+inline constexpr std::string_view kMServeBreakerOpen =
+    "serve.breaker_open_total";
+inline constexpr std::string_view kMServeTenantRej =
+    "serve.tenant_rejections";
 
-inline constexpr std::string_view kAllMetrics[] = {kMGoodCount, kMDeadCount,
-                                                   kMServeShed};
+inline constexpr std::string_view kAllMetrics[] = {
+    kMGoodCount, kMDeadCount, kMServeShed, kMServeBreakerOpen,
+    kMServeTenantRej};
 
 }  // namespace fixture
 

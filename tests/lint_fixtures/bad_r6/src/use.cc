@@ -14,6 +14,9 @@ int Use(Registry& reg) {
   total += reg.GetCounter("fixture.unknown_metric");  // line 14: violation
   // Registered serve.* literal: clean — R6 resolves it via kAllMetrics.
   total += reg.GetCounter("serve.requests_shed");
+  // Governance metrics, one via constant and one via literal: both clean.
+  total += reg.GetCounter(kMServeBreakerOpen);
+  total += reg.GetCounter("serve.tenant_rejections");
   return total;
 }
 

@@ -172,10 +172,15 @@ TEST(LintTest, R6FiresOnUnknownMissingAndDeadMetrics) {
   EXPECT_TRUE(EndsWith(unknown.file, "use.cc")) << unknown.file;
   EXPECT_EQ(unknown.line, 14u);
   EXPECT_NE(run.lines[2].find("fixture.unknown_metric"), std::string::npos);
-  // The registered-and-used serve.requests_shed entry must not appear:
-  // serve.* metric names resolve against kAllMetrics like any other.
+  // The registered-and-used serve.* entries must not appear: serve-tier
+  // and governance metric names resolve against kAllMetrics like any
+  // other.
   for (const std::string& line : run.lines) {
     EXPECT_EQ(line.find("serve.requests_shed"), std::string::npos) << line;
+    EXPECT_EQ(line.find("serve.breaker_open_total"), std::string::npos)
+        << line;
+    EXPECT_EQ(line.find("serve.tenant_rejections"), std::string::npos)
+        << line;
   }
 }
 

@@ -32,6 +32,8 @@
 #include "table/csv.h"
 #include "table/shard_loader.h"
 #include "typedet/eval_functions.h"
+#include "util/budget.h"
+#include "util/circuit_breaker.h"
 #include "util/failpoint.h"
 #include "util/retry.h"
 #include "util/rng.h"
@@ -447,6 +449,46 @@ TEST_F(RobustnessTest, KeyedFailpointDecisionIsSchedulingIndependent) {
   EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
 }
 
+TEST_F(RobustnessTest, InjectedBudgetChargeRejectionIsSurvived) {
+  // `budget.charge` makes any charge site report exhaustion: the charge
+  // must surface as a structured kResourceExhausted, never a crash, and
+  // disarming restores normal accounting.
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("budget.charge=on").ok());
+  util::ResourceBudget unlimited;
+  util::Status injected =
+      unlimited.TryCharge(util::ResourceKind::kBytes, 1, "soak charge");
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.code(), util::StatusCode::kResourceExhausted);
+  reg.Disarm();
+  EXPECT_TRUE(
+      unlimited.TryCharge(util::ResourceKind::kBytes, 1, "soak charge")
+          .ok());
+}
+
+TEST_F(RobustnessTest, InjectedProbeDenialKeepsBreakerOpen) {
+  // `breaker.probe` denies half-open probe admission and re-arms the
+  // cooldown: the breaker stays open for as long as the fault is armed.
+  util::VirtualClock clock;
+  util::CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_micros = 100;
+  util::CircuitBreaker breaker(options, &clock);
+  ASSERT_TRUE(breaker.TryAcquire());
+  breaker.RecordFailure();
+
+  auto& reg = util::FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("breaker.probe=on").ok());
+  clock.Advance(200);
+  EXPECT_FALSE(breaker.TryAcquire());
+  EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kOpen);
+  reg.Disarm();
+  clock.Advance(200);
+  EXPECT_TRUE(breaker.TryAcquire());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kClosed);
+}
+
 TEST_F(RobustnessTest, AllRegisteredFailpointsCoveredByThisSuite) {
   // Meta-check: if a new failpoint is added to kAllFailpoints without a
   // firing test above, this list must be extended.
@@ -455,7 +497,8 @@ TEST_F(RobustnessTest, AllRegisteredFailpointsCoveredByThisSuite) {
       "rules.parse", "rules.save", "recipe.load",
       "recipe.save", "trainer.eval", "predictor.column",
       "shard.read",  "shard.retry", "serve.accept",
-      "serve.read",  "serve.reload",
+      "serve.read",  "serve.reload", "budget.charge",
+      "breaker.probe",
   };
   ASSERT_EQ(covered.size(), std::size(util::kAllFailpoints));
   for (std::string_view fp : util::kAllFailpoints) {
@@ -514,6 +557,16 @@ TEST_F(RobustnessTest, QueryAgainstUnreachableServerExitsWithShedCode) {
   const int rc = std::system(cmd.c_str());
   ASSERT_TRUE(WIFEXITED(rc));
   EXPECT_EQ(WEXITSTATUS(rc), 7);
+
+  // --retries only re-sends the shed class; against a server that never
+  // appears every attempt sheds, and the exhausted retry budget still
+  // exits 7 (the class is unchanged, just attempted more than once).
+  const std::string retried = std::string(AT_AUTOTEST_CLI) +
+                              " query --ping --retries 2 --port " +
+                              std::to_string(port) + " >/dev/null 2>&1";
+  const int rc2 = std::system(retried.c_str());
+  ASSERT_TRUE(WIFEXITED(rc2));
+  EXPECT_EQ(WEXITSTATUS(rc2), 7);
 }
 
 // Death tests documenting the AT_CHECKs that remain programmer-error

@@ -849,5 +849,269 @@ TEST_F(ServeTest, InjectedAcceptFaultDropsConnectionButServerSurvives) {
   (void)server.StopAndDrain();
 }
 
+// ---------------------------------------------------------- governance --
+// Per-request budgets, per-tenant quotas and circuit breakers
+// (DESIGN.md §4j).
+
+TEST_F(ServeTest, WireTenantFieldRoundTripsAndValidates) {
+  Request request;
+  request.verb = "ping";
+  request.tenant = "team-a.prod_1";
+  auto parsed = TryParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tenant, "team-a.prod_1");
+
+  // No tenant field at all is the anonymous tenant, not an error.
+  Request anonymous;
+  anonymous.verb = "ping";
+  auto parsed_anon = TryParseRequest(SerializeRequest(anonymous));
+  ASSERT_TRUE(parsed_anon.ok());
+  EXPECT_TRUE(parsed_anon->tenant.empty());
+
+  // The tenant becomes server-side map key material, so hostile values
+  // are rejected at the parse boundary.
+  const std::vector<std::string> bad_fields = {
+      "tenant=sp ace", "tenant=semi;colon", "tenant=",
+      "tenant=" + std::string(kMaxTenantBytes + 1, 'a')};
+  for (const std::string& bad : bad_fields) {
+    auto r = TryParseRequest("autotest.serve.v1 ping\n" + bad + "\n\n");
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST_F(ServeTest, OverBudgetRequestBodyIsRejectedStructurally) {
+  const std::string path = "/tmp/autotest_serve_budget_body.sdc";
+  auto store = MakeLoadedStore(path);
+  ServeOptions options;
+  options.max_request_bytes = 16;  // smaller than any real table
+
+  const uint64_t rejections_before =
+      CounterValue(metrics::kMServeBudgetRejections);
+  Response response = HandlePayload(CheckPayload(), *store, options, -1);
+  EXPECT_EQ(response.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(response.Field("reason"), "budget");
+  EXPECT_NE(response.body.find("request body"), std::string::npos)
+      << response.body;
+  EXPECT_EQ(CounterValue(metrics::kMServeBudgetRejections),
+            rejections_before + 1);
+}
+
+TEST_F(ServeTest, RowBudgetStopsTheParserMidTable) {
+  const std::string path = "/tmp/autotest_serve_budget_rows.sdc";
+  auto store = MakeLoadedStore(path);
+  ServeOptions options;
+  options.max_request_rows = 2;  // SampleCsv has a header + 4 data rows
+
+  const uint64_t rejections_before =
+      CounterValue(metrics::kMServeBudgetRejections);
+  Response response = HandlePayload(CheckPayload(), *store, options, -1);
+  EXPECT_EQ(response.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(response.Field("reason"), "budget");
+  EXPECT_NE(response.body.find("rows"), std::string::npos) << response.body;
+  EXPECT_EQ(CounterValue(metrics::kMServeBudgetRejections),
+            rejections_before + 1);
+}
+
+TEST_F(ServeTest, CsvCapsDerivedFromBudgetAreAlwaysEnforced) {
+  const std::string path = "/tmp/autotest_serve_budget_cols.sdc";
+  auto store = MakeLoadedStore(path);
+  ServeOptions options;
+  // The cell allowance bounds max_columns handed to the parser, so one
+  // absurdly wide row dies inside the parser's own cap — before the
+  // fields are even materialized.
+  options.max_request_cells = 3;
+
+  Request request;
+  request.verb = "check";
+  request.body = "a,b,c,d,e\n1,2,3,4,5\n";
+  Response response = HandlePayload(SerializeRequest(request), *store,
+                                    options, -1);
+  EXPECT_EQ(response.code, StatusCode::kResourceExhausted);
+  EXPECT_NE(response.body.find("max_columns"), std::string::npos)
+      << response.body;
+}
+
+TEST_F(ServeTest, BreakerTripsAtThresholdShedsAndRecovers) {
+  const std::string path = "/tmp/autotest_serve_breaker.sdc";
+  auto store = MakeLoadedStore(path);
+  util::VirtualClock clock;
+  util::CircuitBreakerOptions breaker_options;
+  breaker_options.failure_threshold = 2;
+  breaker_options.cooldown_micros = 1'000'000;
+  TenantGovernor governor(breaker_options, &clock);
+  ServeOptions options;
+  options.clock = &clock;
+  options.governor = &governor;
+
+  Request bad;
+  bad.verb = "check";
+  bad.tenant = "bad-actor";
+  bad.body = "city\n\"unterminated\n";  // kDataLoss at parse
+  Request good;
+  good.verb = "check";
+  good.tenant = "bad-actor";
+  good.body = SampleCsv();
+
+  const uint64_t opened_before =
+      CounterValue(metrics::kMServeBreakerOpenTotal);
+  const uint64_t rejected_before =
+      CounterValue(metrics::kMServeBreakerRejections);
+  const uint64_t closed_before =
+      CounterValue(metrics::kMServeBreakerClosedTotal);
+
+  // Exactly N consecutive failing requests trip the tenant's breaker.
+  for (int i = 0; i < 2; ++i) {
+    Response r = HandlePayload(SerializeRequest(bad), *store, options, -1);
+    EXPECT_EQ(r.code, StatusCode::kDataLoss);
+  }
+  EXPECT_EQ(CounterValue(metrics::kMServeBreakerOpenTotal),
+            opened_before + 1);
+
+  // Open: even a well-formed request from that tenant is shed before any
+  // predictor work is scheduled.
+  Response shed = HandlePayload(SerializeRequest(good), *store, options, -1);
+  EXPECT_EQ(shed.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.Field("reason"), "circuit_open");
+  EXPECT_EQ(CounterValue(metrics::kMServeBreakerRejections),
+            rejected_before + 1);
+
+  // Another tenant is untouched: breakers are keyed per tenant.
+  Request other = good;
+  other.tenant = "good-actor";
+  EXPECT_EQ(HandlePayload(SerializeRequest(other), *store, options, -1).code,
+            StatusCode::kOk);
+
+  // The cooldown lapses, the probe succeeds, the breaker closes.
+  clock.Advance(1'000'001);
+  EXPECT_EQ(HandlePayload(SerializeRequest(good), *store, options, -1).code,
+            StatusCode::kOk);
+  EXPECT_EQ(CounterValue(metrics::kMServeBreakerClosedTotal),
+            closed_before + 1);
+  EXPECT_EQ(HandlePayload(SerializeRequest(good), *store, options, -1).code,
+            StatusCode::kOk);
+}
+
+TEST_F(ServeTest, TenantQuotaShedsTheGreedyTenantOnlyAndHotReloads) {
+  const std::string path = "/tmp/autotest_serve_quota.sdc";
+  const std::string quota_path = "/tmp/autotest_serve_quota.conf";
+  auto store = MakeLoadedStore(path);
+  util::VirtualClock clock;
+  TenantGovernor governor(util::CircuitBreakerOptions{}, &clock);
+  WriteFile(quota_path,
+            "autotest.quotas.v1\n"
+            "# rate 0 = a hard allowance until reload\n"
+            "greedy 0 2\n");
+  ASSERT_TRUE(governor.TryLoadQuotas(quota_path).ok());
+  ServeOptions options;
+  options.clock = &clock;
+  options.governor = &governor;
+
+  Request greedy;
+  greedy.verb = "ping";
+  greedy.tenant = "greedy";
+  Request polite;
+  polite.verb = "ping";
+  polite.tenant = "polite";
+
+  const uint64_t rejections_before =
+      CounterValue(metrics::kMServeTenantRejections);
+  // The burst admits exactly two requests; the third is shed with
+  // reason=quota.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(
+        HandlePayload(SerializeRequest(greedy), *store, options, -1).code,
+        StatusCode::kOk);
+  }
+  Response shed =
+      HandlePayload(SerializeRequest(greedy), *store, options, -1);
+  EXPECT_EQ(shed.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.Field("reason"), "quota");
+  EXPECT_EQ(CounterValue(metrics::kMServeTenantRejections),
+            rejections_before + 1);
+
+  // An unlisted tenant (no `default` row) is unlimited: tenant A
+  // exhausting its bucket never touches tenant B.
+  EXPECT_EQ(
+      HandlePayload(SerializeRequest(polite), *store, options, -1).code,
+      StatusCode::kOk);
+
+  // A malformed replacement file keeps the old table serving.
+  WriteFile(quota_path, "not a quota file\n");
+  EXPECT_FALSE(governor.TryReloadQuotas().ok());
+  EXPECT_EQ(
+      HandlePayload(SerializeRequest(greedy), *store, options, -1).code,
+      StatusCode::kResourceExhausted);
+
+  // The `reload` verb refreshes rule set AND quotas in one request; the
+  // refilled allowance admits the greedy tenant again.
+  WriteFile(quota_path,
+            "autotest.quotas.v1\n"
+            "greedy 0 5\n");
+  Request reload;
+  reload.verb = "reload";
+  Response reloaded =
+      HandlePayload(SerializeRequest(reload), *store, options, -1);
+  EXPECT_EQ(reloaded.code, StatusCode::kOk) << reloaded.body;
+  EXPECT_EQ(
+      HandlePayload(SerializeRequest(greedy), *store, options, -1).code,
+      StatusCode::kOk);
+}
+
+TEST_F(ServeTest, ConcurrentOverBudgetRequestLeavesOtherTenantsUnharmed) {
+  const std::string path = "/tmp/autotest_serve_budget_conc.sdc";
+  auto store = MakeLoadedStore(path);
+
+  WorkerLatch latch;
+  util::CircuitBreakerOptions breaker_options;
+  TenantGovernor governor(breaker_options, &util::RealClock());
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.max_request_rows = 3;  // header + 2 data rows fit; SampleCsv not
+  options.governor = &governor;
+  options.phase_hook = [&latch](std::string_view phase) {
+    latch.ParkOn(phase, "parse");
+  };
+
+  Server server(store.get(), options);
+  util::Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  Request big;
+  big.verb = "check";
+  big.tenant = "heavy";
+  big.body = SampleCsv();  // 5 rows: over the 3-row budget
+  Request small;
+  small.verb = "check";
+  small.tenant = "light";
+  small.body = "city,amount\nBeijing,1\n";  // 2 rows: in budget
+
+  const uint64_t rejections_before =
+      CounterValue(metrics::kMServeBudgetRejections);
+  // Park both requests at the parse boundary so they are provably
+  // in-flight at the same time, then release them together.
+  const int big_fd = MustConnect(server.port());
+  SendPayload(big_fd, SerializeRequest(big));
+  const int small_fd = MustConnect(server.port());
+  SendPayload(small_fd, SerializeRequest(small));
+  latch.WaitParked(2);
+  latch.Release();
+
+  Response big_response = MustReadResponse(big_fd);
+  Response small_response = MustReadResponse(small_fd);
+  ::close(big_fd);
+  ::close(small_fd);
+
+  EXPECT_EQ(big_response.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(big_response.Field("reason"), "budget");
+  EXPECT_EQ(small_response.code, StatusCode::kOk);
+  EXPECT_EQ(small_response.Field("provenance"), "full");
+  // Exactly the one over-budget request was rejected.
+  EXPECT_EQ(CounterValue(metrics::kMServeBudgetRejections),
+            rejections_before + 1);
+
+  DrainReport report = server.StopAndDrain();
+  EXPECT_EQ(report.completed, 2u);
+}
+
 }  // namespace
 }  // namespace autotest::serve

@@ -30,7 +30,11 @@
 //   6  resource exhausted (input over limits, injected allocation faults,
 //      expired request deadlines)
 //   7  server refused / shed (client-mode RESOURCE_EXHAUSTED: the serving
-//      tier shed the request under load, or the server is unreachable)
+//      tier shed the request under load, the tenant's circuit breaker is
+//      open, or the server is unreachable — retryable with backoff)
+//   8  quota rejected (client-mode RESOURCE_EXHAUSTED with reason=quota:
+//      the tenant's token bucket is empty; retrying immediately cannot
+//      help until the bucket refills)
 
 #include <sys/stat.h>
 #include <unistd.h>
@@ -49,6 +53,7 @@
 #include "core/auto_test.h"
 #include "core/serialization.h"
 #include "datagen/corpus_gen.h"
+#include "serve/admission.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "serve/snapshot.h"
@@ -82,6 +87,7 @@ constexpr int kExitNotFound = 4;
 constexpr int kExitIo = 5;
 constexpr int kExitResource = 6;
 constexpr int kExitShed = 7;
+constexpr int kExitQuota = 8;
 
 int ExitCodeFor(const Status& status) {
   switch (status.code()) {
@@ -691,6 +697,12 @@ int CmdServe(int argc, char** argv) {
   size_t queue_depth = 16;
   size_t default_deadline_ms = 10'000;
   size_t drain_timeout_ms = 5'000;
+  std::string tenant_quotas_path;
+  size_t max_request_bytes = uint64_t{64} << 20;
+  size_t max_request_rows = 1'000'000;
+  size_t max_request_cells = 8'000'000;
+  size_t breaker_failures = 5;
+  size_t breaker_cooldown_ms = 5'000;
   bool reload_watch = false;
   bool once = false;
   for (int i = 0; i < argc; ++i) {
@@ -706,6 +718,17 @@ int CmdServe(int argc, char** argv) {
     else if (a == "--drain-timeout-ms")
       ok = ParseSize(next(), &drain_timeout_ms);
     else if (a == "--max-retries") ok = ParseSize(next(), &max_retries);
+    else if (a == "--tenant-quotas") tenant_quotas_path = next();
+    else if (a == "--max-request-bytes")
+      ok = ParseSize(next(), &max_request_bytes);
+    else if (a == "--max-request-rows")
+      ok = ParseSize(next(), &max_request_rows);
+    else if (a == "--max-request-cells")
+      ok = ParseSize(next(), &max_request_cells);
+    else if (a == "--breaker-failures")
+      ok = ParseSize(next(), &breaker_failures);
+    else if (a == "--breaker-cooldown-ms")
+      ok = ParseSize(next(), &breaker_cooldown_ms);
     else if (a == "--reload-watch") reload_watch = true;
     else if (a == "--once") once = true;
     else {
@@ -723,7 +746,14 @@ int CmdServe(int argc, char** argv) {
                  "usage: autotest serve --rules rules.sdc [--port N] "
                  "[--max-inflight K] [--queue-depth Q] "
                  "[--default-deadline-ms D] [--drain-timeout-ms T] "
+                 "[--tenant-quotas file] [--max-request-bytes B] "
+                 "[--max-request-rows R] [--max-request-cells C] "
+                 "[--breaker-failures N] [--breaker-cooldown-ms D] "
                  "[--reload-watch] [--once]\n");
+    return kExitUsage;
+  }
+  if (breaker_failures == 0) {
+    std::fprintf(stderr, "option --breaker-failures must be positive\n");
     return kExitUsage;
   }
   if (port > 65535) {
@@ -749,6 +779,26 @@ int CmdServe(int argc, char** argv) {
       static_cast<int64_t>(default_deadline_ms) * 1000;
   options.drain_timeout_micros =
       static_cast<int64_t>(drain_timeout_ms) * 1000;
+  options.max_request_bytes = max_request_bytes;
+  options.max_request_rows = max_request_rows;
+  options.max_request_cells = max_request_cells;
+
+  // Per-tenant governance: the governor owns the token buckets and
+  // circuit breakers and must outlive the server. A missing/malformed
+  // quota file fails startup fast — a daemon silently serving without
+  // its configured quotas is worse than one that refuses to start.
+  util::CircuitBreakerOptions breaker_options;
+  breaker_options.failure_threshold = static_cast<int>(breaker_failures);
+  breaker_options.cooldown_micros =
+      static_cast<int64_t>(breaker_cooldown_ms) * 1000;
+  serve::TenantGovernor governor(breaker_options, &util::RealClock());
+  if (!tenant_quotas_path.empty()) {
+    Status quotas = governor.TryLoadQuotas(tenant_quotas_path);
+    if (!quotas.ok()) return Fail(quotas);
+    std::fprintf(stderr, "serve: tenant quotas loaded from %s\n",
+                 tenant_quotas_path.c_str());
+  }
+  options.governor = &governor;
 
   // An impatient client that closes its socket before reading its
   // response must be an EPIPE on that one write, never a process-killing
@@ -810,6 +860,14 @@ int CmdServe(int argc, char** argv) {
                      static_cast<unsigned long long>(store.version()),
                      st.ToString().c_str());
       }
+      // Quotas ride the same reload trigger; a bad file keeps the old
+      // table serving (load-validate-then-swap inside the governor).
+      Status qst = governor.TryReloadQuotas();
+      if (!qst.ok()) {
+        std::fprintf(stderr,
+                     "serve: quota reload failed, keeping old table: %s\n",
+                     qst.ToString().c_str());
+      }
     }
     if (reload_watch) {
       watch_countdown_micros -= 50'000;
@@ -840,9 +898,11 @@ int CmdQuery(int argc, char** argv) {
   std::string csv_path;
   std::string host = "127.0.0.1";
   std::string table_name;
+  std::string tenant;
   std::string verb = "check";
   size_t port = 0;
   size_t deadline_ms = 0;
+  size_t retries = 0;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() { return std::string(i + 1 < argc ? argv[++i] : ""); };
@@ -851,6 +911,8 @@ int CmdQuery(int argc, char** argv) {
     else if (a == "--port") ok = ParseSize(next(), &port);
     else if (a == "--deadline-ms") ok = ParseSize(next(), &deadline_ms);
     else if (a == "--table") table_name = next();
+    else if (a == "--tenant") tenant = next();
+    else if (a == "--retries") ok = ParseSize(next(), &retries);
     else if (a == "--ping") verb = "ping";
     else if (a == "--metrics") verb = "metrics";
     else if (a == "--reload") verb = "reload";
@@ -869,8 +931,8 @@ int CmdQuery(int argc, char** argv) {
   if (port == 0 || port > 65535) {
     std::fprintf(stderr,
                  "usage: autotest query [file.csv] --port N [--host H] "
-                 "[--deadline-ms D] [--table name] "
-                 "[--ping|--metrics|--reload]\n");
+                 "[--deadline-ms D] [--table name] [--tenant T] "
+                 "[--retries N] [--ping|--metrics|--reload]\n");
     return kExitUsage;
   }
   if (deadline_ms > static_cast<size_t>(serve::kMaxDeadlineMs)) {
@@ -878,11 +940,18 @@ int CmdQuery(int argc, char** argv) {
                  static_cast<long long>(serve::kMaxDeadlineMs));
     return kExitUsage;
   }
+  if (!tenant.empty() && !serve::IsValidTenant(tenant)) {
+    std::fprintf(stderr,
+                 "option --tenant wants 1..%zu chars of [A-Za-z0-9_.-]\n",
+                 serve::kMaxTenantBytes);
+    return kExitUsage;
+  }
   std::signal(SIGPIPE, SIG_IGN);  // a vanished server is an error, not a kill
   serve::Request request;
   request.verb = verb;
   request.deadline_ms = static_cast<int64_t>(deadline_ms);
   request.table = table_name;
+  request.tenant = tenant;
   if (verb == "check") {
     if (csv_path.empty()) {
       std::fprintf(stderr, "query: a csv file is required for check\n");
@@ -898,41 +967,77 @@ int CmdQuery(int argc, char** argv) {
     if (request.table.empty()) request.table = csv_path;
   }
 
-  auto fd = serve::TryConnect(host, static_cast<uint16_t>(port));
-  if (!fd.ok()) {
-    // "Server refused" is its own exit class: the caller's backoff loop
-    // must distinguish an absent/saturated server from a broken request.
-    std::fprintf(stderr, "error: %s\n", fd.status().ToString().c_str());
-    return kExitShed;
-  }
-  Status sent = serve::TryWriteFrame(*fd, serve::SerializeRequest(request));
-  if (!sent.ok()) {
+  // One round trip: connect, frame the request, read + parse the
+  // response, print the report. Shed-class failures (exit 7 — server
+  // unreachable, mid-frame I/O, or a RESOURCE_EXHAUSTED shed) are the
+  // only retryable class below; everything else is final.
+  auto attempt = [&]() -> int {
+    auto fd = serve::TryConnect(host, static_cast<uint16_t>(port));
+    if (!fd.ok()) {
+      // "Server refused" is its own exit class: the caller's backoff loop
+      // must distinguish an absent/saturated server from a broken request.
+      std::fprintf(stderr, "error: %s\n", fd.status().ToString().c_str());
+      return kExitShed;
+    }
+    Status sent = serve::TryWriteFrame(*fd, serve::SerializeRequest(request));
+    if (!sent.ok()) {
+      ::close(*fd);
+      std::fprintf(stderr, "error: %s\n", sent.ToString().c_str());
+      return kExitShed;
+    }
+    auto payload = serve::TryReadFrame(*fd, size_t{64} << 20);
     ::close(*fd);
-    std::fprintf(stderr, "error: %s\n", sent.ToString().c_str());
-    return kExitShed;
-  }
-  auto payload = serve::TryReadFrame(*fd, size_t{64} << 20);
-  ::close(*fd);
-  if (!payload.ok()) {
-    std::fprintf(stderr, "error: %s\n", payload.status().ToString().c_str());
-    return kExitShed;
-  }
-  auto response = serve::TryParseResponse(*payload);
-  if (!response.ok()) return Fail(response.status());
+    if (!payload.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   payload.status().ToString().c_str());
+      return kExitShed;
+    }
+    auto response = serve::TryParseResponse(*payload);
+    if (!response.ok()) return Fail(response.status());
 
-  std::fprintf(stderr, "query: status=%s",
-               std::string(util::StatusCodeName(response->code)).c_str());
-  for (const auto& [k, v] : response->fields) {
-    std::fprintf(stderr, " %s=%s", k.c_str(), v.c_str());
+    std::fprintf(stderr, "query: status=%s",
+                 std::string(util::StatusCodeName(response->code)).c_str());
+    for (const auto& [k, v] : response->fields) {
+      std::fprintf(stderr, " %s=%s", k.c_str(), v.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::fwrite(response->body.data(), 1, response->body.size(), g_report);
+    if (response->code == StatusCode::kOk) return kExitOk;
+    if (response->code == StatusCode::kResourceExhausted) {
+      // The reason field splits the RESOURCE_EXHAUSTED class into exit
+      // codes with different retry semantics: quota (8) waits for a
+      // bucket refill, budget (6) means the request itself is too big
+      // and a retry can never help, everything else (shed, draining,
+      // circuit_open -> 7) is transient server state worth backing off.
+      const std::string_view reason = response->Field("reason");
+      if (reason == "quota") {
+        std::fprintf(stderr, "query: rejected by tenant quota\n");
+        return kExitQuota;
+      }
+      if (reason == "budget") {
+        std::fprintf(stderr, "query: request over its resource budget\n");
+        return kExitResource;
+      }
+      std::fprintf(stderr, "query: request shed by the server\n");
+      return kExitShed;
+    }
+    return ExitCodeFor(Status(response->code, "request failed"));
+  };
+
+  // --retries N re-sends only the shed class, with the same deterministic
+  // jittered backoff schedule the library uses for transient I/O.
+  const util::RetryPolicy policy = CliRetryPolicy(retries);
+  int rc = attempt();
+  for (size_t retry = 0; rc == kExitShed && retry < retries; ++retry) {
+    const int64_t backoff = util::BackoffMicros(
+        policy, /*stream=*/1006, static_cast<int>(retry) + 1);
+    std::fprintf(stderr,
+                 "query: shed, retry %zu/%zu in %lld us\n", retry + 1,
+                 retries, static_cast<long long>(backoff));
+    util::RealClock().SleepMicros(backoff);
+    rc = attempt();
   }
-  std::fprintf(stderr, "\n");
-  std::fwrite(response->body.data(), 1, response->body.size(), g_report);
-  if (response->code == StatusCode::kOk) return kExitOk;
-  if (response->code == StatusCode::kResourceExhausted) {
-    std::fprintf(stderr, "query: request shed by the server\n");
-    return kExitShed;
-  }
-  return ExitCodeFor(Status(response->code, "request failed"));
+  return rc;
 }
 
 int CmdRules(int argc, char** argv) {
@@ -1010,9 +1115,12 @@ int main(int argc, char** argv) {
                  "  rules rules.sdc\n"
                  "  serve --rules rules.sdc [--port N] [--max-inflight K] "
                  "[--queue-depth Q] [--default-deadline-ms D] "
-                 "[--drain-timeout-ms T] [--reload-watch] [--once]\n"
+                 "[--drain-timeout-ms T] [--tenant-quotas file] "
+                 "[--max-request-bytes B] [--max-request-rows R] "
+                 "[--max-request-cells C] [--breaker-failures N] "
+                 "[--breaker-cooldown-ms D] [--reload-watch] [--once]\n"
                  "  query file.csv --port N [--host H] [--deadline-ms D] "
-                 "[--ping|--metrics|--reload]\n");
+                 "[--tenant T] [--retries N] [--ping|--metrics|--reload]\n");
     return kExitUsage;
   }
   std::string cmd = argv[1];

@@ -145,12 +145,18 @@ echo "chaos_soak: fast-fail scenario ok (DATA_LOSS, no retries)"
 
 # --- serve soak (DESIGN.md §4h) -----------------------------------------
 #
-# One daemon, three phases: (1) seeded mixed traffic under injected
-# serve.read / rules.parse faults — every query must exit in a documented
-# class and the daemon must stay up; (2) an overload burst against a
-# deliberately tiny admission budget — sheds must be structured exit-7s;
-# (3) SIGTERM — the daemon must drain, exit 0 and leave a parseable
-# metrics dump whose serve.requests_shed equals the sheds we observed.
+# One daemon, five phases: (1) seeded mixed traffic under injected
+# serve.read / rules.parse / budget.charge faults — every query must exit
+# in a documented class and the daemon must stay up; (2) an overload
+# burst against a deliberately tiny admission budget — sheds must be
+# structured exit-7s; (3) a starved tenant must burn its token-bucket
+# allowance into structured exit-8 quota rejections without touching any
+# other tenant; (4) an abusive tenant sending malformed tables must trip
+# its circuit breaker at --breaker-failures and be quarantined behind
+# reason=circuit_open sheds; (5) SIGTERM — the daemon must drain, exit 0
+# and leave a parseable metrics dump whose serve.requests_shed /
+# serve.tenant_rejections / serve.breaker_* counters match what the
+# clients observed.
 
 run_serve() {
 
@@ -168,12 +174,27 @@ echo "chaos_soak: serve: training the serving model"
 printf 'city,date\nseattle,6/1/2022\ntokyo,6/2/2022\nparis,junk\n' \
   > "$WORK/serve_table.csv"
 
-# Tiny admission budget so the burst phase can saturate it; injected read
-# and parse faults at low probability so the seeded phase exercises the
-# structured-error paths without drowning in them.
+# Two-tenant quota table: one hard-starved (its whole allowance is one
+# request until a reload), one generous enough that the seeded phase
+# never touches its limit. Unlisted tenants stay unlimited (no default
+# row).
+cat > "$WORK/quotas.conf" <<'EOF'
+autotest.quotas.v1
+# chaos-soak tenants
+starved 0 1
+generous 1000 100
+EOF
+
+# Tiny admission budget so the burst phase can saturate it; injected
+# read, parse and budget-charge faults at low probability so the seeded
+# phase exercises the structured-error paths without drowning in them.
+# The breaker is tuned tight (3 failures, long cooldown) so the abuse
+# phase trips it deterministically and it stays open through the drain.
 "$AUTOTEST" serve --rules "$WORK/serve.sdc" --port 0 \
     --max-inflight 1 --queue-depth 1 --max-retries 6 \
-    --failpoints "serve.read:p=0.02,rules.parse:p=0.01,seed=99" \
+    --tenant-quotas "$WORK/quotas.conf" \
+    --breaker-failures 3 --breaker-cooldown-ms 60000 \
+    --failpoints "serve.read:p=0.02,rules.parse:p=0.01,budget.charge:p=0.01,seed=99" \
     --metrics-dump "$WORK/serve_metrics.json" \
     2> "$WORK/serve.err" &
 SERVE_PID=$!
@@ -196,21 +217,32 @@ echo "chaos_soak: serve: daemon up on port $PORT (pid $SERVE_PID)"
 #   5 io (injected serve.read faults answered as IO_ERROR), 6 resource/
 #   deadline, 7 shed. Anything else — in particular a crash of the client
 #   or daemon — fails the soak.
-ok_count=0; fault_count=0; shed_count=0
+ok_count=0; fault_count=0; shed_count=0; breaker_trip_shed=0
 for i in $(seq 1 "$REQUESTS"); do
+  last_err="$WORK/client_last.err"
   case $(( i % 10 )) in
-    0) "$AUTOTEST" query --reload --port "$PORT" \
-         > /dev/null 2>> "$WORK/serve_clients.err" ;;
-    1|4|7) "$AUTOTEST" query --ping --port "$PORT" \
-         > /dev/null 2>> "$WORK/serve_clients.err" ;;
+    0) "$AUTOTEST" query --reload --tenant generous --port "$PORT" \
+         > /dev/null 2> "$last_err" ;;
+    1|4|7) "$AUTOTEST" query --ping --tenant generous --port "$PORT" \
+         > /dev/null 2> "$last_err" ;;
     *) "$AUTOTEST" query "$WORK/serve_table.csv" --port "$PORT" \
-         --deadline-ms 2000 > /dev/null 2>> "$WORK/serve_clients.err" ;;
+         --tenant generous --deadline-ms 2000 \
+         > /dev/null 2> "$last_err" ;;
   esac
   rc=$?
+  cat "$last_err" >> "$WORK/serve_clients.err"
   case "$rc" in
     0) ok_count=$(( ok_count + 1 )) ;;
     3|5|6) fault_count=$(( fault_count + 1 )) ;;
-    7) shed_count=$(( shed_count + 1 )) ;;
+    7) # A breaker tripped by injected faults sheds with
+       # reason=circuit_open; that class does not count toward
+       # serve.requests_shed (it is a governor rejection, not an
+       # admission shed), so keep the books separate.
+       if grep -q 'reason=circuit_open' "$last_err"; then
+         breaker_trip_shed=$(( breaker_trip_shed + 1 ))
+       else
+         shed_count=$(( shed_count + 1 ))
+       fi ;;
     *) fail "serve: request $i exited $rc (not a documented class)" ;;
   esac
   kill -0 "$SERVE_PID" 2>/dev/null \
@@ -254,7 +286,68 @@ done
 kill -0 "$SERVE_PID" 2>/dev/null || fail "serve: daemon died under overload"
 echo "chaos_soak: serve: overload ok ($burst_shed structured sheds)"
 
-# Phase 3: graceful drain + metrics contract.
+# Phase 3: tenant quotas. The starved tenant's whole allowance is one
+# request (rate 0, burst 1): the first ping is admitted, every further
+# one is a structured exit-8 with reason=quota — and the generous tenant
+# is untouched by its neighbour's exhaustion.
+quota_shed=0
+"$AUTOTEST" query --ping --tenant starved --port "$PORT" \
+    > /dev/null 2>> "$WORK/serve_clients.err" \
+  || fail "serve: starved tenant's first request exited $? (want 0)"
+for i in 1 2; do
+  "$AUTOTEST" query --ping --tenant starved --port "$PORT" \
+      > /dev/null 2> "$WORK/quota_$i.err"
+  rc=$?
+  cat "$WORK/quota_$i.err" >> "$WORK/serve_clients.err"
+  [ "$rc" -eq 8 ] \
+    || fail "serve: starved tenant request $i exited $rc (want 8, quota)"
+  grep -q 'reason=quota' "$WORK/quota_$i.err" \
+    || fail "serve: quota rejection $i lacks reason=quota"
+  quota_shed=$(( quota_shed + 1 ))
+done
+"$AUTOTEST" query --ping --tenant generous --port "$PORT" \
+    > /dev/null 2>> "$WORK/serve_clients.err" \
+  || fail "serve: generous tenant caught its neighbour's quota (exit $?)"
+echo "chaos_soak: serve: quota ok ($quota_shed structured quota rejections)"
+
+# Phase 4: circuit breaker. Three malformed tables from the abuser tenant
+# are three consecutive check failures — exactly --breaker-failures — so
+# the fourth and fifth requests (well-formed!) must shed with
+# reason=circuit_open while the breaker cools down.
+printf 'city\n"unterminated quote\n' > "$WORK/serve_bad_table.csv"
+for i in 1 2 3; do
+  "$AUTOTEST" query "$WORK/serve_bad_table.csv" --tenant abuser \
+      --port "$PORT" > /dev/null 2>> "$WORK/serve_clients.err"
+  rc=$?
+  # Parse failure (3) normally; an injected budget.charge fault (6) also
+  # counts as a breaker failure, so both keep the abuse deterministic.
+  case "$rc" in
+    3|6) ;;
+    *) fail "serve: malformed table $i exited $rc (want 3 or 6)" ;;
+  esac
+done
+breaker_shed=0
+for i in 1 2; do
+  "$AUTOTEST" query "$WORK/serve_table.csv" --tenant abuser \
+      --port "$PORT" > /dev/null 2> "$WORK/breaker_$i.err"
+  rc=$?
+  cat "$WORK/breaker_$i.err" >> "$WORK/serve_clients.err"
+  [ "$rc" -eq 7 ] \
+    || fail "serve: post-trip abuser request $i exited $rc (want 7)"
+  grep -q 'reason=circuit_open' "$WORK/breaker_$i.err" \
+    || fail "serve: post-trip rejection $i lacks reason=circuit_open"
+  breaker_shed=$(( breaker_shed + 1 ))
+done
+"$AUTOTEST" query "$WORK/serve_table.csv" --tenant generous \
+    --deadline-ms 2000 --port "$PORT" \
+    > /dev/null 2> "$WORK/breaker_other.err"
+rc=$?
+grep -q 'reason=circuit_open' "$WORK/breaker_other.err" \
+  && fail "serve: the abuser's open breaker leaked onto another tenant"
+cat "$WORK/breaker_other.err" >> "$WORK/serve_clients.err"
+echo "chaos_soak: serve: breaker ok (tripped at 3, $breaker_shed circuit_open sheds)"
+
+# Phase 5: graceful drain + metrics contract.
 total_shed=$(( shed_count + burst_shed ))
 kill -TERM "$SERVE_PID"
 serve_rc=0
@@ -275,8 +368,32 @@ dumped_shed="$(sed -n \
   || fail "serve: metrics dump lacks a serve.requests_shed counter"
 [ "$dumped_shed" -eq "$total_shed" ] \
   || fail "serve: serve.requests_shed=$dumped_shed but clients observed $total_shed sheds"
+
+# Governance counters must agree with what the clients saw: every quota
+# rejection, and every circuit_open shed (the deliberate abuse phase plus
+# any breaker randomly tripped by injected faults in phase 1).
+metric_value() {
+  sed -n \
+    "s/.*\"name\":\"$1\",\"kind\":\"counter\",\"value\":\([0-9]*\).*/\1/p" \
+    "$WORK/serve_metrics.json" | head -1
+}
+dumped_quota="$(metric_value 'serve\.tenant_rejections')"
+[ -n "$dumped_quota" ] \
+  || fail "serve: metrics dump lacks serve.tenant_rejections"
+[ "$dumped_quota" -eq "$quota_shed" ] \
+  || fail "serve: serve.tenant_rejections=$dumped_quota but clients observed $quota_shed"
+dumped_breaker_open="$(metric_value 'serve\.breaker_open_total')"
+[ -n "$dumped_breaker_open" ] && [ "$dumped_breaker_open" -ge 1 ] \
+  || fail "serve: serve.breaker_open_total=${dumped_breaker_open:-missing}, want >= 1"
+dumped_breaker_rej="$(metric_value 'serve\.breaker_rejections')"
+expected_breaker_rej=$(( breaker_shed + breaker_trip_shed ))
+[ -n "$dumped_breaker_rej" ] \
+  || fail "serve: metrics dump lacks serve.breaker_rejections"
+[ "$dumped_breaker_rej" -eq "$expected_breaker_rej" ] \
+  || fail "serve: serve.breaker_rejections=$dumped_breaker_rej but clients observed $expected_breaker_rej"
 echo "chaos_soak: serve: drained clean, metrics dump consistent" \
-     "(serve.requests_shed=$dumped_shed)"
+     "(serve.requests_shed=$dumped_shed tenant_rejections=$dumped_quota" \
+     "breaker_open_total=$dumped_breaker_open)"
 
 }
 
