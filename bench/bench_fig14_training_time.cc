@@ -16,6 +16,7 @@ int main() {
   benchx::Scale scale = benchx::GetScale();
   benchx::BenchMetrics bench_metrics("bench_fig14_training_time");
   double total_train_seconds = 0.0;
+  double total_candidate_gen_seconds = 0.0;
 
   benchx::PrintHeader(
       "Figure 14: offline training time (seconds) vs corpus size");
@@ -57,18 +58,26 @@ int main() {
     total_train_seconds += model.timings.candidate_gen_seconds +
                            model.timings.synthetic_seconds + coarse_seconds +
                            fine_seconds;
+    total_candidate_gen_seconds += model.timings.candidate_gen_seconds;
     (void)coarse;
     (void)fine;
   }
-  // The headline number the CI regression gate pins: total measured train
-  // time across all corpus sizes (scale-stable name, unlike the per-size
-  // gauges above).
+  // The headline numbers the CI regression gate pins: total measured train
+  // time across all corpus sizes, plus the candidate-generation share that
+  // the columnar batch-eval path (DESIGN.md §4k) is responsible for
+  // (scale-stable names, unlike the per-size gauges above).
   bench_metrics.Gauge("bench.fig14.train_seconds", total_train_seconds);
+  bench_metrics.Gauge("bench.fig14.candidate_gen_seconds",
+                      total_candidate_gen_seconds);
   bench_metrics.MaybeWriteEnv();
   std::printf(
       "\nExpected shape (paper Fig 14): candidate-gen dominates and grows "
       "~linearly with\ncorpus size; selection cost is negligible in "
-      "comparison.\n");
+      "comparison.\n\nNote: the CTA zoos and embedding models are "
+      "process-wide singletons with\npersistent value caches, so a row only "
+      "pays full scoring cost for values not\nseen in earlier (smaller) "
+      "rows. The headline gauges sum every row and are\nmeasured from a "
+      "cold cache at process start, which is what the CI gate pins.\n");
   std::printf("\n%s\n", util::parallel::FormatStats().c_str());
   return 0;
 }

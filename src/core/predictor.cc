@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string_view>
 #include <unordered_map>
 
 #include "util/failpoint.h"
@@ -74,6 +75,12 @@ BudgetedPrediction SdcPredictor::PredictInternal(
   std::vector<size_t> best_rule(distinct.values.size(), 0);
   std::vector<bool> flagged(distinct.values.size(), false);
 
+  // Stable views of the distinct values, built once and handed to each
+  // group's BatchDistance (vectorized families skip the per-value virtual
+  // dispatch and string materialization).
+  std::vector<std::string_view> views(distinct.values.begin(),
+                                      distinct.values.end());
+
   for (const Group& group : groups_) {
     // The deadline gate: one rule group (one evaluation function over all
     // distinct values) is the unit of work a budget can cut between.
@@ -97,9 +104,7 @@ BudgetedPrediction SdcPredictor::PredictInternal(
     ++result.groups_evaluated;
     // One distance computation per distinct value per evaluation function.
     std::vector<double> dist(distinct.values.size());
-    for (size_t i = 0; i < distinct.values.size(); ++i) {
-      dist[i] = group.eval->Distance(distinct.values[i]);
-    }
+    group.eval->BatchDistance(views, dist);
     double total = static_cast<double>(distinct.total);
 
     // Appendix B.2: evaluate each distinct pre-condition once.

@@ -4,9 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
 #include <unordered_set>
 
 #include "stats/statistics.h"
+#include "table/column_store.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/metrics.h"
@@ -54,6 +58,344 @@ Thresholds MakeThresholds(const typedet::DomainEvalFunction& eval,
   for (double f : opt.d_in_fracs) t.d_ins.push_back(f * range);
   for (double f : opt.d_out_fracs) t.d_outs.push_back(f * range);
   return t;
+}
+
+// Per-eval-function accumulators over the corpus pass: coverage counts per
+// (column, d_in), trigger tallies per d_out, and the m-grid buckets the
+// candidate grid is scored from. Built by either the scalar
+// (profile-per-column) or the columnar (pool-memoized) pass; the two MUST
+// fill it identically — FoldColumn below is the shared bucketing step that
+// guarantees the non-arithmetic part of that by construction.
+struct EvalPass {
+  size_t ni = 0;
+  size_t no = 0;
+  size_t eligible_cols = 0;
+  std::vector<uint32_t> cov_count;    // num_cols * ni
+  std::vector<uint32_t> col_total;    // num_cols
+  std::vector<uint32_t> trig_total;   // no
+  // bucket_c[i][k], bucket_ct[i][o][k]: columns whose coverage fraction
+  // first satisfies m_grid[k] at inner threshold i.
+  std::vector<uint32_t> bucket_c;     // ni * num_m
+  std::vector<uint32_t> bucket_ct;    // ni * no * num_m
+  // middle_band[i][k]: columns whose fraction falls in the ambiguous band
+  // [m/2, m) — evidence against a natural domain separation.
+  std::vector<uint32_t> middle_band;  // ni * num_m
+};
+
+EvalPass MakeEvalPass(size_t num_cols, size_t num_m, size_t ni, size_t no) {
+  EvalPass pass;
+  pass.ni = ni;
+  pass.no = no;
+  pass.cov_count.assign(num_cols * ni, 0);
+  pass.col_total.assign(num_cols, 0);
+  pass.trig_total.assign(no, 0);
+  pass.bucket_c.assign(ni * num_m, 0);
+  pass.bucket_ct.assign(ni * no * num_m, 0);
+  pass.middle_band.assign(ni * num_m, 0);
+  return pass;
+}
+
+// Folds one eligible column — its inner-ball coverage counts `cov` (one
+// per d_in) and outer-ball trigger flags `trig` (one per d_out) — into the
+// pass accumulators. Bucketing by the largest matching percentage
+// satisfied, the middle-band screen, and the trigger tallies live here so
+// the scalar and columnar passes share them verbatim.
+void FoldColumn(const TrainOptions& options, size_t c, uint32_t total_weight,
+                const uint32_t* cov, const uint8_t* trig, EvalPass* pass) {
+  const size_t ni = pass->ni;
+  const size_t no = pass->no;
+  const size_t num_m = options.m_grid.size();
+  ++pass->eligible_cols;
+  pass->col_total[c] = total_weight;
+  for (size_t o = 0; o < no; ++o) {
+    if (trig[o] != 0) ++pass->trig_total[o];
+  }
+  for (size_t i = 0; i < ni; ++i) {
+    pass->cov_count[c * ni + i] = cov[i];
+    double frac =
+        static_cast<double>(cov[i]) / static_cast<double>(total_weight);
+    // First m-grid index satisfied (grid is descending).
+    size_t k0 = num_m;
+    for (size_t k = 0; k < num_m; ++k) {
+      if (options.m_grid[k] <= frac + 1e-9) {
+        k0 = k;
+        break;
+      }
+    }
+    for (size_t k = 0; k < num_m; ++k) {
+      double m = options.m_grid[k];
+      if (frac + 1e-9 < m && frac >= 0.5 * m) {
+        ++pass->middle_band[i * num_m + k];
+      }
+    }
+    if (k0 == num_m) continue;  // not covered at any m
+    ++pass->bucket_c[i * num_m + k0];
+    for (size_t o = 0; o < no; ++o) {
+      if (trig[o] != 0) ++pass->bucket_ct[(i * no + o) * num_m + k0];
+    }
+  }
+}
+
+// Prefix sums over the m axis: covered(i,k) counts all columns whose
+// fraction satisfies m_grid[k] (k' <= k satisfied => covered for the
+// looser m too).
+void PrefixSumBuckets(size_t num_m, EvalPass* pass) {
+  for (size_t i = 0; i < pass->ni; ++i) {
+    for (size_t k = 1; k < num_m; ++k) {
+      pass->bucket_c[i * num_m + k] += pass->bucket_c[i * num_m + k - 1];
+    }
+    for (size_t o = 0; o < pass->no; ++o) {
+      for (size_t k = 1; k < num_m; ++k) {
+        pass->bucket_ct[(i * pass->no + o) * num_m + k] +=
+            pass->bucket_ct[(i * pass->no + o) * num_m + k - 1];
+      }
+    }
+  }
+}
+
+bool ColumnEligible(const table::DistinctValues& distinct,
+                    const TrainOptions& options) {
+  return distinct.total != 0 &&
+         distinct.size() >= options.min_distinct_values;
+}
+
+// Legacy scalar pass: one ColumnDistanceProfile per (eval, column), each
+// distance through the scalar virtual. Kept as the differential reference
+// for the columnar path (TrainOptions::use_columnar = false).
+EvalPass BuildPassScalar(const typedet::DomainEvalFunction& eval,
+                         const std::vector<table::DistinctValues>& distinct,
+                         const Thresholds& th, const TrainOptions& options) {
+  const size_t num_cols = distinct.size();
+  const size_t ni = th.d_ins.size();
+  const size_t no = th.d_outs.size();
+  EvalPass pass = MakeEvalPass(num_cols, options.m_grid.size(), ni, no);
+  std::vector<uint32_t> cov(ni);
+  std::vector<uint8_t> trig(no);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (!ColumnEligible(distinct[c], options)) continue;
+    ColumnDistanceProfile profile = ComputeProfile(eval, distinct[c]);
+    for (size_t o = 0; o < no; ++o) {
+      trig[o] = profile.CountBeyond(th.d_outs[o]) > 0 ? 1 : 0;
+    }
+    for (size_t i = 0; i < ni; ++i) {
+      cov[i] = static_cast<uint32_t>(profile.CountWithin(th.d_ins[i]));
+    }
+    FoldColumn(options, c, static_cast<uint32_t>(profile.total_weight),
+               cov.data(), trig.data(), &pass);
+  }
+  PrefixSumBuckets(options.m_grid.size(), &pass);
+  return pass;
+}
+
+// Weighted count of column values at or under each ascending threshold:
+// for every (id, weight) pair the first threshold >= its distance gets a
+// histogram increment, and a prefix sum turns the histogram into
+// cumulative counts — one bucket scan per value instead of one comparison
+// per (value, threshold). Thresholds outside ascending order (possible
+// with a user-supplied grid) fall back to the direct quadratic loop. Both
+// forms compute exactly `weight where distance <= threshold`, the same
+// comparison ComputeProfile's sorted upper_bound evaluates.
+void CountWithinThresholds(std::span<const uint32_t> ids,
+                           std::span<const uint32_t> counts,
+                           const std::vector<double>& pool_dist,
+                           const std::vector<double>& thresholds,
+                           bool ascending, uint64_t* within) {
+  const size_t nt = thresholds.size();
+  for (size_t t = 0; t < nt; ++t) within[t] = 0;
+  if (ascending) {
+    // hist[b]: weight whose first satisfied threshold is b (nt = none).
+    std::vector<uint64_t> hist(nt + 1, 0);
+    for (size_t j = 0; j < ids.size(); ++j) {
+      double d = pool_dist[ids[j]];
+      size_t b = 0;
+      while (b < nt && d > thresholds[b]) ++b;
+      hist[b] += counts[j];
+    }
+    uint64_t acc = 0;
+    for (size_t t = 0; t < nt; ++t) {
+      acc += hist[t];
+      within[t] = acc;
+    }
+    return;
+  }
+  for (size_t j = 0; j < ids.size(); ++j) {
+    double d = pool_dist[ids[j]];
+    for (size_t t = 0; t < nt; ++t) {
+      if (d <= thresholds[t]) within[t] += counts[j];
+    }
+  }
+}
+
+// Columnar pass (DESIGN.md §4k): the eval function is scored once per
+// distinct pool value via BatchDistance blocks, then per-column statistics
+// are gathered from the distance array by pool id — no per-column
+// profiles, no per-value virtual calls.
+EvalPass BuildPassColumnar(const typedet::DomainEvalFunction& eval,
+                           const table::ColumnStore& store,
+                           const Thresholds& th, const TrainOptions& options,
+                           std::vector<double>* pool_dist) {
+  const size_t num_cols = store.num_columns();
+  const size_t ni = th.d_ins.size();
+  const size_t no = th.d_outs.size();
+  EvalPass pass = MakeEvalPass(num_cols, options.m_grid.size(), ni, no);
+
+  pool_dist->resize(store.pool_size());
+  const std::span<const std::string_view> pool = store.pool();
+  const size_t block = std::max<size_t>(1, options.eval_batch_size);
+  for (size_t off = 0; off < pool.size(); off += block) {
+    size_t n = std::min(block, pool.size() - off);
+    eval.BatchDistance(pool.subspan(off, n),
+                       std::span<double>(*pool_dist).subspan(off, n),
+                       store.pool_id(), off);
+  }
+
+  const bool in_ascending =
+      std::is_sorted(th.d_ins.begin(), th.d_ins.end());
+  const bool out_ascending =
+      std::is_sorted(th.d_outs.begin(), th.d_outs.end());
+  std::vector<uint64_t> within_in(ni);
+  std::vector<uint64_t> within_out(no);
+  std::vector<uint32_t> cov(ni);
+  std::vector<uint8_t> trig(no);
+  for (size_t c = 0; c < num_cols; ++c) {
+    table::ColumnStore::ColumnRef col = store.column(c);
+    if (col.total_weight == 0 ||
+        col.size() < options.min_distinct_values) {
+      continue;
+    }
+    CountWithinThresholds(col.ids, col.counts, *pool_dist, th.d_ins,
+                          in_ascending, within_in.data());
+    CountWithinThresholds(col.ids, col.counts, *pool_dist, th.d_outs,
+                          out_ascending, within_out.data());
+    for (size_t i = 0; i < ni; ++i) {
+      cov[i] = static_cast<uint32_t>(within_in[i]);
+    }
+    for (size_t o = 0; o < no; ++o) {
+      trig[o] = col.total_weight - within_out[o] > 0 ? 1 : 0;
+    }
+    FoldColumn(options, c, static_cast<uint32_t>(col.total_weight),
+               cov.data(), trig.data(), &pass);
+  }
+  PrefixSumBuckets(options.m_grid.size(), &pass);
+  return pass;
+}
+
+// A candidate that survived the statistical tests; its synthetic-recall
+// detection pass is deferred to DetectSynthetic so the candidate phase
+// needs no per-candidate clock reads.
+struct PendingCandidate {
+  size_t i = 0;  // inner-threshold index (for cov_count lookups)
+  Sdc sdc;
+};
+
+// The candidate grid: enumeration, pruning and statistical assessment.
+// Pure arithmetic over the pass accumulators — no clocks, no detection.
+std::vector<PendingCandidate> EnumerateCandidates(
+    const TrainOptions& options, const Thresholds& th, const EvalPass& pass,
+    size_t fi, const typedet::DomainEvalFunction& eval, int64_t min_cov,
+    FunctionResult* res) {
+  std::vector<PendingCandidate> pending;
+  const size_t ni = pass.ni;
+  const size_t no = pass.no;
+  const size_t num_m = options.m_grid.size();
+  const int64_t n_total = static_cast<int64_t>(pass.eligible_cols);
+  for (size_t i = 0; i < ni; ++i) {
+    for (size_t o = 0; o < no; ++o) {
+      if (th.d_outs[o] <= th.d_ins[i]) continue;
+      for (size_t k = 0; k < num_m; ++k) {
+        ++res->enumerated;
+        int64_t covered = pass.bucket_c[i * num_m + k];
+        int64_t covered_trig = pass.bucket_ct[(i * no + o) * num_m + k];
+        if (covered < min_cov) {
+          ++res->pruned;
+          continue;
+        }
+        stats::ContingencyTable table;
+        table.covered_triggered = covered_trig;
+        table.covered_not_triggered = covered - covered_trig;
+        int64_t trig_all = pass.trig_total[o];
+        table.uncovered_triggered = trig_all - covered_trig;
+        table.uncovered_not_triggered =
+            (n_total - covered) - table.uncovered_triggered;
+
+        double confidence =
+            options.use_wilson
+                ? stats::SdcConfidence(table, options.wilson_z)
+                : (covered > 0
+                       ? 1.0 - static_cast<double>(covered_trig) /
+                                   static_cast<double>(covered)
+                       : 0.0);
+        double h = stats::CohensH(table);
+        double p = stats::ChiSquaredTestPValue(table);
+        bool keep = confidence >= options.min_confidence;
+        if (options.use_cohens_h && h < options.h_threshold) {
+          keep = false;
+        }
+        if (options.use_chi_squared && p >= options.p_threshold) {
+          keep = false;
+        }
+        if (options.use_separation_test &&
+            static_cast<double>(pass.middle_band[i * num_m + k]) >
+                options.max_middle_band_fraction *
+                    static_cast<double>(n_total)) {
+          keep = false;
+        }
+        if (!keep) {
+          ++res->rejected;
+          continue;
+        }
+
+        PendingCandidate cand;
+        cand.i = i;
+        cand.sdc.eval_index = fi;
+        cand.sdc.eval = &eval;
+        cand.sdc.d_in = th.d_ins[i];
+        cand.sdc.d_out = th.d_outs[o];
+        cand.sdc.m = options.m_grid[k];
+        cand.sdc.confidence = confidence;
+        cand.sdc.fpr = static_cast<double>(covered_trig) /
+                       static_cast<double>(n_total);
+        cand.sdc.contingency = table;
+        cand.sdc.cohens_h = h;
+        cand.sdc.chi_squared_p = p;
+        pending.push_back(std::move(cand));
+      }
+    }
+  }
+  return pending;
+}
+
+// Distant-supervision detections (paper Eq. 10) for the surviving
+// candidates: its own phase, timed as recall estimation by the caller —
+// candidate timing no longer absorbs a clock-pair per survivor.
+void DetectSynthetic(const TrainOptions& options, const EvalPass& pass,
+                     const std::vector<SyntheticColumn>& synthetic,
+                     const std::vector<double>& syn_dist,
+                     std::vector<PendingCandidate> pending,
+                     FunctionResult* res) {
+  const size_t ni = pass.ni;
+  for (PendingCandidate& cand : pending) {
+    const Sdc& sdc = cand.sdc;
+    std::vector<uint32_t> det;
+    for (size_t j = 0; j < synthetic.size(); ++j) {
+      if (syn_dist[j] <= sdc.d_out) continue;
+      size_t b = synthetic[j].base_column;
+      double total_with_err =
+          static_cast<double>(pass.col_total[b]) + 1.0;
+      double cov_with_err =
+          static_cast<double>(pass.cov_count[b * ni + cand.i]) +
+          (syn_dist[j] <= sdc.d_in ? 1.0 : 0.0);
+      if (cov_with_err >= sdc.m * total_with_err - 1e-9) {
+        det.push_back(static_cast<uint32_t>(j));
+      }
+    }
+    if (options.drop_zero_recall && det.empty()) {
+      ++res->rejected;
+      continue;
+    }
+    res->survivors.push_back(std::move(cand.sdc));
+    res->detections.push_back(std::move(det));
+  }
 }
 
 }  // namespace
@@ -115,8 +457,23 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
   std::vector<SyntheticColumn> synthetic = BuildSyntheticCorpus(
       corpus, options.synthetic_count, options.seed ^ 0x5f5f5f5fULL);
 
-  const size_t num_cols = corpus.size();
-  const size_t num_m = options.m_grid.size();
+  // Columnar path setup: intern every distinct value once into the shared
+  // arena-backed pool. Synthetic error values are donor values from the
+  // corpus, so they resolve to pool ids and their distances come free with
+  // the pool evaluation.
+  std::optional<table::ColumnStore> store;
+  std::vector<uint32_t> syn_ids;
+  if (options.use_columnar) {
+    store.emplace(table::ColumnStore::Build(distinct));
+    syn_ids.resize(synthetic.size());
+    for (size_t j = 0; j < synthetic.size(); ++j) {
+      uint32_t id = store->Find(synthetic[j].error_value);
+      AT_CHECK_MSG(id != table::ColumnStore::kNotFound,
+                   "synthetic error value missing from the interned pool");
+      syn_ids[j] = id;
+    }
+  }
+
   const int64_t min_cov =
       options.enable_pruning
           ? stats::MinCoverageForConfidence(options.min_confidence,
@@ -157,183 +514,45 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
         auto t0 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
         const auto& eval = evals.at(fi);
         Thresholds th = MakeThresholds(eval, options);
-        const size_t ni = th.d_ins.size();
-        const size_t no = th.d_outs.size();
 
-        // Pass over columns: coverage counts per d_in, trigger bits per
-        // d_out, bucketed by the largest matching-percentage satisfied.
-        std::vector<uint32_t> cov_count(num_cols * ni, 0);
-        std::vector<uint32_t> col_total(num_cols, 0);
-        std::vector<uint32_t> trig_total(no, 0);
-        // bucketC[i][k], bucketCT[i][o][k]: columns whose coverage fraction
-        // first satisfies m_grid[k] at inner threshold i.
-        std::vector<uint32_t> bucket_c(ni * num_m, 0);
-        std::vector<uint32_t> bucket_ct(ni * no * num_m, 0);
-        // middle_band[i][k]: columns whose fraction falls in the ambiguous
-        // band [m/2, m) — evidence against a natural domain separation.
-        std::vector<uint32_t> middle_band(ni * num_m, 0);
-
-        size_t eligible_cols = 0;
-        for (size_t c = 0; c < num_cols; ++c) {
-          if (distinct[c].total == 0 ||
-              distinct[c].size() < options.min_distinct_values) {
-            continue;
-          }
-          ++eligible_cols;
-          ColumnDistanceProfile profile = ComputeProfile(eval, distinct[c]);
-          col_total[c] = static_cast<uint32_t>(profile.total_weight);
-          std::vector<bool> trig(no);
-          for (size_t o = 0; o < no; ++o) {
-            trig[o] = profile.CountBeyond(th.d_outs[o]) > 0;
-            if (trig[o]) ++trig_total[o];
-          }
-          for (size_t i = 0; i < ni; ++i) {
-            uint32_t cov =
-                static_cast<uint32_t>(profile.CountWithin(th.d_ins[i]));
-            cov_count[c * ni + i] = cov;
-            double frac = static_cast<double>(cov) /
-                          static_cast<double>(profile.total_weight);
-            // First m-grid index satisfied (grid is descending).
-            size_t k0 = num_m;
-            for (size_t k = 0; k < num_m; ++k) {
-              if (options.m_grid[k] <= frac + 1e-9) {
-                k0 = k;
-                break;
-              }
-            }
-            for (size_t k = 0; k < num_m; ++k) {
-              double m = options.m_grid[k];
-              if (frac + 1e-9 < m && frac >= 0.5 * m) {
-                ++middle_band[i * num_m + k];
-              }
-            }
-            if (k0 == num_m) continue;  // not covered at any m
-            ++bucket_c[i * num_m + k0];
-            for (size_t o = 0; o < no; ++o) {
-              if (trig[o]) ++bucket_ct[(i * no + o) * num_m + k0];
-            }
-          }
-        }
-        // Prefix sums over the m axis: covered(i,k) counts all columns
-        // whose fraction satisfies m_grid[k] (k' <= k satisfied => covered
-        // for the looser m too).
-        for (size_t i = 0; i < ni; ++i) {
-          for (size_t k = 1; k < num_m; ++k) {
-            bucket_c[i * num_m + k] += bucket_c[i * num_m + k - 1];
-          }
-          for (size_t o = 0; o < no; ++o) {
-            for (size_t k = 1; k < num_m; ++k) {
-              bucket_ct[(i * no + o) * num_m + k] +=
-                  bucket_ct[(i * no + o) * num_m + k - 1];
-            }
-          }
-        }
+        // Corpus pass: coverage/trigger accumulators, via the columnar
+        // pool-memoized kernels or the legacy per-column profiles.
+        std::vector<double> pool_dist;
+        EvalPass pass =
+            options.use_columnar
+                ? BuildPassColumnar(eval, *store, th, options, &pool_dist)
+                : BuildPassScalar(eval, distinct, th, options);
         auto t1 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
         res.candidate_seconds += Seconds(t0, t1);
 
-        // Distances of the synthetic alien values (recall estimation).
+        // Distances of the synthetic alien values (recall estimation). In
+        // the columnar path these are gathered from the pool evaluation.
         std::vector<double> syn_dist(synthetic.size());
-        for (size_t j = 0; j < synthetic.size(); ++j) {
-          syn_dist[j] = eval.Distance(synthetic[j].error_value);
+        if (options.use_columnar) {
+          for (size_t j = 0; j < synthetic.size(); ++j) {
+            syn_dist[j] = pool_dist[syn_ids[j]];
+          }
+        } else {
+          for (size_t j = 0; j < synthetic.size(); ++j) {
+            syn_dist[j] = eval.Distance(synthetic[j].error_value);
+          }
         }
-
         auto t2 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
         res.synthetic_seconds += Seconds(t1, t2);
 
-        // Candidate loop. The statistical tests are timed as one block
-        // (t2..t3 below) rather than per candidate: two steady-clock reads
-        // per enumerated candidate used to dominate small-grid profiles.
-        // Only the rare survivor detection pass reads the clock, and its
-        // cost is reattributed from candidate time to synthetic time.
-        double detect_seconds = 0.0;
-        const int64_t n_total = static_cast<int64_t>(eligible_cols);
-        for (size_t i = 0; i < ni; ++i) {
-          for (size_t o = 0; o < no; ++o) {
-            if (th.d_outs[o] <= th.d_ins[i]) continue;
-            for (size_t k = 0; k < num_m; ++k) {
-              ++res.enumerated;
-              int64_t covered = bucket_c[i * num_m + k];
-              int64_t covered_trig = bucket_ct[(i * no + o) * num_m + k];
-              if (covered < min_cov) {
-                ++res.pruned;
-                continue;
-              }
-              stats::ContingencyTable table;
-              table.covered_triggered = covered_trig;
-              table.covered_not_triggered = covered - covered_trig;
-              int64_t trig_all = trig_total[o];
-              table.uncovered_triggered = trig_all - covered_trig;
-              table.uncovered_not_triggered =
-                  (n_total - covered) - table.uncovered_triggered;
-
-              double confidence =
-                  options.use_wilson
-                      ? stats::SdcConfidence(table, options.wilson_z)
-                      : (covered > 0
-                             ? 1.0 - static_cast<double>(covered_trig) /
-                                         static_cast<double>(covered)
-                             : 0.0);
-              double h = stats::CohensH(table);
-              double p = stats::ChiSquaredTestPValue(table);
-              bool pass = confidence >= options.min_confidence;
-              if (options.use_cohens_h && h < options.h_threshold) {
-                pass = false;
-              }
-              if (options.use_chi_squared && p >= options.p_threshold) {
-                pass = false;
-              }
-              if (options.use_separation_test &&
-                  static_cast<double>(middle_band[i * num_m + k]) >
-                      options.max_middle_band_fraction *
-                          static_cast<double>(n_total)) {
-                pass = false;
-              }
-              if (!pass) {
-                ++res.rejected;
-                continue;
-              }
-              auto tc1 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
-
-              Sdc sdc;
-              sdc.eval_index = fi;
-              sdc.eval = &eval;
-              sdc.d_in = th.d_ins[i];
-              sdc.d_out = th.d_outs[o];
-              sdc.m = options.m_grid[k];
-              sdc.confidence = confidence;
-              sdc.fpr = static_cast<double>(covered_trig) /
-                        static_cast<double>(n_total);
-              sdc.contingency = table;
-              sdc.cohens_h = h;
-              sdc.chi_squared_p = p;
-
-              // Distant-supervision detections (paper Eq. 10).
-              std::vector<uint32_t> det;
-              for (size_t j = 0; j < synthetic.size(); ++j) {
-                if (syn_dist[j] <= sdc.d_out) continue;
-                size_t b = synthetic[j].base_column;
-                double total_with_err =
-                    static_cast<double>(col_total[b]) + 1.0;
-                double cov_with_err =
-                    static_cast<double>(cov_count[b * ni + i]) +
-                    (syn_dist[j] <= sdc.d_in ? 1.0 : 0.0);
-                if (cov_with_err >= sdc.m * total_with_err - 1e-9) {
-                  det.push_back(static_cast<uint32_t>(j));
-                }
-              }
-              detect_seconds += Seconds(tc1, Clock::now());  // at_lint: disable(R2) wall-clock phase timing
-              if (options.drop_zero_recall && det.empty()) {
-                ++res.rejected;
-                continue;
-              }
-              res.survivors.push_back(std::move(sdc));
-              res.detections.push_back(std::move(det));
-            }
-          }
-        }
+        // Candidate grid: enumeration + statistical tests, no clock reads.
+        std::vector<PendingCandidate> pending = EnumerateCandidates(
+            options, th, pass, fi, eval, min_cov, &res);
         auto t3 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
-        res.candidate_seconds += Seconds(t2, t3) - detect_seconds;
-        res.synthetic_seconds += detect_seconds;
+        res.candidate_seconds += Seconds(t2, t3);
+
+        // Deferred detection pass for the survivors, attributed to recall
+        // estimation as one block (the per-candidate clock pair this
+        // replaces leaked detect time into candidate_gen on small grids).
+        DetectSynthetic(options, pass, synthetic, syn_dist,
+                        std::move(pending), &res);
+        auto t4 = Clock::now();  // at_lint: disable(R2) wall-clock phase timing
+        res.synthetic_seconds += Seconds(t3, t4);
       },
       eval_opt);
 
@@ -377,6 +596,12 @@ TrainedModel TrainAutoTest(const table::Corpus& corpus,
       .Set(model.timings.candidate_gen_seconds);
   reg.GetGauge(metrics::kMTrainerSyntheticSeconds)
       .Set(model.timings.synthetic_seconds);
+  if (store.has_value()) {
+    reg.GetGauge(metrics::kMTrainerPoolValues)
+        .Set(static_cast<double>(store->pool_size()));
+    reg.GetGauge(metrics::kMTrainerPoolArenaBytes)
+        .Set(static_cast<double>(store->arena_bytes()));
+  }
   return model;
 }
 

@@ -10,8 +10,23 @@ namespace {
 constexpr size_t kDim = 64;
 
 // Shared machinery: domain centroids + membership-weighted composition.
+// A centroid is a pure function of (domain, seed) but costs one Box-Muller
+// draw per dimension, and it is requested once per membership of every
+// embedded value — so memoize the few dozen (domain, seed) pairs. The
+// cached vector is bit-identical to a fresh HashGaussianUnit call.
 Vector DomainCentroid(const std::string& domain_name, uint64_t seed) {
-  return HashGaussianUnit("centroid:" + domain_name, seed, kDim);
+  static util::Mutex mu;
+  static auto* cache = new std::unordered_map<std::string, Vector>();
+  std::string key = std::to_string(seed) + ":" + domain_name;
+  {
+    util::MutexLock lock(&mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  // Computed outside the lock; racing threads derive identical vectors.
+  Vector v = HashGaussianUnit("centroid:" + domain_name, seed, kDim);
+  util::MutexLock lock(&mu);
+  return cache->emplace(std::move(key), std::move(v)).first->second;
 }
 
 // Averaged centroid over a value's memberships; returns false if the value
@@ -132,6 +147,76 @@ bool EmbeddingModel::EmbedCached(const std::string& value,
   return ok;
 }
 
+void EmbeddingModel::EmbedBlockCached(
+    std::span<const std::string_view> values, float* out, uint8_t* ok) const {
+  const size_t d = dim();
+  auto emit = [&](size_t i, bool embeddable, const Vector& v) {
+    ok[i] = embeddable ? 1 : 0;
+    float* row = out + i * d;
+    if (embeddable && v.size() == d) {
+      std::copy(v.begin(), v.end(), row);
+    } else {
+      std::fill(row, row + d, 0.0f);
+    }
+  };
+  std::vector<size_t> misses;
+  {
+    util::MutexLock lock(&cache_mu_);
+    for (size_t i = 0; i < values.size(); ++i) {
+      auto it = cache_.find(values[i]);
+      if (it == cache_.end()) {
+        misses.push_back(i);
+        continue;
+      }
+      emit(i, it->second.first, it->second.second);
+    }
+  }
+  if (misses.empty()) return;
+  // Misses are embedded outside the lock (pure CPU work); two threads
+  // racing on the same value compute identical vectors, and emplace keeps
+  // whichever landed first.
+  std::vector<std::pair<bool, Vector>> computed(misses.size());
+  for (size_t k = 0; k < misses.size(); ++k) {
+    computed[k].first =
+        Embed(std::string(values[misses[k]]), &computed[k].second);
+    emit(misses[k], computed[k].first, computed[k].second);
+  }
+  util::MutexLock lock(&cache_mu_);
+  for (size_t k = 0; k < misses.size(); ++k) {
+    if (cache_.size() >= kMaxCacheEntries) cache_.clear();
+    cache_.emplace(std::string(values[misses[k]]), std::move(computed[k]));
+  }
+}
+
+std::shared_ptr<const EmbeddingModel::BlockEmbeds>
+EmbeddingModel::EmbedBlockShared(std::span<const std::string_view> values,
+                                 uint64_t pool_id,
+                                 size_t block_offset) const {
+  const uint64_t key = (pool_id << 32) | static_cast<uint64_t>(block_offset);
+  {
+    util::MutexLock lock(&block_mu_);
+    auto it = block_cache_.find(key);
+    if (it != block_cache_.end()) return it->second;
+  }
+  auto block = std::make_shared<BlockEmbeds>();
+  block->rows.resize(values.size() * dim());
+  block->ok.resize(values.size());
+  EmbedBlockCached(values, block->rows.data(), block->ok.data());
+  util::MutexLock lock(&block_mu_);
+  auto [it, inserted] = block_cache_.emplace(key, block);
+  if (inserted) {
+    block_cache_floats_ += block->rows.size();
+    if (block_cache_floats_ > kMaxBlockCacheFloats) {
+      // Whole-cache eviction; in-flight readers hold shared_ptrs, and the
+      // next request rebuilds from the (still warm) value cache.
+      block_cache_.clear();
+      block_cache_floats_ = 0;
+    }
+    return block;
+  }
+  return it->second;  // racing thread published an identical block first
+}
+
 double EmbeddingModel::Distance(const std::string& a,
                                 const std::string& b) const {
   Vector va;
@@ -146,6 +231,20 @@ std::unique_ptr<EmbeddingModel> MakeGloveSim(uint64_t seed) {
 
 std::unique_ptr<EmbeddingModel> MakeSbertSim(uint64_t seed) {
   return std::make_unique<SbertSim>(seed);
+}
+
+std::shared_ptr<EmbeddingModel> SharedGloveSim() {
+  // Leaky magic static: one process-wide default-seed model, so repeated
+  // EvalFunctionSet::Build calls share a warm embedding cache.
+  static const auto& model =
+      *new std::shared_ptr<EmbeddingModel>(MakeGloveSim());
+  return model;
+}
+
+std::shared_ptr<EmbeddingModel> SharedSbertSim() {
+  static const auto& model =
+      *new std::shared_ptr<EmbeddingModel>(MakeSbertSim());
+  return model;
 }
 
 }  // namespace autotest::embed

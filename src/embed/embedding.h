@@ -2,7 +2,9 @@
 #define AUTOTEST_EMBED_EMBEDDING_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
@@ -37,6 +39,35 @@ class EmbeddingModel {
   /// centroids). Bounded cache.
   bool EmbedCached(const std::string& value, Vector* out) const;
 
+  /// Batched EmbedCached over a block of values: writes values.size()
+  /// row-major dim()-wide rows into `out` and per-value embeddability
+  /// flags into `ok` (rows with ok == 0 are zero-filled). One cache pass
+  /// for the whole block — lookups under a single lock, misses computed
+  /// outside it, then inserted under one more lock — instead of a
+  /// lock/find/copy per value, which is what the per-centroid distance
+  /// kernels hammer. Bit-identical to per-value EmbedCached.
+  void EmbedBlockCached(std::span<const std::string_view> values, float* out,
+                        uint8_t* ok) const;
+
+  /// One memoized block of embeddings: row-major dim()-wide rows plus
+  /// per-value embeddability flags, exactly as EmbedBlockCached emits
+  /// them.
+  struct BlockEmbeds {
+    std::vector<float> rows;
+    std::vector<uint8_t> ok;
+  };
+
+  /// EmbedBlockCached for a block identified as the stable pool slice
+  /// [block_offset, block_offset + values.size()) of
+  /// table::ColumnStore::pool_id() == pool_id. The embedded block is
+  /// memoized, so the first per-centroid eval function to touch it pays
+  /// the value-cache pass once and every sibling centroid reads the same
+  /// rows with no hash lookups or copies. Requires pool_id != 0. Rows are
+  /// bit-identical to EmbedBlockCached on the same values.
+  std::shared_ptr<const BlockEmbeds> EmbedBlockShared(
+      std::span<const std::string_view> values, uint64_t pool_id,
+      size_t block_offset) const;
+
   /// Distance reported for value pairs involving an OOV value.
   virtual double oov_distance() const = 0;
 
@@ -45,10 +76,29 @@ class EmbeddingModel {
   double Distance(const std::string& a, const std::string& b) const;
 
  private:
+  // Transparent hashing so block lookups by string_view need no temporary
+  // std::string per probed value.
+  struct ValueHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   static constexpr size_t kMaxCacheEntries = 2'000'000;
   mutable util::Mutex cache_mu_;
-  mutable std::unordered_map<std::string, std::pair<bool, Vector>> cache_
-      AT_GUARDED_BY(cache_mu_);
+  mutable std::unordered_map<std::string, std::pair<bool, Vector>, ValueHash,
+                             std::equal_to<>>
+      cache_ AT_GUARDED_BY(cache_mu_);
+
+  // Memoized blocks keyed by (pool_id << 32) | offset. Bounded with
+  // whole-cache eviction; shared_ptr entries keep in-flight readers valid
+  // across an eviction.
+  static constexpr size_t kMaxBlockCacheFloats = 16'000'000;  // 64 MB
+  mutable util::Mutex block_mu_;
+  mutable std::unordered_map<uint64_t, std::shared_ptr<const BlockEmbeds>>
+      block_cache_ AT_GUARDED_BY(block_mu_);
+  mutable size_t block_cache_floats_ AT_GUARDED_BY(block_mu_) = 0;
 };
 
 /// GloVe-like embedding: closed vocabulary consisting of the *head* values
@@ -63,6 +113,13 @@ std::unique_ptr<EmbeddingModel> MakeGloveSim(uint64_t seed = 0x61ce);
 /// lexical component. Typos land measurably farther from domain centroids
 /// than rare valid members.
 std::unique_ptr<EmbeddingModel> MakeSbertSim(uint64_t seed = 0x5be7);
+
+/// Process-shared instances of the default-seed models, built once on
+/// first use. The models are pure functions of their seeds, so every
+/// EvalFunctionSet::Build can reuse one instance — and its warm embedding
+/// cache — instead of constructing a cold model per corpus. Thread-safe.
+std::shared_ptr<EmbeddingModel> SharedGloveSim();
+std::shared_ptr<EmbeddingModel> SharedSbertSim();
 
 }  // namespace autotest::embed
 

@@ -13,6 +13,12 @@ using Vector = std::vector<float>;
 /// Euclidean distance; vectors must have equal dimension.
 double EuclideanDistance(const Vector& a, const Vector& b);
 
+/// Euclidean distance over raw rows (the block-evaluation kernels walk
+/// row-major embedding matrices). EuclideanDistance delegates here, so the
+/// two entry points are bit-identical by construction — the columnar
+/// trainer path depends on that.
+double EuclideanDistanceRaw(const float* a, const float* b, size_t n);
+
 /// Dot product.
 double Dot(const Vector& a, const Vector& b);
 

@@ -37,6 +37,11 @@ class LogisticRegression {
   bool trained() const { return !weights_.empty(); }
   size_t dim() const { return weights_.size(); }
 
+  /// Trained coefficients, exposed for batched multi-model scoring (the
+  /// CTA zoo packs all its models' weights into one transposed matrix).
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
  private:
   std::vector<double> weights_;
   double bias_ = 0.0;

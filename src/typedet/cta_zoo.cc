@@ -107,7 +107,42 @@ std::unique_ptr<CtaModelZoo> CtaModelZoo::Train(const CtaZooConfig& config) {
     train.seed = config.seed ^ (t * 0x9e37ULL);
     zoo->models_[t].Train(x, y, train);
   }, par_opt);
+  zoo->PackWeights();
   return zoo;
+}
+
+void CtaModelZoo::PackWeights() {
+  const size_t nt = models_.size();
+  const size_t dim = extractor_.dim();
+  wt_.assign(dim * nt, 0.0);
+  biases_.assign(nt, 0.0);
+  trained_.assign(nt, 0);
+  for (size_t t = 0; t < nt; ++t) {
+    if (!models_[t].trained()) continue;  // scores 0.5 like Predict
+    AT_CHECK(models_[t].dim() == dim);
+    trained_[t] = 1;
+    biases_[t] = models_[t].bias();
+    const std::vector<double>& w = models_[t].weights();
+    for (size_t j = 0; j < dim; ++j) wt_[j * nt + t] = w[j];
+  }
+}
+
+void CtaModelZoo::ScoreAllTypes(const std::vector<float>& features,
+                                std::vector<float>* scores) const {
+  const size_t nt = models_.size();
+  const size_t dim = extractor_.dim();
+  AT_CHECK(features.size() == dim);
+  std::vector<double> acc(biases_);
+  for (size_t j = 0; j < dim; ++j) {
+    const double xj = static_cast<double>(features[j]);
+    const double* row = &wt_[j * nt];
+    for (size_t t = 0; t < nt; ++t) acc[t] += row[t] * xj;
+  }
+  scores->resize(nt);
+  for (size_t t = 0; t < nt; ++t) {
+    (*scores)[t] =
+        trained_[t] != 0 ? static_cast<float>(ml::Sigmoid(acc[t])) : 0.5f;
+  }
 }
 
 double CtaModelZoo::Score(size_t type_index, const std::string& value) const {
@@ -120,15 +155,113 @@ double CtaModelZoo::Score(size_t type_index, const std::string& value) const {
     }
   }
   std::vector<float> features = extractor_.Extract(value);
-  std::vector<float> scores(models_.size());
-  for (size_t t = 0; t < models_.size(); ++t) {
-    scores[t] = static_cast<float>(models_[t].Predict(features));
-  }
+  std::vector<float> scores;
+  ScoreAllTypes(features, &scores);
   double out = static_cast<double>(scores[type_index]);
   util::MutexLock lock(&cache_mu_);
   if (score_cache_.size() >= kMaxCacheEntries) score_cache_.clear();
   score_cache_.emplace(value, std::move(scores));
   return out;
+}
+
+std::shared_ptr<const std::vector<float>> CtaModelZoo::ScoreBlock(
+    std::span<const std::string_view> values, uint64_t pool_id,
+    size_t block_offset) const {
+  const uint64_t key = (pool_id << 32) | static_cast<uint64_t>(block_offset);
+  {
+    util::MutexLock lock(&block_mu_);
+    auto it = block_cache_.find(key);
+    if (it != block_cache_.end()) return it->second;
+  }
+  const size_t nt = models_.size();
+  auto matrix = std::make_shared<std::vector<float>>(values.size() * nt);
+  // Row-fill from the value cache; misses are scored outside the lock, so
+  // the matrix rows are exactly the vectors per-value Score would cache.
+  std::vector<size_t> misses;
+  {
+    util::MutexLock lock(&cache_mu_);
+    for (size_t i = 0; i < values.size(); ++i) {
+      auto it = score_cache_.find(values[i]);
+      if (it == score_cache_.end()) {
+        misses.push_back(i);
+        continue;
+      }
+      std::copy(it->second.begin(), it->second.end(),
+                matrix->begin() + static_cast<ptrdiff_t>(i * nt));
+    }
+  }
+  if (!misses.empty()) {
+    std::vector<std::vector<float>> computed(misses.size());
+    for (size_t k = 0; k < misses.size(); ++k) {
+      std::vector<float> features = extractor_.Extract(values[misses[k]]);
+      ScoreAllTypes(features, &computed[k]);
+      std::copy(computed[k].begin(), computed[k].end(),
+                matrix->begin() + static_cast<ptrdiff_t>(misses[k] * nt));
+    }
+    util::MutexLock lock(&cache_mu_);
+    for (size_t k = 0; k < misses.size(); ++k) {
+      if (score_cache_.size() >= kMaxCacheEntries) score_cache_.clear();
+      score_cache_.emplace(std::string(values[misses[k]]),
+                           std::move(computed[k]));
+    }
+  }
+  util::MutexLock lock(&block_mu_);
+  auto [it, inserted] = block_cache_.emplace(key, matrix);
+  if (inserted) {
+    block_cache_floats_ += matrix->size();
+    if (block_cache_floats_ > kMaxBlockCacheFloats) {
+      // Whole-cache eviction; the caller's shared_ptr stays valid, and the
+      // next request simply rebuilds from the (still warm) value cache.
+      block_cache_.clear();
+      block_cache_floats_ = 0;
+    }
+    return matrix;
+  }
+  return it->second;  // racing thread published an identical matrix first
+}
+
+void CtaModelZoo::BatchScore(size_t type_index,
+                             std::span<const std::string_view> values,
+                             std::span<double> out, uint64_t pool_id,
+                             size_t block_offset) const {
+  AT_CHECK(type_index < models_.size() && out.size() >= values.size());
+  if (pool_id != 0) {
+    const std::shared_ptr<const std::vector<float>> matrix =
+        ScoreBlock(values, pool_id, block_offset);
+    const size_t nt = models_.size();
+    const float* m = matrix->data();
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = static_cast<double>(m[i * nt + type_index]);
+    }
+    return;
+  }
+  std::vector<size_t> misses;
+  {
+    util::MutexLock lock(&cache_mu_);
+    for (size_t i = 0; i < values.size(); ++i) {
+      auto it = score_cache_.find(values[i]);
+      if (it == score_cache_.end()) {
+        misses.push_back(i);
+        continue;
+      }
+      out[i] = static_cast<double>(it->second[type_index]);
+    }
+  }
+  if (misses.empty()) return;
+  // Feature extraction + all per-type predictions happen outside the lock;
+  // racing threads compute identical score vectors.
+  std::vector<std::vector<float>> computed(misses.size());
+  for (size_t k = 0; k < misses.size(); ++k) {
+    std::vector<float> features = extractor_.Extract(values[misses[k]]);
+    ScoreAllTypes(features, &computed[k]);
+    out[misses[k]] = static_cast<double>(computed[k][type_index]);
+  }
+  util::MutexLock lock(&cache_mu_);
+  for (size_t k = 0; k < misses.size(); ++k) {
+    if (score_cache_.size() >= kMaxCacheEntries) score_cache_.clear();
+    score_cache_.emplace(std::string(values[misses[k]]),
+                         std::move(computed[k]));
+  }
 }
 
 std::unique_ptr<CtaModelZoo> TrainSherlockSim() {
@@ -158,6 +291,20 @@ std::unique_ptr<CtaModelZoo> TrainDoduoSim() {
   config.train_config.epochs = 25;
   config.seed = 0xd0d0f00d;
   return CtaModelZoo::Train(config);
+}
+
+std::shared_ptr<CtaModelZoo> SharedSherlockSim() {
+  // Leaky magic static: the zoo is a pure function of its fixed config, so
+  // one process-wide instance (with its warm score cache) serves every
+  // EvalFunctionSet::Build.
+  static const auto& zoo =
+      *new std::shared_ptr<CtaModelZoo>(TrainSherlockSim());
+  return zoo;
+}
+
+std::shared_ptr<CtaModelZoo> SharedDoduoSim() {
+  static const auto& zoo = *new std::shared_ptr<CtaModelZoo>(TrainDoduoSim());
+  return zoo;
 }
 
 }  // namespace autotest::typedet

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +44,23 @@ class CtaModelZoo {
   /// the cost and is shared across the zoo's types).
   double Score(size_t type_index, const std::string& value) const;
 
+  /// Batched Score over a block of values: out[i] receives the type's
+  /// score for values[i]. One cache pass per block (lookups under a single
+  /// lock, feature extraction for misses outside it) instead of a
+  /// lock/find per value. Bit-identical to per-value Score.
+  ///
+  /// A non-zero (pool_id, block_offset) identifies the block as a stable
+  /// slice of an interned value pool (table::ColumnStore). The zoo then
+  /// memoizes the block's dense all-type score matrix, so the first
+  /// per-type function to touch the block pays the value-cache pass once
+  /// and every sibling type's call is a contiguous strided read — no hash
+  /// lookups at all. Scores are bit-identical either way: the matrix rows
+  /// are the same per-value score vectors the value cache holds.
+  void BatchScore(size_t type_index,
+                  std::span<const std::string_view> values,
+                  std::span<double> out, uint64_t pool_id = 0,
+                  size_t block_offset = 0) const;
+
   const std::string& name() const { return config_.name; }
   const std::vector<std::string>& type_names() const {
     return config_.type_names;
@@ -52,16 +71,61 @@ class CtaModelZoo {
   explicit CtaModelZoo(CtaZooConfig config)
       : config_(std::move(config)), extractor_(config_.feature_config) {}
 
+  /// All-type scores for one feature vector through the packed transposed
+  /// weight matrix: feature-index outer, type inner, so every type's
+  /// accumulation order matches LogisticRegression::Predict exactly
+  /// (bit-identical scores) while the inner loop runs independent
+  /// multiply-add chains across types instead of one serial dot product
+  /// per model.
+  void ScoreAllTypes(const std::vector<float>& features,
+                     std::vector<float>* scores) const;
+
+  /// Packs models_ into wt_/biases_/trained_ after training.
+  void PackWeights();
+
+  /// Fetches (or builds and memoizes) the dense num_types-wide score
+  /// matrix for one identified pool block. Row i holds all type scores of
+  /// values[i], in type order.
+  std::shared_ptr<const std::vector<float>> ScoreBlock(
+      std::span<const std::string_view> values, uint64_t pool_id,
+      size_t block_offset) const;
+
   CtaZooConfig config_;
   ml::FeatureExtractor extractor_;
   std::vector<ml::LogisticRegression> models_;
+
+  // Transposed weights: wt_[j * num_types + t] = models_[t].weights()[j].
+  std::vector<double> wt_;
+  std::vector<double> biases_;
+  std::vector<uint8_t> trained_;
+
+  // Transparent hashing so block lookups by string_view need no temporary
+  // std::string per probed value.
+  struct ValueHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
   // Per-value score cache (all types at once), bounded to keep memory flat
   // across long benchmark sweeps.
   static constexpr size_t kMaxCacheEntries = 2'000'000;
   mutable util::Mutex cache_mu_;
-  mutable std::unordered_map<std::string, std::vector<float>> score_cache_
-      AT_GUARDED_BY(cache_mu_);
+  mutable std::unordered_map<std::string, std::vector<float>, ValueHash,
+                             std::equal_to<>>
+      score_cache_ AT_GUARDED_BY(cache_mu_);
+
+  // Dense per-block score matrices keyed by (pool_id << 32) | offset,
+  // shared across the zoo's per-type eval functions. Bounded; whole-cache
+  // eviction like the value cache. shared_ptr entries let readers keep a
+  // matrix alive across an eviction without holding the lock.
+  static constexpr size_t kMaxBlockCacheFloats = 8'000'000;  // 32 MB
+  mutable util::Mutex block_mu_;
+  mutable std::unordered_map<uint64_t,
+                             std::shared_ptr<const std::vector<float>>>
+      block_cache_ AT_GUARDED_BY(block_mu_);
+  mutable size_t block_cache_floats_ AT_GUARDED_BY(block_mu_) = 0;
 };
 
 /// The two built-in zoos. Sherlock-sim covers a subset of NL domains
@@ -69,6 +133,14 @@ class CtaModelZoo {
 /// different feature space (Doduo: 121 Freebase types).
 std::unique_ptr<CtaModelZoo> TrainSherlockSim();
 std::unique_ptr<CtaModelZoo> TrainDoduoSim();
+
+/// Process-shared instances of the built-in zoos, trained once on first
+/// use. The zoos are pure functions of their fixed configs (gazetteer +
+/// seeds), so every EvalFunctionSet::Build can reuse one instance — and
+/// with it the warm per-value score cache — instead of retraining per
+/// corpus. Thread-safe (magic statics + internally synchronized caches).
+std::shared_ptr<CtaModelZoo> SharedSherlockSim();
+std::shared_ptr<CtaModelZoo> SharedDoduoSim();
 
 }  // namespace autotest::typedet
 

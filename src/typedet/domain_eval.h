@@ -1,7 +1,10 @@
 #ifndef AUTOTEST_TYPEDET_DOMAIN_EVAL_H_
 #define AUTOTEST_TYPEDET_DOMAIN_EVAL_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 
 namespace autotest::typedet {
 
@@ -36,6 +39,35 @@ class DomainEvalFunction {
   /// Distance between the type represented by this function and `value`.
   /// Must be deterministic and thread-safe.
   virtual double Distance(const std::string& value) const = 0;
+
+  /// Batched distance over a block of values: out[i] receives the distance
+  /// of values[i]. The default walks the block through the scalar virtual,
+  /// so every existing subclass keeps working; hot families override it
+  /// with block kernels (one lock acquisition per block in the cached
+  /// zoos/embeddings, contiguous SIMD-friendly inner loops). Overrides
+  /// MUST be value-for-value bit-identical to Distance — the trainer's
+  /// columnar path (DESIGN.md §4k) relies on it, and the differential
+  /// determinism suite enforces it.
+  ///
+  /// `pool_id`/`block_offset` optionally identify the block as a stable
+  /// slice [block_offset, block_offset + values.size()) of an interned
+  /// value pool (table::ColumnStore::pool_id()). A non-zero pool id lets
+  /// backends that share state across many eval functions (a CTA zoo's
+  /// dozens of per-type functions, an embedding model's dozens of
+  /// per-centroid functions) memoize dense per-block results once and
+  /// serve every sibling function from the same matrix, skipping the
+  /// per-value hash lookups entirely. pool_id == 0 means "no identity":
+  /// backends fall back to their per-value caches. Results are identical
+  /// either way; the key only changes where the memoization happens.
+  virtual void BatchDistance(std::span<const std::string_view> values,
+                             std::span<double> out, uint64_t pool_id = 0,
+                             size_t block_offset = 0) const {
+    (void)pool_id;
+    (void)block_offset;
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = Distance(std::string(values[i]));
+    }
+  }
 
   /// Smallest / largest distance this function can produce; the candidate
   /// generator enumerates thresholds inside this range.

@@ -26,6 +26,16 @@ class CtaEval : public DomainEvalFunction {
     // Paper Eq. 1: distance = 1 - classifier score.
     return 1.0 - zoo_->Score(type_index_, value);
   }
+
+  void BatchDistance(std::span<const std::string_view> values,
+                     std::span<double> out, uint64_t pool_id,
+                     size_t block_offset) const override {
+    // The zoo's block memo (keyed on pool identity) serves the sibling
+    // per-type functions from one dense matrix; pool_id == 0 falls back
+    // to its per-value score cache. Bit-identical either way.
+    zoo_->BatchScore(type_index_, values, out, pool_id, block_offset);
+    for (size_t i = 0; i < values.size(); ++i) out[i] = 1.0 - out[i];
+  }
   double min_distance() const override { return 0.0; }
   double max_distance() const override { return 1.0; }
 
@@ -54,6 +64,41 @@ class EmbeddingEval : public DomainEvalFunction {
     if (!model_->EmbedCached(value, &v)) return model_->oov_distance();
     return embed::EuclideanDistance(v, centroid_);
   }
+
+  void BatchDistance(std::span<const std::string_view> values,
+                     std::span<double> out, uint64_t pool_id,
+                     size_t block_offset) const override {
+    // Embed the block once (single cache pass), then run the distance
+    // kernel over contiguous rows. With a pool identity the embedded
+    // block itself is memoized in the model and shared across all
+    // per-centroid functions — no per-value lookups or row copies at
+    // all. EuclideanDistanceRaw is the same function the scalar path
+    // reaches through EuclideanDistance, so the paths are bit-identical.
+    const size_t d = model_->dim();
+    std::shared_ptr<const embed::EmbeddingModel::BlockEmbeds> shared;
+    std::vector<float> local_rows;
+    std::vector<uint8_t> local_ok;
+    const float* rows = nullptr;
+    const uint8_t* ok = nullptr;
+    if (pool_id != 0) {
+      shared = model_->EmbedBlockShared(values, pool_id, block_offset);
+      rows = shared->rows.data();
+      ok = shared->ok.data();
+    } else {
+      local_rows.resize(values.size() * d);
+      local_ok.resize(values.size());
+      model_->EmbedBlockCached(values, local_rows.data(), local_ok.data());
+      rows = local_rows.data();
+      ok = local_ok.data();
+    }
+    const double oov = model_->oov_distance();
+    const float* centroid = centroid_.data();
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = ok[i] != 0
+                   ? embed::EuclideanDistanceRaw(&rows[i * d], centroid, d)
+                   : oov;
+    }
+  }
   double min_distance() const override { return 0.0; }
   double max_distance() const override { return model_->oov_distance(); }
 
@@ -77,6 +122,17 @@ class PatternEval : public DomainEvalFunction {
     // Paper Eq. 3: match -> 0, non-match -> 1.
     return pattern_.Matches(value) ? 0.0 : 1.0;
   }
+
+  void BatchDistance(std::span<const std::string_view> values,
+                     std::span<double> out, uint64_t /*pool_id*/,
+                     size_t /*block_offset*/) const override {
+    // The matcher takes string_view natively; the override only skips the
+    // default loop's per-value std::string materialization. Matching is
+    // cheap enough that a pool-keyed memo would cost more than it saves.
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = pattern_.Matches(values[i]) ? 0.0 : 1.0;
+    }
+  }
   double min_distance() const override { return 0.0; }
   double max_distance() const override { return 1.0; }
   bool binary() const override { return true; }
@@ -98,6 +154,14 @@ class FunctionEval : public DomainEvalFunction {
   double Distance(const std::string& value) const override {
     // Paper Eq. 4: returns-true -> 0, returns-false -> 1.
     return validator_.fn(value) ? 0.0 : 1.0;
+  }
+
+  void BatchDistance(std::span<const std::string_view> values,
+                     std::span<double> out, uint64_t /*pool_id*/,
+                     size_t /*block_offset*/) const override {
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = validator_.fn(values[i]) ? 0.0 : 1.0;
+    }
   }
   double min_distance() const override { return 0.0; }
   double max_distance() const override { return 1.0; }
@@ -121,6 +185,14 @@ class RandomHashEval : public DomainEvalFunction {
     // A hash function maps every value to an arbitrary number in [0, 1]:
     // it corresponds to no meaningful domain (paper Section 6.5).
     return util::HashToUnitDouble(util::Fnv64Seeded(value, seed_));
+  }
+
+  void BatchDistance(std::span<const std::string_view> values,
+                     std::span<double> out, uint64_t /*pool_id*/,
+                     size_t /*block_offset*/) const override {
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = util::HashToUnitDouble(util::Fnv64Seeded(values[i], seed_));
+    }
   }
   double min_distance() const override { return 0.0; }
   double max_distance() const override { return 1.0; }
@@ -216,8 +288,8 @@ EvalFunctionSet EvalFunctionSet::Build(const table::Corpus& corpus,
   EvalFunctionSet set;
 
   if (options.include_cta) {
-    set.cta_zoos_.push_back(TrainSherlockSim());
-    set.cta_zoos_.push_back(TrainDoduoSim());
+    set.cta_zoos_.push_back(SharedSherlockSim());
+    set.cta_zoos_.push_back(SharedDoduoSim());
     for (const auto& zoo : set.cta_zoos_) {
       for (size_t t = 0; t < zoo->num_types(); ++t) {
         set.functions_.push_back(MakeCtaEval(zoo.get(), t));
@@ -226,8 +298,8 @@ EvalFunctionSet EvalFunctionSet::Build(const table::Corpus& corpus,
   }
 
   if (options.include_embedding) {
-    set.embedding_models_.push_back(embed::MakeGloveSim());
-    set.embedding_models_.push_back(embed::MakeSbertSim());
+    set.embedding_models_.push_back(embed::SharedGloveSim());
+    set.embedding_models_.push_back(embed::SharedSbertSim());
     uint64_t seed = options.seed;
     for (const auto& model : set.embedding_models_) {
       auto centroids =

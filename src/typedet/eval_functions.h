@@ -63,10 +63,13 @@ class EvalFunctionSet {
       Family family) const;
 
   /// The CTA zoos backing the set (for baselines that need raw scores).
-  const std::vector<std::unique_ptr<CtaModelZoo>>& cta_zoos() const {
+  /// Shared: the built-in zoos and embedding models are process-wide
+  /// singletons (SharedSherlockSim etc.), so repeated Build calls reuse
+  /// trained models and warm value caches instead of starting cold.
+  const std::vector<std::shared_ptr<CtaModelZoo>>& cta_zoos() const {
     return cta_zoos_;
   }
-  const std::vector<std::unique_ptr<embed::EmbeddingModel>>&
+  const std::vector<std::shared_ptr<embed::EmbeddingModel>>&
   embedding_models() const {
     return embedding_models_;
   }
@@ -74,8 +77,8 @@ class EvalFunctionSet {
  private:
   EvalFunctionSet() = default;
 
-  std::vector<std::unique_ptr<CtaModelZoo>> cta_zoos_;
-  std::vector<std::unique_ptr<embed::EmbeddingModel>> embedding_models_;
+  std::vector<std::shared_ptr<CtaModelZoo>> cta_zoos_;
+  std::vector<std::shared_ptr<embed::EmbeddingModel>> embedding_models_;
   std::vector<std::unique_ptr<DomainEvalFunction>> functions_;
 };
 

@@ -98,6 +98,10 @@ inline constexpr std::string_view kMTrainerCandidateGenSeconds =
     "trainer.candidate_gen_seconds";
 inline constexpr std::string_view kMTrainerSyntheticSeconds =
     "trainer.synthetic_seconds";
+inline constexpr std::string_view kMTrainerPoolValues =
+    "trainer.pool_values";
+inline constexpr std::string_view kMTrainerPoolArenaBytes =
+    "trainer.pool_arena_bytes";
 inline constexpr std::string_view kMDatagenShardsGenerated =
     "datagen.shards_generated";
 inline constexpr std::string_view kMDatagenColumnsGenerated =
@@ -166,6 +170,8 @@ inline constexpr std::string_view kAllMetrics[] = {
     kMTrainerCandidatesRejected,
     kMTrainerCandidateGenSeconds,
     kMTrainerSyntheticSeconds,
+    kMTrainerPoolValues,
+    kMTrainerPoolArenaBytes,
     kMDatagenShardsGenerated,
     kMDatagenColumnsGenerated,
     kMServeConnections,

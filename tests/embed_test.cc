@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "embed/embedding.h"
 #include "embed/vector_math.h"
@@ -120,6 +124,73 @@ TEST(EmbeddingTest, Deterministic) {
   auto b = MakeSbertSim();
   EXPECT_DOUBLE_EQ(a->Distance("seattle", "chicago"),
                    b->Distance("seattle", "chicago"));
+}
+
+// Mixed embeddable / OOV probe set. GloveSim has a closed vocabulary, so
+// "zqxv-not-a-word" and tail-ish strings exercise the ok == 0 rows.
+std::vector<std::string> BlockProbeValues() {
+  return {"seattle", "zqxv-not-a-word", "chicago", "", "france",
+          "12345",   "seattle"};
+}
+
+TEST(EmbeddingTest, BlockCachedMatchesPerValueEmbed) {
+  for (auto maker : {MakeGloveSim, MakeSbertSim}) {
+    auto model = maker(0x1ab);
+    const std::vector<std::string> values = BlockProbeValues();
+    std::vector<std::string_view> views(values.begin(), values.end());
+    const size_t d = model->dim();
+    std::vector<float> rows(views.size() * d);
+    std::vector<uint8_t> ok(views.size());
+    model->EmbedBlockCached(views, rows.data(), ok.data());
+    for (size_t i = 0; i < values.size(); ++i) {
+      Vector v;
+      bool embeddable = model->EmbedCached(values[i], &v);
+      ASSERT_EQ(ok[i] != 0, embeddable) << model->name() << " " << values[i];
+      if (embeddable) {
+        ASSERT_EQ(v.size(), d);
+        for (size_t j = 0; j < d; ++j) {
+          EXPECT_EQ(rows[i * d + j], v[j]) << values[i];  // bit-identical
+        }
+      } else {
+        for (size_t j = 0; j < d; ++j) EXPECT_EQ(rows[i * d + j], 0.0f);
+      }
+    }
+  }
+}
+
+TEST(EmbeddingTest, BlockSharedMatchesBlockCachedAndMemoizes) {
+  auto model = MakeSbertSim(0x2cd);
+  const std::vector<std::string> values = BlockProbeValues();
+  std::vector<std::string_view> views(values.begin(), values.end());
+  const size_t d = model->dim();
+  std::vector<float> rows(views.size() * d);
+  std::vector<uint8_t> ok(views.size());
+  model->EmbedBlockCached(views, rows.data(), ok.data());
+
+  auto blk = model->EmbedBlockShared(views, /*pool_id=*/42, /*offset=*/0);
+  ASSERT_NE(blk, nullptr);
+  ASSERT_EQ(blk->rows.size(), rows.size());
+  ASSERT_EQ(blk->ok.size(), ok.size());
+  EXPECT_EQ(std::memcmp(blk->rows.data(), rows.data(),
+                        rows.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(blk->ok.data(), ok.data(), ok.size()), 0);
+
+  // Same (pool_id, offset) must return the memoized block itself; a
+  // different offset is a different slice and must not alias it.
+  auto again = model->EmbedBlockShared(views, 42, 0);
+  EXPECT_EQ(blk.get(), again.get());
+  auto other = model->EmbedBlockShared(views, 42, 7);
+  EXPECT_NE(blk.get(), other.get());
+}
+
+TEST(EmbeddingTest, SharedModelsAreProcessSingletons) {
+  EXPECT_EQ(SharedGloveSim().get(), SharedGloveSim().get());
+  EXPECT_EQ(SharedSbertSim().get(), SharedSbertSim().get());
+  // Shared instances embed exactly like fresh default-seed models.
+  auto fresh = MakeSbertSim();
+  EXPECT_DOUBLE_EQ(SharedSbertSim()->Distance("seattle", "chicago"),
+                   fresh->Distance("seattle", "chicago"));
 }
 
 }  // namespace

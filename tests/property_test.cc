@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
 
 #include "core/sdc.h"
@@ -19,6 +20,7 @@
 #include "typedet/eval_functions.h"
 #include "typedet/validators.h"
 #include "util/failpoint.h"
+#include "util/hashing.h"
 #include "util/rng.h"
 
 namespace autotest {
@@ -283,6 +285,57 @@ TEST(TrainingDeterminismTest, IdenticalModelAcrossThreadCounts) {
   auto s8 = core::FineSelect(m8, sopt);
   EXPECT_EQ(s1.selected, s8.selected);
   EXPECT_EQ(s1.lp_objective, s8.lp_objective);
+}
+
+// An eval function that deliberately has NO BatchDistance override, so the
+// trainer's columnar path must route it through the base-class fallback
+// loop (scalar Distance per value). Deterministic and cheap.
+class ScalarOnlyEval : public typedet::DomainEvalFunction {
+ public:
+  ScalarOnlyEval()
+      : DomainEvalFunction("test:scalar-only", typedet::Family::kHash) {}
+
+  double Distance(const std::string& value) const override {
+    return util::HashToUnitDouble(util::Fnv64Seeded(value, 0x5ca1a4));
+  }
+  double min_distance() const override { return 0.0; }
+  double max_distance() const override { return 1.0; }
+  std::string Describe() const override { return "scalar-only test eval"; }
+};
+
+// The columnar trainer path (use_columnar, DESIGN.md §4k) must produce a
+// model byte-identical to the legacy per-column scalar reference: distinct
+// counts weight the same threshold grids, BatchDistance overrides are
+// bit-identical to Distance, and detection order is preserved. Swept over
+// thread counts and block sizes (including a block size of 1, which
+// stresses the (pool_id, offset) block-memo keying), with a registered
+// eval function that lacks a BatchDistance override so the base-class
+// fallback is exercised alongside the vectorized families.
+TEST(TrainingDeterminismTest, ColumnarPathMatchesScalarReference) {
+  auto corpus =
+      datagen::GenerateCorpus(datagen::RelationalTablesProfile(150));
+  typedet::EvalFunctionSetOptions eval_opt;
+  eval_opt.embedding_centroids_per_model = 15;
+  auto evals = typedet::EvalFunctionSet::Build(corpus, eval_opt);
+  evals.Add(std::make_unique<ScalarOnlyEval>());
+
+  core::TrainOptions topt;
+  topt.synthetic_count = 200;
+  topt.use_columnar = false;
+  core::TrainedModel reference = core::TrainAutoTest(corpus, evals, topt);
+  ASSERT_GT(reference.constraints.size(), 0u);
+
+  topt.use_columnar = true;
+  for (int threads : {1, 2, 8}) {
+    for (size_t batch : {size_t{1}, size_t{37}, size_t{256}}) {
+      topt.num_threads = threads;
+      topt.eval_batch_size = batch;
+      core::TrainedModel columnar = core::TrainAutoTest(corpus, evals, topt);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch));
+      ExpectSameModel(reference, columnar);
+    }
+  }
 }
 
 TEST(TrainingDeterminismTest, TransientFaultsYieldByteIdenticalModel) {

@@ -2,8 +2,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "table/column.h"
+#include "table/column_store.h"
 #include "table/csv.h"
 #include "table/table.h"
 
@@ -242,6 +246,92 @@ TEST(CsvTest, RoundTripWithSpecials) {
   for (size_t i = 0; i < a.values.size(); ++i) {
     EXPECT_EQ(parsed->columns[0].values[i], a.values[i]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// ColumnStore (DESIGN.md §4k): interning, per-column parity with Distinct,
+// Find, arena stability, and pool identity.
+// ---------------------------------------------------------------------------
+
+Corpus MakeCorpus(std::vector<std::vector<std::string>> columns) {
+  Corpus corpus;
+  for (auto& values : columns) {
+    Column c;
+    c.values = std::move(values);
+    corpus.push_back(std::move(c));
+  }
+  return corpus;
+}
+
+TEST(ColumnStoreTest, InternsSharedValuesOnce) {
+  Corpus corpus = MakeCorpus({{"us", "fr", "us", "de"},
+                              {"fr", "fr", "jp"},
+                              {"de", "us"}});
+  ColumnStore store = ColumnStore::FromCorpus(corpus);
+  // Distinct values across all columns: us, fr, de, jp — each interned
+  // exactly once, in first-seen order across columns.
+  ASSERT_EQ(store.pool_size(), 4u);
+  EXPECT_EQ(store.pool()[0], "us");
+  EXPECT_EQ(store.pool()[1], "fr");
+  EXPECT_EQ(store.pool()[2], "de");
+  EXPECT_EQ(store.pool()[3], "jp");
+  EXPECT_EQ(store.num_columns(), 3u);
+}
+
+TEST(ColumnStoreTest, ColumnsMatchDistinct) {
+  Corpus corpus = MakeCorpus({{"a", "b", "a", "c", "b", "a"},
+                              {},
+                              {"b", "b", "b"}});
+  ColumnStore store = ColumnStore::FromCorpus(corpus);
+  ASSERT_EQ(store.num_columns(), corpus.size());
+  for (size_t c = 0; c < corpus.size(); ++c) {
+    DistinctValues d = Distinct(corpus[c]);
+    ColumnStore::ColumnRef ref = store.column(c);
+    ASSERT_EQ(ref.size(), d.size()) << c;
+    EXPECT_EQ(ref.total_weight, d.total) << c;
+    for (size_t i = 0; i < d.size(); ++i) {
+      EXPECT_EQ(store.pool()[ref.ids[i]], d.values[i]) << c;
+      EXPECT_EQ(ref.counts[i], d.counts[i]) << c;
+    }
+  }
+}
+
+TEST(ColumnStoreTest, FindRoundTripsAndRejectsUnknown) {
+  Corpus corpus = MakeCorpus({{"alpha", "beta", "", "gamma"}});
+  ColumnStore store = ColumnStore::FromCorpus(corpus);
+  for (size_t id = 0; id < store.pool_size(); ++id) {
+    EXPECT_EQ(store.Find(store.pool()[id]), id);
+  }
+  EXPECT_EQ(store.Find("delta"), ColumnStore::kNotFound);
+  // The empty string is a real corpus value and must intern like any other.
+  EXPECT_NE(store.Find(""), ColumnStore::kNotFound);
+}
+
+TEST(ColumnStoreTest, ArenaViewsSurviveMoveAndOversizedValues) {
+  // An oversized value gets a dedicated chunk; small values keep packing
+  // into the current chunk afterwards. All views must stay valid across a
+  // move of the store.
+  std::string huge(1 << 19, 'x');  // 2x the arena chunk size
+  Corpus corpus = MakeCorpus({{"small1", huge, "small2"}});
+  ColumnStore built = ColumnStore::FromCorpus(corpus);
+  ColumnStore store = std::move(built);
+  ASSERT_EQ(store.pool_size(), 3u);
+  EXPECT_EQ(store.pool()[0], "small1");
+  EXPECT_EQ(store.pool()[1], huge);
+  EXPECT_EQ(store.pool()[2], "small2");
+  EXPECT_GE(store.arena_bytes(), huge.size() + 12);
+  EXPECT_EQ(store.Find(huge), 1u);
+}
+
+TEST(ColumnStoreTest, PoolIdsAreUniqueAndNonZero) {
+  Corpus corpus = MakeCorpus({{"a", "b"}});
+  ColumnStore s1 = ColumnStore::FromCorpus(corpus);
+  ColumnStore s2 = ColumnStore::FromCorpus(corpus);
+  // 0 means "no pool identity" in BatchDistance, so ids must never be 0,
+  // and two stores (even over identical corpora) must never share one.
+  EXPECT_NE(s1.pool_id(), 0u);
+  EXPECT_NE(s2.pool_id(), 0u);
+  EXPECT_NE(s1.pool_id(), s2.pool_id());
 }
 
 }  // namespace

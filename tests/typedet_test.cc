@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "datagen/corpus_gen.h"
+#include "table/column_store.h"
 #include "typedet/cta_zoo.h"
 #include "typedet/eval_functions.h"
 #include "typedet/validators.h"
@@ -298,6 +305,68 @@ TEST(EvalFunctionSetTest, RandomHashInjection) {
   EXPECT_EQ(set.size(), 25u);
   for (const auto& f : set.functions()) {
     EXPECT_EQ(f->family(), Family::kHash);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchDistance parity: for every family in a full eval set, the batched
+// override (both without a pool identity and keyed on a ColumnStore pool)
+// must be bit-identical to the scalar Distance virtual. This is the
+// contract the trainer's columnar path and the zoo/embedding block memos
+// rely on (DESIGN.md §4k).
+// ---------------------------------------------------------------------------
+
+TEST(EvalFunctionTest, BatchDistanceMatchesScalarAcrossFamilies) {
+  // 40 columns: the smallest profile whose mined patterns are non-empty,
+  // so the sweep really covers all five families.
+  auto corpus = datagen::GenerateCorpus(datagen::RelationalTablesProfile(40));
+  EvalFunctionSetOptions opt;
+  opt.embedding_centroids_per_model = 5;
+  opt.num_random_hash = 2;
+  auto set = EvalFunctionSet::Build(corpus, opt);
+
+  table::ColumnStore store = table::ColumnStore::FromCorpus(corpus);
+  const std::span<const std::string_view> pool = store.pool();
+  ASSERT_GT(pool.size(), 0u);
+  // Cap the probe set: parity over a prefix is as binding as the full pool
+  // and keeps the sweep over every eval function fast.
+  const size_t n = std::min<size_t>(pool.size(), 400);
+
+  bool saw_family[5] = {false, false, false, false, false};
+  std::vector<double> keyless(n);
+  std::vector<double> keyed(n);
+  const size_t block = 64;
+  for (const auto& f : set.functions()) {
+    saw_family[static_cast<size_t>(f->family())] = true;
+    for (size_t off = 0; off < n; off += block) {
+      size_t len = std::min(block, n - off);
+      f->BatchDistance(pool.subspan(off, len),
+                       std::span<double>(keyless).subspan(off, len));
+      f->BatchDistance(pool.subspan(off, len),
+                       std::span<double>(keyed).subspan(off, len),
+                       store.pool_id(), off);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      double scalar = f->Distance(std::string(pool[i]));
+      ASSERT_EQ(keyless[i], scalar) << f->id() << " value " << pool[i];
+      ASSERT_EQ(keyed[i], scalar) << f->id() << " value " << pool[i];
+    }
+  }
+  for (bool seen : saw_family) EXPECT_TRUE(seen);
+}
+
+TEST(SharedZooTest, ProcessSingletonsScoreLikeFresh) {
+  EXPECT_EQ(SharedSherlockSim().get(), SharedSherlockSim().get());
+  EXPECT_EQ(SharedDoduoSim().get(), SharedDoduoSim().get());
+  // The shared instance is trained from the same fixed config, so its
+  // scores match a freshly trained zoo exactly.
+  auto fresh = TrainSherlockSim();
+  auto shared = SharedSherlockSim();
+  ASSERT_EQ(fresh->num_types(), shared->num_types());
+  for (const std::string v : {"france", "seattle", "not-a-real-value"}) {
+    for (size_t t = 0; t < fresh->num_types(); t += 7) {
+      EXPECT_EQ(fresh->Score(t, v), shared->Score(t, v)) << v;
+    }
   }
 }
 

@@ -9,11 +9,23 @@
 # (default 1.25, i.e. a >25% regression fails). A delta table is printed
 # either way.
 #
+# In addition to the baseline comparison, bench/floors.json (if present)
+# pins absolute CEILINGS for headline metrics: each floored metric must
+# stay at or below its ceiling. The baseline moves every time it is
+# re-pinned, so on its own it cannot prevent an accepted optimisation from
+# slowly eroding across re-pins; a floor is only ever lowered deliberately
+# and locks the improvement in (e.g. the >=2x columnar candidate-gen win,
+# DESIGN.md §4k).
+#
 # Usage: tools/run_bench_ci.sh [build-dir]
 # Env:
 #   OUT                            output document (default BENCH_ci.json)
 #   BASELINE                       baseline doc (default bench/baseline.json;
 #                                  "none" skips the comparison)
+#   FLOORS                         improvement-floor doc (default
+#                                  bench/floors.json; "none" skips it)
+#   DELTA_OUT                      delta table copy for CI artifact upload
+#                                  (default BENCH_delta.txt)
 #   AT_BENCH_REGRESSION_THRESHOLD  regression factor (default 1.25)
 #   AT_BENCH_SCALE                 bench scale (default 0.125, the CI pin)
 #   AT_BENCH_RUNS                  process runs per binary (default 3); the
@@ -22,7 +34,9 @@
 # Re-pinning after an accepted perf change: run with BASELINE=none on a
 # quiet machine, then copy the gated metrics (bench.fig14.*, bench.fig12.*
 # and the bench.micro.*_rel relative scores — NOT the *_ns absolutes) from
-# BENCH_ci.json into bench/baseline.json, keeping names sorted.
+# BENCH_ci.json into bench/baseline.json, keeping names sorted. If the
+# change was an accepted speedup of a floored metric, lower its ceiling in
+# bench/floors.json in the same commit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +44,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build}
 OUT=${OUT:-BENCH_ci.json}
 BASELINE=${BASELINE:-bench/baseline.json}
+FLOORS=${FLOORS:-bench/floors.json}
+DELTA_OUT=${DELTA_OUT:-BENCH_delta.txt}
 THRESHOLD=${AT_BENCH_REGRESSION_THRESHOLD:-1.25}
 SCALE=${AT_BENCH_SCALE:-0.125}
 RUNS=${AT_BENCH_RUNS:-3}
@@ -73,13 +89,16 @@ for run in $(seq 1 "$RUNS"); do
     }
 done
 
-python3 - "$tmpdir" "$OUT" "$BASELINE" "$THRESHOLD" "$RUNS" <<'PY'
+python3 - "$tmpdir" "$OUT" "$BASELINE" "$THRESHOLD" "$RUNS" "$FLOORS" \
+  "$DELTA_OUT" <<'PY'
 import json
 import math
+import os
 import re
 import sys
 
-tmpdir, out_path, baseline_path, threshold, runs = sys.argv[1:6]
+tmpdir, out_path, baseline_path, threshold, runs, floors_path, delta_path = \
+    sys.argv[1:8]
 threshold = float(threshold)
 runs = int(runs)
 
@@ -135,47 +154,78 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"[bench-ci] wrote {out_path} ({len(metrics)} metrics)")
 
-if baseline_path == "none":
-    print("[bench-ci] BASELINE=none, skipping regression comparison")
-    sys.exit(0)
-
-with open(baseline_path) as f:
-    base_doc = json.load(f)
-assert base_doc["schema"] == "autotest.metrics.v1", base_doc["schema"]
 current = {m["name"]: m for m in metrics}
-
-# The baseline is the allowlist: every metric it pins must exist in the
-# current run and stay under baseline * threshold.
 failures = []
 rows = []
-for bm in base_doc["metrics"]:
-    name, base = bm["name"], float(bm["value"])
-    cm = current.get(name)
-    if cm is None:
-        failures.append(f"{name}: missing from current run")
-        rows.append((name, base, None, None, "MISSING"))
-        continue
-    cur = float(cm["value"])
-    delta = (cur / base - 1.0) * 100.0 if base > 0 else 0.0
-    regressed = base > 0 and cur > base * threshold
-    if regressed:
-        failures.append(f"{name}: {cur:.6g} vs baseline {base:.6g} "
-                        f"(+{delta:.1f}% > {(threshold - 1) * 100:.0f}%)")
-    rows.append((name, base, cur, delta, "REGRESSED" if regressed else "ok"))
+
+if baseline_path == "none":
+    print("[bench-ci] BASELINE=none, skipping regression comparison")
+else:
+    with open(baseline_path) as f:
+        base_doc = json.load(f)
+    assert base_doc["schema"] == "autotest.metrics.v1", base_doc["schema"]
+    # The baseline is the allowlist: every metric it pins must exist in
+    # the current run and stay under baseline * threshold.
+    for bm in base_doc["metrics"]:
+        name, base = bm["name"], float(bm["value"])
+        cm = current.get(name)
+        if cm is None:
+            failures.append(f"{name}: missing from current run")
+            rows.append((name, base, None, None, "MISSING"))
+            continue
+        cur = float(cm["value"])
+        delta = (cur / base - 1.0) * 100.0 if base > 0 else 0.0
+        regressed = base > 0 and cur > base * threshold
+        if regressed:
+            failures.append(f"{name}: {cur:.6g} vs baseline {base:.6g} "
+                            f"(+{delta:.1f}% > {(threshold - 1) * 100:.0f}%)")
+        rows.append((name, base, cur, delta,
+                     "REGRESSED" if regressed else "ok"))
+
+# Improvement floors: absolute ceilings, checked with NO threshold slack —
+# the noise margin is baked into the ceiling when it is pinned. A floored
+# metric drifting above its ceiling fails even when the (re-pinnable)
+# baseline comparison is green.
+if floors_path != "none" and os.path.exists(floors_path):
+    with open(floors_path) as f:
+        floors_doc = json.load(f)
+    assert floors_doc["schema"] == "autotest.metrics.v1", floors_doc["schema"]
+    for fm in floors_doc["metrics"]:
+        name, ceiling = fm["name"], float(fm["value"])
+        label = name + " <=ceil"
+        cm = current.get(name)
+        if cm is None:
+            failures.append(f"{name}: floored metric missing from current run")
+            rows.append((label, ceiling, None, None, "MISSING"))
+            continue
+        cur = float(cm["value"])
+        delta = (cur / ceiling - 1.0) * 100.0 if ceiling > 0 else 0.0
+        over = cur > ceiling
+        if over:
+            failures.append(f"{name}: {cur:.6g} exceeds improvement-floor "
+                            f"ceiling {ceiling:.6g}")
+        rows.append((label, ceiling, cur, delta,
+                     "ABOVE-CEILING" if over else "ok"))
 
 width = max(len(r[0]) for r in rows) if rows else 10
-print(f"[bench-ci] {'metric':<{width}} {'baseline':>12} {'current':>12} "
-      f"{'delta':>8}  verdict")
+table = [f"{'metric':<{width}} {'baseline':>12} {'current':>12} "
+         f"{'delta':>8}  verdict"]
 for name, base, cur, delta, verdict in rows:
     cur_s = f"{cur:.6g}" if cur is not None else "-"
     delta_s = f"{delta:+.1f}%" if delta is not None else "-"
-    print(f"[bench-ci] {name:<{width}} {base:>12.6g} {cur_s:>12} "
-          f"{delta_s:>8}  {verdict}")
+    table.append(f"{name:<{width}} {base:>12.6g} {cur_s:>12} "
+                 f"{delta_s:>8}  {verdict}")
+for line in table:
+    print(f"[bench-ci] {line}")
+# Copy of the delta table for the CI job artifact.
+with open(delta_path, "w") as f:
+    f.write("\n".join(table) + "\n")
+print(f"[bench-ci] wrote delta table to {delta_path}")
 
 if failures:
-    print(f"[bench-ci] FAIL: {len(failures)} regression(s) vs "
-          f"{baseline_path} (threshold {threshold}x)")
+    print(f"[bench-ci] FAIL: {len(failures)} gate violation(s) "
+          f"(threshold {threshold}x vs {baseline_path}; "
+          f"ceilings from {floors_path})")
     sys.exit(1)
-print(f"[bench-ci] OK: {len(rows)} metric(s) within {threshold}x of "
-      f"{baseline_path}")
+print(f"[bench-ci] OK: {len(rows)} gated metric(s) green")
 PY
